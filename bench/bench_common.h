@@ -1,0 +1,42 @@
+// Shared driver for the per-table bench binaries: runs solver
+// configurations over the paper's benchmark classes and prints rows in
+// the same format as the paper (finished time, or "> T (k)" with k
+// aborted at the timeout).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/options.h"
+#include "harness/runner.h"
+#include "harness/suites.h"
+
+namespace berkmin::bench {
+
+struct Column {
+  std::string label;
+  SolverOptions options;
+};
+
+struct BenchArgs {
+  int scale = 2;
+  double timeout = 10.0;
+  std::uint64_t seed = 7;
+};
+
+// Parses --scale/--timeout/--seed (exits on --help or bad flags).
+BenchArgs parse_bench_args(int argc, char** argv, double default_timeout = 10.0,
+                           int default_scale = 2);
+
+// Runs every paper class against every column and prints the comparison
+// table plus a Total row. Returns the number of expectation violations
+// (must be zero; non-zero exits the binary with an error).
+int run_class_comparison(const std::string& title,
+                         const std::vector<Column>& columns,
+                         const BenchArgs& args);
+
+// Prints the paper's corresponding table for side-by-side comparison.
+void print_paper_reference(const std::string& caption, const char* text);
+
+}  // namespace berkmin::bench

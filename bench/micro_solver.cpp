@@ -1,0 +1,140 @@
+// Microbenchmarks (google-benchmark) for the engine's hot paths: BCP
+// throughput, conflict analysis, full solves per family, encoding and
+// generation costs. Not a paper table — used to catch performance
+// regressions in the substrate that the table benches build on.
+#include <benchmark/benchmark.h>
+
+#include "circuit/adders.h"
+#include "circuit/miter.h"
+#include "circuit/tseitin.h"
+#include "core/solver.h"
+#include "gen/hanoi.h"
+#include "gen/parity.h"
+#include "gen/pigeonhole.h"
+#include "gen/random_ksat.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace berkmin;
+
+void BM_PropagationThroughput(benchmark::State& state) {
+  // Long implication chains: measures raw two-watched-literal BCP.
+  const int chain = static_cast<int>(state.range(0));
+  Cnf cnf(chain + 1);
+  for (int i = 0; i < chain; ++i) {
+    cnf.add_binary(Lit::negative(i), Lit::positive(i + 1));
+  }
+  for (auto _ : state) {
+    state.PauseTiming();
+    Solver solver;
+    solver.load(cnf);
+    state.ResumeTiming();
+    solver.assume(Lit::positive(0));
+    benchmark::DoNotOptimize(solver.propagate());
+  }
+  state.SetItemsProcessed(state.iterations() * chain);
+}
+BENCHMARK(BM_PropagationThroughput)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_SolveRandom3Sat(benchmark::State& state) {
+  const int vars = static_cast<int>(state.range(0));
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    const Cnf cnf = gen::random_ksat(vars, static_cast<int>(vars * 4.26), 3,
+                                     ++seed);
+    Solver solver;
+    solver.load(cnf);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(solver.solve());
+  }
+}
+BENCHMARK(BM_SolveRandom3Sat)->Arg(50)->Arg(100)->Arg(150);
+
+void BM_SolvePigeonhole(benchmark::State& state) {
+  const Cnf cnf = gen::pigeonhole(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    Solver solver;
+    solver.load(cnf);
+    benchmark::DoNotOptimize(solver.solve());
+  }
+}
+BENCHMARK(BM_SolvePigeonhole)->Arg(5)->Arg(6)->Arg(7);
+
+void BM_SolveChaffPigeonhole(benchmark::State& state) {
+  const Cnf cnf = gen::pigeonhole(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    Solver solver(SolverOptions::chaff_like());
+    solver.load(cnf);
+    benchmark::DoNotOptimize(solver.solve());
+  }
+}
+BENCHMARK(BM_SolveChaffPigeonhole)->Arg(5)->Arg(6)->Arg(7);
+
+void BM_SolveParityUnsat(benchmark::State& state) {
+  gen::ParityParams params;
+  params.num_vars = static_cast<int>(state.range(0));
+  params.num_equations = params.num_vars * 3 / 2;
+  params.equation_size = 4;
+  params.satisfiable = false;
+  params.seed = 11;
+  const Cnf cnf = gen::parity_instance(params);
+  for (auto _ : state) {
+    Solver solver;
+    solver.load(cnf);
+    benchmark::DoNotOptimize(solver.solve());
+  }
+}
+BENCHMARK(BM_SolveParityUnsat)->Arg(16)->Arg(24);
+
+void BM_AdderMiterEquivalence(benchmark::State& state) {
+  const int width = static_cast<int>(state.range(0));
+  const Cnf cnf =
+      miter_cnf(ripple_carry_adder(width), carry_lookahead_adder(width));
+  for (auto _ : state) {
+    Solver solver;
+    solver.load(cnf);
+    benchmark::DoNotOptimize(solver.solve());
+  }
+}
+BENCHMARK(BM_AdderMiterEquivalence)->Arg(4)->Arg(6)->Arg(8);
+
+void BM_TseitinEncode(benchmark::State& state) {
+  const Circuit adder = carry_select_adder(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    Cnf cnf;
+    benchmark::DoNotOptimize(encode_tseitin(adder, cnf));
+  }
+}
+BENCHMARK(BM_TseitinEncode)->Arg(8)->Arg(32);
+
+void BM_GenerateHanoi(benchmark::State& state) {
+  const int disks = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        gen::hanoi_instance(disks, gen::HanoiEncoding::optimal_moves(disks)));
+  }
+}
+BENCHMARK(BM_GenerateHanoi)->Arg(3)->Arg(4)->Arg(5);
+
+void BM_NbTwoCostFunction(benchmark::State& state) {
+  // nb_two on a literal with a rich binary neighborhood.
+  Cnf cnf(1);
+  Rng rng(5);
+  for (int i = 0; i < 500; ++i) {
+    const Var v = cnf.add_var();
+    cnf.add_binary(Lit(0, rng.coin()), Lit(v, rng.coin()));
+  }
+  Solver solver;
+  solver.load(cnf);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.nb_two(Lit::positive(0)));
+    benchmark::DoNotOptimize(solver.nb_two(Lit::negative(0)));
+  }
+}
+BENCHMARK(BM_NbTwoCostFunction);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,36 @@
+// Table 2 — "Changing mobility of decision-making".
+//
+// BerkMin (branching inside the current top conflict clause) against
+// Less_mobility (globally most active variable, Chaff-style). The paper
+// reports dramatic losses for the ablation on Beijing, Miters and
+// Fvp_unsat2.0, including outright timeouts.
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace berkmin;
+  using namespace berkmin::bench;
+
+  const BenchArgs args = parse_bench_args(argc, argv);
+  const int violations = run_class_comparison(
+      "Table 2: mobility of decision-making",
+      {{"BerkMin", SolverOptions::berkmin()},
+       {"Less_mobility", SolverOptions::less_mobility()}},
+      args);
+
+  print_paper_reference("Table 2",
+      "Class            BerkMin(s)  Less_mobility(s) (aborted)\n"
+      "Hole                  231.1            121.89\n"
+      "Blocksworld           10.26             14.93\n"
+      "Par16                  8.83              6.65\n"
+      "Sss1.0                  8.2             17.71\n"
+      "Sss1.0a               10.14             16.93\n"
+      "Sss_sat1.0           235.02            220.36\n"
+      "Fvp_unsat1.0         765.16           4633.13\n"
+      "Vliw_sat1.0         6199.52           9507.26\n"
+      "Beijing              409.24         > 120,243 (2)\n"
+      "Hanoi               1409.82           1072.12\n"
+      "Miters              4584.72          28,452.88\n"
+      "Fvp_unsat2.0        6539.84          > 94,653 (1)\n"
+      "Total              20411.85         > 258,959 (3)");
+  return violations == 0 ? 0 : 1;
+}

@@ -1,0 +1,81 @@
+// Table 3 — "Skin effect".
+//
+// For five hard instances, prints f(r): how often the current top clause
+// sat at distance r from the top of the conflict-clause stack when a
+// branching variable was chosen. The paper's observation: f(r) decreases
+// quickly in r — the youngest clauses drive almost all decisions — with
+// f(0) small because the topmost clause is consumed by BCP immediately
+// after being learned (it only surfaces after a restart).
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/solver.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace berkmin;
+  using namespace berkmin::bench;
+
+  const BenchArgs args = parse_bench_args(argc, argv, /*default_timeout=*/60.0);
+
+  const std::vector<harness::Instance> instances =
+      harness::skin_effect_instances(args.scale, args.seed);
+
+  std::cout << "=== Table 3: skin effect ===\n";
+  std::cout << "instances: ";
+  for (std::size_t i = 0; i < instances.size(); ++i) {
+    std::cout << "(" << i + 1 << ") " << instances[i].name << "  ";
+  }
+  std::cout << "\n";
+
+  std::vector<SolverStats> stats;
+  int violations = 0;
+  for (const harness::Instance& instance : instances) {
+    const harness::RunResult run =
+        harness::run_instance(instance, SolverOptions::berkmin(), args.timeout);
+    if (run.expectation_violated) ++violations;
+    stats.push_back(run.stats);
+  }
+
+  std::vector<std::string> headers{"Distance"};
+  for (std::size_t i = 0; i < instances.size(); ++i) {
+    headers.push_back(std::to_string(i + 1));
+  }
+  Table table(headers);
+  const std::size_t rows[] = {0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 50, 100, 500,
+                              1000, 2000};
+  for (const std::size_t r : rows) {
+    std::vector<std::string> row{"f(" + std::to_string(r) + ")"};
+    for (const SolverStats& s : stats) row.push_back(format_count(s.skin_at(r)));
+    table.add_row(std::move(row));
+  }
+  std::cout << table.to_string();
+
+  // The paper's qualitative claim, checked numerically: f(r) decreases as
+  // r grows — the smaller the distance, the more often the clause drives
+  // a decision. Verified over decades of r: f(1) > f(10) > f(100).
+  for (std::size_t i = 0; i < stats.size(); ++i) {
+    const std::uint64_t f1 = stats[i].skin_at(1);
+    const std::uint64_t f10 = stats[i].skin_at(10);
+    const std::uint64_t f100 = stats[i].skin_at(100);
+    const bool decreasing = f1 > f10 && f10 > f100;
+    std::printf("instance %zu: f(1) = %llu > f(10) = %llu > f(100) = %llu  %s\n",
+                i + 1, static_cast<unsigned long long>(f1),
+                static_cast<unsigned long long>(f10),
+                static_cast<unsigned long long>(f100),
+                decreasing ? "[skin effect holds]" : "[not decreasing!]");
+  }
+
+  print_paper_reference("Table 3 (excerpt)",
+      "Distance        1        2       3        4       5\n"
+      "f(0)         2086     2235     585     3678     409\n"
+      "f(1)      161,770  178,791  61,615  111,221  36,849\n"
+      "f(2)       91,154   93,820  26,021   53,224  17,715\n"
+      "f(5)       42,698   45,668  10,151   27,813   9485\n"
+      "f(10)      21,551   25,700   5088   15,616    5706\n"
+      "f(100)        964     3265     253     2155     596\n"
+      "f(1000)        39      134       7      466     138\n"
+      "f(2000)         4       21       3      252      39");
+  return violations == 0 ? 0 : 1;
+}

@@ -1,0 +1,29 @@
+// Table 4 — "Branch selection".
+//
+// BerkMin's database-symmetrizing polarity heuristic against the five
+// alternatives the paper evaluates for decisions made on the current top
+// clause: Sat_top, Unsat_top, Take_0, Take_1, Take_rand. The paper finds
+// BerkMin's heuristic and Take_rand clearly best, BerkMin's slightly
+// ahead — evidence that branch order matters in the presence of restarts.
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace berkmin;
+  using namespace berkmin::bench;
+
+  const BenchArgs args = parse_bench_args(argc, argv);
+  const int violations = run_class_comparison(
+      "Table 4: branch selection",
+      {{"BerkMin", SolverOptions::berkmin()},
+       {"Sat_top", SolverOptions::with_polarity(PolarityPolicy::sat_top)},
+       {"Unsat_top", SolverOptions::with_polarity(PolarityPolicy::unsat_top)},
+       {"Take_0", SolverOptions::with_polarity(PolarityPolicy::take_0)},
+       {"Take_1", SolverOptions::with_polarity(PolarityPolicy::take_1)},
+       {"Take_rand", SolverOptions::with_polarity(PolarityPolicy::take_rand)}},
+      args);
+
+  print_paper_reference("Table 4 (totals row)",
+      "            BerkMin   Sat_top   Unsat_top       Take_0      Take_1     Take_rand\n"
+      "Total      20411.85  36,152.8  >155,393(2)   53,623.68  >213,808(3)   24,844.75");
+  return violations == 0 ? 0 : 1;
+}

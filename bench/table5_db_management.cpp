@@ -1,0 +1,36 @@
+// Table 5 — "Database management".
+//
+// BerkMin's age/activity/length-aware clause retention against the
+// GRASP-style Limited_keeping rule (drop everything longer than 42
+// literals). The paper reports >2x losses for the ablation on Hanoi,
+// Miters and Fvp_unsat2.0.
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace berkmin;
+  using namespace berkmin::bench;
+
+  const BenchArgs args = parse_bench_args(argc, argv);
+  const int violations = run_class_comparison(
+      "Table 5: clause database management",
+      {{"BerkMin", SolverOptions::berkmin()},
+       {"Limited_keeping", SolverOptions::limited_keeping()}},
+      args);
+
+  print_paper_reference("Table 5",
+      "Class            BerkMin(s)  Limited_keeping(s)\n"
+      "Hole                  231.1              696.79\n"
+      "Blocksworld           10.26                7.52\n"
+      "Par16                  8.83                7.95\n"
+      "Sss1.0                  8.2                8.87\n"
+      "Sss1.0a               10.14                 9.4\n"
+      "Sss_sat1.0           235.02              235.42\n"
+      "Fvp_unsat1.0         765.16              1328.1\n"
+      "Vliw_sat1.0         6199.52              5858.0\n"
+      "Beijing              409.24              388.52\n"
+      "Hanoi               1409.82           17,566.16\n"
+      "Miters              4584.72             9143.33\n"
+      "Fvp_unsat2.0        6539.84           22,630.55\n"
+      "Total              20411.85           57,880.71");
+  return violations == 0 ? 0 : 1;
+}

@@ -1,0 +1,50 @@
+// Table 6 — "Benchmarks on which Chaff's and BerkMin's performances are
+// comparable": per-class instance counts and total runtimes for the
+// Chaff-like baseline and BerkMin.
+#include <iostream>
+
+#include "bench_common.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace berkmin;
+  using namespace berkmin::bench;
+
+  const BenchArgs args = parse_bench_args(argc, argv);
+  const char* classes[] = {"Blocksworld", "Hole",        "Par16",
+                           "Sss1.0",      "Sss1.0a",     "Sss_sat1.0",
+                           "Fvp_unsat1.0", "Vliw_sat1.0"};
+
+  std::cout << "=== Table 6: classes where Chaff and BerkMin are comparable ===\n"
+            << "scale " << args.scale << ", timeout " << args.timeout
+            << " s/instance\n";
+
+  Table table({"Class of benchmarks", "Number of instances", "zChaff (s)",
+               "BerkMin (s)"});
+  int violations = 0;
+  for (const char* name : classes) {
+    const harness::Suite suite = harness::suite_by_name(name, args.scale, args.seed);
+    const harness::ClassResult chaff =
+        harness::run_suite(suite, SolverOptions::chaff_like(), args.timeout);
+    const harness::ClassResult berkmin =
+        harness::run_suite(suite, SolverOptions::berkmin(), args.timeout);
+    violations += chaff.wrong + berkmin.wrong;
+    table.add_row({suite.name, std::to_string(suite.instances.size()),
+                   chaff.format_time(args.timeout),
+                   berkmin.format_time(args.timeout)});
+  }
+  std::cout << table.to_string();
+  if (violations > 0) std::cout << "ERROR: expectation violations!\n";
+
+  print_paper_reference("Table 6",
+      "Class          #   zChaff(s)  BerkMin(s)\n"
+      "Blocksworld    7        33.2         9.0\n"
+      "Hole           5        38.0       339.0\n"
+      "Par16         10        27.7        13.6\n"
+      "Sss 1.0       48        85.3        13.4\n"
+      "Sss 1.0a       8        32.2        17.9\n"
+      "Sss-sat 1.0  100       593.9       254.4\n"
+      "Fvp-unsat 1.0  4      1140.8      1637.4\n"
+      "Vliw-sat 1.0 100    12,334.2      7305.0");
+  return violations == 0 ? 0 : 1;
+}

@@ -1,0 +1,208 @@
+// A complete command-line SAT solver over DIMACS files (or generated
+// instances), in the mold of the released BerkMin56 binary.
+//
+//   ./build/examples/dimacs_solver formula.cnf
+//   ./build/examples/dimacs_solver --generate hole:8 --preset chaff
+//   ./build/examples/dimacs_solver formula.cnf --drat proof.out --stats
+//
+// Exit codes follow the SAT-competition convention: 10 = satisfiable,
+// 20 = unsatisfiable, 0 = unknown/budget, 1 = usage error.
+#include <fstream>
+#include <iostream>
+
+#include "cnf/dimacs.h"
+#include "cnf/preprocess.h"
+#include "core/drat.h"
+#include "core/solver.h"
+#include "gen/registry.h"
+#include "util/cli.h"
+#include "util/timer.h"
+
+using namespace berkmin;
+
+namespace {
+
+SolverOptions preset_by_name(const std::string& name, bool* ok) {
+  *ok = true;
+  if (name == "berkmin") return SolverOptions::berkmin();
+  if (name == "chaff") return SolverOptions::chaff_like();
+  if (name == "limmat") return SolverOptions::limmat_like();
+  if (name == "less_sensitivity") return SolverOptions::less_sensitivity();
+  if (name == "less_mobility") return SolverOptions::less_mobility();
+  if (name == "limited_keeping") return SolverOptions::limited_keeping();
+  if (name == "sat_top") return SolverOptions::with_polarity(PolarityPolicy::sat_top);
+  if (name == "unsat_top") return SolverOptions::with_polarity(PolarityPolicy::unsat_top);
+  if (name == "take_0") return SolverOptions::with_polarity(PolarityPolicy::take_0);
+  if (name == "take_1") return SolverOptions::with_polarity(PolarityPolicy::take_1);
+  if (name == "take_rand") return SolverOptions::with_polarity(PolarityPolicy::take_rand);
+  *ok = false;
+  return SolverOptions::berkmin();
+}
+
+void print_skin_histogram(const SolverStats& stats) {
+  std::cout << "c skin effect f(r) — decisions by top-clause distance:\n";
+  const std::size_t rows[] = {0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 50, 100, 500, 1000, 2000};
+  for (const std::size_t r : rows) {
+    std::cout << "c   f(" << r << ") = " << stats.skin_at(r) << "\n";
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ArgParser args(argc, argv);
+  args.add_option("preset", "berkmin",
+                  "heuristic preset: berkmin, chaff, limmat, less_sensitivity, "
+                  "less_mobility, limited_keeping, sat_top, unsat_top, take_0, "
+                  "take_1, take_rand");
+  args.add_option("generate", "", "generate an instance instead of reading a file "
+                  "(see --list-generators)");
+  args.add_option("timeout", "0", "wall-clock budget in seconds (0 = none)");
+  args.add_option("conflicts", "0", "conflict budget (0 = none)");
+  args.add_option("restart", "550", "restart interval in conflicts");
+  args.add_option("seed", "0", "random tie-breaking seed");
+  args.add_option("young-max-len", "42", "keep young clauses up to this length");
+  args.add_option("young-min-act", "8", "or with at least this activity");
+  args.add_option("old-max-len", "8", "keep old clauses up to this length");
+  args.add_option("old-act-threshold", "60", "or above this activity threshold");
+  args.add_option("decay-interval", "256", "conflicts between activity decays");
+  args.add_option("decay-factor", "2", "activity decay divisor");
+  args.add_option("drat", "", "write a DRAT proof to this file");
+  args.add_option("write-dimacs", "",
+                  "export the (possibly generated) formula to this file and "
+                  "continue solving");
+  args.add_flag("preprocess", "run subsumption preprocessing first");
+  args.add_flag("stats", "print search statistics");
+  args.add_flag("skin", "print the skin-effect histogram (Table 3 data)");
+  args.add_flag("model", "print the satisfying assignment");
+  args.add_flag("minimize", "enable learned-clause minimization (extension)");
+  args.add_flag("list-generators", "list generator specs and exit");
+  args.add_flag("help", "show this help");
+
+  if (!args.parse()) {
+    std::cerr << "error: " << args.error() << "\n";
+    return 1;
+  }
+  if (args.has_flag("help")) {
+    std::cout << args.help("dimacs_solver — the BerkMin reproduction CLI");
+    return 0;
+  }
+  if (args.has_flag("list-generators")) {
+    std::cout << gen::registry_help();
+    return 0;
+  }
+
+  // Load or generate the formula.
+  Cnf cnf;
+  try {
+    if (const std::string spec = args.get_string("generate"); !spec.empty()) {
+      std::string error;
+      auto instance = gen::generate_from_spec(spec, &error);
+      if (!instance) {
+        std::cerr << "error: " << error << "\n";
+        return 1;
+      }
+      cnf = std::move(instance->cnf);
+      std::cout << "c generated " << spec << "\n";
+    } else if (!args.positional().empty()) {
+      cnf = dimacs::read_file(args.positional()[0]);
+    } else {
+      std::cerr << "error: no input (give a DIMACS file or --generate)\n";
+      return 1;
+    }
+  } catch (const std::exception& ex) {
+    std::cerr << "error: " << ex.what() << "\n";
+    return 1;
+  }
+  std::cout << "c " << cnf.num_vars() << " variables, " << cnf.num_clauses()
+            << " clauses\n";
+
+  if (const std::string path = args.get_string("write-dimacs"); !path.empty()) {
+    dimacs::write_file(path, cnf, "exported by dimacs_solver");
+    std::cout << "c wrote " << path << "\n";
+  }
+  if (args.has_flag("preprocess")) {
+    const PreprocessResult pre = preprocess(cnf);
+    if (pre.unsat) {
+      std::cout << "s UNSATISFIABLE\nc (by preprocessing)\n";
+      return 20;
+    }
+    std::cout << "c preprocessing: " << pre.removed_subsumed << " subsumed, "
+              << pre.strengthened_literals << " literals strengthened, "
+              << pre.propagated_units << " units\n";
+    cnf = pre.cnf;
+  }
+
+  bool preset_ok = false;
+  SolverOptions options = preset_by_name(args.get_string("preset"), &preset_ok);
+  if (!preset_ok) {
+    std::cerr << "error: unknown preset '" << args.get_string("preset") << "'\n";
+    return 1;
+  }
+  options.restart_interval = static_cast<std::uint32_t>(args.get_int("restart"));
+  options.seed = static_cast<std::uint64_t>(args.get_int("seed"));
+  options.minimize_learned = args.has_flag("minimize");
+  options.young_keep_max_length = static_cast<std::uint32_t>(args.get_int("young-max-len"));
+  options.young_keep_min_activity = static_cast<std::uint32_t>(args.get_int("young-min-act"));
+  options.old_keep_max_length = static_cast<std::uint32_t>(args.get_int("old-max-len"));
+  options.old_activity_threshold = static_cast<std::uint32_t>(args.get_int("old-act-threshold"));
+  options.var_decay_interval = static_cast<std::uint32_t>(args.get_int("decay-interval"));
+  options.var_decay_factor = static_cast<std::uint32_t>(args.get_int("decay-factor"));
+
+  Solver solver(options);
+  std::ofstream drat_file;
+  DratWriter drat(drat_file);
+  if (const std::string path = args.get_string("drat"); !path.empty()) {
+    drat_file.open(path);
+    if (!drat_file) {
+      std::cerr << "error: cannot open '" << path << "' for the proof\n";
+      return 1;
+    }
+    drat.attach(solver);
+  }
+
+  solver.load(cnf);
+
+  Budget budget;
+  budget.max_seconds = args.get_double("timeout");
+  budget.max_conflicts = static_cast<std::uint64_t>(args.get_int("conflicts"));
+
+  WallTimer timer;
+  const SolveStatus status = solver.solve(budget);
+  const double elapsed = timer.seconds();
+
+  std::cout << "s " << to_string(status) << "\n";
+  if (status == SolveStatus::satisfiable && args.has_flag("model")) {
+    std::cout << "v ";
+    for (Var v = 0; v < cnf.num_vars(); ++v) {
+      std::cout << (solver.model_value(Lit::positive(v)) ? v + 1 : -(v + 1)) << ' ';
+    }
+    std::cout << "0\n";
+  }
+  if (status == SolveStatus::satisfiable &&
+      !cnf.is_satisfied_by(solver.model())) {
+    std::cerr << "error: model failed validation (solver bug)\n";
+    return 1;
+  }
+
+  if (args.has_flag("stats")) {
+    const SolverStats& stats = solver.stats();
+    std::cout << "c time " << elapsed << " s\n"
+              << "c decisions " << stats.decisions << " (top-clause "
+              << stats.top_clause_decisions << ", global "
+              << stats.global_decisions << ")\n"
+              << "c conflicts " << stats.conflicts << "\n"
+              << "c propagations " << stats.propagations << "\n"
+              << "c restarts " << stats.restarts << "\n"
+              << "c learned " << stats.learned_clauses << " (units "
+              << stats.learned_units << "), deleted " << stats.deleted_clauses
+              << "\n"
+              << "c database ratio " << stats.db_generated_ratio()
+              << ", peak live ratio " << stats.db_peak_ratio() << "\n";
+  }
+  if (args.has_flag("skin")) print_skin_histogram(solver.stats());
+
+  if (status == SolveStatus::satisfiable) return 10;
+  if (status == SolveStatus::unsatisfiable) return 20;
+  return 0;
+}

@@ -1,0 +1,201 @@
+#include "circuit/circuit.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace berkmin {
+
+const char* to_string(GateKind kind) {
+  switch (kind) {
+    case GateKind::input: return "input";
+    case GateKind::const_zero: return "const0";
+    case GateKind::const_one: return "const1";
+    case GateKind::buf: return "buf";
+    case GateKind::not_gate: return "not";
+    case GateKind::and_gate: return "and";
+    case GateKind::or_gate: return "or";
+    case GateKind::nand_gate: return "nand";
+    case GateKind::nor_gate: return "nor";
+    case GateKind::xor_gate: return "xor";
+    case GateKind::xnor_gate: return "xnor";
+    case GateKind::latch: return "latch";
+  }
+  return "?";
+}
+
+bool is_combinational_kind(GateKind kind) {
+  switch (kind) {
+    case GateKind::buf:
+    case GateKind::not_gate:
+    case GateKind::and_gate:
+    case GateKind::or_gate:
+    case GateKind::nand_gate:
+    case GateKind::nor_gate:
+    case GateKind::xor_gate:
+    case GateKind::xnor_gate:
+      return true;
+    default:
+      return false;
+  }
+}
+
+int Circuit::add_input() {
+  gates_.push_back(Gate{GateKind::input, {}});
+  inputs_.push_back(num_gates() - 1);
+  return num_gates() - 1;
+}
+
+int Circuit::add_const(bool value) {
+  gates_.push_back(Gate{value ? GateKind::const_one : GateKind::const_zero, {}});
+  return num_gates() - 1;
+}
+
+int Circuit::add_gate(GateKind kind, std::vector<int> fanins) {
+  if (!is_combinational_kind(kind)) {
+    throw std::invalid_argument("add_gate requires a combinational kind");
+  }
+  const bool unary = kind == GateKind::buf || kind == GateKind::not_gate;
+  if (unary ? fanins.size() != 1 : fanins.size() < 2) {
+    throw std::invalid_argument(std::string("bad arity for ") + to_string(kind));
+  }
+  for (const int f : fanins) {
+    if (f < 0 || f >= num_gates()) {
+      throw std::invalid_argument("fanin must be an existing earlier gate");
+    }
+  }
+  gates_.push_back(Gate{kind, std::move(fanins)});
+  return num_gates() - 1;
+}
+
+int Circuit::add_latch() {
+  gates_.push_back(Gate{GateKind::latch, {}});
+  latches_.push_back(num_gates() - 1);
+  return num_gates() - 1;
+}
+
+void Circuit::set_latch_input(int latch, int fanin) {
+  if (latch < 0 || latch >= num_gates() || gates_[latch].kind != GateKind::latch) {
+    throw std::invalid_argument("set_latch_input: not a latch");
+  }
+  if (fanin < 0 || fanin >= num_gates()) {
+    throw std::invalid_argument("set_latch_input: bad fanin");
+  }
+  gates_[latch].fanins = {fanin};
+}
+
+void Circuit::mark_output(int gate) {
+  if (gate < 0 || gate >= num_gates()) {
+    throw std::invalid_argument("mark_output: no such gate");
+  }
+  outputs_.push_back(gate);
+}
+
+std::string Circuit::validate() const {
+  for (int i = 0; i < num_gates(); ++i) {
+    const Gate& g = gates_[i];
+    if (is_combinational_kind(g.kind)) {
+      for (const int f : g.fanins) {
+        if (f >= i) return "gate " + std::to_string(i) + " has a forward fanin";
+      }
+    } else if (g.kind == GateKind::latch) {
+      if (g.fanins.size() != 1) {
+        return "latch " + std::to_string(i) + " has no next-state input";
+      }
+    }
+  }
+  return "";
+}
+
+bool evaluate_gate(GateKind kind, const std::vector<bool>& fanin_values) {
+  switch (kind) {
+    case GateKind::buf:
+      return fanin_values[0];
+    case GateKind::not_gate:
+      return !fanin_values[0];
+    case GateKind::and_gate:
+    case GateKind::nand_gate: {
+      bool all = true;
+      for (const bool v : fanin_values) all = all && v;
+      return kind == GateKind::and_gate ? all : !all;
+    }
+    case GateKind::or_gate:
+    case GateKind::nor_gate: {
+      bool any = false;
+      for (const bool v : fanin_values) any = any || v;
+      return kind == GateKind::or_gate ? any : !any;
+    }
+    case GateKind::xor_gate:
+    case GateKind::xnor_gate: {
+      bool parity = false;
+      for (const bool v : fanin_values) parity = parity != v;
+      return kind == GateKind::xor_gate ? parity : !parity;
+    }
+    default:
+      throw std::invalid_argument("evaluate_gate: not a combinational kind");
+  }
+}
+
+std::vector<bool> Circuit::evaluate_with_state(const std::vector<bool>& input_values,
+                                               std::vector<bool>& latch_state,
+                                               bool advance_state) const {
+  assert(input_values.size() == inputs_.size());
+  assert(latch_state.size() == latches_.size());
+
+  std::vector<bool> value(gates_.size(), false);
+  std::size_t next_input = 0;
+  std::size_t next_latch = 0;
+  std::vector<bool> fanin_values;
+  for (int i = 0; i < num_gates(); ++i) {
+    const Gate& g = gates_[i];
+    switch (g.kind) {
+      case GateKind::input:
+        value[i] = input_values[next_input++];
+        break;
+      case GateKind::const_zero:
+        value[i] = false;
+        break;
+      case GateKind::const_one:
+        value[i] = true;
+        break;
+      case GateKind::latch:
+        value[i] = latch_state[next_latch++];
+        break;
+      default: {
+        fanin_values.clear();
+        for (const int f : g.fanins) fanin_values.push_back(value[f]);
+        value[i] = evaluate_gate(g.kind, fanin_values);
+        break;
+      }
+    }
+  }
+
+  if (advance_state) {
+    for (std::size_t s = 0; s < latches_.size(); ++s) {
+      latch_state[s] = value[gates_[latches_[s]].fanins[0]];
+    }
+  }
+
+  std::vector<bool> out;
+  out.reserve(outputs_.size());
+  for (const int o : outputs_) out.push_back(value[o]);
+  return out;
+}
+
+std::vector<bool> Circuit::evaluate(const std::vector<bool>& input_values) const {
+  assert(is_combinational());
+  std::vector<bool> no_state;
+  return evaluate_with_state(input_values, no_state, false);
+}
+
+std::vector<std::vector<bool>> Circuit::simulate(
+    const std::vector<std::vector<bool>>& inputs_per_cycle) const {
+  std::vector<bool> state(latches_.size(), false);
+  std::vector<std::vector<bool>> outputs;
+  outputs.reserve(inputs_per_cycle.size());
+  for (const auto& cycle_inputs : inputs_per_cycle) {
+    outputs.push_back(evaluate_with_state(cycle_inputs, state, true));
+  }
+  return outputs;
+}
+
+}  // namespace berkmin

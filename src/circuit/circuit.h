@@ -1,0 +1,99 @@
+// Gate-level netlist with simulation.
+//
+// This is the substrate behind the paper's circuit-derived benchmark
+// families: miters for equivalence checking (class Miters), adder logic
+// (class Beijing), unrolled sequential designs (classes Sss*), and the
+// pipelined-datapath instances (classes Fvp*/Vliw*).
+//
+// Gates are stored in topological order: a combinational gate may only
+// refer to earlier gates. Latches close feedback loops — their input is
+// set after creation and may point anywhere.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace berkmin {
+
+enum class GateKind : std::uint8_t {
+  input,
+  const_zero,
+  const_one,
+  buf,
+  not_gate,
+  and_gate,
+  or_gate,
+  nand_gate,
+  nor_gate,
+  xor_gate,
+  xnor_gate,
+  latch,  // clocked storage element, initial state 0
+};
+
+const char* to_string(GateKind kind);
+
+// True for the kinds whose output is a boolean function of ≥1 fanins.
+bool is_combinational_kind(GateKind kind);
+
+struct Gate {
+  GateKind kind = GateKind::input;
+  std::vector<int> fanins;
+};
+
+class Circuit {
+ public:
+  // --- construction ------------------------------------------------------
+  int add_input();
+  int add_const(bool value);
+  // kind must be combinational; fanins must be existing earlier gates.
+  int add_gate(GateKind kind, std::vector<int> fanins);
+  int add_not(int a) { return add_gate(GateKind::not_gate, {a}); }
+  int add_and(int a, int b) { return add_gate(GateKind::and_gate, {a, b}); }
+  int add_or(int a, int b) { return add_gate(GateKind::or_gate, {a, b}); }
+  int add_xor(int a, int b) { return add_gate(GateKind::xor_gate, {a, b}); }
+
+  // Latches may be created before their next-state logic exists.
+  int add_latch();
+  void set_latch_input(int latch, int fanin);
+
+  void mark_output(int gate);
+
+  // --- structure ----------------------------------------------------------
+  int num_gates() const { return static_cast<int>(gates_.size()); }
+  const Gate& gate(int i) const { return gates_[i]; }
+  const std::vector<int>& inputs() const { return inputs_; }
+  const std::vector<int>& latches() const { return latches_; }
+  const std::vector<int>& outputs() const { return outputs_; }
+  int num_inputs() const { return static_cast<int>(inputs_.size()); }
+  int num_outputs() const { return static_cast<int>(outputs_.size()); }
+  bool is_combinational() const { return latches_.empty(); }
+
+  // Checks structural sanity (arities, fanin ordering, latch inputs set).
+  // Returns an empty string when valid, else a description of the problem.
+  std::string validate() const;
+
+  // --- simulation ---------------------------------------------------------
+  // Combinational evaluation; input_values follows the order of inputs().
+  std::vector<bool> evaluate(const std::vector<bool>& input_values) const;
+
+  // Sequential simulation from the all-zero latch state; one input vector
+  // per cycle, returns one output vector per cycle.
+  std::vector<std::vector<bool>> simulate(
+      const std::vector<std::vector<bool>>& inputs_per_cycle) const;
+
+ private:
+  std::vector<bool> evaluate_with_state(const std::vector<bool>& input_values,
+                                        std::vector<bool>& latch_state,
+                                        bool advance_state) const;
+
+  std::vector<Gate> gates_;
+  std::vector<int> inputs_;
+  std::vector<int> latches_;
+  std::vector<int> outputs_;
+};
+
+// Evaluates one combinational gate function.
+bool evaluate_gate(GateKind kind, const std::vector<bool>& fanin_values);
+
+}  // namespace berkmin

@@ -1,0 +1,87 @@
+#include "circuit/miter.h"
+
+#include <stdexcept>
+
+#include "circuit/tseitin.h"
+
+namespace berkmin {
+
+std::vector<int> append_circuit(Circuit& target, const Circuit& source,
+                                const std::vector<int>& input_map) {
+  if (!source.is_combinational()) {
+    throw std::invalid_argument("append_circuit: source has latches");
+  }
+  if (input_map.size() != static_cast<std::size_t>(source.num_inputs())) {
+    throw std::invalid_argument("append_circuit: input_map size mismatch");
+  }
+
+  std::vector<int> map(source.num_gates(), -1);
+  std::size_t next_input = 0;
+  for (int i = 0; i < source.num_gates(); ++i) {
+    const Gate& g = source.gate(i);
+    switch (g.kind) {
+      case GateKind::input:
+        map[i] = input_map[next_input++];
+        break;
+      case GateKind::const_zero:
+        map[i] = target.add_const(false);
+        break;
+      case GateKind::const_one:
+        map[i] = target.add_const(true);
+        break;
+      default: {
+        std::vector<int> fanins;
+        fanins.reserve(g.fanins.size());
+        for (const int f : g.fanins) fanins.push_back(map[f]);
+        map[i] = target.add_gate(g.kind, std::move(fanins));
+        break;
+      }
+    }
+  }
+
+  std::vector<int> outputs;
+  outputs.reserve(source.num_outputs());
+  for (const int o : source.outputs()) outputs.push_back(map[o]);
+  return outputs;
+}
+
+Circuit build_miter(const Circuit& left, const Circuit& right) {
+  if (left.num_inputs() != right.num_inputs() ||
+      left.num_outputs() != right.num_outputs()) {
+    throw std::invalid_argument("build_miter: interface mismatch");
+  }
+  if (left.num_outputs() == 0) {
+    throw std::invalid_argument("build_miter: circuits have no outputs");
+  }
+
+  Circuit miter;
+  std::vector<int> shared_inputs;
+  shared_inputs.reserve(left.num_inputs());
+  for (int i = 0; i < left.num_inputs(); ++i) shared_inputs.push_back(miter.add_input());
+
+  const std::vector<int> left_outputs = append_circuit(miter, left, shared_inputs);
+  const std::vector<int> right_outputs = append_circuit(miter, right, shared_inputs);
+
+  std::vector<int> differences;
+  differences.reserve(left_outputs.size());
+  for (std::size_t i = 0; i < left_outputs.size(); ++i) {
+    differences.push_back(miter.add_xor(left_outputs[i], right_outputs[i]));
+  }
+
+  int any_difference = differences[0];
+  if (differences.size() > 1) {
+    any_difference = miter.add_gate(GateKind::or_gate, differences);
+  }
+  miter.mark_output(any_difference);
+  return miter;
+}
+
+Cnf miter_cnf(const Circuit& left, const Circuit& right) {
+  const Circuit miter = build_miter(left, right);
+  Cnf cnf;
+  const std::vector<Lit> lits = encode_tseitin(miter, cnf);
+  cnf.add_unit(lits[miter.outputs()[0]]);
+  return cnf;
+}
+
+}  // namespace berkmin

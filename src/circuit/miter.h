@@ -1,0 +1,28 @@
+// Miter construction for equivalence checking (the paper's Miters class).
+//
+// A miter of two circuits with identical interfaces shares their inputs,
+// XORs each output pair and ORs the differences: the miter output is 1
+// exactly on input vectors where the circuits disagree. The miter CNF
+// (Tseitin encoding + unit clause asserting the output) is therefore
+// UNSAT iff the circuits are equivalent.
+#pragma once
+
+#include "circuit/circuit.h"
+#include "cnf/cnf_formula.h"
+
+namespace berkmin {
+
+// Appends a copy of `source` to `target`, substituting `input_map`
+// (gate ids in `target`) for the source's inputs. Returns the target gate
+// ids of the source's outputs. Both circuits must be combinational.
+std::vector<int> append_circuit(Circuit& target, const Circuit& source,
+                                const std::vector<int>& input_map);
+
+// Builds the miter circuit of two combinational circuits with equal
+// input/output counts. Its single output is 1 iff the circuits differ.
+Circuit build_miter(const Circuit& left, const Circuit& right);
+
+// Convenience: CNF satisfiable iff the two circuits are NOT equivalent.
+Cnf miter_cnf(const Circuit& left, const Circuit& right);
+
+}  // namespace berkmin

@@ -1,0 +1,72 @@
+#include "circuit/multiplier.h"
+
+#include <stdexcept>
+
+#include "circuit/adders.h"
+
+namespace berkmin {
+namespace {
+
+// Adds two equal-width vectors with the selected adder style, returning
+// width+1 bits (sum plus carry-out).
+std::vector<int> add_vectors(Circuit& c, const std::vector<int>& a,
+                             const std::vector<int>& b, bool lookahead) {
+  if (!lookahead) return append_ripple_sum(c, a, b, -1);
+
+  const int width = static_cast<int>(a.size());
+  std::vector<int> generate(width);
+  std::vector<int> propagate(width);
+  for (int i = 0; i < width; ++i) {
+    generate[i] = c.add_and(a[i], b[i]);
+    propagate[i] = c.add_xor(a[i], b[i]);
+  }
+  std::vector<int> out;
+  int carry = c.add_const(false);
+  for (int i = 0; i < width; ++i) {
+    out.push_back(c.add_xor(propagate[i], carry));
+    carry = c.add_or(generate[i], c.add_and(propagate[i], carry));
+  }
+  out.push_back(carry);
+  return out;
+}
+
+}  // namespace
+
+Circuit multiplier(int width, const MultiplierConfig& config) {
+  if (width < 1) throw std::invalid_argument("multiplier width must be >= 1");
+  Circuit c;
+  std::vector<int> a_in;
+  std::vector<int> b_in;
+  for (int i = 0; i < width; ++i) a_in.push_back(c.add_input());
+  for (int i = 0; i < width; ++i) b_in.push_back(c.add_input());
+
+  const std::vector<int>& a = config.swap_operands ? b_in : a_in;
+  const std::vector<int>& b = config.swap_operands ? a_in : b_in;
+
+  // Accumulate the 2w-bit product row by row: row i contributes
+  // (a AND b[i]) << i.
+  const int zero = c.add_const(false);
+  std::vector<int> acc(2 * width, zero);
+
+  std::vector<int> rows(width);
+  for (int i = 0; i < width; ++i) rows[i] = i;
+  if (config.high_rows_first) {
+    for (int i = 0; i < width; ++i) rows[i] = width - 1 - i;
+  }
+
+  for (const int i : rows) {
+    // The shifted row embedded into 2w bits.
+    std::vector<int> row(2 * width, zero);
+    for (int j = 0; j < width; ++j) {
+      row[i + j] = c.add_and(a[j], b[i]);
+    }
+    std::vector<int> sum = add_vectors(c, acc, row, config.use_lookahead_adders);
+    sum.pop_back();  // the 2w-bit accumulator cannot overflow
+    acc = std::move(sum);
+  }
+
+  for (const int bit : acc) c.mark_output(bit);
+  return c;
+}
+
+}  // namespace berkmin

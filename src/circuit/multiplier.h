@@ -1,0 +1,26 @@
+// Combinational multipliers.
+//
+// Multiplier equivalence miters are the classic source of genuinely hard
+// unsatisfiable circuit instances: proving a*b == b*a (operand swap) or
+// the equivalence of differently scheduled partial-product reductions
+// requires global arithmetic reasoning that resolution-based solvers can
+// only do exponentially. Width is a direct hardness knob — exactly the
+// "complexity was easy to control" property the paper wanted from its
+// artificial equivalence-checking circuits.
+#pragma once
+
+#include "circuit/circuit.h"
+
+namespace berkmin {
+
+struct MultiplierConfig {
+  bool swap_operands = false;     // compute b*a instead of a*b
+  bool high_rows_first = false;   // accumulate partial products downward
+  bool use_lookahead_adders = false;  // row adder implementation
+};
+
+// width x width -> 2*width bit array multiplier. Inputs a[0..w-1] then
+// b[0..w-1] (LSB first); outputs the 2w product bits.
+Circuit multiplier(int width, const MultiplierConfig& config = {});
+
+}  // namespace berkmin

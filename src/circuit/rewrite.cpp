@@ -1,0 +1,155 @@
+#include "circuit/rewrite.h"
+
+#include <stdexcept>
+
+namespace berkmin {
+namespace {
+
+class Rewriter {
+ public:
+  Rewriter(const Circuit& source, Rng& rng, const RewriteParams& params)
+      : source_(source), rng_(rng), params_(params) {}
+
+  Circuit run() {
+    map_.assign(source_.num_gates(), -1);
+    for (int i = 0; i < source_.num_gates(); ++i) {
+      map_[i] = emit(i);
+    }
+    for (const int o : source_.outputs()) out_.mark_output(map_[o]);
+    return std::move(out_);
+  }
+
+ private:
+  // Optionally wraps a signal in a double negation.
+  int maybe_double_negate(int signal) {
+    if (rng_.chance(params_.double_negate_probability)) {
+      return out_.add_not(out_.add_not(signal));
+    }
+    return signal;
+  }
+
+  std::vector<int> mapped_fanins(const Gate& g) {
+    std::vector<int> fanins;
+    fanins.reserve(g.fanins.size());
+    for (const int f : g.fanins) fanins.push_back(maybe_double_negate(map_[f]));
+    return fanins;
+  }
+
+  // AND(f...) == NOT(OR(NOT f...)); OR(f...) == NOT(AND(NOT f...)).
+  int demorgan(GateKind kind, const std::vector<int>& fanins) {
+    std::vector<int> inverted;
+    inverted.reserve(fanins.size());
+    for (const int f : fanins) inverted.push_back(out_.add_not(f));
+    const GateKind dual =
+        (kind == GateKind::and_gate || kind == GateKind::nand_gate)
+            ? GateKind::or_gate
+            : GateKind::and_gate;
+    const int inner = out_.add_gate(dual, std::move(inverted));
+    const bool outer_negation =
+        kind == GateKind::and_gate || kind == GateKind::or_gate;
+    return outer_negation ? out_.add_not(inner) : out_.add_gate(GateKind::buf, {inner});
+  }
+
+  // a XOR b == (a AND NOT b) OR (NOT a AND b).
+  int xor_decomposed(int a, int b) {
+    const int left = out_.add_and(a, out_.add_not(b));
+    const int right = out_.add_and(out_.add_not(a), b);
+    return out_.add_or(left, right);
+  }
+
+  // Flattens the maximal XOR/XNOR tree rooted at source gate `index` into
+  // its non-xor leaves, then re-emits it as a chain over a shuffled leaf
+  // order. Each XNOR node contributes one logical negation; the total
+  // parity is restored at the end.
+  int xor_reassociated(int index) {
+    std::vector<int> leaves;
+    bool negate = false;
+    std::vector<int> stack{index};
+    while (!stack.empty()) {
+      const int g = stack.back();
+      stack.pop_back();
+      const Gate& gate = source_.gate(g);
+      if (g != index && gate.kind != GateKind::xor_gate &&
+          gate.kind != GateKind::xnor_gate) {
+        leaves.push_back(maybe_double_negate(map_[g]));
+        continue;
+      }
+      if (gate.kind == GateKind::xnor_gate) negate = !negate;
+      for (const int f : gate.fanins) {
+        const GateKind fk = source_.gate(f).kind;
+        if (fk == GateKind::xor_gate || fk == GateKind::xnor_gate) {
+          stack.push_back(f);
+        } else {
+          leaves.push_back(maybe_double_negate(map_[f]));
+        }
+      }
+    }
+    rng_.shuffle(leaves);
+    int acc = leaves[0];
+    for (std::size_t i = 1; i < leaves.size(); ++i) {
+      acc = out_.add_xor(acc, leaves[i]);
+    }
+    return negate ? out_.add_not(acc) : acc;
+  }
+
+  int emit(int index) {
+    const Gate& g = source_.gate(index);
+    switch (g.kind) {
+      case GateKind::input:
+        return out_.add_input();
+      case GateKind::const_zero:
+        return out_.add_const(false);
+      case GateKind::const_one:
+        return out_.add_const(true);
+      case GateKind::latch:
+        throw std::invalid_argument("rewrite_equivalent: combinational only");
+      case GateKind::and_gate:
+      case GateKind::or_gate:
+      case GateKind::nand_gate:
+      case GateKind::nor_gate: {
+        const std::vector<int> fanins = mapped_fanins(g);
+        if (rng_.chance(params_.demorgan_probability)) {
+          return demorgan(g.kind, fanins);
+        }
+        return out_.add_gate(g.kind, fanins);
+      }
+      case GateKind::xor_gate:
+      case GateKind::xnor_gate: {
+        if (rng_.chance(params_.xor_reassociate_probability)) {
+          return xor_reassociated(index);
+        }
+        const std::vector<int> fanins = mapped_fanins(g);
+        if (fanins.size() == 2 && rng_.chance(params_.xor_decompose_probability)) {
+          const int decomposed = xor_decomposed(fanins[0], fanins[1]);
+          return g.kind == GateKind::xor_gate ? decomposed
+                                              : out_.add_not(decomposed);
+        }
+        return out_.add_gate(g.kind, fanins);
+      }
+      case GateKind::buf:
+      case GateKind::not_gate: {
+        const int fanin = maybe_double_negate(map_[g.fanins[0]]);
+        return out_.add_gate(g.kind, {fanin});
+      }
+    }
+    throw std::logic_error("rewrite_equivalent: unhandled gate kind");
+  }
+
+  const Circuit& source_;
+  Rng& rng_;
+  const RewriteParams& params_;
+  Circuit out_;
+  std::vector<int> map_;
+};
+
+}  // namespace
+
+Circuit rewrite_equivalent(const Circuit& circuit, Rng& rng,
+                           const RewriteParams& params) {
+  if (!circuit.is_combinational()) {
+    throw std::invalid_argument("rewrite_equivalent: combinational only");
+  }
+  return Rewriter(circuit, rng, params).run();
+}
+
+}  // namespace berkmin

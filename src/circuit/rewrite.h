@@ -1,0 +1,30 @@
+// Semantics-preserving circuit rewriting.
+//
+// rewrite_equivalent() produces a circuit that computes the same function
+// through different structure (De Morgan forms, XOR decompositions,
+// double negations). Miters of a circuit against its rewritten form are
+// unsatisfiable but structurally non-trivial — exactly how the paper's
+// "artificial" equivalence-checking instances behave.
+#pragma once
+
+#include "circuit/circuit.h"
+#include "util/rng.h"
+
+namespace berkmin {
+
+struct RewriteParams {
+  double demorgan_probability = 0.5;
+  double xor_decompose_probability = 0.25;
+  double double_negate_probability = 0.15;
+  // Flattens maximal XOR/XNOR trees and rebuilds them as a chain over a
+  // shuffled leaf order. Associativity/commutativity of XOR preserves the
+  // function, but no gate-level correspondence survives — proving the
+  // miter unsatisfiable then requires genuine parity reasoning, which is
+  // what makes the equivalence-checking instances hard.
+  double xor_reassociate_probability = 0.5;
+};
+
+Circuit rewrite_equivalent(const Circuit& circuit, Rng& rng,
+                           const RewriteParams& params = {});
+
+}  // namespace berkmin

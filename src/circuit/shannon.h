@@ -1,0 +1,19 @@
+// Canonical mux-tree (Shannon cofactor) synthesis.
+//
+// shannon_canonical() rebuilds a small combinational circuit as a reduced
+// ordered mux tree derived from its exhaustively simulated truth table —
+// a structurally alien but functionally identical implementation. Miters
+// of random logic against its canonical form are classic equivalence-
+// checking workloads: no local correspondence exists, so the solver must
+// reason about the function itself. Used by the Miters benchmark family.
+#pragma once
+
+#include "circuit/circuit.h"
+
+namespace berkmin {
+
+// Requires a combinational circuit with at most max_inputs inputs (the
+// truth table is 2^n entries per output). Throws on larger circuits.
+Circuit shannon_canonical(const Circuit& source, int max_inputs = 16);
+
+}  // namespace berkmin

@@ -1,0 +1,17 @@
+// Tseitin encoding of combinational circuits into CNF.
+#pragma once
+
+#include <vector>
+
+#include "circuit/circuit.h"
+#include "cnf/cnf_formula.h"
+
+namespace berkmin {
+
+// Appends the Tseitin encoding of `circuit` (which must be combinational)
+// to `cnf`, returning the CNF literal of every gate (indexed by gate id).
+// No output constraints are added; callers assert outputs themselves,
+// e.g. cnf.add_unit(lits[circuit.outputs()[0]]) to ask for output 1.
+std::vector<Lit> encode_tseitin(const Circuit& circuit, Cnf& cnf);
+
+}  // namespace berkmin

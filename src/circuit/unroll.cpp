@@ -1,0 +1,60 @@
+#include "circuit/unroll.h"
+
+#include <stdexcept>
+
+namespace berkmin {
+
+Circuit unroll(const Circuit& sequential, int cycles) {
+  if (cycles < 1) throw std::invalid_argument("unroll: cycles must be >= 1");
+  const std::string problem = sequential.validate();
+  if (!problem.empty()) throw std::invalid_argument("unroll: " + problem);
+
+  Circuit out;
+  const int num_latches = static_cast<int>(sequential.latches().size());
+
+  // State entering the current frame (gate ids in `out`); frame 0 starts
+  // from the all-zero initial state.
+  std::vector<int> state(num_latches, -1);
+  if (num_latches > 0) {
+    const int zero = out.add_const(false);
+    for (int s = 0; s < num_latches; ++s) state[s] = zero;
+  }
+
+  std::vector<int> map(sequential.num_gates(), -1);
+  for (int cycle = 0; cycle < cycles; ++cycle) {
+    std::fill(map.begin(), map.end(), -1);
+    int next_latch = 0;
+    for (int i = 0; i < sequential.num_gates(); ++i) {
+      const Gate& g = sequential.gate(i);
+      switch (g.kind) {
+        case GateKind::input:
+          map[i] = out.add_input();
+          break;
+        case GateKind::const_zero:
+          map[i] = out.add_const(false);
+          break;
+        case GateKind::const_one:
+          map[i] = out.add_const(true);
+          break;
+        case GateKind::latch:
+          map[i] = state[next_latch++];
+          break;
+        default: {
+          std::vector<int> fanins;
+          fanins.reserve(g.fanins.size());
+          for (const int f : g.fanins) fanins.push_back(map[f]);
+          map[i] = out.add_gate(g.kind, std::move(fanins));
+          break;
+        }
+      }
+    }
+    for (const int o : sequential.outputs()) out.mark_output(map[o]);
+    // Next-state values feed the following frame.
+    for (int s = 0; s < num_latches; ++s) {
+      state[s] = map[sequential.gate(sequential.latches()[s]).fanins[0]];
+    }
+  }
+  return out;
+}
+
+}  // namespace berkmin

@@ -1,0 +1,18 @@
+// Time-frame expansion of sequential circuits.
+//
+// unroll(c, k) builds a combinational circuit over k cycles: inputs are
+// replicated per cycle, latches start at 0 and carry each cycle's
+// next-state value into the following frame. Outputs are replicated per
+// cycle as well. This is the standard bounded-model-checking construction
+// behind the paper's processor-verification benchmark families.
+#pragma once
+
+#include "circuit/circuit.h"
+
+namespace berkmin {
+
+// The unrolled circuit's inputs are ordered cycle-major: all cycle-0
+// inputs, then all cycle-1 inputs, ...; outputs likewise.
+Circuit unroll(const Circuit& sequential, int cycles);
+
+}  // namespace berkmin

@@ -1,0 +1,63 @@
+// A CNF formula as a plain container of clauses.
+//
+// This is the interchange type between generators, DIMACS I/O and the
+// solvers; the CDCL engine compiles it into its own arena representation.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "cnf/literal.h"
+
+namespace berkmin {
+
+class Cnf {
+ public:
+  Cnf() = default;
+  explicit Cnf(int num_vars) : num_vars_(num_vars) {}
+
+  Var add_var() { return num_vars_++; }
+
+  // Reserves n fresh variables and returns the first of them.
+  Var add_vars(int n) {
+    const Var first = num_vars_;
+    num_vars_ += n;
+    return first;
+  }
+
+  // Clauses are stored verbatim (no deduplication or tautology removal);
+  // normalization is the job of cnf/simplify.h and of the solvers.
+  // Referencing a variable beyond num_vars() grows the variable count.
+  void add_clause(std::vector<Lit> lits);
+  void add_clause(std::span<const Lit> lits);
+  void add_clause(std::initializer_list<Lit> lits);
+
+  // Convenience for unit/binary/ternary clauses.
+  void add_unit(Lit a) { add_clause({a}); }
+  void add_binary(Lit a, Lit b) { add_clause({a, b}); }
+  void add_ternary(Lit a, Lit b, Lit c) { add_clause({a, b, c}); }
+
+  int num_vars() const { return num_vars_; }
+  std::size_t num_clauses() const { return clauses_.size(); }
+  std::size_t num_literals() const { return num_literals_; }
+
+  const std::vector<Lit>& clause(std::size_t i) const { return clauses_[i]; }
+  const std::vector<std::vector<Lit>>& clauses() const { return clauses_; }
+
+  // True iff `assignment` (indexed by variable) satisfies every clause.
+  // Unassigned variables satisfy nothing.
+  bool is_satisfied_by(const std::vector<Value>& assignment) const;
+
+  // Appends all clauses of `other`, shifting its variables by num_vars().
+  // Returns the variable offset applied.
+  Var append_disjoint(const Cnf& other);
+
+ private:
+  int num_vars_ = 0;
+  std::size_t num_literals_ = 0;
+  std::vector<std::vector<Lit>> clauses_;
+};
+
+}  // namespace berkmin

@@ -1,0 +1,31 @@
+// Structural statistics of a CNF formula, for analysis tools and the
+// class_runner example.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cnf/cnf_formula.h"
+
+namespace berkmin {
+
+struct CnfStats {
+  int num_vars = 0;
+  std::size_t num_clauses = 0;
+  std::size_t num_literals = 0;
+  std::size_t num_units = 0;
+  std::size_t num_binary = 0;
+  std::size_t num_ternary = 0;
+  std::size_t max_clause_length = 0;
+  double mean_clause_length = 0.0;
+  double positive_literal_fraction = 0.0;  // over all literal occurrences
+  std::size_t num_horn = 0;                // clauses with <= 1 positive literal
+  std::vector<std::size_t> length_histogram;
+
+  std::string summary() const;
+};
+
+CnfStats compute_stats(const Cnf& cnf);
+
+}  // namespace berkmin

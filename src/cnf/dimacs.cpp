@@ -1,0 +1,155 @@
+#include "cnf/dimacs.h"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+namespace berkmin::dimacs {
+namespace {
+
+struct Token {
+  std::string text;
+  int line = 0;
+};
+
+// Tokenizes the stream, dropping comment lines and the SATLIB "%" footer
+// (everything after a lone "%" is ignored, as in the SATLIB uf* files).
+std::vector<Token> tokenize(std::istream& in) {
+  std::vector<Token> tokens;
+  std::string line;
+  int line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    std::istringstream ls(line);
+    std::string word;
+    bool first_word = true;
+    while (ls >> word) {
+      if (first_word && (word == "c" || word.rfind("c", 0) == 0)) {
+        // Comment lines start with 'c'; accept both "c text" and "ctext"
+        // only when the token is exactly "c" or starts with "c " — i.e. we
+        // treat any line whose first token begins with a non-numeric,
+        // non-'p' character as a comment, matching common practice.
+        if (word == "c") break;
+        if (!std::isdigit(static_cast<unsigned char>(word[0])) && word[0] != '-' &&
+            word[0] != 'p' && word[0] != '%') {
+          break;
+        }
+      }
+      if (word == "%") return tokens;  // SATLIB footer: stop reading.
+      tokens.push_back(Token{word, line_number});
+      first_word = false;
+    }
+  }
+  return tokens;
+}
+
+long long parse_number(const Token& token) {
+  std::size_t consumed = 0;
+  long long value = 0;
+  try {
+    value = std::stoll(token.text, &consumed);
+  } catch (const std::exception&) {
+    throw DimacsError(token.line, "expected a number, got '" + token.text + "'");
+  }
+  if (consumed != token.text.size()) {
+    throw DimacsError(token.line, "trailing characters in '" + token.text + "'");
+  }
+  return value;
+}
+
+}  // namespace
+
+Cnf read(std::istream& in) {
+  const std::vector<Token> tokens = tokenize(in);
+  std::size_t pos = 0;
+
+  if (tokens.empty()) {
+    throw DimacsError(0, "empty input: missing 'p cnf' header");
+  }
+  if (tokens[pos].text != "p") {
+    throw DimacsError(tokens[pos].line, "expected 'p cnf' header before clauses");
+  }
+  ++pos;
+  if (pos >= tokens.size() || tokens[pos].text != "cnf") {
+    throw DimacsError(tokens[pos - 1].line, "expected 'cnf' after 'p'");
+  }
+  ++pos;
+  if (pos + 1 >= tokens.size()) {
+    throw DimacsError(tokens.back().line, "header is missing variable/clause counts");
+  }
+  const long long declared_vars = parse_number(tokens[pos++]);
+  const long long declared_clauses = parse_number(tokens[pos++]);
+  if (declared_vars < 0 || declared_clauses < 0) {
+    throw DimacsError(tokens[pos - 1].line, "negative counts in header");
+  }
+
+  Cnf cnf(static_cast<int>(declared_vars));
+  std::vector<Lit> current;
+  int last_line = tokens.empty() ? 1 : tokens.back().line;
+  for (; pos < tokens.size(); ++pos) {
+    const long long value = parse_number(tokens[pos]);
+    last_line = tokens[pos].line;
+    if (value == 0) {
+      cnf.add_clause(current);
+      current.clear();
+      continue;
+    }
+    const long long magnitude = value > 0 ? value : -value;
+    if (magnitude > declared_vars) {
+      throw DimacsError(tokens[pos].line,
+                        "literal " + tokens[pos].text + " exceeds declared " +
+                            std::to_string(declared_vars) + " variables");
+    }
+    current.push_back(from_dimacs(static_cast<int>(value)));
+  }
+  if (!current.empty()) {
+    throw DimacsError(last_line, "last clause is not terminated by 0");
+  }
+  if (static_cast<long long>(cnf.num_clauses()) != declared_clauses) {
+    throw DimacsError(last_line,
+                      "header declares " + std::to_string(declared_clauses) +
+                          " clauses but " + std::to_string(cnf.num_clauses()) +
+                          " were read");
+  }
+  return cnf;
+}
+
+Cnf read_string(const std::string& text) {
+  std::istringstream in(text);
+  return read(in);
+}
+
+Cnf read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw DimacsError(0, "cannot open file '" + path + "'");
+  return read(in);
+}
+
+void write(std::ostream& out, const Cnf& cnf, const std::string& comment) {
+  if (!comment.empty()) {
+    std::istringstream cs(comment);
+    std::string line;
+    while (std::getline(cs, line)) out << "c " << line << '\n';
+  }
+  out << "p cnf " << cnf.num_vars() << ' ' << cnf.num_clauses() << '\n';
+  for (const auto& clause : cnf.clauses()) {
+    for (const Lit l : clause) out << to_dimacs(l) << ' ';
+    out << "0\n";
+  }
+}
+
+std::string write_string(const Cnf& cnf, const std::string& comment) {
+  std::ostringstream out;
+  write(out, cnf, comment);
+  return out.str();
+}
+
+void write_file(const std::string& path, const Cnf& cnf, const std::string& comment) {
+  std::ofstream out(path);
+  if (!out) throw DimacsError(0, "cannot open file '" + path + "' for writing");
+  write(out, cnf, comment);
+}
+
+}  // namespace berkmin::dimacs

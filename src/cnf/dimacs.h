@@ -1,0 +1,39 @@
+// DIMACS CNF reader and writer.
+//
+// The reader accepts the format used by the DIMACS / SATLIB suites the
+// paper benchmarks on: "c" comment lines, a "p cnf <vars> <clauses>"
+// header, whitespace-separated literals terminated by 0 (clauses may span
+// lines and several clauses may share a line), and the SATLIB "%" footer.
+// Malformed input raises DimacsError with a line number.
+#pragma once
+
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+
+#include "cnf/cnf_formula.h"
+
+namespace berkmin::dimacs {
+
+class DimacsError : public std::runtime_error {
+ public:
+  DimacsError(int line, const std::string& message)
+      : std::runtime_error("dimacs:" + std::to_string(line) + ": " + message),
+        line_(line) {}
+
+  int line() const { return line_; }
+
+ private:
+  int line_;
+};
+
+Cnf read(std::istream& in);
+Cnf read_string(const std::string& text);
+Cnf read_file(const std::string& path);
+
+void write(std::ostream& out, const Cnf& cnf, const std::string& comment = "");
+std::string write_string(const Cnf& cnf, const std::string& comment = "");
+void write_file(const std::string& path, const Cnf& cnf,
+                const std::string& comment = "");
+
+}  // namespace berkmin::dimacs

@@ -1,0 +1,86 @@
+// Variable and literal types shared by the whole library.
+//
+// Variables are dense 0-based indices. A literal packs a variable and a
+// sign into one integer ("code"): code = 2*var + (negative ? 1 : 0). The
+// code doubles as an index into per-literal arrays (watch lists, activity
+// counters), which is the layout every watched-literal solver uses.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace berkmin {
+
+using Var = std::int32_t;
+inline constexpr Var no_var = -1;
+
+class Lit {
+ public:
+  constexpr Lit() = default;
+
+  constexpr Lit(Var var, bool negative)
+      : code_((var << 1) | static_cast<std::int32_t>(negative)) {}
+
+  static constexpr Lit positive(Var var) { return Lit(var, false); }
+  static constexpr Lit negative(Var var) { return Lit(var, true); }
+  static constexpr Lit from_code(std::int32_t code) {
+    Lit l;
+    l.code_ = code;
+    return l;
+  }
+
+  constexpr Var var() const { return code_ >> 1; }
+  constexpr bool is_negative() const { return (code_ & 1) != 0; }
+  constexpr bool is_positive() const { return (code_ & 1) == 0; }
+  constexpr std::int32_t code() const { return code_; }
+
+  constexpr Lit operator~() const { return from_code(code_ ^ 1); }
+
+  friend constexpr bool operator==(Lit, Lit) = default;
+  friend constexpr auto operator<=>(Lit, Lit) = default;
+
+ private:
+  std::int32_t code_ = -2;
+};
+
+inline constexpr Lit undef_lit = Lit::from_code(-2);
+
+// DIMACS convention: variable v (0-based) is literal v+1, negation -(v+1).
+constexpr int to_dimacs(Lit l) {
+  const int magnitude = l.var() + 1;
+  return l.is_negative() ? -magnitude : magnitude;
+}
+
+constexpr Lit from_dimacs(int value) {
+  const Var var = (value > 0 ? value : -value) - 1;
+  return Lit(var, value < 0);
+}
+
+inline std::string to_string(Lit l) { return std::to_string(to_dimacs(l)); }
+
+// Ternary assignment value. The numeric layout lets a literal's value be
+// computed from its variable's value with one XOR (see value_of_literal).
+enum class Value : std::uint8_t {
+  false_value = 0,
+  true_value = 1,
+  unassigned = 2,
+};
+
+constexpr Value to_value(bool b) {
+  return b ? Value::true_value : Value::false_value;
+}
+
+constexpr Value negate(Value v) {
+  if (v == Value::unassigned) return v;
+  return static_cast<Value>(static_cast<std::uint8_t>(v) ^ 1);
+}
+
+// Value of literal l given the value of its variable.
+constexpr Value value_of_literal(Value var_value, Lit l) {
+  if (var_value == Value::unassigned) return Value::unassigned;
+  return static_cast<Value>(static_cast<std::uint8_t>(var_value) ^
+                            static_cast<std::uint8_t>(l.is_negative()));
+}
+
+}  // namespace berkmin

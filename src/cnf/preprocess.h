@@ -1,0 +1,33 @@
+// Clause-level preprocessing: subsumption and self-subsuming resolution.
+//
+// An extension beyond the paper (preprocessing of this kind entered the
+// mainstream with SatELite, after BerkMin): C subsumes D when C ⊆ D, and
+// C self-subsumes D on literal l when (C \ {l}) ⊆ (D \ {~l}), allowing ~l
+// to be deleted from D. Both transformations preserve equivalence, so the
+// preprocessor can run in front of any solver configuration.
+#pragma once
+
+#include <cstdint>
+
+#include "cnf/cnf_formula.h"
+
+namespace berkmin {
+
+struct PreprocessOptions {
+  bool subsumption = true;
+  bool self_subsumption = true;
+  int max_rounds = 10;  // fixpoint cap
+};
+
+struct PreprocessResult {
+  Cnf cnf;                      // the reduced formula
+  bool unsat = false;           // a root-level contradiction was found
+  std::uint64_t removed_subsumed = 0;
+  std::uint64_t strengthened_literals = 0;
+  std::uint64_t propagated_units = 0;
+  int rounds = 0;
+};
+
+PreprocessResult preprocess(const Cnf& cnf, const PreprocessOptions& options = {});
+
+}  // namespace berkmin

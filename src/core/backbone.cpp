@@ -1,0 +1,67 @@
+#include "core/backbone.h"
+
+namespace berkmin {
+
+BackboneResult compute_backbone(const Cnf& cnf, const SolverOptions& options,
+                                const Budget& per_call_budget) {
+  BackboneResult result;
+  Solver solver(options);
+  solver.load(cnf);
+
+  ++result.solver_calls;
+  const SolveStatus first = solver.solve(per_call_budget);
+  if (first == SolveStatus::unknown) {
+    result.complete = false;
+    return result;
+  }
+  if (first == SolveStatus::unsatisfiable) return result;
+  result.satisfiable = true;
+
+  // Candidates: the literals of the first model. Each model seen later
+  // prunes every candidate it contradicts (a literal false in some model
+  // is not backbone).
+  std::vector<Lit> candidates;
+  for (Var v = 0; v < cnf.num_vars(); ++v) {
+    const Value value = solver.model()[v];
+    if (value != Value::unassigned) {
+      candidates.push_back(Lit(v, value == Value::false_value));
+    }
+  }
+
+  std::vector<char> decided(static_cast<std::size_t>(cnf.num_vars()), 0);
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    const Lit candidate = candidates[i];
+    if (decided[candidate.var()]) continue;
+    if (!solver.ok()) break;
+
+    const std::vector<Lit> assumption{~candidate};
+    ++result.solver_calls;
+    const SolveStatus status =
+        solver.solve_with_assumptions(assumption, per_call_budget);
+    if (status == SolveStatus::unknown) {
+      result.complete = false;
+      break;
+    }
+    if (status == SolveStatus::unsatisfiable) {
+      // ~candidate is impossible: candidate is backbone. Fixing it as a
+      // unit strengthens all later calls.
+      result.backbone.push_back(candidate);
+      decided[candidate.var()] = 1;
+      solver.add_clause({candidate});
+    } else {
+      // The new model refutes this candidate — and possibly others.
+      decided[candidate.var()] = 1;
+      for (std::size_t j = i + 1; j < candidates.size(); ++j) {
+        const Lit other = candidates[j];
+        if (!decided[other.var()] &&
+            value_of_literal(solver.model()[other.var()], other) ==
+                Value::false_value) {
+          decided[other.var()] = 1;
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace berkmin

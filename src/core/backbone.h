@@ -1,0 +1,28 @@
+// Backbone computation.
+//
+// The backbone of a satisfiable formula is the set of literals true in
+// every model. Built on the incremental assumption interface: starting
+// from one model, each candidate literal l is kept only if formula ∧ ~l
+// is unsatisfiable. A classic downstream application of a SAT solver in
+// EDA flows (constant detection, don't-care extraction).
+#pragma once
+
+#include <vector>
+
+#include "cnf/cnf_formula.h"
+#include "core/solver.h"
+
+namespace berkmin {
+
+struct BackboneResult {
+  bool satisfiable = false;
+  bool complete = true;              // false if a budget expired
+  std::vector<Lit> backbone;         // literals true in every model
+  std::uint64_t solver_calls = 0;
+};
+
+BackboneResult compute_backbone(const Cnf& cnf,
+                                const SolverOptions& options,
+                                const Budget& per_call_budget = Budget::unlimited());
+
+}  // namespace berkmin

@@ -1,0 +1,33 @@
+#include "core/clause_arena.h"
+
+// The arena is header-only; this translation unit exists so the target has
+// a stable archive member for the class and to host the status strings.
+
+#include "core/solver_types.h"
+
+namespace berkmin {
+
+const char* to_string(SolveStatus status) {
+  switch (status) {
+    case SolveStatus::satisfiable:
+      return "SATISFIABLE";
+    case SolveStatus::unsatisfiable:
+      return "UNSATISFIABLE";
+    case SolveStatus::unknown:
+      return "UNKNOWN";
+  }
+  return "INVALID";
+}
+
+std::string SolverStats::summary() const {
+  std::string out;
+  out += "decisions=" + std::to_string(decisions);
+  out += " conflicts=" + std::to_string(conflicts);
+  out += " propagations=" + std::to_string(propagations);
+  out += " restarts=" + std::to_string(restarts);
+  out += " learned=" + std::to_string(learned_clauses);
+  out += " deleted=" + std::to_string(deleted_clauses);
+  return out;
+}
+
+}  // namespace berkmin

@@ -1,0 +1,95 @@
+// Flat clause storage.
+//
+// All clauses live in one growable array of 32-bit words; a ClauseRef is an
+// offset into it. Layout per clause:
+//
+//   word 0   size << 2 | learned bit | spare bit
+//   word 1   activity counter (the number of conflicts the clause has been
+//            responsible for — Section 8 of the paper)
+//   word 2.. literal codes
+//
+// Handles returned by deref() point into the array and are invalidated by
+// alloc() (growth may move the storage) and by garbage collection.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "cnf/literal.h"
+#include "core/solver_types.h"
+
+namespace berkmin {
+
+class Clause {
+ public:
+  explicit Clause(std::uint32_t* base) : base_(base) {}
+
+  std::uint32_t size() const { return base_[0] >> 2; }
+  bool learned() const { return (base_[0] & 1) != 0; }
+
+  std::uint32_t activity() const { return base_[1]; }
+  void set_activity(std::uint32_t value) { base_[1] = value; }
+  void bump_activity() { ++base_[1]; }
+
+  Lit operator[](std::uint32_t i) const {
+    return Lit::from_code(static_cast<std::int32_t>(base_[2 + i]));
+  }
+  void set_lit(std::uint32_t i, Lit l) {
+    base_[2 + i] = static_cast<std::uint32_t>(l.code());
+  }
+
+  // Shrinks the clause in place (used when stripping root-false literals).
+  void shrink(std::uint32_t new_size) {
+    assert(new_size <= size());
+    base_[0] = (new_size << 2) | (base_[0] & 3);
+  }
+
+  // Copies the literals out (for callbacks and proof logging; safe across
+  // later arena growth).
+  void copy_to(std::vector<Lit>& out) const {
+    out.clear();
+    out.reserve(size());
+    for (std::uint32_t i = 0; i < size(); ++i) out.push_back((*this)[i]);
+  }
+
+ private:
+  std::uint32_t* base_;
+};
+
+class ClauseArena {
+ public:
+  static constexpr std::uint32_t header_words = 2;
+
+  ClauseRef alloc(std::span<const Lit> lits, bool learned) {
+    const ClauseRef ref = static_cast<ClauseRef>(data_.size());
+    data_.push_back((static_cast<std::uint32_t>(lits.size()) << 2) |
+                    (learned ? 1u : 0u));
+    data_.push_back(0);  // activity
+    for (const Lit l : lits) data_.push_back(static_cast<std::uint32_t>(l.code()));
+    return ref;
+  }
+
+  Clause deref(ClauseRef ref) {
+    assert(ref < data_.size());
+    return Clause(data_.data() + ref);
+  }
+
+  const Clause deref(ClauseRef ref) const {
+    assert(ref < data_.size());
+    // Clause only mutates through non-const methods; fine for read access.
+    return Clause(const_cast<std::uint32_t*>(data_.data() + ref));
+  }
+
+  std::size_t size_words() const { return data_.size(); }
+
+  void clear() { data_.clear(); }
+
+  void reserve_words(std::size_t words) { data_.reserve(words); }
+
+ private:
+  std::vector<std::uint32_t> data_;
+};
+
+}  // namespace berkmin

@@ -1,0 +1,195 @@
+// Decision making (Sections 5-7 of the paper).
+//
+// BerkMin's branching: find the current top clause — the unsatisfied
+// conflict clause closest to the top of the chronological stack — and
+// branch on its most active free variable; the first value explored is
+// chosen to symmetrize the clause database (lit_activity counters). When
+// every conflict clause is satisfied, branch on the globally most active
+// free variable with the nb_two polarity heuristic. The distance of the
+// top clause from the top of the stack feeds the skin-effect histogram
+// (Section 6, Table 3).
+#include <cassert>
+
+#include "core/solver.h"
+
+namespace berkmin {
+
+bool Solver::clause_is_satisfied(ClauseRef ref) const {
+  const Clause c = arena_.deref(ref);
+  for (std::uint32_t i = 0; i < c.size(); ++i) {
+    if (value(c[i]) == Value::true_value) return true;
+  }
+  return false;
+}
+
+Solver::TopClause Solver::find_top_clause() {
+  for (std::size_t idx = learned_stack_.size(); idx-- > 0;) {
+    // Cheap filter: the literal that satisfied this clause last time is
+    // usually still true.
+    const Lit cached = satisfied_cache_[idx];
+    if (cached != undef_lit && value(cached) == Value::true_value) continue;
+
+    const ClauseRef ref = learned_stack_[idx];
+    const Clause c = arena_.deref(ref);
+    Lit satisfying = undef_lit;
+    for (std::uint32_t i = 0; i < c.size(); ++i) {
+      if (value(c[i]) == Value::true_value) {
+        satisfying = c[i];
+        break;
+      }
+    }
+    if (satisfying != undef_lit) {
+      satisfied_cache_[idx] = satisfying;
+      continue;
+    }
+    return TopClause{ref, learned_stack_.size() - 1 - idx};
+  }
+  return TopClause{no_clause, 0};
+}
+
+Var Solver::most_active_free_var(ClauseRef ref) const {
+  const Clause c = arena_.deref(ref);
+  Var best = no_var;
+  std::uint64_t best_activity = 0;
+  for (std::uint32_t i = 0; i < c.size(); ++i) {
+    const Var v = c[i].var();
+    if (assign_[v] != Value::unassigned) continue;
+    if (best == no_var || var_activity_[v] > best_activity) {
+      best = v;
+      best_activity = var_activity_[v];
+    }
+  }
+  return best;
+}
+
+Lit Solver::polarity_symmetrize(Var v) {
+  // Section 7: exploring branch v=0 first can only produce conflict
+  // clauses containing the positive literal of v, so pick the branch that
+  // replenishes the under-represented literal.
+  const std::uint64_t pos = lit_activity_[Lit::positive(v).code()];
+  const std::uint64_t neg = lit_activity_[Lit::negative(v).code()];
+  if (pos < neg) return Lit::negative(v);  // v=0 first
+  if (neg < pos) return Lit::positive(v);  // v=1 first
+  return Lit(v, rng_.coin());
+}
+
+Lit Solver::polarity_for_top_clause(Var v, ClauseRef top) {
+  switch (opts_.polarity_policy) {
+    case PolarityPolicy::symmetrize:
+      return polarity_symmetrize(v);
+    case PolarityPolicy::sat_top:
+    case PolarityPolicy::unsat_top: {
+      const Clause c = arena_.deref(top);
+      Lit in_clause = undef_lit;
+      for (std::uint32_t i = 0; i < c.size(); ++i) {
+        if (c[i].var() == v) {
+          in_clause = c[i];
+          break;
+        }
+      }
+      assert(in_clause != undef_lit);
+      return opts_.polarity_policy == PolarityPolicy::sat_top ? in_clause
+                                                              : ~in_clause;
+    }
+    case PolarityPolicy::take_0:
+      return Lit::negative(v);
+    case PolarityPolicy::take_1:
+      return Lit::positive(v);
+    case PolarityPolicy::take_rand:
+      return Lit(v, rng_.coin());
+  }
+  return Lit::positive(v);
+}
+
+Lit Solver::polarity_nb_two(Var v) {
+  // Section 7: choose the literal with the larger binary-clause
+  // neighborhood and assign the value that sets it to 0 — falsifying the
+  // strong literal maximizes the unit propagation triggered by the
+  // decision. Ties are broken at random.
+  const std::uint64_t pos = nb_two(Lit::positive(v));
+  const std::uint64_t neg = nb_two(Lit::negative(v));
+  Lit strong = Lit(v, rng_.coin());
+  if (pos > neg) {
+    strong = Lit::positive(v);
+  } else if (neg > pos) {
+    strong = Lit::negative(v);
+  }
+  return ~strong;
+}
+
+Var Solver::pop_most_active_var() {
+  while (!var_heap_.empty()) {
+    const Var v = static_cast<Var>(var_heap_.pop());
+    if (assign_[v] == Value::unassigned) return v;
+  }
+  return no_var;
+}
+
+Lit Solver::pick_chaff_literal() {
+  while (!lit_heap_.empty()) {
+    const Lit l = Lit::from_code(lit_heap_.pop());
+    if (value(l) == Value::unassigned) return l;
+  }
+  return undef_lit;
+}
+
+Lit Solver::pick_branch() {
+  switch (opts_.decision_policy) {
+    case DecisionPolicy::berkmin_top_clause: {
+      TopClause top = find_top_clause();
+      if (top.ref != no_clause) {
+        ++stats_.top_clause_decisions;
+        stats_.record_skin(top.distance);
+
+        Var v = most_active_free_var(top.ref);
+        // Remark 2 extension: optionally widen the search to the K topmost
+        // unsatisfied clauses and take the most active variable overall.
+        if (opts_.top_clause_window > 1) {
+          // Re-scan the stack for further unsatisfied clauses below `top`.
+          std::uint32_t found = 1;
+          const std::size_t start =
+              learned_stack_.size() - 1 - top.distance;
+          for (std::size_t idx = start; idx-- > 0 && found < opts_.top_clause_window;) {
+            if (clause_is_satisfied(learned_stack_[idx])) continue;
+            ++found;
+            const Var candidate = most_active_free_var(learned_stack_[idx]);
+            if (candidate != no_var &&
+                (v == no_var || var_activity_[candidate] > var_activity_[v])) {
+              v = candidate;
+              top.ref = learned_stack_[idx];
+            }
+          }
+        }
+        assert(v != no_var);
+        return polarity_for_top_clause(v, top.ref);
+      }
+      const Var v = pop_most_active_var();
+      if (v == no_var) return undef_lit;
+      ++stats_.global_decisions;
+      return polarity_nb_two(v);
+    }
+
+    case DecisionPolicy::global_activity: {
+      // Table 2's "less_mobility": globally most active free variable,
+      // activities computed BerkMin's way. Polarity follows BerkMin's
+      // symmetrization rule, falling back to nb_two while no conflict
+      // clauses have been deduced yet.
+      const Var v = pop_most_active_var();
+      if (v == no_var) return undef_lit;
+      ++stats_.global_decisions;
+      const std::uint64_t pos = lit_activity_[Lit::positive(v).code()];
+      const std::uint64_t neg = lit_activity_[Lit::negative(v).code()];
+      if (pos == neg) return polarity_nb_two(v);
+      return polarity_symmetrize(v);
+    }
+
+    case DecisionPolicy::chaff_literal: {
+      const Lit l = pick_chaff_literal();
+      if (l != undef_lit) ++stats_.global_decisions;
+      return l;
+    }
+  }
+  return undef_lit;
+}
+
+}  // namespace berkmin

@@ -1,0 +1,30 @@
+#include "core/drat.h"
+
+#include "core/solver.h"
+
+namespace berkmin {
+
+void DratWriter::attach(Solver& solver) {
+  solver.set_learn_callback(
+      [this](std::span<const Lit> clause) { on_learn(clause); });
+  solver.set_delete_callback(
+      [this](std::span<const Lit> clause) { on_delete(clause); });
+}
+
+void DratWriter::on_learn(std::span<const Lit> clause) {
+  ++added_;
+  write_clause(clause);
+}
+
+void DratWriter::on_delete(std::span<const Lit> clause) {
+  ++deleted_;
+  out_ << "d ";
+  write_clause(clause);
+}
+
+void DratWriter::write_clause(std::span<const Lit> clause) {
+  for (const Lit l : clause) out_ << to_dimacs(l) << ' ';
+  out_ << "0\n";
+}
+
+}  // namespace berkmin

@@ -1,0 +1,41 @@
+// DRAT proof logging.
+//
+// Attaching a DratWriter to a Solver records every learned clause and
+// every deletion in the standard textual DRAT format, so UNSAT results
+// can be verified externally (drat-trim) or by the bundled RupChecker.
+// Every clause the CDCL engine learns is a reverse-unit-propagation (RUP)
+// consequence, so the emitted proof is valid DRUP/DRAT.
+#pragma once
+
+#include <ostream>
+#include <span>
+
+#include "cnf/literal.h"
+
+namespace berkmin {
+
+class Solver;
+
+class DratWriter {
+ public:
+  explicit DratWriter(std::ostream& out) : out_(out) {}
+
+  // Registers the learn/delete callbacks on the solver. The writer must
+  // outlive the solver's solving calls.
+  void attach(Solver& solver);
+
+  void on_learn(std::span<const Lit> clause);
+  void on_delete(std::span<const Lit> clause);
+
+  std::uint64_t num_added() const { return added_; }
+  std::uint64_t num_deleted() const { return deleted_; }
+
+ private:
+  void write_clause(std::span<const Lit> clause);
+
+  std::ostream& out_;
+  std::uint64_t added_ = 0;
+  std::uint64_t deleted_ = 0;
+};
+
+}  // namespace berkmin

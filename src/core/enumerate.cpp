@@ -1,0 +1,51 @@
+#include "core/enumerate.h"
+
+namespace berkmin {
+
+std::uint64_t enumerate_models(
+    Solver& solver, const EnumerateOptions& options,
+    const std::function<void(const std::vector<Value>&)>& on_model,
+    bool* complete) {
+  if (complete != nullptr) *complete = true;
+
+  std::vector<Var> projection = options.projection;
+  if (projection.empty()) {
+    for (Var v = 0; v < solver.num_vars(); ++v) projection.push_back(v);
+  }
+
+  std::uint64_t found = 0;
+  std::vector<Lit> blocking;
+  while (options.max_models == 0 || found < options.max_models) {
+    const SolveStatus status = solver.solve(options.per_model_budget);
+    if (status == SolveStatus::unknown) {
+      if (complete != nullptr) *complete = false;
+      break;
+    }
+    if (status == SolveStatus::unsatisfiable) break;
+
+    ++found;
+    if (on_model) on_model(solver.model());
+
+    // Block this assignment of the projection variables. A variable the
+    // projection leaves out may take either value, so distinct projected
+    // assignments are what gets counted.
+    blocking.clear();
+    for (const Var v : projection) {
+      const Value value = solver.model()[v];
+      if (value == Value::unassigned) continue;
+      blocking.push_back(Lit(v, value == Value::true_value));
+    }
+    if (blocking.empty()) break;  // projection fully unconstrained
+    if (!solver.add_clause(blocking)) break;
+  }
+  return found;
+}
+
+std::uint64_t count_models(const Cnf& cnf, const SolverOptions& solver_options,
+                           const EnumerateOptions& options) {
+  Solver solver(solver_options);
+  solver.load(cnf);
+  return enumerate_models(solver, options, nullptr);
+}
+
+}  // namespace berkmin

@@ -1,0 +1,37 @@
+// Model enumeration via blocking clauses.
+//
+// Repeatedly solves and adds the negation of each found model (projected
+// onto the requested variables) until the formula becomes unsatisfiable
+// or the limit is reached. The solver is consumed: after enumeration it
+// reports unsatisfiable (all models blocked).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "cnf/literal.h"
+#include "core/solver.h"
+
+namespace berkmin {
+
+struct EnumerateOptions {
+  std::uint64_t max_models = 0;    // 0 = all
+  std::vector<Var> projection;     // empty = all variables
+  Budget per_model_budget;         // budget per solve() call
+};
+
+// Calls `on_model` with each model (indexed by variable). Returns the
+// number of models found; sets *complete to false when a budget expired
+// before the space was exhausted.
+std::uint64_t enumerate_models(
+    Solver& solver, const EnumerateOptions& options,
+    const std::function<void(const std::vector<Value>&)>& on_model,
+    bool* complete = nullptr);
+
+// Convenience: the projected model count of a formula.
+std::uint64_t count_models(const Cnf& cnf,
+                           const SolverOptions& solver_options,
+                           const EnumerateOptions& options = {});
+
+}  // namespace berkmin

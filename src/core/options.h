@@ -1,0 +1,130 @@
+// Every heuristic the paper describes — and every ablation its evaluation
+// tables toggle — is a value in SolverOptions. The presets at the bottom
+// name the exact configurations the paper's experiments compare.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace berkmin {
+
+// Section 5. How the next branching variable is picked.
+enum class DecisionPolicy : std::uint8_t {
+  // BerkMin: the most active free variable of the current top clause (the
+  // unsatisfied conflict clause closest to the top of the stack); falls
+  // back to the globally most active free variable when every conflict
+  // clause is satisfied.
+  berkmin_top_clause,
+  // "Less_mobility" ablation (Table 2): always the globally most active
+  // free variable, activities still computed BerkMin's way.
+  global_activity,
+  // Chaff: the free literal with the highest literal counter; the literal
+  // itself fixes the assignment.
+  chaff_literal,
+};
+
+// Section 4. How var_activity is updated at a conflict.
+enum class ActivityPolicy : std::uint8_t {
+  // BerkMin: +1 per occurrence of a literal of the variable in each clause
+  // responsible for the conflict (the whole reverse-BCP resolution chain).
+  responsible_clauses,
+  // "Less_sensitivity" ablation (Table 1): +1 only for variables whose
+  // literal appears in the final conflict clause.
+  conflict_clause_only,
+};
+
+// Section 7. Which value the chosen top-clause variable gets first.
+enum class PolarityPolicy : std::uint8_t {
+  symmetrize,  // BerkMin: counter-balance restart asymmetry via lit_activity
+  sat_top,     // always satisfy the current top clause
+  unsat_top,   // always falsify the chosen literal of the top clause
+  take_0,      // always assign 0
+  take_1,      // always assign 1
+  take_rand,   // uniform coin
+};
+
+// Section 8. What survives the clause-database cleanup at a restart.
+enum class ReductionPolicy : std::uint8_t {
+  // BerkMin: young clauses kept if short-ish or somewhat active; old
+  // clauses kept only if very short or very active (rising threshold).
+  berkmin,
+  // GRASP-style "limited_keeping" ablation (Table 5): keep exactly the
+  // clauses no longer than a length threshold.
+  limited_keeping,
+  // Keep everything (baseline for tests; memory grows without bound).
+  none,
+};
+
+enum class RestartPolicy : std::uint8_t {
+  fixed_interval,  // the paper's "primitive" strategy
+  luby,            // extension (the paper's future-work direction)
+  none,
+};
+
+struct SolverOptions {
+  DecisionPolicy decision_policy = DecisionPolicy::berkmin_top_clause;
+  ActivityPolicy activity_policy = ActivityPolicy::responsible_clauses;
+  PolarityPolicy polarity_policy = PolarityPolicy::symmetrize;
+  ReductionPolicy reduction_policy = ReductionPolicy::berkmin;
+  RestartPolicy restart_policy = RestartPolicy::fixed_interval;
+
+  // Restarts.
+  std::uint32_t restart_interval = 550;  // conflicts between restarts
+  std::uint32_t luby_unit = 100;         // base for the luby extension
+
+  // Variable-activity aging ("conflict clause aging" inherited from
+  // Chaff). The paper describes the mechanism but gives no constants for
+  // BerkMin itself; these defaults (halve every 256 conflicts, the values
+  // the Chaff paper documents) were selected empirically — see the
+  // parameter notes in DESIGN.md.
+  std::uint32_t var_decay_interval = 256;  // conflicts between decays
+  std::uint32_t var_decay_factor = 2;      // divide counters by this
+
+  // Chaff-like literal counters (used by DecisionPolicy::chaff_literal).
+  std::uint32_t lit_decay_interval = 256;
+  std::uint32_t lit_decay_factor = 2;
+
+  // Database management (Section 8). A learned clause whose distance from
+  // the top of the stack is less than stack_size * young_num / young_den
+  // is young. Keep rules use the paper's constants: young clauses survive
+  // if length < 43 or activity > 7; old clauses survive if length < 9 or
+  // activity > threshold, with the threshold starting at 60 and growing by
+  // threshold_increment at each reduction.
+  std::uint32_t young_fraction_num = 15;
+  std::uint32_t young_fraction_den = 16;
+  std::uint32_t young_keep_max_length = 42;
+  std::uint32_t young_keep_min_activity = 8;
+  std::uint32_t old_keep_max_length = 8;
+  std::uint32_t old_activity_threshold = 60;
+  std::uint32_t threshold_increment = 1;
+  // Length threshold for ReductionPolicy::limited_keeping (GRASP-like);
+  // the paper's comparison used 42, the same as the young-clause limit.
+  std::uint32_t limited_keeping_max_length = 42;
+
+  // Branch selection on initial-formula decisions (Section 7): nb_two's
+  // computation stops once the estimate exceeds this threshold; scan_cap
+  // bounds how many occurrence-list entries are examined.
+  std::uint32_t nb_two_threshold = 100;
+  std::uint32_t nb_two_scan_cap = 4096;
+
+  // Extensions beyond the paper (both off in every preset).
+  bool minimize_learned = false;      // conflict-clause minimization
+  std::uint32_t top_clause_window = 1;  // Remark 2: consider K top clauses
+
+  std::uint64_t seed = 0;  // randomized tie-breaking (take_rand, nb_two ties)
+
+  // --- presets matching the paper's experiments -------------------------
+  static SolverOptions berkmin();     // BerkMin56 as described
+  static SolverOptions chaff_like();  // the zChaff stand-in (Tables 6-10)
+  static SolverOptions limmat_like(); // third solver of Table 10
+
+  // Ablations (each = berkmin() with exactly one feature degraded).
+  static SolverOptions less_sensitivity();  // Table 1
+  static SolverOptions less_mobility();     // Table 2
+  static SolverOptions with_polarity(PolarityPolicy policy);  // Table 4
+  static SolverOptions limited_keeping();   // Table 5
+
+  std::string describe() const;
+};
+
+}  // namespace berkmin

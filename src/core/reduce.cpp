@@ -1,0 +1,195 @@
+// Restarts and clause-database management (Section 8 of the paper).
+//
+// At every restart BerkMin physically removes clauses and compacts its
+// data structures:
+//
+//  * assignments deduced at the root level ("retained" assignments) are
+//    kept, and every clause they satisfy is removed;
+//  * root-false literals are stripped from surviving clauses;
+//  * surviving learned clauses are partitioned by stack distance into
+//    young and old; young clauses are kept when length < 43 or activity
+//    > 7, old ones when length < 9 or activity > threshold (the threshold
+//    starts at 60 and grows each reduction so that once-active long
+//    clauses eventually retire);
+//  * the topmost clause of the stack is never removed (the paper's
+//    anti-looping safeguard) unless a retained assignment satisfies it.
+//
+// The GRASP-like "limited_keeping" ablation replaces the partitioned rule
+// with a pure length threshold.
+#include <cassert>
+
+#include "core/solver.h"
+
+namespace berkmin {
+
+void Solver::handle_restart() {
+  if (!ok_) return;  // nothing to manage once the formula is refuted
+  backtrack_to(0);
+  ++stats_.restarts;
+  ++luby_index_;
+  conflicts_since_restart_ = 0;
+  // The search loop only restarts at a propagation fixpoint, but the
+  // public restart_now() can be called with root units still pending;
+  // the reduction's literal stripping requires the fixpoint.
+  if (propagate_internal() != no_clause) {
+    ok_ = false;
+    return;
+  }
+  if (opts_.reduction_policy != ReductionPolicy::none) reduce_db();
+}
+
+namespace {
+
+// Number of unassigned literals, given that no literal is true (clauses
+// satisfied at the root are handled separately).
+std::uint32_t live_length(const Solver& solver, const Clause& c) {
+  std::uint32_t n = 0;
+  for (std::uint32_t i = 0; i < c.size(); ++i) {
+    if (solver.value(c[i]) == Value::unassigned) ++n;
+  }
+  return n;
+}
+
+}  // namespace
+
+Solver::ReduceDecision Solver::classify_learned(std::size_t stack_index,
+                                                std::size_t stack_size) {
+  ReduceDecision decision;
+  const ClauseRef ref = learned_stack_[stack_index];
+  const Clause c = arena_.deref(ref);
+
+  if (clause_is_satisfied(ref)) {
+    // Satisfied by a retained (root) assignment: always removed.
+    decision.satisfied_at_root = true;
+    return decision;
+  }
+
+  if (opts_.reduction_policy == ReductionPolicy::none) {
+    decision.keep = true;
+    return decision;
+  }
+
+  const std::uint32_t length = live_length(*this, c);
+  const std::uint32_t activity = c.activity();
+
+  if (opts_.reduction_policy == ReductionPolicy::limited_keeping) {
+    decision.keep = length <= opts_.limited_keeping_max_length;
+    return decision;
+  }
+
+  // BerkMin policy. The topmost clause is protected.
+  if (stack_index + 1 == stack_size) {
+    decision.keep = true;
+    return decision;
+  }
+  const std::size_t distance = stack_size - 1 - stack_index;
+  const bool young = distance * opts_.young_fraction_den <
+                     stack_size * opts_.young_fraction_num;
+  if (young) {
+    decision.keep = length <= opts_.young_keep_max_length ||
+                    activity >= opts_.young_keep_min_activity;
+  } else {
+    decision.keep =
+        length <= opts_.old_keep_max_length || activity > old_threshold_;
+  }
+  return decision;
+}
+
+void Solver::reduce_db() {
+  assert(decision_level() == 0);
+  ++stats_.reductions;
+
+  // Root assignments are permanent from here on; drop their reason
+  // references so reason clauses are free to be collected. (Conflict
+  // analysis never expands level-0 literals, so the references are dead.)
+  for (const Lit l : trail_) reason_[l.var()] = no_clause;
+
+  std::vector<char> keep(learned_stack_.size(), 0);
+  for (std::size_t i = 0; i < learned_stack_.size(); ++i) {
+    keep[i] = classify_learned(i, learned_stack_.size()).keep ? 1 : 0;
+  }
+  garbage_collect(keep);
+
+  if (opts_.reduction_policy == ReductionPolicy::berkmin) {
+    old_threshold_ += opts_.threshold_increment;
+  }
+}
+
+void Solver::notify_deleted(ClauseRef ref) {
+  ++stats_.deleted_clauses;
+  if (delete_callback_) {
+    arena_.deref(ref).copy_to(callback_scratch_);
+    delete_callback_(callback_scratch_);
+  }
+}
+
+void Solver::garbage_collect(const std::vector<char>& keep_learned) {
+  ClauseArena new_arena;
+  new_arena.reserve_words(arena_.size_words());
+  std::vector<Lit> stripped;
+  std::vector<Lit> before;
+
+  // Emits the DRAT trace of strengthening: the shortened clause is RUP
+  // (its removed literals are all false under root units), after which the
+  // original is deleted.
+  const auto strengthen_trace = [&](const Clause& c) {
+    ++stats_.strengthened_clauses;
+    if (learn_callback_) learn_callback_(stripped);
+    if (delete_callback_) {
+      c.copy_to(before);
+      delete_callback_(before);
+    }
+  };
+
+  // Copies a clause into the new arena, stripping root-false literals.
+  const auto migrate = [&](ClauseRef ref, bool learned) -> ClauseRef {
+    const Clause c = arena_.deref(ref);
+    stripped.clear();
+    for (std::uint32_t i = 0; i < c.size(); ++i) {
+      const Value v = value(c[i]);
+      assert(v != Value::true_value);
+      if (v == Value::unassigned) stripped.push_back(c[i]);
+    }
+    assert(stripped.size() >= 2);
+    if (stripped.size() < c.size()) strengthen_trace(c);
+    const ClauseRef fresh = new_arena.alloc(stripped, learned);
+    new_arena.deref(fresh).set_activity(c.activity());
+    return fresh;
+  };
+
+  std::vector<ClauseRef> new_originals;
+  new_originals.reserve(originals_.size());
+  for (const ClauseRef ref : originals_) {
+    if (clause_is_satisfied(ref)) continue;  // satisfied by retained facts
+    new_originals.push_back(migrate(ref, /*learned=*/false));
+  }
+
+  std::vector<ClauseRef> new_learned;
+  new_learned.reserve(learned_stack_.size());
+  for (std::size_t i = 0; i < learned_stack_.size(); ++i) {
+    if (!keep_learned[i]) {
+      notify_deleted(learned_stack_[i]);
+      continue;
+    }
+    new_learned.push_back(migrate(learned_stack_[i], /*learned=*/true));
+  }
+
+  arena_ = std::move(new_arena);
+  originals_ = std::move(new_originals);
+  learned_stack_ = std::move(new_learned);
+  satisfied_cache_.assign(learned_stack_.size(), undef_lit);
+
+  // Rebuild watches and occurrence lists from scratch.
+  for (auto& wl : watches_) wl.clear();
+  for (auto& ol : occ_) ol.clear();
+  for (const ClauseRef ref : originals_) {
+    attach_clause(ref);
+    const Clause c = arena_.deref(ref);
+    for (std::uint32_t i = 0; i < c.size(); ++i) {
+      occ_[c[i].code()].push_back(ref);
+    }
+  }
+  for (const ClauseRef ref : learned_stack_) attach_clause(ref);
+}
+
+}  // namespace berkmin

@@ -1,0 +1,139 @@
+#include "core/rup_checker.h"
+
+#include <algorithm>
+
+#include "cnf/simplify.h"
+
+namespace berkmin {
+
+RupChecker::RupChecker(const Cnf& cnf) {
+  ensure_var(cnf.num_vars() - 1);
+  for (const auto& clause : cnf.clauses()) {
+    auto normalized = normalize_clause(clause);
+    if (!normalized) continue;
+    StoredClause stored;
+    stored.lits = std::move(*normalized);
+    const auto id = static_cast<std::uint32_t>(clauses_.size());
+    for (const Lit l : stored.lits) {
+      ensure_var(l.var());
+      occ_[l.code()].push_back(id);
+    }
+    by_lits_[stored.lits].push_back(id);
+    if (stored.lits.empty()) derived_empty_ = true;
+    if (stored.lits.size() == 1) unit_ids_.push_back(id);
+    clauses_.push_back(std::move(stored));
+    ++live_clauses_;
+  }
+}
+
+void RupChecker::ensure_var(Var v) {
+  if (v < 0) return;
+  const std::size_t needed = static_cast<std::size_t>(v) + 1;
+  if (assign_.size() < needed) assign_.resize(needed, Value::unassigned);
+  if (occ_.size() < 2 * needed) occ_.resize(2 * needed);
+}
+
+// Counter-free unit propagation over full occurrence lists. Quadratic in
+// the worst case but entirely adequate for test-sized formulas, and easy
+// to audit — which is the point of a proof checker.
+bool RupChecker::propagate_is_conflicting(std::span<const Lit> assumptions) {
+  std::vector<Lit> trail;
+  bool conflict = false;
+
+  const auto enqueue = [&](Lit l) {
+    const Value v = value_of_literal(assign_[l.var()], l);
+    if (v == Value::true_value) return;
+    if (v == Value::false_value) {
+      conflict = true;
+      return;
+    }
+    assign_[l.var()] = to_value(l.is_positive());
+    trail.push_back(l);
+  };
+
+  for (const Lit l : assumptions) {
+    ensure_var(l.var());
+    enqueue(l);
+    if (conflict) break;
+  }
+
+  // Stored unit clauses are propagation seeds: without a trail literal to
+  // trigger them through occurrence lists, they would otherwise be missed.
+  for (const std::uint32_t id : unit_ids_) {
+    if (conflict) break;
+    if (!clauses_[id].deleted) enqueue(clauses_[id].lits[0]);
+  }
+
+  std::size_t head = 0;
+  while (!conflict && head < trail.size()) {
+    const Lit p = trail[head++];
+    // Clauses containing ~p may have become unit or empty.
+    for (const std::uint32_t id : occ_[(~p).code()]) {
+      const StoredClause& stored = clauses_[id];
+      if (stored.deleted) continue;
+      Lit unit = undef_lit;
+      bool satisfied = false;
+      int free_count = 0;
+      for (const Lit l : stored.lits) {
+        const Value v = value_of_literal(assign_[l.var()], l);
+        if (v == Value::true_value) {
+          satisfied = true;
+          break;
+        }
+        if (v == Value::unassigned) {
+          ++free_count;
+          unit = l;
+          if (free_count > 1) break;
+        }
+      }
+      if (satisfied || free_count > 1) continue;
+      if (free_count == 0) {
+        conflict = true;
+        break;
+      }
+      enqueue(unit);
+      if (conflict) break;
+    }
+  }
+
+  for (const Lit l : trail) assign_[l.var()] = Value::unassigned;
+  return conflict;
+}
+
+bool RupChecker::add_and_check(std::span<const Lit> clause) {
+  auto normalized = normalize_clause(std::vector<Lit>(clause.begin(), clause.end()));
+  if (!normalized) return true;  // tautologies are vacuously sound
+
+  for (const Lit l : *normalized) ensure_var(l.var());
+
+  // Negate the clause and propagate; RUP requires a conflict.
+  std::vector<Lit> negated;
+  negated.reserve(normalized->size());
+  for (const Lit l : *normalized) negated.push_back(~l);
+  if (!propagate_is_conflicting(negated)) return false;
+
+  StoredClause stored;
+  stored.lits = std::move(*normalized);
+  const auto id = static_cast<std::uint32_t>(clauses_.size());
+  for (const Lit l : stored.lits) occ_[l.code()].push_back(id);
+  by_lits_[stored.lits].push_back(id);
+  if (stored.lits.empty()) derived_empty_ = true;
+  if (stored.lits.size() == 1) unit_ids_.push_back(id);
+  clauses_.push_back(std::move(stored));
+  ++live_clauses_;
+  return true;
+}
+
+bool RupChecker::remove(std::span<const Lit> clause) {
+  auto normalized = normalize_clause(std::vector<Lit>(clause.begin(), clause.end()));
+  if (!normalized) return true;
+  const auto it = by_lits_.find(*normalized);
+  if (it == by_lits_.end() || it->second.empty()) return false;
+  const std::uint32_t id = it->second.back();
+  it->second.pop_back();
+  clauses_[id].deleted = true;
+  --live_clauses_;
+  return true;
+}
+
+}  // namespace berkmin

@@ -1,0 +1,57 @@
+// Reverse-unit-propagation (RUP) proof checking.
+//
+// A clause C is a RUP consequence of a clause database D when asserting
+// the negation of every literal of C and running unit propagation on D
+// derives a conflict. Every clause a CDCL solver learns has this property,
+// which makes RupChecker both a verifier for DRAT proofs emitted by
+// DratWriter and a property-testing oracle for the solver's learning
+// machinery.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "cnf/cnf_formula.h"
+#include "cnf/literal.h"
+
+namespace berkmin {
+
+class RupChecker {
+ public:
+  explicit RupChecker(const Cnf& cnf);
+
+  // Checks that `clause` is RUP with respect to the current database and,
+  // if so, adds it. Returns false when the check fails.
+  bool add_and_check(std::span<const Lit> clause);
+
+  // Removes one stored copy of `clause` (deletions never endanger proof
+  // soundness). Returns false if no matching clause is stored.
+  bool remove(std::span<const Lit> clause);
+
+  // True when the empty clause has been derived (the proof is complete).
+  bool derived_empty() const { return derived_empty_; }
+
+  std::size_t num_clauses() const { return live_clauses_; }
+
+ private:
+  struct StoredClause {
+    std::vector<Lit> lits;
+    bool deleted = false;
+  };
+
+  bool propagate_is_conflicting(std::span<const Lit> assumptions);
+  void ensure_var(Var v);
+
+  std::vector<StoredClause> clauses_;
+  std::vector<std::uint32_t> unit_ids_;  // seeds for every propagation
+  // Occurrence lists over stored clause ids, rebuilt lazily on growth.
+  std::vector<std::vector<std::uint32_t>> occ_;
+  std::map<std::vector<Lit>, std::vector<std::uint32_t>> by_lits_;
+  std::vector<Value> assign_;
+  std::size_t live_clauses_ = 0;
+  bool derived_empty_ = false;
+};
+
+}  // namespace berkmin

@@ -1,0 +1,442 @@
+#include "core/solver.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "cnf/simplify.h"
+
+namespace berkmin {
+
+Solver::Solver(SolverOptions options)
+    : opts_(options),
+      var_heap_(VarOrder{&var_activity_}),
+      lit_heap_(LitOrder{&chaff_counter_}),
+      rng_(options.seed),
+      old_threshold_(options.old_activity_threshold) {}
+
+Var Solver::new_var() {
+  const Var v = static_cast<Var>(assign_.size());
+  assign_.push_back(Value::unassigned);
+  reason_.push_back(no_clause);
+  level_.push_back(0);
+  var_activity_.push_back(0);
+  seen_.push_back(0);
+  watches_.emplace_back();
+  watches_.emplace_back();
+  occ_.emplace_back();
+  occ_.emplace_back();
+  lit_activity_.push_back(0);
+  lit_activity_.push_back(0);
+  chaff_counter_.push_back(0);
+  chaff_counter_.push_back(0);
+  var_heap_.grow(v + 1);
+  var_heap_.insert(v);
+  lit_heap_.grow(2 * v + 2);
+  lit_heap_.insert(Lit::positive(v).code());
+  lit_heap_.insert(Lit::negative(v).code());
+  return v;
+}
+
+bool Solver::add_clause(std::span<const Lit> lits) {
+  assert(decision_level() == 0);
+  if (!ok_) return false;
+
+  for (const Lit l : lits) {
+    while (l.var() >= num_vars()) new_var();
+  }
+
+  auto normalized = normalize_clause(std::vector<Lit>(lits.begin(), lits.end()));
+  if (!normalized) return true;  // tautology: trivially satisfied
+
+  // Root-level reduction against already-forced assignments.
+  std::vector<Lit> reduced;
+  reduced.reserve(normalized->size());
+  for (const Lit l : *normalized) {
+    const Value v = value(l);
+    if (v == Value::true_value) return true;  // already satisfied
+    if (v == Value::unassigned) reduced.push_back(l);
+  }
+
+  if (reduced.empty()) {
+    ok_ = false;
+    return false;
+  }
+  if (reduced.size() == 1) {
+    enqueue(reduced[0], no_clause);
+    // Propagation of the unit happens lazily in solve(); a conflict there
+    // flips ok_.
+    return true;
+  }
+  add_clause_internal(reduced, /*learned=*/false);
+  return true;
+}
+
+bool Solver::add_clause(std::initializer_list<Lit> lits) {
+  return add_clause(std::span<const Lit>(lits.begin(), lits.size()));
+}
+
+bool Solver::load(const Cnf& cnf) {
+  while (num_vars() < cnf.num_vars()) new_var();
+  for (const auto& clause : cnf.clauses()) {
+    if (!add_clause(clause)) return false;
+  }
+  return ok_;
+}
+
+ClauseRef Solver::add_clause_internal(std::span<const Lit> lits, bool learned) {
+  assert(lits.size() >= 2);
+  const ClauseRef ref = arena_.alloc(lits, learned);
+  if (learned) {
+    learned_stack_.push_back(ref);
+    satisfied_cache_.push_back(undef_lit);
+  } else {
+    originals_.push_back(ref);
+    for (const Lit l : lits) occ_[l.code()].push_back(ref);
+  }
+  attach_clause(ref);
+  update_live_peak();
+  return ref;
+}
+
+void Solver::attach_clause(ClauseRef ref) {
+  const Clause c = arena_.deref(ref);
+  assert(c.size() >= 2);
+  watches_[(~c[0]).code()].push_back(Watcher{ref, c[1]});
+  watches_[(~c[1]).code()].push_back(Watcher{ref, c[0]});
+}
+
+void Solver::update_live_peak() {
+  const std::uint64_t live = originals_.size() + learned_stack_.size();
+  if (live > stats_.max_live_clauses) stats_.max_live_clauses = live;
+}
+
+void Solver::enqueue(Lit l, ClauseRef reason) {
+  assert(value(l) == Value::unassigned);
+  const Var v = l.var();
+  assign_[v] = to_value(l.is_positive());
+  reason_[v] = reason;
+  level_[v] = decision_level();
+  trail_.push_back(l);
+}
+
+void Solver::assume(Lit l) {
+  new_decision_level();
+  enqueue(l, no_clause);
+}
+
+ClauseRef Solver::propagate() { return propagate_internal(); }
+
+ClauseRef Solver::propagate_internal() {
+  while (propagate_head_ < trail_.size()) {
+    const Lit p = trail_[propagate_head_++];  // p is now true
+    std::vector<Watcher>& wl = watches_[p.code()];  // clauses watching ~p
+    const Lit false_lit = ~p;
+
+    std::size_t i = 0;
+    std::size_t j = 0;
+    const std::size_t end = wl.size();
+    while (i != end) {
+      const Watcher w = wl[i];
+      // Satisfied via the blocker: keep the watcher, skip the clause.
+      if (value(w.blocker) == Value::true_value) {
+        wl[j++] = wl[i++];
+        continue;
+      }
+
+      Clause c = arena_.deref(w.cref);
+      // Normalize so the false watch sits in slot 1.
+      if (c[0] == false_lit) {
+        c.set_lit(0, c[1]);
+        c.set_lit(1, false_lit);
+      }
+      ++i;
+
+      const Lit first = c[0];
+      const Watcher replacement{w.cref, first};
+      if (first != w.blocker && value(first) == Value::true_value) {
+        wl[j++] = replacement;
+        continue;
+      }
+
+      // Look for a non-false literal to take over the watch.
+      bool moved = false;
+      for (std::uint32_t k = 2; k < c.size(); ++k) {
+        if (value(c[k]) != Value::false_value) {
+          c.set_lit(1, c[k]);
+          c.set_lit(k, false_lit);
+          watches_[(~c[1]).code()].push_back(replacement);
+          moved = true;
+          break;
+        }
+      }
+      if (moved) continue;
+
+      // Clause is unit or conflicting under the current assignment.
+      wl[j++] = replacement;
+      if (value(first) == Value::false_value) {
+        // Conflict: flush the remaining watchers and stop propagating.
+        while (i != end) wl[j++] = wl[i++];
+        wl.resize(j);
+        propagate_head_ = trail_.size();
+        return w.cref;
+      }
+      ++stats_.propagations;
+      enqueue(first, w.cref);
+    }
+    wl.resize(j);
+  }
+  return no_clause;
+}
+
+void Solver::backtrack_to(int target_level) {
+  if (decision_level() <= target_level) return;
+  const int boundary = trail_lim_[target_level];
+  for (std::size_t i = trail_.size(); i-- > static_cast<std::size_t>(boundary);) {
+    const Var v = trail_[i].var();
+    assign_[v] = Value::unassigned;
+    reason_[v] = no_clause;
+    var_heap_.insert(v);
+    if (opts_.decision_policy == DecisionPolicy::chaff_literal) {
+      lit_heap_.insert(Lit::positive(v).code());
+      lit_heap_.insert(Lit::negative(v).code());
+    }
+  }
+  trail_.resize(boundary);
+  trail_lim_.resize(target_level);
+  propagate_head_ = trail_.size();
+}
+
+namespace {
+
+// The Luby sequence 1,1,2,1,1,2,4,1,... (0-based index).
+std::uint64_t luby(std::uint64_t i) {
+  std::uint64_t size = 1;
+  std::uint64_t seq = 0;
+  while (size < i + 1) {
+    ++seq;
+    size = 2 * size + 1;
+  }
+  while (size - 1 != i) {
+    size = (size - 1) >> 1;
+    --seq;
+    i = i % size;
+  }
+  return std::uint64_t{1} << seq;
+}
+
+}  // namespace
+
+std::uint64_t Solver::next_restart_limit() const {
+  switch (opts_.restart_policy) {
+    case RestartPolicy::fixed_interval:
+      return opts_.restart_interval;
+    case RestartPolicy::luby:
+      return luby(luby_index_) * opts_.luby_unit;
+    case RestartPolicy::none:
+      return 0;  // interpreted as "never"
+  }
+  return 0;
+}
+
+bool Solver::budget_exhausted(const Budget& budget) const {
+  if (budget.max_conflicts && stats_.conflicts >= budget.max_conflicts) return true;
+  if (budget.max_decisions && stats_.decisions >= budget.max_decisions) return true;
+  if (budget.max_propagations && stats_.propagations >= budget.max_propagations) {
+    return true;
+  }
+  return false;
+}
+
+SolveStatus Solver::solve(const Budget& budget) {
+  return solve_with_assumptions({}, budget);
+}
+
+SolveStatus Solver::solve_with_assumptions(std::span<const Lit> assumptions,
+                                           const Budget& budget) {
+  solve_timer_.restart();
+  if (stats_.initial_clauses == 0) {
+    stats_.initial_clauses = std::max<std::uint64_t>(1, originals_.size());
+  }
+  failed_assumptions_.clear();
+  failed_by_assumptions_ = false;
+  if (!ok_) return SolveStatus::unsatisfiable;
+
+  assumptions_.assign(assumptions.begin(), assumptions.end());
+  for (const Lit a : assumptions_) {
+    while (a.var() >= num_vars()) new_var();
+  }
+
+  // Root propagation of any units queued by add_clause.
+  if (propagate_internal() != no_clause) {
+    ok_ = false;
+    assumptions_.clear();
+    return SolveStatus::unsatisfiable;
+  }
+
+  const SolveStatus status = search(budget);
+  if (status == SolveStatus::unsatisfiable && !failed_by_assumptions_) {
+    ok_ = false;
+  }
+  backtrack_to(0);
+  assumptions_.clear();
+  return status;
+}
+
+Lit Solver::next_assumption(bool* failed) {
+  *failed = false;
+  while (decision_level() < static_cast<int>(assumptions_.size())) {
+    const Lit a = assumptions_[decision_level()];
+    const Value v = value(a);
+    if (v == Value::true_value) {
+      new_decision_level();  // dummy level: already satisfied
+      continue;
+    }
+    if (v == Value::false_value) {
+      analyze_final(a);
+      *failed = true;
+      return undef_lit;
+    }
+    return a;
+  }
+  return undef_lit;
+}
+
+void Solver::analyze_final(Lit failing) {
+  failed_assumptions_.clear();
+  failed_assumptions_.push_back(failing);
+  failed_by_assumptions_ = true;
+  if (decision_level() == 0) return;
+
+  seen_[failing.var()] = 1;
+  for (std::size_t i = trail_.size();
+       i-- > static_cast<std::size_t>(trail_lim_[0]);) {
+    const Var v = trail_[i].var();
+    if (!seen_[v]) continue;
+    seen_[v] = 0;
+    if (reason_[v] == no_clause) {
+      // Every decision below the assumption prefix is an assumption.
+      failed_assumptions_.push_back(trail_[i]);
+    } else {
+      const Clause c = arena_.deref(reason_[v]);
+      for (std::uint32_t k = 1; k < c.size(); ++k) {
+        if (level_[c[k].var()] > 0) seen_[c[k].var()] = 1;
+      }
+    }
+  }
+  seen_[failing.var()] = 0;
+}
+
+SolveStatus Solver::search(const Budget& budget) {
+  conflicts_since_restart_ = 0;
+  conflicts_until_var_decay_ = opts_.var_decay_interval;
+  conflicts_until_lit_decay_ = opts_.lit_decay_interval;
+  std::uint64_t steps_until_clock_check = 1024;
+
+  for (;;) {
+    if (--steps_until_clock_check == 0) {
+      steps_until_clock_check = 1024;
+      if (budget.max_seconds > 0.0 && solve_timer_.seconds() >= budget.max_seconds) {
+        return SolveStatus::unknown;
+      }
+    }
+
+    const ClauseRef conflict = propagate_internal();
+    if (conflict != no_clause) {
+      resolve_conflict(conflict);
+      if (!ok_) return SolveStatus::unsatisfiable;
+
+      if (opts_.var_decay_interval && --conflicts_until_var_decay_ == 0) {
+        decay_var_activities();
+        conflicts_until_var_decay_ = opts_.var_decay_interval;
+      }
+      if (opts_.decision_policy == DecisionPolicy::chaff_literal &&
+          opts_.lit_decay_interval && --conflicts_until_lit_decay_ == 0) {
+        decay_chaff_counters();
+        conflicts_until_lit_decay_ = opts_.lit_decay_interval;
+      }
+      if (budget_exhausted(budget)) return SolveStatus::unknown;
+    } else {
+      const std::uint64_t restart_limit = next_restart_limit();
+      if (restart_limit != 0 && conflicts_since_restart_ >= restart_limit) {
+        handle_restart();
+        if (!ok_) return SolveStatus::unsatisfiable;
+        continue;
+      }
+
+      bool assumption_failed = false;
+      Lit next = next_assumption(&assumption_failed);
+      if (assumption_failed) return SolveStatus::unsatisfiable;
+      if (next == undef_lit) {
+        next = pick_branch();
+        if (next == undef_lit) {
+          save_model();
+          return SolveStatus::satisfiable;
+        }
+      }
+      ++stats_.decisions;
+      if (budget.max_decisions && stats_.decisions > budget.max_decisions) {
+        return SolveStatus::unknown;
+      }
+      new_decision_level();
+      enqueue(next, no_clause);
+    }
+  }
+}
+
+void Solver::save_model() {
+  model_ = assign_;
+}
+
+std::vector<Lit> Solver::clause_literals(ClauseRef ref) const {
+  std::vector<Lit> out;
+  arena_.deref(ref).copy_to(out);
+  return out;
+}
+
+std::uint64_t Solver::nb_two(Lit l) const {
+  // Section 7: count binary clauses containing l; for each such clause
+  // {l, v}, also count binary clauses containing ~v. "Binary" means the
+  // clause has exactly two unassigned literals and no satisfied literal in
+  // the current formula. Computation stops at nb_two_threshold.
+  const auto currently_binary = [&](ClauseRef ref, Lit* other, Lit in) -> bool {
+    const Clause c = arena_.deref(ref);
+    Lit free_a = undef_lit;
+    Lit free_b = undef_lit;
+    for (std::uint32_t i = 0; i < c.size(); ++i) {
+      const Value v = value(c[i]);
+      if (v == Value::true_value) return false;
+      if (v == Value::unassigned) {
+        if (free_a == undef_lit) {
+          free_a = c[i];
+        } else if (free_b == undef_lit) {
+          free_b = c[i];
+        } else {
+          return false;  // three or more free literals
+        }
+      }
+    }
+    if (free_b == undef_lit) return false;  // unit or empty
+    if (other != nullptr) *other = (free_a == in) ? free_b : free_a;
+    return true;
+  };
+
+  std::uint64_t total = 0;
+  std::uint32_t scanned = 0;
+  for (const ClauseRef ref : occ_[l.code()]) {
+    if (total > opts_.nb_two_threshold || ++scanned > opts_.nb_two_scan_cap) break;
+    Lit other = undef_lit;
+    if (!currently_binary(ref, &other, l)) continue;
+    ++total;
+    std::uint32_t inner_scanned = 0;
+    for (const ClauseRef ref2 : occ_[(~other).code()]) {
+      if (total > opts_.nb_two_threshold ||
+          ++inner_scanned > opts_.nb_two_scan_cap) {
+        break;
+      }
+      if (currently_binary(ref2, nullptr, ~other)) ++total;
+    }
+  }
+  return total;
+}
+
+}  // namespace berkmin

@@ -1,0 +1,274 @@
+// The BerkMin CDCL solver.
+//
+// One engine implements every configuration the paper evaluates: the
+// BerkMin heuristics, the Chaff-like baseline, and each ablation of
+// Tables 1, 2, 4 and 5 — selected through SolverOptions. The engine is a
+// conflict-driven clause-learning solver with two-watched-literal BCP
+// (Section 2 / SATO), first-UIP conflict analysis with non-chronological
+// backtracking (GRASP), restarts, and BerkMin's decision making and clause
+// database management (Sections 4-8).
+//
+// Typical use:
+//   Solver solver(SolverOptions::berkmin());
+//   solver.load(cnf);
+//   if (solver.solve(Budget::wall_clock(10.0)) == SolveStatus::satisfiable)
+//     use(solver.model());
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "cnf/cnf_formula.h"
+#include "cnf/literal.h"
+#include "core/clause_arena.h"
+#include "core/indexed_heap.h"
+#include "core/options.h"
+#include "core/solver_types.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace berkmin {
+
+class Solver {
+ public:
+  explicit Solver(SolverOptions options = SolverOptions::berkmin());
+
+  // ---- problem construction -------------------------------------------
+  Var new_var();
+  int num_vars() const { return static_cast<int>(assign_.size()); }
+
+  // Adds a clause at the root level. Tautologies are dropped; duplicate
+  // literals are merged; root-false literals are stripped. Returns false
+  // when the formula has become unsatisfiable at the root.
+  bool add_clause(std::span<const Lit> lits);
+  bool add_clause(std::initializer_list<Lit> lits);
+
+  // Loads every clause of a CNF (creating variables as needed).
+  bool load(const Cnf& cnf);
+
+  // ---- solving ----------------------------------------------------------
+  // Returns satisfiable/unsatisfiable, or unknown if the budget expired.
+  // May be called repeatedly; clauses can be added between calls.
+  SolveStatus solve(const Budget& budget = Budget::unlimited());
+
+  // Incremental interface: solves under the conjunction of `assumptions`
+  // (tried as the first decisions, in order). An unsatisfiable answer
+  // means "unsatisfiable under these assumptions" — the solver stays
+  // usable, and failed_assumptions() returns a subset of the assumptions
+  // that already suffices for the conflict. A conflict independent of the
+  // assumptions makes the formula permanently unsatisfiable (ok() false).
+  SolveStatus solve_with_assumptions(std::span<const Lit> assumptions,
+                                     const Budget& budget = Budget::unlimited());
+  const std::vector<Lit>& failed_assumptions() const {
+    return failed_assumptions_;
+  }
+
+  bool ok() const { return ok_; }
+
+  // Model of the last satisfiable solve, indexed by variable.
+  const std::vector<Value>& model() const { return model_; }
+  bool model_value(Lit l) const {
+    return value_of_literal(model_[l.var()], l) == Value::true_value;
+  }
+
+  const SolverStats& stats() const { return stats_; }
+  const SolverOptions& options() const { return opts_; }
+
+  // ---- proof logging ----------------------------------------------------
+  // Called with every learned clause / every deleted or strengthened-away
+  // clause; together the two streams form a DRAT proof (see core/drat.h).
+  using ClauseCallback = std::function<void(std::span<const Lit>)>;
+  void set_learn_callback(ClauseCallback cb) { learn_callback_ = std::move(cb); }
+  void set_delete_callback(ClauseCallback cb) { delete_callback_ = std::move(cb); }
+
+  // ---- introspection (tests, instrumentation, tools) --------------------
+  Value value(Var v) const { return assign_[v]; }
+  Value value(Lit l) const { return value_of_literal(assign_[l.var()], l); }
+  int decision_level() const { return static_cast<int>(trail_lim_.size()); }
+  std::size_t num_learned() const { return learned_stack_.size(); }
+  std::size_t num_originals() const { return originals_.size(); }
+  std::uint64_t var_activity(Var v) const { return var_activity_[v]; }
+  std::uint64_t lit_activity(Lit l) const { return lit_activity_[l.code()]; }
+  std::uint64_t chaff_counter(Lit l) const { return chaff_counter_[l.code()]; }
+  std::uint32_t current_old_threshold() const { return old_threshold_; }
+
+  // Section 7 cost function, exposed for tests and analysis tools:
+  // an estimate of the number of binary clauses in the neighborhood of l
+  // in the current (partially assigned) formula.
+  std::uint64_t nb_two(Lit l) const;
+
+  // ---- low-level stepping API -------------------------------------------
+  // For tests, debuggers and incremental experiments: push a decision
+  // level assuming `l`, run propagation (returns the conflicting clause or
+  // no_clause), and undo back to `level`.
+  void assume(Lit l);
+  ClauseRef propagate();
+  void backtrack_to(int level);
+
+  // Performs full conflict handling for a clause returned by propagate():
+  // 1-UIP analysis, activity bookkeeping, non-chronological backtracking,
+  // clause recording, assertion of the learned literal. At decision level
+  // 0 the formula is unsatisfiable and ok() becomes false.
+  void resolve_conflict(ClauseRef conflict);
+  // The clause learned by the most recent conflict (1-UIP literal first).
+  const std::vector<Lit>& last_learned_clause() const { return learned_scratch_; }
+
+  // Computes the next branching literal exactly as the search loop would
+  // (Sections 5-7), consuming heap state like a real decision. Returns
+  // undef_lit when every variable is assigned. Pair with assume() to step
+  // the solver manually.
+  Lit decide_next_branch() { return pick_branch(); }
+
+  // Abandons the current search tree and runs the configured database
+  // management (Section 8), exactly as a scheduled restart would.
+  void restart_now() { handle_restart(); }
+
+  // Literals of a live clause, copied out (test/bench introspection).
+  std::vector<Lit> clause_literals(ClauseRef ref) const;
+  const std::vector<ClauseRef>& learned_stack() const { return learned_stack_; }
+
+  // Full internal-consistency check (watches, trail, reasons, stack
+  // bookkeeping). Returns an empty string when every invariant holds,
+  // else a description of the first violation. O(database); meant for
+  // tests and debugging, not for the solving hot path.
+  std::string validate_invariants() const;
+
+ private:
+  // --- search loop (solver.cpp) ---
+  SolveStatus search(const Budget& budget);
+  bool budget_exhausted(const Budget& budget) const;
+  // Decides the next assumption (or returns undef_lit to fall through to
+  // the heuristics); sets *failed when an assumption is already false.
+  Lit next_assumption(bool* failed);
+  // Collects the subset of assumptions responsible for forcing ~failing.
+  void analyze_final(Lit failing);
+  void new_decision_level() { trail_lim_.push_back(static_cast<int>(trail_.size())); }
+  void enqueue(Lit l, ClauseRef reason);
+  ClauseRef propagate_internal();
+  void attach_clause(ClauseRef ref);
+  ClauseRef add_clause_internal(std::span<const Lit> lits, bool learned);
+  void save_model();
+  std::uint64_t next_restart_limit() const;
+  void update_live_peak();
+
+  // --- conflict analysis (analyze.cpp) ---
+  // Produces an asserting 1-UIP clause (learned[0] is the asserting
+  // literal) and the backtrack level; performs all activity bookkeeping
+  // prescribed by the active ActivityPolicy.
+  void analyze(ClauseRef conflict, std::vector<Lit>& learned, int& backtrack_level);
+  void minimize_learned_clause(std::vector<Lit>& learned);
+  bool literal_is_redundant(Lit l) const;
+  void record_learned(const std::vector<Lit>& learned, int backtrack_level);
+  void bump_var(Var v, std::uint64_t amount = 1);
+  void bump_chaff(Lit l);
+  void decay_var_activities();
+  void decay_chaff_counters();
+
+  // --- decisions (decide.cpp) ---
+  // Returns the decision literal, or undef_lit when every variable is
+  // assigned (the formula is satisfied).
+  Lit pick_branch();
+  // Finds the current top clause: the unsatisfied learned clause closest
+  // to the top of the stack. Returns {no_clause, 0} if all are satisfied.
+  struct TopClause {
+    ClauseRef ref = no_clause;
+    std::size_t distance = 0;
+  };
+  TopClause find_top_clause();
+  bool clause_is_satisfied(ClauseRef ref) const;
+  Var most_active_free_var(ClauseRef ref) const;
+  Lit polarity_for_top_clause(Var v, ClauseRef top);
+  Lit polarity_symmetrize(Var v);
+  Lit polarity_nb_two(Var v);
+  Lit pick_chaff_literal();
+  Var pop_most_active_var();
+
+  // --- restarts & database management (reduce.cpp) ---
+  void handle_restart();
+  void reduce_db();
+  struct ReduceDecision {
+    bool keep = false;
+    bool satisfied_at_root = false;
+  };
+  ReduceDecision classify_learned(std::size_t stack_index, std::size_t stack_size);
+  void garbage_collect(const std::vector<char>& keep_learned);
+  void notify_deleted(ClauseRef ref);
+
+  // --- configuration & state ---
+  SolverOptions opts_;
+  bool ok_ = true;
+
+  ClauseArena arena_;
+  std::vector<ClauseRef> originals_;
+  // Section 5: chronologically ordered stack of conflict clauses;
+  // back() is the youngest. satisfied_cache_[i] memoizes a literal seen
+  // true in learned_stack_[i] to make top-clause scans cheap.
+  std::vector<ClauseRef> learned_stack_;
+  std::vector<Lit> satisfied_cache_;
+
+  // Assignment state.
+  std::vector<Value> assign_;
+  std::vector<ClauseRef> reason_;
+  std::vector<int> level_;
+  std::vector<Lit> trail_;
+  std::vector<int> trail_lim_;
+  std::size_t propagate_head_ = 0;
+
+  // Watches (by literal code) and full occurrence lists of original
+  // clauses (by literal code; needed only by nb_two).
+  std::vector<std::vector<Watcher>> watches_;
+  std::vector<std::vector<ClauseRef>> occ_;
+
+  // Heuristic state.
+  std::vector<std::uint64_t> var_activity_;
+  std::vector<std::uint64_t> lit_activity_;   // conflict clauses ever containing l
+  std::vector<std::uint64_t> chaff_counter_;  // Chaff-like literal counters
+
+  struct VarOrder {
+    const std::vector<std::uint64_t>* activity;
+    bool operator()(int a, int b) const {
+      if ((*activity)[a] != (*activity)[b]) return (*activity)[a] > (*activity)[b];
+      return a < b;
+    }
+  };
+  struct LitOrder {
+    const std::vector<std::uint64_t>* counters;
+    bool operator()(int a, int b) const {
+      if ((*counters)[a] != (*counters)[b]) return (*counters)[a] > (*counters)[b];
+      return a < b;
+    }
+  };
+  IndexedHeap<VarOrder> var_heap_;
+  IndexedHeap<LitOrder> lit_heap_;
+
+  Rng rng_;
+
+  // Conflict / restart scheduling.
+  std::uint64_t conflicts_until_var_decay_ = 0;
+  std::uint64_t conflicts_until_lit_decay_ = 0;
+  std::uint64_t conflicts_since_restart_ = 0;
+  std::uint32_t old_threshold_ = 60;
+  std::uint32_t luby_index_ = 0;
+
+  // analyze() scratch.
+  std::vector<char> seen_;
+  std::vector<Var> to_clear_;
+  std::vector<Lit> learned_scratch_;
+  mutable std::vector<Lit> callback_scratch_;
+
+  std::vector<Value> model_;
+  SolverStats stats_;
+  WallTimer solve_timer_;
+
+  // Per-call assumption state (solve_with_assumptions).
+  std::vector<Lit> assumptions_;
+  std::vector<Lit> failed_assumptions_;
+  bool failed_by_assumptions_ = false;
+
+  ClauseCallback learn_callback_;
+  ClauseCallback delete_callback_;
+};
+
+}  // namespace berkmin

@@ -1,0 +1,126 @@
+// Shared types for the CDCL core: clause references, budgets, results,
+// and the statistics block that backs the paper's instrumentation tables.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "cnf/literal.h"
+
+namespace berkmin {
+
+// Index of a clause inside the ClauseArena. Stable until the next garbage
+// collection (which remaps all references it keeps).
+using ClauseRef = std::uint32_t;
+inline constexpr ClauseRef no_clause = std::numeric_limits<ClauseRef>::max();
+
+// One entry of a watch list. `blocker` is some other literal of the clause;
+// if it is already true the clause is satisfied and need not be visited.
+struct Watcher {
+  ClauseRef cref = no_clause;
+  Lit blocker;
+};
+
+enum class SolveStatus : std::uint8_t {
+  satisfiable,
+  unsatisfiable,
+  unknown,  // a resource budget expired first
+};
+
+const char* to_string(SolveStatus status);
+
+// Resource limits for a single solve() call. Zero means "unlimited".
+struct Budget {
+  std::uint64_t max_conflicts = 0;
+  std::uint64_t max_decisions = 0;
+  std::uint64_t max_propagations = 0;
+  double max_seconds = 0.0;
+
+  static Budget unlimited() { return {}; }
+
+  static Budget conflicts(std::uint64_t n) {
+    Budget b;
+    b.max_conflicts = n;
+    return b;
+  }
+
+  static Budget decisions(std::uint64_t n) {
+    Budget b;
+    b.max_decisions = n;
+    return b;
+  }
+
+  static Budget wall_clock(double seconds) {
+    Budget b;
+    b.max_seconds = seconds;
+    return b;
+  }
+
+  bool is_unlimited() const {
+    return max_conflicts == 0 && max_decisions == 0 && max_propagations == 0 &&
+           max_seconds == 0.0;
+  }
+};
+
+// Counters exposed through Solver::stats(). The skin histogram and the
+// database-size counters feed Tables 3, 8 and 9 of the paper directly.
+struct SolverStats {
+  std::uint64_t decisions = 0;
+  std::uint64_t propagations = 0;
+  std::uint64_t conflicts = 0;
+  std::uint64_t restarts = 0;
+  std::uint64_t reductions = 0;
+
+  std::uint64_t learned_clauses = 0;
+  std::uint64_t learned_literals = 0;
+  std::uint64_t learned_units = 0;
+  std::uint64_t deleted_clauses = 0;
+  std::uint64_t strengthened_clauses = 0;
+  std::uint64_t minimized_literals = 0;
+
+  std::uint64_t top_clause_decisions = 0;
+  std::uint64_t global_decisions = 0;
+
+  // Live database tracking (Table 9). initial_clauses is fixed at the first
+  // solve() call; max_live_clauses tracks originals + learned still stored.
+  std::uint64_t initial_clauses = 0;
+  std::uint64_t max_live_clauses = 0;
+
+  // Skin effect (Table 3): skin_histogram[r] counts decisions whose current
+  // top clause sat at distance r from the top of the learned-clause stack.
+  std::vector<std::uint64_t> skin_histogram;
+
+  void record_skin(std::size_t distance) {
+    // A single cap keeps the histogram bounded on pathological runs.
+    constexpr std::size_t max_tracked = 1 << 20;
+    if (distance > max_tracked) distance = max_tracked;
+    if (skin_histogram.size() <= distance) skin_histogram.resize(distance + 1, 0);
+    ++skin_histogram[distance];
+  }
+
+  std::uint64_t skin_at(std::size_t distance) const {
+    return distance < skin_histogram.size() ? skin_histogram[distance] : 0;
+  }
+
+  // (generated conflict clauses + initial clauses) / initial clauses —
+  // the "Database size / Initial CNF size" column of Table 9.
+  double db_generated_ratio() const {
+    if (initial_clauses == 0) return 0.0;
+    return static_cast<double>(learned_clauses + initial_clauses) /
+           static_cast<double>(initial_clauses);
+  }
+
+  // peak live clauses / initial clauses — "Largest CNF size / Initial CNF
+  // size" of Table 9.
+  double db_peak_ratio() const {
+    if (initial_clauses == 0) return 0.0;
+    return static_cast<double>(max_live_clauses) /
+           static_cast<double>(initial_clauses);
+  }
+
+  std::string summary() const;
+};
+
+}  // namespace berkmin

@@ -1,0 +1,172 @@
+// Implementation of Solver::validate_invariants (see core/validate.h for
+// the free-function wrapper). Lives in its own translation unit so the
+// checking code never creeps into the solving paths.
+#include "core/validate.h"
+
+#include <map>
+#include <sstream>
+
+namespace berkmin {
+namespace {
+
+std::string describe_lit(Lit l) { return to_string(l); }
+
+}  // namespace
+
+std::string Solver::validate_invariants() const {
+  std::ostringstream problem;
+
+  // --- assignment / trail agreement --------------------------------------
+  std::vector<char> on_trail(assign_.size(), 0);
+  for (std::size_t i = 0; i < trail_.size(); ++i) {
+    const Lit l = trail_[i];
+    const Var v = l.var();
+    if (v < 0 || v >= num_vars()) return "trail literal with bad variable";
+    if (on_trail[v]) {
+      problem << "variable " << v << " appears twice on the trail";
+      return problem.str();
+    }
+    on_trail[v] = 1;
+    if (value(l) != Value::true_value) {
+      problem << "trail literal " << describe_lit(l) << " is not true";
+      return problem.str();
+    }
+  }
+  for (Var v = 0; v < num_vars(); ++v) {
+    if ((assign_[v] != Value::unassigned) != (on_trail[v] != 0)) {
+      problem << "assignment/trail mismatch for variable " << v;
+      return problem.str();
+    }
+  }
+
+  // Decision-level boundaries are monotone and within the trail.
+  for (std::size_t i = 0; i < trail_lim_.size(); ++i) {
+    if (trail_lim_[i] < 0 ||
+        trail_lim_[i] > static_cast<int>(trail_.size())) {
+      return "trail_lim out of range";
+    }
+    if (i > 0 && trail_lim_[i] < trail_lim_[i - 1]) {
+      return "trail_lim not monotone";
+    }
+  }
+
+  // Levels on the trail match the trail_lim structure.
+  for (std::size_t i = 0; i < trail_.size(); ++i) {
+    int expected_level = 0;
+    for (const int boundary : trail_lim_) {
+      if (static_cast<int>(i) >= boundary) ++expected_level;
+    }
+    const Var v = trail_[i].var();
+    if (level_[v] != expected_level) {
+      problem << "level of trail[" << i << "] (var " << v << ") is "
+              << level_[v] << ", expected " << expected_level;
+      return problem.str();
+    }
+  }
+
+  // --- clause database ----------------------------------------------------
+  // Each stored clause must appear in exactly the two watch lists of its
+  // first two literals' negations.
+  std::map<ClauseRef, int> watch_count;
+  for (Var v = 0; v < num_vars(); ++v) {
+    for (const Lit l : {Lit::positive(v), Lit::negative(v)}) {
+      for (const Watcher& w : watches_[l.code()]) {
+        ++watch_count[w.cref];
+        const Clause c = arena_.deref(w.cref);
+        // The watched (false-triggering) literal must be c[0] or c[1].
+        if (~c[0] != l && ~c[1] != l) {
+          problem << "clause watched on a non-watch literal "
+                  << describe_lit(l);
+          return problem.str();
+        }
+      }
+    }
+  }
+
+  const auto check_stored = [&](ClauseRef ref, bool learned) -> std::string {
+    const Clause c = arena_.deref(ref);
+    if (c.size() < 2) return "stored clause shorter than 2 literals";
+    if (c.learned() != learned) return "learned flag mismatch";
+    const auto it = watch_count.find(ref);
+    if (it == watch_count.end() || it->second != 2) {
+      return "clause not watched exactly twice";
+    }
+    for (std::uint32_t i = 0; i < c.size(); ++i) {
+      const Var v = c[i].var();
+      if (v < 0 || v >= num_vars()) return "clause literal with bad variable";
+    }
+    return "";
+  };
+
+  for (const ClauseRef ref : originals_) {
+    const std::string fault = check_stored(ref, false);
+    if (!fault.empty()) return fault + " (original)";
+  }
+  for (const ClauseRef ref : learned_stack_) {
+    const std::string fault = check_stored(ref, true);
+    if (!fault.empty()) return fault + " (learned)";
+  }
+  std::size_t stored = originals_.size() + learned_stack_.size();
+  if (watch_count.size() != stored) {
+    problem << "watch lists reference " << watch_count.size()
+            << " clauses, but " << stored << " are stored";
+    return problem.str();
+  }
+  if (satisfied_cache_.size() != learned_stack_.size()) {
+    return "satisfied_cache size mismatch";
+  }
+
+  // --- reasons --------------------------------------------------------------
+  for (std::size_t i = 0; i < trail_.size(); ++i) {
+    const Lit l = trail_[i];
+    const ClauseRef reason = reason_[l.var()];
+    if (reason == no_clause) continue;
+    const Clause c = arena_.deref(reason);
+    if (c[0] != l) {
+      problem << "reason clause of " << describe_lit(l)
+              << " does not propagate it in slot 0";
+      return problem.str();
+    }
+    for (std::uint32_t k = 1; k < c.size(); ++k) {
+      if (value(c[k]) != Value::false_value) {
+        problem << "reason clause of " << describe_lit(l)
+                << " has a non-false tail literal";
+        return problem.str();
+      }
+    }
+  }
+
+  // After complete propagation (the only state this checker is meant to
+  // see), no stored clause may be falsified or unit. Once the formula has
+  // been proven unsatisfiable a falsified root-level clause is exactly
+  // what remains, so the check applies only while ok() holds.
+  if (ok_ && propagate_head_ == trail_.size()) {
+    const auto check_propagated = [&](ClauseRef ref) -> bool {
+      const Clause c = arena_.deref(ref);
+      int free_count = 0;
+      for (std::uint32_t i = 0; i < c.size(); ++i) {
+        const Value v = value(c[i]);
+        if (v == Value::true_value) return true;
+        if (v == Value::unassigned) ++free_count;
+      }
+      return free_count >= 2;
+    };
+    for (const ClauseRef ref : originals_) {
+      if (!check_propagated(ref)) {
+        return "original clause falsified or unit after propagation";
+      }
+    }
+    for (const ClauseRef ref : learned_stack_) {
+      if (!check_propagated(ref)) {
+        return "learned clause falsified or unit after propagation";
+      }
+    }
+  }
+  return "";
+}
+
+std::string validate_solver_invariants(const Solver& solver) {
+  return solver.validate_invariants();
+}
+
+}  // namespace berkmin

@@ -1,0 +1,21 @@
+// Internal-consistency validation of a Solver.
+//
+// Checks the invariants the CDCL engine relies on: watch-list integrity
+// (every stored clause watched exactly twice, on its first two literals),
+// trail/assignment agreement, reason/implication sanity, and the
+// learned-stack bookkeeping. Used by the test suite after solves and
+// reductions; expensive (full database scan), so it is a free function
+// rather than something the engine calls itself.
+#pragma once
+
+#include <string>
+
+#include "core/solver.h"
+
+namespace berkmin {
+
+// Returns an empty string when every invariant holds, otherwise a
+// description of the first violation found.
+std::string validate_solver_invariants(const Solver& solver);
+
+}  // namespace berkmin

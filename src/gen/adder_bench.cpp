@@ -1,0 +1,119 @@
+#include "gen/adder_bench.h"
+
+#include <stdexcept>
+
+#include "circuit/adders.h"
+#include "circuit/circuit_gen.h"
+#include "circuit/miter.h"
+#include "circuit/multiplier.h"
+#include "circuit/tseitin.h"
+#include "util/rng.h"
+
+namespace berkmin::gen {
+namespace {
+
+struct AdderChoice {
+  Circuit left;
+  Circuit right;
+};
+
+AdderChoice make_pair(int width, AdderPair pair) {
+  switch (pair) {
+    case AdderPair::ripple_vs_select:
+      return {ripple_carry_adder(width), carry_select_adder(width)};
+    case AdderPair::ripple_vs_lookahead:
+      return {ripple_carry_adder(width), carry_lookahead_adder(width)};
+    case AdderPair::select_vs_lookahead:
+      return {carry_select_adder(width), carry_lookahead_adder(width)};
+  }
+  throw std::invalid_argument("make_pair: bad AdderPair");
+}
+
+// Reorders a circuit's inputs so that the first and second operand words
+// are exchanged: a drop-in "compute b+a" wrapper. The circuit interface
+// must be exactly two width-bit operands.
+Circuit swap_operand_words(const Circuit& source, int width) {
+  Circuit out;
+  std::vector<int> inputs;
+  for (int i = 0; i < source.num_inputs(); ++i) inputs.push_back(out.add_input());
+  std::vector<int> remapped(inputs.begin(), inputs.end());
+  for (int i = 0; i < width; ++i) {
+    remapped[i] = inputs[width + i];
+    remapped[width + i] = inputs[i];
+  }
+  const std::vector<int> outputs = append_circuit(out, source, remapped);
+  for (const int o : outputs) out.mark_output(o);
+  return out;
+}
+
+}  // namespace
+
+Cnf adder_equivalence(int width, AdderPair pair, bool swap_operands) {
+  AdderChoice choice = make_pair(width, pair);
+  if (swap_operands) {
+    return miter_cnf(choice.left, swap_operand_words(choice.right, width));
+  }
+  return miter_cnf(choice.left, choice.right);
+}
+
+namespace {
+
+MultiplierConfig variant_config(int variant) {
+  MultiplierConfig config;
+  config.swap_operands = (variant == 0 || variant == 3);
+  config.high_rows_first = (variant == 1 || variant == 3);
+  config.use_lookahead_adders = (variant == 2 || variant == 3);
+  return config;
+}
+
+}  // namespace
+
+Cnf multiplier_equivalence(int width, int variant) {
+  const Circuit reference = multiplier(width);
+  const Circuit other = multiplier(width, variant_config(variant));
+  return miter_cnf(reference, other);
+}
+
+Cnf multiplier_mutation(int width, int variant, std::uint64_t seed) {
+  const Circuit reference = multiplier(width);
+  const Circuit other = multiplier(width, variant_config(variant));
+  Rng rng(seed);
+  for (int attempt = 0; attempt < 32; ++attempt) {
+    if (auto faulty = inject_fault(other, rng)) {
+      return miter_cnf(reference, *faulty);
+    }
+  }
+  throw std::runtime_error("multiplier_mutation: no observable fault found");
+}
+
+Cnf adder_mutation(int width, AdderPair pair, std::uint64_t seed) {
+  AdderChoice choice = make_pair(width, pair);
+  Rng rng(seed);
+  for (int attempt = 0; attempt < 32; ++attempt) {
+    if (auto faulty = inject_fault(choice.right, rng)) {
+      return miter_cnf(choice.left, *faulty);
+    }
+  }
+  throw std::runtime_error("adder_mutation: no observable fault found");
+}
+
+Cnf adder_target_sum(int width, std::uint64_t seed) {
+  Rng rng(seed);
+  const Circuit adder = ripple_carry_adder(width);
+
+  Cnf cnf;
+  const std::vector<Lit> lits = encode_tseitin(adder, cnf);
+
+  // Pick a reachable target: evaluate the adder on random operands.
+  std::vector<bool> operands(adder.num_inputs());
+  for (std::size_t i = 0; i < operands.size(); ++i) operands[i] = rng.coin();
+  const std::vector<bool> target = adder.evaluate(operands);
+
+  for (int i = 0; i < adder.num_outputs(); ++i) {
+    const Lit out = lits[adder.outputs()[i]];
+    cnf.add_unit(target[i] ? out : ~out);
+  }
+  return cnf;
+}
+
+}  // namespace berkmin::gen

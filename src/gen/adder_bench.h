@@ -1,0 +1,39 @@
+// Adder-logic instances — stand-ins for the paper's Beijing class, whose
+// best-known members (2bitadd_10/11/12) are adder-synthesis CNFs.
+#pragma once
+
+#include <cstdint>
+
+#include "cnf/cnf_formula.h"
+
+namespace berkmin::gen {
+
+enum class AdderPair : std::uint8_t {
+  ripple_vs_select,
+  ripple_vs_lookahead,
+  select_vs_lookahead,
+};
+
+// Miter of two structurally different adder implementations: UNSAT.
+// With swap_operands the right side computes b+a — the correspondence
+// becomes global (commutativity) and the instance markedly harder.
+Cnf adder_equivalence(int width, AdderPair pair, bool swap_operands = false);
+
+// Same miter with a verified fault injected into one side: SAT.
+Cnf adder_mutation(int width, AdderPair pair, std::uint64_t seed);
+
+// Multiplier equivalence: a*b against a differently scheduled and/or
+// operand-swapped multiplier. UNSAT and resolution-hard; width is the
+// hardness knob. variant selects the structural difference:
+//   0 = operand swap (commutativity), 1 = reversed row order,
+//   2 = different row adders, 3 = all of the above.
+Cnf multiplier_equivalence(int width, int variant);
+
+// Faulty multiplier miter (verified observable fault): SAT.
+Cnf multiplier_mutation(int width, int variant, std::uint64_t seed);
+
+// Constraint-style instance ("find operands"): a + b == target, with the
+// target drawn from seed. Always satisfiable, many models.
+Cnf adder_target_sum(int width, std::uint64_t seed);
+
+}  // namespace berkmin::gen

@@ -1,0 +1,35 @@
+#include "gen/bmc.h"
+
+#include <stdexcept>
+
+#include "circuit/circuit_gen.h"
+#include "circuit/miter.h"
+#include "circuit/rewrite.h"
+#include "circuit/unroll.h"
+#include "util/rng.h"
+
+namespace berkmin::gen {
+
+Cnf bmc_instance(const BmcParams& params) {
+  Rng rng(params.seed);
+  RandomCircuitParams cp;
+  cp.num_inputs = params.num_inputs;
+  cp.num_gates = params.num_gates;
+  cp.num_outputs = params.num_outputs;
+  cp.num_latches = params.num_latches;
+  const Circuit sequential = random_circuit(cp, rng);
+  const Circuit unrolled = unroll(sequential, params.cycles);
+
+  if (params.equivalent) {
+    const Circuit other = rewrite_equivalent(unrolled, rng);
+    return miter_cnf(unrolled, other);
+  }
+  for (int attempt = 0; attempt < 32; ++attempt) {
+    if (auto faulty = inject_fault(unrolled, rng)) {
+      return miter_cnf(unrolled, *faulty);
+    }
+  }
+  throw std::runtime_error("bmc_instance: no observable fault found");
+}
+
+}  // namespace berkmin::gen

@@ -1,0 +1,29 @@
+// Bounded-model-checking style instances — stand-ins for the paper's
+// Sss1.0 / Sss1.0a / Sss-sat1.0 microprocessor-verification suites.
+//
+// A random sequential circuit is unrolled over k cycles; the unrolled
+// cone is compared against a semantics-preserving rewrite of itself
+// (UNSAT) or a fault-injected copy (SAT). The resulting CNFs have the
+// time-frame-replicated implication structure characteristic of BMC and
+// processor-verification formulas.
+#pragma once
+
+#include <cstdint>
+
+#include "cnf/cnf_formula.h"
+
+namespace berkmin::gen {
+
+struct BmcParams {
+  int num_inputs = 6;
+  int num_gates = 60;
+  int num_latches = 8;
+  int num_outputs = 2;
+  int cycles = 5;
+  bool equivalent = true;  // true -> UNSAT, false -> SAT
+  std::uint64_t seed = 0;
+};
+
+Cnf bmc_instance(const BmcParams& params);
+
+}  // namespace berkmin::gen

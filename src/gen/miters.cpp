@@ -1,0 +1,57 @@
+#include "gen/miters.h"
+
+#include <stdexcept>
+
+#include "circuit/circuit_gen.h"
+#include "circuit/miter.h"
+#include "circuit/rewrite.h"
+#include "circuit/shannon.h"
+#include "util/rng.h"
+
+namespace berkmin::gen {
+
+Cnf miter_instance(const MiterParams& params) {
+  Rng rng(params.seed);
+  RandomCircuitParams cp;
+  cp.num_inputs = params.num_inputs;
+  cp.num_gates = params.num_gates;
+  cp.num_outputs = params.num_outputs;
+  cp.xor_fraction = params.xor_fraction;
+  const Circuit base = random_circuit(cp, rng);
+
+  if (params.equivalent) {
+    const Circuit other = rewrite_equivalent(base, rng);
+    return miter_cnf(base, other);
+  }
+
+  // Try fault injection over fresh rng states until a verified observable
+  // fault is found.
+  for (int attempt = 0; attempt < 32; ++attempt) {
+    if (auto faulty = inject_fault(base, rng)) {
+      return miter_cnf(base, *faulty);
+    }
+  }
+  throw std::runtime_error("miter_instance: no observable fault found");
+}
+
+Cnf canonical_miter_instance(const CanonicalMiterParams& params) {
+  Rng rng(params.seed);
+  RandomCircuitParams cp;
+  cp.num_inputs = params.num_inputs;
+  cp.num_gates = params.num_gates;
+  cp.num_outputs = params.num_outputs;
+  cp.xor_fraction = params.xor_fraction;
+  const Circuit base = random_circuit(cp, rng);
+  const Circuit canonical = shannon_canonical(base);
+
+  if (params.equivalent) return miter_cnf(base, canonical);
+
+  for (int attempt = 0; attempt < 32; ++attempt) {
+    if (auto faulty = inject_fault(canonical, rng)) {
+      return miter_cnf(base, *faulty);
+    }
+  }
+  throw std::runtime_error("canonical_miter_instance: no observable fault");
+}
+
+}  // namespace berkmin::gen

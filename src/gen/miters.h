@@ -1,0 +1,42 @@
+// Equivalence-checking miter instances — the paper's Miters class.
+//
+// An artificial random circuit is compared against either a semantics-
+// preserving rewrite of itself (equivalent: UNSAT miter) or a fault-
+// injected copy (verified non-equivalent: SAT miter). Complexity is
+// controlled by gate count and xor-richness, exactly the knobs the paper
+// mentions using for its artificial circuits.
+#pragma once
+
+#include <cstdint>
+
+#include "cnf/cnf_formula.h"
+
+namespace berkmin::gen {
+
+struct MiterParams {
+  int num_inputs = 10;
+  int num_gates = 120;
+  int num_outputs = 4;
+  double xor_fraction = 0.25;
+  bool equivalent = true;  // true -> UNSAT, false -> SAT
+  std::uint64_t seed = 0;
+};
+
+Cnf miter_instance(const MiterParams& params);
+
+// Random logic against its canonical mux-tree (Shannon) implementation:
+// no structural correspondence survives, so the equivalence proof must
+// reason about the function globally. Hardness grows with input count
+// and gate count. UNSAT when equivalent, SAT with an injected fault.
+struct CanonicalMiterParams {
+  int num_inputs = 10;
+  int num_gates = 150;
+  int num_outputs = 3;
+  double xor_fraction = 0.3;
+  bool equivalent = true;
+  std::uint64_t seed = 0;
+};
+
+Cnf canonical_miter_instance(const CanonicalMiterParams& params);
+
+}  // namespace berkmin::gen

@@ -1,0 +1,99 @@
+#include "gen/parity.h"
+
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace berkmin::gen {
+namespace {
+
+// Encodes XOR(lits) = rhs by chaining fresh t-variables:
+// t1 = l1 ^ l2, t2 = t1 ^ l3, ..., then a unit forcing the last t to rhs.
+void encode_xor_equation(Cnf& cnf, const std::vector<Lit>& lits, bool rhs) {
+  if (lits.empty()) throw std::invalid_argument("empty xor equation");
+  Lit acc = lits[0];
+  for (std::size_t i = 1; i < lits.size(); ++i) {
+    const Lit t = Lit::positive(cnf.add_var());
+    const Lit a = acc;
+    const Lit b = lits[i];
+    cnf.add_ternary(~t, a, b);
+    cnf.add_ternary(~t, ~a, ~b);
+    cnf.add_ternary(t, ~a, b);
+    cnf.add_ternary(t, a, ~b);
+    acc = t;
+  }
+  cnf.add_unit(rhs ? acc : ~acc);
+}
+
+}  // namespace
+
+Cnf parity_instance(const ParityParams& params) {
+  if (params.equation_size < 1 || params.equation_size > params.num_vars) {
+    throw std::invalid_argument("parity: bad equation size");
+  }
+  Rng rng(params.seed);
+
+  // Hidden assignment from which a consistent system is sampled.
+  std::vector<bool> hidden(params.num_vars);
+  for (int v = 0; v < params.num_vars; ++v) hidden[v] = rng.coin();
+
+  struct Equation {
+    std::vector<int> support;  // variable indices
+    bool rhs = false;
+  };
+  std::vector<Equation> equations;
+  equations.reserve(params.num_equations);
+  for (int e = 0; e < params.num_equations; ++e) {
+    Equation eq;
+    for (const std::size_t v :
+         rng.sample(static_cast<std::size_t>(params.num_vars),
+                    static_cast<std::size_t>(params.equation_size))) {
+      eq.support.push_back(static_cast<int>(v));
+    }
+    for (const int v : eq.support) eq.rhs = eq.rhs != hidden[v];
+    equations.push_back(std::move(eq));
+  }
+
+  if (!params.satisfiable) {
+    // XOR together a random nonempty subset of equations; flipping the
+    // combined right-hand side contradicts the system linearly.
+    for (int attempt = 0; attempt < 64; ++attempt) {
+      std::vector<int> parity_count(params.num_vars, 0);
+      bool rhs = false;
+      bool any = false;
+      for (const Equation& eq : equations) {
+        if (!rng.coin()) continue;
+        any = true;
+        for (const int v : eq.support) parity_count[v] ^= 1;
+        rhs = rhs != eq.rhs;
+      }
+      std::vector<int> support;
+      for (int v = 0; v < params.num_vars; ++v) {
+        if (parity_count[v]) support.push_back(v);
+      }
+      if (!any || support.empty()) continue;  // degenerate combination
+      Equation contradiction;
+      contradiction.support = std::move(support);
+      contradiction.rhs = !rhs;
+      equations.push_back(std::move(contradiction));
+      break;
+    }
+    if (equations.size() == static_cast<std::size_t>(params.num_equations)) {
+      // Fallback: directly contradict the first equation.
+      Equation contradiction = equations.front();
+      contradiction.rhs = !contradiction.rhs;
+      equations.push_back(std::move(contradiction));
+    }
+  }
+
+  Cnf cnf(params.num_vars);
+  std::vector<Lit> lits;
+  for (const Equation& eq : equations) {
+    lits.clear();
+    for (const int v : eq.support) lits.push_back(Lit::positive(v));
+    encode_xor_equation(cnf, lits, eq.rhs);
+  }
+  return cnf;
+}
+
+}  // namespace berkmin::gen

@@ -1,0 +1,28 @@
+// XOR-system ("parity learning") instances — the paper's Par16 class.
+//
+// The DIMACS par8/par16 instances encode learning a hidden parity
+// function from samples. We generate the same structure directly: a
+// system of XOR equations over n variables, each Tseitin-encoded as a
+// chain. A consistent system (sampled from a hidden assignment) is
+// satisfiable; adding the XOR of a random subset of equations with the
+// flipped right-hand side yields a linearly implied contradiction, so
+// the instance is unsatisfiable no matter what else the system allows.
+#pragma once
+
+#include <cstdint>
+
+#include "cnf/cnf_formula.h"
+
+namespace berkmin::gen {
+
+struct ParityParams {
+  int num_vars = 16;
+  int num_equations = 24;
+  int equation_size = 4;  // variables per XOR equation
+  bool satisfiable = true;
+  std::uint64_t seed = 0;
+};
+
+Cnf parity_instance(const ParityParams& params);
+
+}  // namespace berkmin::gen

@@ -1,0 +1,16 @@
+// Pigeonhole principle CNFs — the paper's "Hole" class (DIMACS holeN).
+//
+// hole(n) states that n+1 pigeons fit into n holes: unsatisfiable, and
+// famously requires exponential-size resolution proofs, which makes the
+// family a stress test for any clause-learning solver.
+#pragma once
+
+#include "cnf/cnf_formula.h"
+
+namespace berkmin::gen {
+
+// Variable p*n + h is "pigeon p sits in hole h".
+// Clauses: every pigeon sits somewhere; no hole hosts two pigeons.
+Cnf pigeonhole(int holes);
+
+}  // namespace berkmin::gen

@@ -1,0 +1,38 @@
+// Pipelined-datapath correspondence checking — stand-ins for the paper's
+// Fvp-unsat / Vliw-sat microprocessor-pipeline verification suites.
+//
+// A k-stage pipelined ALU (operand registers, lookahead-adder core,
+// result-delay registers) is unrolled with its inputs held constant and
+// compared at the pipeline latency against a combinational reference ALU
+// built around a ripple-carry adder. The correctness instance asserts a
+// mismatch and is UNSAT; the buggy variant injects a verified-observable
+// fault and is SAT. The CNF combines time-frame replication with adder
+// non-equivalence reasoning — the two ingredients that make the Velev
+// pipeline formulas hard.
+#pragma once
+
+#include <cstdint>
+
+#include "cnf/cnf_formula.h"
+
+namespace berkmin::gen {
+
+struct PipeParams {
+  int width = 4;    // datapath width in bits
+  int stages = 3;   // pipeline depth (>= 1)
+  bool correct = true;  // true -> UNSAT, false -> SAT
+  // Hardness knobs mirroring what makes the Velev suites hard:
+  // a multiply unit in the datapath (opcode 11 becomes the low product
+  // half, implemented differently on the two sides), an operand-swapped
+  // reference so the correspondence is global (commutativity), and an
+  // ECC-style XOR-spread unit whose two sides chain the same parity sums
+  // in different orders (pure parity reasoning).
+  bool with_multiplier = false;
+  bool swap_spec_operands = false;
+  bool with_xor_spread = false;
+  std::uint64_t seed = 0;
+};
+
+Cnf pipe_instance(const PipeParams& params);
+
+}  // namespace berkmin::gen

@@ -1,0 +1,15 @@
+// Uniform random k-SAT. Used by the test suite as a fuzzing source (the
+// paper itself benchmarks structured families only).
+#pragma once
+
+#include <cstdint>
+
+#include "cnf/cnf_formula.h"
+
+namespace berkmin::gen {
+
+// `clauses` clauses of exactly k distinct variables each, signs uniform.
+// Deterministic in `seed`.
+Cnf random_ksat(int num_vars, int num_clauses, int k, std::uint64_t seed);
+
+}  // namespace berkmin::gen

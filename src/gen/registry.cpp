@@ -1,0 +1,238 @@
+#include "gen/registry.h"
+
+#include <cstdlib>
+#include <sstream>
+#include <vector>
+
+#include "gen/adder_bench.h"
+#include "gen/blocksworld.h"
+#include "gen/bmc.h"
+#include "gen/hanoi.h"
+#include "gen/miters.h"
+#include "gen/parity.h"
+#include "gen/pigeonhole.h"
+#include "gen/pipe.h"
+#include "gen/random_ksat.h"
+
+namespace berkmin::gen {
+namespace {
+
+std::vector<std::string> split(const std::string& text, char sep) {
+  std::vector<std::string> parts;
+  std::string current;
+  for (const char ch : text) {
+    if (ch == sep) {
+      parts.push_back(current);
+      current.clear();
+    } else {
+      current += ch;
+    }
+  }
+  parts.push_back(current);
+  return parts;
+}
+
+long long to_int(const std::string& text, bool* ok) {
+  char* end = nullptr;
+  const long long value = std::strtoll(text.c_str(), &end, 10);
+  *ok = end != text.c_str() && *end == '\0';
+  return value;
+}
+
+bool parse_sat_flag(const std::string& text, bool* satisfiable) {
+  if (text == "sat") {
+    *satisfiable = true;
+    return true;
+  }
+  if (text == "unsat") {
+    *satisfiable = false;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::optional<GeneratedInstance> generate_from_spec(const std::string& spec,
+                                                    std::string* error) {
+  const std::vector<std::string> parts = split(spec, ':');
+  const std::string& family = parts[0];
+  const auto fail = [&](const std::string& message) -> std::optional<GeneratedInstance> {
+    if (error != nullptr) *error = "spec '" + spec + "': " + message;
+    return std::nullopt;
+  };
+
+  // Collects the numeric arguments after the family name; non-numeric
+  // entries ("sat"/"unsat") are handled separately per family.
+  const auto arg_int = [&](std::size_t i, long long fallback) -> long long {
+    if (i >= parts.size()) return fallback;
+    bool ok = false;
+    const long long v = to_int(parts[i], &ok);
+    return ok ? v : fallback;
+  };
+
+  GeneratedInstance out;
+  out.name = spec;
+  try {
+    if (family == "hole") {
+      out.cnf = pigeonhole(static_cast<int>(arg_int(1, 6)));
+      out.expected = Expectation::unsat;
+    } else if (family == "rand3") {
+      out.cnf = random_ksat(static_cast<int>(arg_int(1, 50)),
+                            static_cast<int>(arg_int(2, 213)), 3,
+                            static_cast<std::uint64_t>(arg_int(3, 0)));
+      out.expected = Expectation::unknown;
+    } else if (family == "par") {
+      ParityParams p;
+      p.num_vars = static_cast<int>(arg_int(1, 16));
+      p.num_equations = static_cast<int>(arg_int(2, 24));
+      p.equation_size = static_cast<int>(arg_int(3, 4));
+      p.satisfiable = true;
+      if (parts.size() > 4 && !parse_sat_flag(parts[4], &p.satisfiable)) {
+        return fail("expected sat|unsat in field 5");
+      }
+      p.seed = static_cast<std::uint64_t>(arg_int(5, 0));
+      out.cnf = parity_instance(p);
+      out.expected = p.satisfiable ? Expectation::sat : Expectation::unsat;
+    } else if (family == "hanoi") {
+      const int disks = static_cast<int>(arg_int(1, 4));
+      const int moves = static_cast<int>(
+          arg_int(2, HanoiEncoding::optimal_moves(static_cast<int>(arg_int(1, 4)))));
+      out.cnf = hanoi_instance(disks, moves);
+      out.expected = moves >= HanoiEncoding::optimal_moves(disks)
+                         ? Expectation::sat
+                         : Expectation::unsat;
+    } else if (family == "blocks") {
+      BlocksworldParams p;
+      p.num_blocks = static_cast<int>(arg_int(1, 5));
+      p.horizon = static_cast<int>(arg_int(2, 8));
+      p.satisfiable = true;
+      if (parts.size() > 3 && !parse_sat_flag(parts[3], &p.satisfiable)) {
+        return fail("expected sat|unsat in field 4");
+      }
+      p.seed = static_cast<std::uint64_t>(arg_int(4, 0));
+      out.cnf = blocksworld_instance(p);
+      out.expected = p.satisfiable ? Expectation::sat : Expectation::unsat;
+    } else if (family == "miter") {
+      MiterParams p;
+      p.num_inputs = static_cast<int>(arg_int(1, 10));
+      p.num_gates = static_cast<int>(arg_int(2, 120));
+      p.equivalent = true;
+      if (parts.size() > 3) {
+        bool satisfiable = false;
+        if (!parse_sat_flag(parts[3], &satisfiable)) {
+          return fail("expected sat|unsat in field 4");
+        }
+        p.equivalent = !satisfiable;
+      }
+      p.seed = static_cast<std::uint64_t>(arg_int(4, 0));
+      p.xor_fraction = static_cast<double>(arg_int(5, 25)) / 100.0;
+      out.cnf = miter_instance(p);
+      out.expected = p.equivalent ? Expectation::unsat : Expectation::sat;
+    } else if (family == "cmiter") {
+      CanonicalMiterParams p;
+      p.num_inputs = static_cast<int>(arg_int(1, 10));
+      p.num_gates = static_cast<int>(arg_int(2, 150));
+      p.equivalent = true;
+      if (parts.size() > 3) {
+        bool satisfiable = false;
+        if (!parse_sat_flag(parts[3], &satisfiable)) {
+          return fail("expected sat|unsat in field 4");
+        }
+        p.equivalent = !satisfiable;
+      }
+      p.seed = static_cast<std::uint64_t>(arg_int(4, 0));
+      out.cnf = canonical_miter_instance(p);
+      out.expected = p.equivalent ? Expectation::unsat : Expectation::sat;
+    } else if (family == "adder") {
+      const int width = static_cast<int>(arg_int(1, 6));
+      const auto pair = static_cast<AdderPair>(arg_int(2, 0) % 3);
+      const bool swap = arg_int(3, 0) != 0;
+      out.cnf = adder_equivalence(width, pair, swap);
+      out.expected = Expectation::unsat;
+    } else if (family == "mult") {
+      const int width = static_cast<int>(arg_int(1, 4));
+      const int variant = static_cast<int>(arg_int(2, 0) % 4);
+      out.cnf = multiplier_equivalence(width, variant);
+      out.expected = Expectation::unsat;
+    } else if (family == "mult_mut") {
+      const int width = static_cast<int>(arg_int(1, 4));
+      const int variant = static_cast<int>(arg_int(2, 0) % 4);
+      out.cnf = multiplier_mutation(width, variant,
+                                    static_cast<std::uint64_t>(arg_int(3, 0)));
+      out.expected = Expectation::sat;
+    } else if (family == "adder_mut") {
+      const int width = static_cast<int>(arg_int(1, 6));
+      const auto pair = static_cast<AdderPair>(arg_int(2, 0) % 3);
+      out.cnf = adder_mutation(width, pair, static_cast<std::uint64_t>(arg_int(3, 0)));
+      out.expected = Expectation::sat;
+    } else if (family == "adder_sum") {
+      out.cnf = adder_target_sum(static_cast<int>(arg_int(1, 8)),
+                                 static_cast<std::uint64_t>(arg_int(2, 0)));
+      out.expected = Expectation::sat;
+    } else if (family == "bmc") {
+      BmcParams p;
+      p.cycles = static_cast<int>(arg_int(1, 5));
+      p.num_gates = static_cast<int>(arg_int(2, 60));
+      p.num_latches = static_cast<int>(arg_int(3, 8));
+      p.num_inputs = static_cast<int>(arg_int(4, 6));
+      p.equivalent = true;
+      if (parts.size() > 5) {
+        bool satisfiable = false;
+        if (!parse_sat_flag(parts[5], &satisfiable)) {
+          return fail("expected sat|unsat in field 6");
+        }
+        p.equivalent = !satisfiable;
+      }
+      p.seed = static_cast<std::uint64_t>(arg_int(6, 0));
+      out.cnf = bmc_instance(p);
+      out.expected = p.equivalent ? Expectation::unsat : Expectation::sat;
+    } else if (family == "pipe") {
+      PipeParams p;
+      p.width = static_cast<int>(arg_int(1, 4));
+      p.stages = static_cast<int>(arg_int(2, 3));
+      p.correct = true;
+      if (parts.size() > 3) {
+        bool satisfiable = false;
+        if (!parse_sat_flag(parts[3], &satisfiable)) {
+          return fail("expected sat|unsat in field 4");
+        }
+        p.correct = !satisfiable;
+      }
+      p.seed = static_cast<std::uint64_t>(arg_int(4, 0));
+      p.with_multiplier = arg_int(5, 0) != 0;
+      p.swap_spec_operands = arg_int(6, 0) != 0;
+      p.with_xor_spread = arg_int(7, 0) != 0;
+      out.cnf = pipe_instance(p);
+      out.expected = p.correct ? Expectation::unsat : Expectation::sat;
+    } else {
+      return fail("unknown family '" + family + "'");
+    }
+  } catch (const std::exception& ex) {
+    return fail(ex.what());
+  }
+  return out;
+}
+
+std::string registry_help() {
+  std::ostringstream out;
+  out << "instance specs (fields after the family name are optional):\n"
+      << "  hole:<holes>                          pigeonhole, unsat\n"
+      << "  rand3:<vars>:<clauses>:<seed>         uniform random 3-sat\n"
+      << "  par:<vars>:<eqs>:<len>:<sat|unsat>:<seed>   xor system\n"
+      << "  hanoi:<disks>:<moves>                 towers of hanoi plan\n"
+      << "  blocks:<blocks>:<horizon>:<sat|unsat>:<seed> blocks world\n"
+      << "  miter:<inputs>:<gates>:<sat|unsat>:<seed>    equivalence miter\n"
+      << "  cmiter:<inputs>:<gates>:<sat|unsat>:<seed>   vs canonical mux tree\n"
+      << "  adder:<width>:<pair 0-2>:<swap 0|1>   adder equivalence, unsat\n"
+      << "  mult:<width>:<variant 0-3>            multiplier miter, unsat (hard)\n"
+      << "  mult_mut:<width>:<variant>:<seed>     faulty multiplier miter, sat\n"
+      << "  adder_mut:<width>:<pair>:<seed>       faulty adder miter, sat\n"
+      << "  adder_sum:<width>:<seed>              a+b == target, sat\n"
+      << "  bmc:<cycles>:<gates>:<latches>:<inputs>:<sat|unsat>:<seed>\n"
+      << "  pipe:<width>:<stages>:<sat|unsat>:<seed>:<mult 0|1>:<swap 0|1>\n"
+      << "                                        pipelined datapath check\n";
+  return out.str();
+}
+
+}  // namespace berkmin::gen

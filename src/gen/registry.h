@@ -1,0 +1,30 @@
+// Name-based access to every benchmark generator, for command-line tools
+// ("--generate hole:8") and the experiment harness.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "cnf/cnf_formula.h"
+
+namespace berkmin::gen {
+
+enum class Expectation : std::uint8_t { sat, unsat, unknown };
+
+struct GeneratedInstance {
+  std::string name;
+  Cnf cnf;
+  Expectation expected = Expectation::unknown;
+};
+
+// Parses a spec like "hole:8", "hanoi:4:15", "par:16:24:4:sat:7",
+// "rand3:60:258:1", "miter:10:120:unsat:3", "adder:6:0", "bmc:5:60:8:4:unsat:2",
+// "pipe:4:3:unsat:0", "blocks:5:8:sat:1" and runs the generator.
+// Returns std::nullopt and fills *error on bad specs.
+std::optional<GeneratedInstance> generate_from_spec(const std::string& spec,
+                                                    std::string* error);
+
+// Human-readable list of accepted spec formats.
+std::string registry_help();
+
+}  // namespace berkmin::gen

@@ -1,0 +1,75 @@
+#include "harness/runner.h"
+
+#include "util/table.h"
+#include "util/timer.h"
+
+namespace berkmin::harness {
+
+RunResult run_instance(const Instance& instance, const SolverOptions& options,
+                       double timeout_seconds) {
+  RunResult result;
+  result.name = instance.name;
+
+  Solver solver(options);
+  solver.load(instance.cnf);
+
+  WallTimer timer;
+  result.status = solver.solve(Budget::wall_clock(timeout_seconds));
+  result.seconds = timer.seconds();
+  result.stats = solver.stats();
+  result.timed_out = result.status == SolveStatus::unknown;
+
+  if (result.status == SolveStatus::satisfiable) {
+    // Always validate models against the original formula.
+    if (!instance.cnf.is_satisfied_by(solver.model())) {
+      result.expectation_violated = true;
+    }
+    if (instance.expected == gen::Expectation::unsat) {
+      result.expectation_violated = true;
+    }
+  } else if (result.status == SolveStatus::unsatisfiable &&
+             instance.expected == gen::Expectation::sat) {
+    result.expectation_violated = true;
+  }
+  return result;
+}
+
+std::string ClassResult::format_time(double timeout_seconds) const {
+  if (aborted == 0) return format_seconds(finished_seconds);
+  const double lower_bound = finished_seconds + aborted * timeout_seconds;
+  return "> " + format_seconds(lower_bound) + " (" + std::to_string(aborted) + ")";
+}
+
+ClassResult run_suite(const Suite& suite, const SolverOptions& options,
+                      double timeout_seconds) {
+  ClassResult result;
+  result.class_name = suite.name;
+  for (const Instance& instance : suite.instances) {
+    RunResult run = run_instance(instance, options, timeout_seconds);
+    ++result.num_instances;
+    if (run.timed_out) {
+      ++result.aborted;
+    } else {
+      ++result.solved;
+      result.finished_seconds += run.seconds;
+    }
+    if (run.expectation_violated) ++result.wrong;
+    result.runs.push_back(std::move(run));
+  }
+  return result;
+}
+
+ClassResult total_row(const std::vector<ClassResult>& rows) {
+  ClassResult total;
+  total.class_name = "Total";
+  for (const ClassResult& row : rows) {
+    total.num_instances += row.num_instances;
+    total.solved += row.solved;
+    total.aborted += row.aborted;
+    total.wrong += row.wrong;
+    total.finished_seconds += row.finished_seconds;
+  }
+  return total;
+}
+
+}  // namespace berkmin::harness

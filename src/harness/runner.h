@@ -1,0 +1,47 @@
+// Experiment runner: solves suites under per-instance timeouts and
+// aggregates results the way the paper's tables report them (total time
+// over finished instances, plus "> total (k aborted)" rows).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/options.h"
+#include "core/solver.h"
+#include "harness/suites.h"
+
+namespace berkmin::harness {
+
+struct RunResult {
+  std::string name;
+  SolveStatus status = SolveStatus::unknown;
+  bool timed_out = false;
+  bool expectation_violated = false;  // solved but disagreed with generator
+  double seconds = 0.0;
+  SolverStats stats;
+};
+
+RunResult run_instance(const Instance& instance, const SolverOptions& options,
+                       double timeout_seconds);
+
+struct ClassResult {
+  std::string class_name;
+  int num_instances = 0;
+  int solved = 0;
+  int aborted = 0;
+  int wrong = 0;  // expectation violations (must stay 0)
+  double finished_seconds = 0.0;  // sum over solved instances
+  std::vector<RunResult> runs;
+
+  // The paper's convention: finished time, or "> S (k)" where S adds the
+  // timeout for every aborted instance.
+  std::string format_time(double timeout_seconds) const;
+};
+
+ClassResult run_suite(const Suite& suite, const SolverOptions& options,
+                      double timeout_seconds);
+
+// Sums class results into a "Total" row (aborts propagate).
+ClassResult total_row(const std::vector<ClassResult>& rows);
+
+}  // namespace berkmin::harness

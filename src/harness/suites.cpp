@@ -1,0 +1,383 @@
+#include "harness/suites.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "gen/adder_bench.h"
+#include "gen/blocksworld.h"
+#include "gen/bmc.h"
+#include "gen/hanoi.h"
+#include "gen/miters.h"
+#include "gen/parity.h"
+#include "gen/pigeonhole.h"
+#include "gen/pipe.h"
+
+// Calibration note. Instance sizes were chosen empirically on this
+// substrate so that, at the default bench scale (2), each class costs the
+// BerkMin configuration between tenths of a second and a few seconds —
+// hard enough for the heuristic ablations to separate, small enough that
+// a full table sweep finishes in minutes. Scale 1 is the smoke scale used
+// by the test suite (everything well under a second); scale 3+ grows
+// instances toward genuinely paper-hard territory (minutes, with aborts
+// expected for the weaker configurations).
+namespace berkmin::harness {
+namespace {
+
+using gen::Expectation;
+
+Instance make(std::string name, Cnf cnf, Expectation expected) {
+  return Instance{std::move(name), std::move(cnf), expected};
+}
+
+Suite hole_suite(int scale) {
+  Suite s{"Hole", {}};
+  // scale 1: hole4..hole7; scale 2: hole5..hole9; scale 3: hole6..hole11.
+  const int lo = 3 + scale;
+  const int hi = 5 + 2 * scale;
+  for (int holes = lo; holes <= hi; ++holes) {
+    s.instances.push_back(make("hole" + std::to_string(holes),
+                               gen::pigeonhole(holes), Expectation::unsat));
+  }
+  return s;
+}
+
+Suite blocksworld_suite(int scale, std::uint64_t seed) {
+  Suite s{"Blocksworld", {}};
+  const int blocks = 4 + 2 * scale;
+  for (int i = 0; i < 3; ++i) {
+    gen::BlocksworldParams p;
+    p.num_blocks = blocks;
+    p.horizon = blocks + 2 + i;
+    p.satisfiable = true;
+    p.seed = seed + i;
+    s.instances.push_back(make("bw_sat_" + std::to_string(i),
+                               gen::blocksworld_instance(p), Expectation::sat));
+  }
+  {
+    gen::BlocksworldParams p;
+    p.num_blocks = blocks;
+    p.horizon = 2;  // below the misplaced-block lower bound
+    p.satisfiable = false;
+    p.seed = seed + 17;
+    s.instances.push_back(make("bw_unsat",
+                               gen::blocksworld_instance(p), Expectation::unsat));
+  }
+  return s;
+}
+
+Suite parity_suite(int scale, std::uint64_t seed) {
+  Suite s{"Par16", {}};
+  const int vars = 16 * scale;
+  const int eq_size = 4 + scale / 2;
+  for (int i = 0; i < 2; ++i) {
+    gen::ParityParams p;
+    p.num_vars = vars;
+    p.num_equations = vars + vars / 2;
+    p.equation_size = eq_size;
+    p.satisfiable = true;
+    p.seed = seed + i;
+    s.instances.push_back(make("par_sat_" + std::to_string(i),
+                               gen::parity_instance(p), Expectation::sat));
+  }
+  for (int i = 0; i < 2; ++i) {
+    gen::ParityParams p;
+    p.num_vars = vars;
+    p.num_equations = vars + vars / 2;
+    p.equation_size = eq_size;
+    p.satisfiable = false;
+    p.seed = seed + 100 + i;
+    s.instances.push_back(make("par_unsat_" + std::to_string(i),
+                               gen::parity_instance(p), Expectation::unsat));
+  }
+  return s;
+}
+
+gen::BmcParams bmc_params(int cycles, int gates, int latches, int inputs,
+                          bool equivalent, std::uint64_t seed) {
+  gen::BmcParams p;
+  p.cycles = cycles;
+  p.num_gates = gates;
+  p.num_latches = latches;
+  p.num_inputs = inputs;
+  p.equivalent = equivalent;
+  p.seed = seed;
+  return p;
+}
+
+Suite sss10_suite(int scale, std::uint64_t seed) {
+  Suite s{"Sss1.0", {}};
+  for (int i = 0; i < 3; ++i) {
+    s.instances.push_back(
+        make("sss_" + std::to_string(i),
+             gen::bmc_instance(bmc_params(2 + 2 * scale, 60 * scale,
+                                          4 + 2 * scale, 6, true, seed + i)),
+             Expectation::unsat));
+  }
+  return s;
+}
+
+Suite sss10a_suite(int scale, std::uint64_t seed) {
+  Suite s{"Sss1.0a", {}};
+  for (int i = 0; i < 2; ++i) {
+    s.instances.push_back(
+        make("sssa_" + std::to_string(i),
+             gen::bmc_instance(bmc_params(3 + 2 * scale, 80 * scale,
+                                          6 + 2 * scale, 7, true,
+                                          seed + 31 + i)),
+             Expectation::unsat));
+  }
+  return s;
+}
+
+Suite sss_sat_suite(int scale, std::uint64_t seed) {
+  Suite s{"Sss_sat1.0", {}};
+  for (int i = 0; i < 3; ++i) {
+    s.instances.push_back(
+        make("ssssat_" + std::to_string(i),
+             gen::bmc_instance(bmc_params(2 + 2 * scale, 70 * scale,
+                                          4 + 2 * scale, 6, false,
+                                          seed + 61 + i)),
+             Expectation::sat));
+  }
+  return s;
+}
+
+gen::PipeParams pipe_params(int width, int stages, bool correct,
+                            std::uint64_t seed, bool with_multiplier,
+                            bool swap_spec) {
+  gen::PipeParams p;
+  p.width = width;
+  p.stages = stages;
+  p.correct = correct;
+  p.seed = seed;
+  p.with_multiplier = with_multiplier;
+  p.swap_spec_operands = swap_spec;
+  return p;
+}
+
+Suite fvp_unsat1_suite(int scale, std::uint64_t seed) {
+  Suite s{"Fvp_unsat1.0", {}};
+  // Multiplier datapaths without operand swap: moderately hard.
+  s.instances.push_back(make(
+      "fvp1_a",
+      gen::pipe_instance(pipe_params(5 + scale, 2, true, seed, true, false)),
+      Expectation::unsat));
+  s.instances.push_back(make(
+      "fvp1_b",
+      gen::pipe_instance(pipe_params(6 + scale, 2, true, seed + 1, true, false)),
+      Expectation::unsat));
+  return s;
+}
+
+Suite vliw_sat_suite(int scale, std::uint64_t seed) {
+  Suite s{"Vliw_sat1.0", {}};
+  for (int i = 0; i < 3; ++i) {
+    s.instances.push_back(
+        make("vliw_" + std::to_string(i),
+             gen::pipe_instance(pipe_params(5 + scale, 3, false, seed + i,
+                                            true, true)),
+             Expectation::sat));
+  }
+  return s;
+}
+
+Suite beijing_suite(int scale, std::uint64_t seed) {
+  // The Beijing class is a robustness mix of "easy" arithmetic CNFs.
+  Suite s{"Beijing", {}};
+  const int width = 12 * scale;
+  s.instances.push_back(make(
+      std::to_string(width) + "bitadd_swap_rs",
+      gen::adder_equivalence(width, gen::AdderPair::ripple_vs_select, true),
+      Expectation::unsat));
+  s.instances.push_back(make(
+      std::to_string(width) + "bitadd_swap_rl",
+      gen::adder_equivalence(width, gen::AdderPair::ripple_vs_lookahead, true),
+      Expectation::unsat));
+  s.instances.push_back(make(
+      "mult" + std::to_string(3 + scale),
+      gen::multiplier_equivalence(3 + scale, 1), Expectation::unsat));
+  s.instances.push_back(make(
+      std::to_string(width) + "bitadd_mut",
+      gen::adder_mutation(width, gen::AdderPair::ripple_vs_select, seed),
+      Expectation::sat));
+  s.instances.push_back(make("adder_sum",
+                             gen::adder_target_sum(8 * scale, seed + 7),
+                             Expectation::sat));
+  return s;
+}
+
+Suite hanoi_suite(int scale, std::uint64_t /*seed*/) {
+  Suite s{"Hanoi", {}};
+  const int max_disks = 4 + scale;  // scale 2 -> hanoi6, scale 3 -> hanoi7
+  for (int d = 4; d <= max_disks; ++d) {
+    s.instances.push_back(
+        make("hanoi" + std::to_string(d),
+             gen::hanoi_instance(d, gen::HanoiEncoding::optimal_moves(d)),
+             Expectation::sat));
+  }
+  return s;
+}
+
+Suite miters_suite(int scale, std::uint64_t seed) {
+  Suite s{"Miters", {}};
+  // XOR-rich artificial circuits against globally reassociated rewrites:
+  // the miter proof needs parity reasoning, and gate count / xor share
+  // are the "complexity easy to control" knobs the paper describes.
+  const int inputs = 14 + scale;
+  const int gates = 200 * scale;
+  for (int i = 0; i < 3; ++i) {
+    gen::MiterParams p;
+    p.num_inputs = inputs;
+    p.num_gates = gates;
+    p.num_outputs = 4;
+    p.xor_fraction = 0.6;
+    p.equivalent = true;
+    p.seed = seed + 2 * i;
+    s.instances.push_back(make("miter" + std::to_string(inputs) + "_" +
+                                   std::to_string(gates) + "_" +
+                                   std::to_string(i),
+                               gen::miter_instance(p), Expectation::unsat));
+  }
+  // One arithmetic miter (differently scheduled multipliers).
+  s.instances.push_back(make("mult" + std::to_string(3 + scale) + "_rows",
+                             gen::multiplier_equivalence(3 + scale, 1),
+                             Expectation::unsat));
+  return s;
+}
+
+Suite fvp_unsat2_suite(int scale, std::uint64_t seed) {
+  Suite s{"Fvp_unsat2.0", {}};
+  // The "Npipe" family: multiplier datapath, operand-swapped reference,
+  // growing pipeline depth. Hard; ablated configurations abort here.
+  // Width saturates at 8: beyond that every configuration times out and
+  // the class stops differentiating.
+  const int width = std::min(8, 6 + scale);
+  for (int stages = 2; stages <= 2 + scale; ++stages) {
+    s.instances.push_back(
+        make(std::to_string(stages) + "pipe",
+             gen::pipe_instance(pipe_params(width, stages, true,
+                                            seed + stages, true, true)),
+             Expectation::unsat));
+  }
+  return s;
+}
+
+}  // namespace
+
+std::vector<Suite> paper_classes(int scale, std::uint64_t seed) {
+  std::vector<Suite> suites;
+  suites.push_back(hole_suite(scale));
+  suites.push_back(blocksworld_suite(scale, seed));
+  suites.push_back(parity_suite(scale, seed));
+  suites.push_back(sss10_suite(scale, seed));
+  suites.push_back(sss10a_suite(scale, seed));
+  suites.push_back(sss_sat_suite(scale, seed));
+  suites.push_back(fvp_unsat1_suite(scale, seed));
+  suites.push_back(vliw_sat_suite(scale, seed));
+  suites.push_back(beijing_suite(scale, seed));
+  suites.push_back(hanoi_suite(scale, seed));
+  suites.push_back(miters_suite(scale, seed));
+  suites.push_back(fvp_unsat2_suite(scale, seed));
+  return suites;
+}
+
+Suite suite_by_name(const std::string& name, int scale, std::uint64_t seed) {
+  for (Suite& suite : paper_classes(scale, seed)) {
+    if (suite.name == name) return std::move(suite);
+  }
+  throw std::invalid_argument("suite_by_name: unknown class '" + name + "'");
+}
+
+std::vector<Instance> skin_effect_instances(int scale, std::uint64_t seed) {
+  std::vector<Instance> out;
+  out.push_back(make("miter70_60_5",
+                     gen::multiplier_equivalence(4 + scale, 0),
+                     Expectation::unsat));
+  out.push_back(make("hanoi" + std::to_string(4 + scale),
+                     gen::hanoi_instance(4 + scale,
+                                         gen::HanoiEncoding::optimal_moves(4 + scale)),
+                     Expectation::sat));
+  out.push_back(make("2bitadd_10",
+                     gen::adder_equivalence(12 * scale,
+                                            gen::AdderPair::ripple_vs_lookahead,
+                                            true),
+                     Expectation::unsat));
+  out.push_back(make("7pipe",
+                     gen::pipe_instance(pipe_params(6 + scale, 3, true,
+                                                    seed + 3, true, true)),
+                     Expectation::unsat));
+  out.push_back(make("9vliw",
+                     gen::pipe_instance(pipe_params(5 + scale, 2, true,
+                                                    seed + 4, true, false)),
+                     Expectation::unsat));
+  return out;
+}
+
+std::vector<Instance> detail_instances(int scale, std::uint64_t seed) {
+  std::vector<Instance> out;
+  out.push_back(make("9vliw_bp_mc",
+                     gen::pipe_instance(pipe_params(5 + scale, 3, true, seed,
+                                                    true, false)),
+                     Expectation::unsat));
+  for (int d = 4; d <= 4 + scale; ++d) {
+    out.push_back(make("hanoi" + std::to_string(d),
+                       gen::hanoi_instance(d, gen::HanoiEncoding::optimal_moves(d)),
+                       Expectation::sat));
+  }
+  const int width = 6 + scale;
+  for (int stages = 2; stages <= 2 + scale; ++stages) {
+    out.push_back(make(std::to_string(stages) + "pipe",
+                       gen::pipe_instance(pipe_params(width, stages, true,
+                                                      seed + stages, true,
+                                                      true)),
+                       Expectation::unsat));
+  }
+  return out;
+}
+
+std::vector<Instance> competition_suite(int scale, std::uint64_t seed) {
+  std::vector<Instance> out;
+  // A robustness mix across families, harder than the class suites.
+  out.push_back(make("hole_big", gen::pigeonhole(6 + 2 * scale),
+                     Expectation::unsat));
+  {
+    gen::ParityParams p;
+    p.num_vars = 24 * scale;
+    p.num_equations = p.num_vars * 3 / 2;
+    p.equation_size = 5;
+    p.satisfiable = false;
+    p.seed = seed;
+    out.push_back(make("par_hard", gen::parity_instance(p), Expectation::unsat));
+  }
+  out.push_back(make("comb_like", gen::multiplier_equivalence(4 + scale, 3),
+                     Expectation::unsat));
+  out.push_back(make("6pipe_like",
+                     gen::pipe_instance(pipe_params(6 + scale, 3 + scale, true,
+                                                    seed + 2, true, true)),
+                     Expectation::unsat));
+  out.push_back(make("ip_like",
+                     gen::bmc_instance(bmc_params(3 + 2 * scale, 90 * scale,
+                                                  6 + 2 * scale, 7, true,
+                                                  seed + 3)),
+                     Expectation::unsat));
+  out.push_back(make("w08_like",
+                     gen::bmc_instance(bmc_params(3 + 2 * scale, 90 * scale,
+                                                  6 + 2 * scale, 7, false,
+                                                  seed + 4)),
+                     Expectation::sat));
+  out.push_back(make("hanoi_deep",
+                     gen::hanoi_instance(4 + scale,
+                                         gen::HanoiEncoding::optimal_moves(4 + scale)),
+                     Expectation::sat));
+  {
+    gen::BlocksworldParams p;
+    p.num_blocks = 5 + 2 * scale;
+    p.horizon = p.num_blocks + 3;
+    p.satisfiable = true;
+    p.seed = seed + 5;
+    out.push_back(make("bw_big", gen::blocksworld_instance(p), Expectation::sat));
+  }
+  return out;
+}
+
+}  // namespace berkmin::harness

@@ -1,0 +1,33 @@
+#include "reference/brute_force.h"
+
+#include <cassert>
+
+namespace berkmin::reference {
+
+BruteForceResult brute_force_solve(const Cnf& cnf) {
+  const int n = cnf.num_vars();
+  assert(n <= 26 && "brute force is exponential; keep instances tiny");
+
+  BruteForceResult result;
+  std::vector<Value> assignment(n, Value::false_value);
+  const std::uint64_t limit = std::uint64_t{1} << n;
+  for (std::uint64_t bits = 0; bits < limit; ++bits) {
+    for (int v = 0; v < n; ++v) {
+      assignment[v] = to_value(((bits >> v) & 1) != 0);
+    }
+    if (cnf.is_satisfied_by(assignment)) {
+      if (result.num_models == 0) {
+        result.satisfiable = true;
+        result.model = assignment;
+      }
+      ++result.num_models;
+    }
+  }
+  return result;
+}
+
+bool brute_force_satisfiable(const Cnf& cnf) {
+  return brute_force_solve(cnf).satisfiable;
+}
+
+}  // namespace berkmin::reference

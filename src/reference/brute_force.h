@@ -1,0 +1,24 @@
+// Exhaustive enumeration oracle for property tests (≈25 variables max).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "cnf/cnf_formula.h"
+
+namespace berkmin::reference {
+
+struct BruteForceResult {
+  bool satisfiable = false;
+  std::vector<Value> model;        // a witness when satisfiable
+  std::uint64_t num_models = 0;    // total count of satisfying assignments
+};
+
+// Enumerates all 2^n assignments. Callers must keep num_vars small.
+BruteForceResult brute_force_solve(const Cnf& cnf);
+
+// Convenience: just the satisfiability bit.
+bool brute_force_satisfiable(const Cnf& cnf);
+
+}  // namespace berkmin::reference

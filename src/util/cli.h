@@ -1,0 +1,49 @@
+// Minimal command-line option parsing for examples and bench drivers.
+//
+// Supports "--name value", "--name=value", and boolean "--flag" forms plus
+// positional arguments. Unknown options are reported, not silently ignored.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace berkmin {
+
+class ArgParser {
+ public:
+  ArgParser(int argc, const char* const* argv);
+
+  // Registration doubles as documentation; parse() checks against it.
+  void add_flag(const std::string& name, const std::string& help);
+  void add_option(const std::string& name, const std::string& default_value,
+                  const std::string& help);
+
+  // Returns false (and fills error()) on unknown or malformed options.
+  bool parse();
+
+  bool has_flag(const std::string& name) const;
+  std::string get_string(const std::string& name) const;
+  std::int64_t get_int(const std::string& name) const;
+  double get_double(const std::string& name) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+  const std::string& error() const { return error_; }
+  std::string help(const std::string& program_description) const;
+
+ private:
+  struct Spec {
+    bool is_flag = false;
+    std::string default_value;
+    std::string help;
+  };
+
+  std::vector<std::string> raw_;
+  std::map<std::string, Spec> specs_;
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+  std::string error_;
+};
+
+}  // namespace berkmin

@@ -1,0 +1,77 @@
+#include "util/table.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <sstream>
+
+namespace berkmin {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (row[c].size() > widths[c]) widths[c] = row[c].size();
+    }
+  }
+
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) out << "  ";
+      const std::size_t pad = widths[c] - row[c].size();
+      if (c == 0) {
+        out << row[c] << std::string(pad, ' ');
+      } else {
+        out << std::string(pad, ' ') << row[c];
+      }
+    }
+    out << '\n';
+  };
+
+  emit_row(headers_);
+  std::size_t total = headers_.size() - 1;  // separators
+  for (std::size_t w : widths) total += w + 1;
+  out << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
+std::string format_seconds(double seconds) {
+  char buf[64];
+  if (seconds < 10.0) {
+    std::snprintf(buf, sizeof(buf), "%.3f", seconds);
+  } else if (seconds < 1000.0) {
+    std::snprintf(buf, sizeof(buf), "%.2f", seconds);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f", seconds);
+  }
+  return buf;
+}
+
+std::string format_count(std::uint64_t value) {
+  std::string digits = std::to_string(value);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3);
+  const std::size_t first_group = digits.size() % 3 == 0 ? 3 : digits.size() % 3;
+  for (std::size_t i = 0; i < digits.size(); ++i) {
+    if (i != 0 && (i - first_group) % 3 == 0 && i >= first_group) out += ',';
+    out += digits[i];
+  }
+  return out;
+}
+
+std::string format_ratio(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2f", value);
+  return buf;
+}
+
+}  // namespace berkmin

@@ -1,0 +1,23 @@
+// Wall-clock timing for the experiment harness.
+#pragma once
+
+#include <chrono>
+
+namespace berkmin {
+
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void restart() { start_ = Clock::now(); }
+
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace berkmin

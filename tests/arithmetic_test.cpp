@@ -1,0 +1,208 @@
+// Multipliers, the Shannon canonicalizer, XOR-chain reassociation, and
+// the generator families built on them.
+#include <gtest/gtest.h>
+
+#include "circuit/circuit_gen.h"
+#include "circuit/miter.h"
+#include "circuit/multiplier.h"
+#include "circuit/rewrite.h"
+#include "circuit/shannon.h"
+#include "core/solver.h"
+#include "gen/adder_bench.h"
+#include "gen/miters.h"
+#include "gen/pipe.h"
+#include "gen/registry.h"
+#include "util/rng.h"
+
+namespace berkmin {
+namespace {
+
+unsigned decode_bits(const std::vector<bool>& bits) {
+  unsigned value = 0;
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    if (bits[i]) value |= 1u << i;
+  }
+  return value;
+}
+
+SolveStatus solve(const Cnf& cnf) {
+  Solver solver;
+  solver.load(cnf);
+  return solver.solve();
+}
+
+class MultiplierConfigs : public ::testing::TestWithParam<int> {};
+
+TEST_P(MultiplierConfigs, ComputesProductsExhaustively) {
+  const int variant = GetParam();
+  MultiplierConfig config;
+  config.swap_operands = (variant == 0 || variant == 3);
+  config.high_rows_first = (variant == 1 || variant == 3);
+  config.use_lookahead_adders = (variant == 2 || variant == 3);
+
+  const int width = 4;
+  const Circuit mult = multiplier(width, config);
+  ASSERT_EQ(mult.num_inputs(), 2 * width);
+  ASSERT_EQ(mult.num_outputs(), 2 * width);
+  for (unsigned a = 0; a < (1u << width); ++a) {
+    for (unsigned b = 0; b < (1u << width); ++b) {
+      std::vector<bool> input;
+      for (int i = 0; i < width; ++i) input.push_back(((a >> i) & 1) != 0);
+      for (int i = 0; i < width; ++i) input.push_back(((b >> i) & 1) != 0);
+      EXPECT_EQ(decode_bits(mult.evaluate(input)), a * b)
+          << "a=" << a << " b=" << b << " variant=" << variant;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Variants, MultiplierConfigs, ::testing::Range(0, 4));
+
+TEST(Multiplier, RejectsBadWidth) {
+  EXPECT_THROW(multiplier(0), std::invalid_argument);
+}
+
+TEST(MultiplierMiters, EquivalenceVariantsUnsat) {
+  for (int variant = 0; variant < 4; ++variant) {
+    EXPECT_EQ(solve(gen::multiplier_equivalence(4, variant)),
+              SolveStatus::unsatisfiable)
+        << "variant " << variant;
+  }
+}
+
+TEST(MultiplierMiters, MutationSat) {
+  EXPECT_EQ(solve(gen::multiplier_mutation(4, 0, 3)), SolveStatus::satisfiable);
+}
+
+TEST(AdderSwap, SwappedOperandsStillEquivalent) {
+  EXPECT_EQ(solve(gen::adder_equivalence(5, gen::AdderPair::ripple_vs_lookahead,
+                                         /*swap_operands=*/true)),
+            SolveStatus::unsatisfiable);
+}
+
+TEST(Shannon, CanonicalFormMatchesExhaustively) {
+  Rng rng(5);
+  for (int round = 0; round < 4; ++round) {
+    RandomCircuitParams params;
+    params.num_inputs = 6;
+    params.num_gates = 40;
+    params.num_outputs = 3;
+    const Circuit base = random_circuit(params, rng);
+    const Circuit canonical = shannon_canonical(base);
+    ASSERT_EQ(canonical.num_inputs(), base.num_inputs());
+    ASSERT_EQ(canonical.num_outputs(), base.num_outputs());
+    for (int bits = 0; bits < (1 << 6); ++bits) {
+      std::vector<bool> input(6);
+      for (int i = 0; i < 6; ++i) input[i] = ((bits >> i) & 1) != 0;
+      ASSERT_EQ(base.evaluate(input), canonical.evaluate(input))
+          << "round " << round << " bits " << bits;
+    }
+  }
+}
+
+TEST(Shannon, ConstantOutputsCollapse) {
+  Circuit c;
+  c.add_input();
+  c.mark_output(c.add_const(true));
+  const Circuit canonical = shannon_canonical(c);
+  // A constant function needs no mux nodes at all.
+  EXPECT_LE(canonical.num_gates(), 3);
+}
+
+TEST(Shannon, RejectsTooManyInputs) {
+  Circuit c;
+  for (int i = 0; i < 20; ++i) c.add_input();
+  c.mark_output(c.add_and(0, 1));
+  EXPECT_THROW(shannon_canonical(c, 16), std::invalid_argument);
+}
+
+TEST(CanonicalMiter, EquivalentUnsatAndFaultySat) {
+  gen::CanonicalMiterParams p;
+  p.num_inputs = 8;
+  p.num_gates = 60;
+  p.num_outputs = 2;
+  p.seed = 4;
+  p.equivalent = true;
+  EXPECT_EQ(solve(gen::canonical_miter_instance(p)), SolveStatus::unsatisfiable);
+  p.equivalent = false;
+  EXPECT_EQ(solve(gen::canonical_miter_instance(p)), SolveStatus::satisfiable);
+}
+
+TEST(XorReassociation, RewritePreservesXorHeavyCircuits) {
+  Rng rng(9);
+  RandomCircuitParams params;
+  params.num_inputs = 7;
+  params.num_gates = 60;
+  params.num_outputs = 3;
+  params.xor_fraction = 0.7;  // long xor chains: reassociation fires often
+  for (int round = 0; round < 4; ++round) {
+    const Circuit base = random_circuit(params, rng);
+    const Circuit rewritten = rewrite_equivalent(base, rng);
+    for (int bits = 0; bits < (1 << 7); ++bits) {
+      std::vector<bool> input(7);
+      for (int i = 0; i < 7; ++i) input[i] = ((bits >> i) & 1) != 0;
+      ASSERT_EQ(base.evaluate(input), rewritten.evaluate(input))
+          << "round " << round << " bits " << bits;
+    }
+  }
+}
+
+TEST(XorReassociation, MiterOfXorHeavyCircuitUnsat) {
+  gen::MiterParams p;
+  p.num_inputs = 10;
+  p.num_gates = 80;
+  p.num_outputs = 3;
+  p.xor_fraction = 0.6;
+  p.equivalent = true;
+  p.seed = 2;
+  EXPECT_EQ(solve(gen::miter_instance(p)), SolveStatus::unsatisfiable);
+}
+
+class PipeVariants : public ::testing::TestWithParam<std::tuple<bool, bool, bool>> {};
+
+TEST_P(PipeVariants, CorrectPipelinesAlwaysUnsat) {
+  const auto [with_mult, swap_spec, xor_spread] = GetParam();
+  gen::PipeParams p;
+  p.width = 4;
+  p.stages = 2;
+  p.correct = true;
+  p.with_multiplier = with_mult;
+  p.swap_spec_operands = swap_spec;
+  p.with_xor_spread = xor_spread;
+  EXPECT_EQ(solve(gen::pipe_instance(p)), SolveStatus::unsatisfiable);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKnobs, PipeVariants,
+                         ::testing::Combine(::testing::Bool(), ::testing::Bool(),
+                                            ::testing::Bool()));
+
+TEST(PipeVariants2, BuggyXorSpreadPipelineSat) {
+  gen::PipeParams p;
+  p.width = 4;
+  p.stages = 2;
+  p.correct = false;
+  p.with_xor_spread = true;
+  p.seed = 6;
+  EXPECT_EQ(solve(gen::pipe_instance(p)), SolveStatus::satisfiable);
+}
+
+TEST(RegistryNewFamilies, SpecsGenerateAndVerify) {
+  std::string error;
+  const auto mult = gen::generate_from_spec("mult:4:1", &error);
+  ASSERT_TRUE(mult.has_value()) << error;
+  EXPECT_EQ(solve(mult->cnf), SolveStatus::unsatisfiable);
+
+  const auto cmiter = gen::generate_from_spec("cmiter:8:60:unsat:2", &error);
+  ASSERT_TRUE(cmiter.has_value()) << error;
+  EXPECT_EQ(solve(cmiter->cnf), SolveStatus::unsatisfiable);
+
+  const auto pipe = gen::generate_from_spec("pipe:4:2:unsat:0:0:1:1", &error);
+  ASSERT_TRUE(pipe.has_value()) << error;
+  EXPECT_EQ(solve(pipe->cnf), SolveStatus::unsatisfiable);
+
+  const auto xmiter = gen::generate_from_spec("miter:10:80:unsat:2:60", &error);
+  ASSERT_TRUE(xmiter.has_value()) << error;
+  EXPECT_EQ(solve(xmiter->cnf), SolveStatus::unsatisfiable);
+}
+
+}  // namespace
+}  // namespace berkmin

@@ -1,0 +1,348 @@
+// Circuit substrate: simulation semantics, Tseitin encoding correctness,
+// miters, rewriting, fault injection, unrolling, and the arithmetic
+// circuits.
+#include <gtest/gtest.h>
+
+#include "circuit/adders.h"
+#include "circuit/circuit.h"
+#include "circuit/circuit_gen.h"
+#include "circuit/miter.h"
+#include "circuit/rewrite.h"
+#include "circuit/tseitin.h"
+#include "circuit/unroll.h"
+#include "core/solver.h"
+#include "reference/brute_force.h"
+#include "util/rng.h"
+
+namespace berkmin {
+namespace {
+
+Circuit half_adder() {
+  Circuit c;
+  const int a = c.add_input();
+  const int b = c.add_input();
+  c.mark_output(c.add_xor(a, b));
+  c.mark_output(c.add_and(a, b));
+  return c;
+}
+
+TEST(Circuit, EvaluateHalfAdder) {
+  const Circuit c = half_adder();
+  EXPECT_EQ(c.evaluate({false, false}), (std::vector<bool>{false, false}));
+  EXPECT_EQ(c.evaluate({true, false}), (std::vector<bool>{true, false}));
+  EXPECT_EQ(c.evaluate({false, true}), (std::vector<bool>{true, false}));
+  EXPECT_EQ(c.evaluate({true, true}), (std::vector<bool>{false, true}));
+}
+
+TEST(Circuit, GateFunctions) {
+  EXPECT_TRUE(evaluate_gate(GateKind::and_gate, {true, true}));
+  EXPECT_FALSE(evaluate_gate(GateKind::and_gate, {true, false}));
+  EXPECT_TRUE(evaluate_gate(GateKind::nand_gate, {true, false}));
+  EXPECT_TRUE(evaluate_gate(GateKind::or_gate, {false, true}));
+  EXPECT_FALSE(evaluate_gate(GateKind::nor_gate, {false, true}));
+  EXPECT_TRUE(evaluate_gate(GateKind::xor_gate, {true, false, false}));
+  EXPECT_FALSE(evaluate_gate(GateKind::xor_gate, {true, true, false}));
+  EXPECT_TRUE(evaluate_gate(GateKind::xnor_gate, {true, true}));
+  EXPECT_FALSE(evaluate_gate(GateKind::not_gate, {true}));
+  EXPECT_TRUE(evaluate_gate(GateKind::buf, {true}));
+}
+
+TEST(Circuit, ValidationCatchesBadArity) {
+  Circuit c;
+  const int a = c.add_input();
+  EXPECT_THROW(c.add_gate(GateKind::and_gate, {a}), std::invalid_argument);
+  EXPECT_THROW(c.add_gate(GateKind::not_gate, {a, a}), std::invalid_argument);
+  EXPECT_THROW(c.add_gate(GateKind::input, {}), std::invalid_argument);
+  EXPECT_THROW(c.add_gate(GateKind::and_gate, {a, 99}), std::invalid_argument);
+}
+
+TEST(Circuit, LatchValidation) {
+  Circuit c;
+  const int latch = c.add_latch();
+  EXPECT_NE(c.validate(), "");  // latch input unset
+  c.set_latch_input(latch, c.add_input());
+  EXPECT_EQ(c.validate(), "");
+  EXPECT_FALSE(c.is_combinational());
+}
+
+TEST(Circuit, SequentialSimulationDelaysByOneCycle) {
+  // A single latch fed by the input: output is the input delayed by one.
+  Circuit c;
+  const int latch = c.add_latch();
+  const int in = c.add_input();
+  c.set_latch_input(latch, in);
+  c.mark_output(latch);
+  const auto outs = c.simulate({{true}, {false}, {true}});
+  ASSERT_EQ(outs.size(), 3u);
+  EXPECT_FALSE(outs[0][0]);  // initial state 0
+  EXPECT_TRUE(outs[1][0]);
+  EXPECT_FALSE(outs[2][0]);
+}
+
+// Exhaustively checks that the Tseitin encoding of a circuit has exactly
+// the circuit's behaviour: for every input vector, fixing the input
+// literals makes the formula satisfiable with matching output values.
+void check_tseitin_exhaustive(const Circuit& circuit) {
+  ASSERT_LE(circuit.num_inputs(), 8);
+  Cnf base;
+  const std::vector<Lit> lits = encode_tseitin(circuit, base);
+
+  const int n = circuit.num_inputs();
+  for (int bits = 0; bits < (1 << n); ++bits) {
+    std::vector<bool> input(n);
+    for (int i = 0; i < n; ++i) input[i] = ((bits >> i) & 1) != 0;
+    const std::vector<bool> expected = circuit.evaluate(input);
+
+    Solver solver;
+    solver.load(base);
+    for (int i = 0; i < n; ++i) {
+      const Lit in_lit = lits[circuit.inputs()[i]];
+      solver.add_clause({input[i] ? in_lit : ~in_lit});
+    }
+    ASSERT_EQ(solver.solve(), SolveStatus::satisfiable);
+    for (int o = 0; o < circuit.num_outputs(); ++o) {
+      EXPECT_EQ(solver.model_value(lits[circuit.outputs()[o]]), expected[o])
+          << "bits=" << bits << " output=" << o;
+    }
+  }
+}
+
+TEST(Tseitin, HalfAdderExhaustive) { check_tseitin_exhaustive(half_adder()); }
+
+TEST(Tseitin, AllGateKindsExhaustive) {
+  Circuit c;
+  const int a = c.add_input();
+  const int b = c.add_input();
+  const int d = c.add_input();
+  c.mark_output(c.add_gate(GateKind::and_gate, {a, b, d}));
+  c.mark_output(c.add_gate(GateKind::or_gate, {a, b, d}));
+  c.mark_output(c.add_gate(GateKind::nand_gate, {a, b}));
+  c.mark_output(c.add_gate(GateKind::nor_gate, {b, d}));
+  c.mark_output(c.add_gate(GateKind::xor_gate, {a, b, d}));
+  c.mark_output(c.add_gate(GateKind::xnor_gate, {a, d}));
+  c.mark_output(c.add_gate(GateKind::buf, {a}));
+  c.mark_output(c.add_gate(GateKind::not_gate, {b}));
+  const int k0 = c.add_const(false);
+  const int k1 = c.add_const(true);
+  c.mark_output(c.add_or(k0, k1));
+  check_tseitin_exhaustive(c);
+}
+
+TEST(Tseitin, RandomCircuitsExhaustive) {
+  Rng rng(3);
+  for (int round = 0; round < 5; ++round) {
+    RandomCircuitParams params;
+    params.num_inputs = 5;
+    params.num_gates = 25;
+    params.num_outputs = 3;
+    check_tseitin_exhaustive(random_circuit(params, rng));
+  }
+}
+
+TEST(Tseitin, RejectsSequentialCircuits) {
+  Circuit c;
+  const int latch = c.add_latch();
+  c.set_latch_input(latch, c.add_input());
+  c.mark_output(latch);
+  Cnf cnf;
+  EXPECT_THROW(encode_tseitin(c, cnf), std::invalid_argument);
+}
+
+TEST(Miter, EquivalentCircuitsGiveUnsat) {
+  Rng rng(11);
+  RandomCircuitParams params;
+  params.num_inputs = 6;
+  params.num_gates = 40;
+  params.num_outputs = 3;
+  const Circuit base = random_circuit(params, rng);
+  const Circuit rewritten = rewrite_equivalent(base, rng);
+  Solver solver;
+  solver.load(miter_cnf(base, rewritten));
+  EXPECT_EQ(solver.solve(), SolveStatus::unsatisfiable);
+}
+
+TEST(Miter, FaultyCircuitsGiveSat) {
+  Rng rng(12);
+  RandomCircuitParams params;
+  params.num_inputs = 6;
+  params.num_gates = 40;
+  params.num_outputs = 3;
+  const Circuit base = random_circuit(params, rng);
+  const auto faulty = inject_fault(base, rng);
+  ASSERT_TRUE(faulty.has_value());
+  Solver solver;
+  solver.load(miter_cnf(base, *faulty));
+  ASSERT_EQ(solver.solve(), SolveStatus::satisfiable);
+}
+
+TEST(Miter, SatModelIsARealCounterexample) {
+  Rng rng(13);
+  RandomCircuitParams params;
+  params.num_inputs = 5;
+  params.num_gates = 30;
+  params.num_outputs = 2;
+  const Circuit base = random_circuit(params, rng);
+  const auto faulty = inject_fault(base, rng);
+  ASSERT_TRUE(faulty.has_value());
+
+  const Circuit miter = build_miter(base, *faulty);
+  Cnf cnf;
+  const std::vector<Lit> lits = encode_tseitin(miter, cnf);
+  cnf.add_unit(lits[miter.outputs()[0]]);
+  Solver solver;
+  solver.load(cnf);
+  ASSERT_EQ(solver.solve(), SolveStatus::satisfiable);
+
+  // Decode the input vector from the model and confirm the circuits
+  // really differ on it.
+  std::vector<bool> input;
+  for (const int in : miter.inputs()) {
+    input.push_back(solver.model_value(lits[in]));
+  }
+  EXPECT_NE(base.evaluate(input), faulty->evaluate(input));
+}
+
+TEST(Miter, InterfaceMismatchThrows) {
+  Circuit a = half_adder();
+  Circuit b;
+  b.add_input();
+  b.mark_output(b.add_not(0));
+  EXPECT_THROW(build_miter(a, b), std::invalid_argument);
+}
+
+TEST(Rewrite, PreservesSemanticsExhaustively) {
+  Rng rng(21);
+  for (int round = 0; round < 4; ++round) {
+    RandomCircuitParams params;
+    params.num_inputs = 6;
+    params.num_gates = 30;
+    params.num_outputs = 3;
+    const Circuit base = random_circuit(params, rng);
+    const Circuit rewritten = rewrite_equivalent(base, rng);
+    for (int bits = 0; bits < (1 << 6); ++bits) {
+      std::vector<bool> input(6);
+      for (int i = 0; i < 6; ++i) input[i] = ((bits >> i) & 1) != 0;
+      ASSERT_EQ(base.evaluate(input), rewritten.evaluate(input))
+          << "round " << round << " bits " << bits;
+    }
+  }
+}
+
+TEST(Rewrite, ChangesStructure) {
+  Rng rng(22);
+  RandomCircuitParams params;
+  params.num_inputs = 5;
+  params.num_gates = 30;
+  const Circuit base = random_circuit(params, rng);
+  const Circuit rewritten = rewrite_equivalent(base, rng);
+  EXPECT_NE(base.num_gates(), rewritten.num_gates());
+}
+
+TEST(Unroll, MatchesSequentialSimulation) {
+  Rng rng(31);
+  RandomCircuitParams params;
+  params.num_inputs = 3;
+  params.num_gates = 25;
+  params.num_latches = 4;
+  params.num_outputs = 2;
+  const Circuit seq = random_circuit(params, rng);
+  const int cycles = 4;
+  const Circuit flat = unroll(seq, cycles);
+  ASSERT_EQ(flat.num_inputs(), 3 * cycles);
+  ASSERT_EQ(flat.num_outputs(), 2 * cycles);
+
+  for (int round = 0; round < 20; ++round) {
+    std::vector<std::vector<bool>> per_cycle(cycles, std::vector<bool>(3));
+    std::vector<bool> flat_inputs;
+    for (int t = 0; t < cycles; ++t) {
+      for (int i = 0; i < 3; ++i) {
+        per_cycle[t][i] = rng.coin();
+        flat_inputs.push_back(per_cycle[t][i]);
+      }
+    }
+    const auto seq_out = seq.simulate(per_cycle);
+    const auto flat_out = flat.evaluate(flat_inputs);
+    for (int t = 0; t < cycles; ++t) {
+      for (int o = 0; o < 2; ++o) {
+        EXPECT_EQ(flat_out[t * 2 + o], seq_out[t][o])
+            << "cycle " << t << " output " << o;
+      }
+    }
+  }
+}
+
+// --- arithmetic circuits -------------------------------------------------
+
+unsigned decode_bits(const std::vector<bool>& bits) {
+  unsigned value = 0;
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    if (bits[i]) value |= 1u << i;
+  }
+  return value;
+}
+
+void check_adder_exhaustive(const Circuit& adder, int width) {
+  ASSERT_EQ(adder.num_inputs(), 2 * width);
+  ASSERT_EQ(adder.num_outputs(), width + 1);
+  for (unsigned a = 0; a < (1u << width); ++a) {
+    for (unsigned b = 0; b < (1u << width); ++b) {
+      std::vector<bool> input;
+      for (int i = 0; i < width; ++i) input.push_back(((a >> i) & 1) != 0);
+      for (int i = 0; i < width; ++i) input.push_back(((b >> i) & 1) != 0);
+      EXPECT_EQ(decode_bits(adder.evaluate(input)), a + b)
+          << "a=" << a << " b=" << b;
+    }
+  }
+}
+
+TEST(Adders, RippleCarryIsCorrect) {
+  check_adder_exhaustive(ripple_carry_adder(4), 4);
+}
+
+TEST(Adders, CarrySelectIsCorrect) {
+  check_adder_exhaustive(carry_select_adder(4), 4);
+  check_adder_exhaustive(carry_select_adder(5, 3), 5);
+}
+
+TEST(Adders, CarryLookaheadIsCorrect) {
+  check_adder_exhaustive(carry_lookahead_adder(4), 4);
+}
+
+TEST(Adders, ImplementationsAreEquivalentViaSat) {
+  Solver solver;
+  solver.load(miter_cnf(ripple_carry_adder(3), carry_select_adder(3)));
+  EXPECT_EQ(solver.solve(), SolveStatus::unsatisfiable);
+}
+
+TEST(Alu, BothVariantsMatchExhaustively) {
+  const int width = 3;
+  const Circuit slow = simple_alu(width, false);
+  const Circuit fast = simple_alu(width, true);
+  for (unsigned bits = 0; bits < (1u << (2 * width + 2)); ++bits) {
+    std::vector<bool> input(2 * width + 2);
+    for (std::size_t i = 0; i < input.size(); ++i) {
+      input[i] = ((bits >> i) & 1) != 0;
+    }
+    ASSERT_EQ(slow.evaluate(input), fast.evaluate(input)) << bits;
+  }
+}
+
+TEST(Alu, OpcodeSemantics) {
+  const int width = 4;
+  const Circuit alu = simple_alu(width, false);
+  const auto run = [&](unsigned a, unsigned b, bool op0, bool op1) {
+    std::vector<bool> input;
+    for (int i = 0; i < width; ++i) input.push_back(((a >> i) & 1) != 0);
+    for (int i = 0; i < width; ++i) input.push_back(((b >> i) & 1) != 0);
+    input.push_back(op0);
+    input.push_back(op1);
+    return decode_bits(alu.evaluate(input));
+  };
+  EXPECT_EQ(run(5, 9, false, false), (5u + 9u) & 0xF);  // add (mod 2^w)
+  EXPECT_EQ(run(12, 10, true, false), 12u & 10u);       // and
+  EXPECT_EQ(run(12, 10, false, true), 12u | 10u);       // or
+  EXPECT_EQ(run(12, 10, true, true), 12u ^ 10u);        // xor
+}
+
+}  // namespace
+}  // namespace berkmin

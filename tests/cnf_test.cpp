@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include "cnf/cnf_formula.h"
+#include "test_util.h"
+
+namespace berkmin {
+namespace {
+
+using testing::lits;
+using testing::make_cnf;
+
+TEST(Cnf, StartsEmpty) {
+  Cnf cnf;
+  EXPECT_EQ(cnf.num_vars(), 0);
+  EXPECT_EQ(cnf.num_clauses(), 0u);
+  EXPECT_EQ(cnf.num_literals(), 0u);
+}
+
+TEST(Cnf, AddClauseGrowsVars) {
+  Cnf cnf;
+  cnf.add_clause(lits({1, -3}));
+  EXPECT_EQ(cnf.num_vars(), 3);  // variable x2 (0-based) implies 3 vars
+  EXPECT_EQ(cnf.num_clauses(), 1u);
+  EXPECT_EQ(cnf.num_literals(), 2u);
+}
+
+TEST(Cnf, ExplicitVarReservation) {
+  Cnf cnf(10);
+  EXPECT_EQ(cnf.num_vars(), 10);
+  const Var v = cnf.add_var();
+  EXPECT_EQ(v, 10);
+  EXPECT_EQ(cnf.num_vars(), 11);
+  const Var first = cnf.add_vars(5);
+  EXPECT_EQ(first, 11);
+  EXPECT_EQ(cnf.num_vars(), 16);
+}
+
+TEST(Cnf, StoresClausesVerbatim) {
+  Cnf cnf;
+  cnf.add_clause(lits({2, 2, -2}));  // duplicates and complements kept
+  ASSERT_EQ(cnf.num_clauses(), 1u);
+  EXPECT_EQ(cnf.clause(0).size(), 3u);
+}
+
+TEST(Cnf, EmptyClauseAllowed) {
+  Cnf cnf;
+  cnf.add_clause(std::vector<Lit>{});
+  EXPECT_EQ(cnf.num_clauses(), 1u);
+  EXPECT_TRUE(cnf.clause(0).empty());
+}
+
+TEST(Cnf, IsSatisfiedBy) {
+  const Cnf cnf = make_cnf({{1, 2}, {-1, 2}});
+  std::vector<Value> model{Value::false_value, Value::true_value};
+  EXPECT_TRUE(cnf.is_satisfied_by(model));
+  model[1] = Value::false_value;
+  EXPECT_FALSE(cnf.is_satisfied_by(model));
+}
+
+TEST(Cnf, UnassignedModelValueSatisfiesNothing) {
+  const Cnf cnf = make_cnf({{1}});
+  EXPECT_FALSE(cnf.is_satisfied_by({Value::unassigned}));
+}
+
+TEST(Cnf, ShortModelVectorIsHandled) {
+  const Cnf cnf = make_cnf({{1, 3}});
+  // Model shorter than num_vars: missing variables count as unassigned.
+  EXPECT_TRUE(cnf.is_satisfied_by({Value::true_value}));
+  EXPECT_FALSE(cnf.is_satisfied_by({Value::false_value}));
+}
+
+TEST(Cnf, AppendDisjointShiftsVariables) {
+  Cnf a = make_cnf({{1, -2}});
+  const Cnf b = make_cnf({{1}, {-1, 2}});
+  const Var offset = a.append_disjoint(b);
+  EXPECT_EQ(offset, 2);
+  EXPECT_EQ(a.num_vars(), 4);
+  ASSERT_EQ(a.num_clauses(), 3u);
+  EXPECT_EQ(a.clause(1)[0], Lit::positive(2));
+  EXPECT_EQ(a.clause(2)[0], Lit::negative(2));
+  EXPECT_EQ(a.clause(2)[1], Lit::positive(3));
+}
+
+TEST(Cnf, HelperArities) {
+  Cnf cnf;
+  cnf.add_unit(from_dimacs(1));
+  cnf.add_binary(from_dimacs(1), from_dimacs(-2));
+  cnf.add_ternary(from_dimacs(1), from_dimacs(2), from_dimacs(3));
+  ASSERT_EQ(cnf.num_clauses(), 3u);
+  EXPECT_EQ(cnf.clause(0).size(), 1u);
+  EXPECT_EQ(cnf.clause(1).size(), 2u);
+  EXPECT_EQ(cnf.clause(2).size(), 3u);
+}
+
+}  // namespace
+}  // namespace berkmin

@@ -1,0 +1,116 @@
+// The experiment harness: suites exist for all twelve paper classes, the
+// runner validates models and aggregates abort counts in the paper's
+// reporting format.
+#include <gtest/gtest.h>
+
+#include "harness/runner.h"
+#include "harness/suites.h"
+
+namespace berkmin::harness {
+namespace {
+
+TEST(Suites, AllTwelvePaperClassesPresent) {
+  const auto suites = paper_classes(1, 7);
+  ASSERT_EQ(suites.size(), 12u);
+  const char* expected_names[] = {
+      "Hole",        "Blocksworld", "Par16",         "Sss1.0",
+      "Sss1.0a",     "Sss_sat1.0",  "Fvp_unsat1.0",  "Vliw_sat1.0",
+      "Beijing",     "Hanoi",       "Miters",        "Fvp_unsat2.0"};
+  for (std::size_t i = 0; i < suites.size(); ++i) {
+    EXPECT_EQ(suites[i].name, expected_names[i]);
+    EXPECT_FALSE(suites[i].instances.empty()) << suites[i].name;
+    for (const Instance& instance : suites[i].instances) {
+      EXPECT_GT(instance.cnf.num_clauses(), 0u) << instance.name;
+    }
+  }
+}
+
+TEST(Suites, ByNameFindsClasses) {
+  const Suite hole = suite_by_name("Hole", 1, 7);
+  EXPECT_EQ(hole.name, "Hole");
+  EXPECT_THROW(suite_by_name("NoSuchClass", 1, 7), std::invalid_argument);
+}
+
+TEST(Suites, ScaleGrowsInstances) {
+  const auto small = suite_by_name("Miters", 1, 7);
+  const auto large = suite_by_name("Miters", 2, 7);
+  std::size_t small_lits = 0;
+  std::size_t large_lits = 0;
+  for (const auto& instance : small.instances) small_lits += instance.cnf.num_literals();
+  for (const auto& instance : large.instances) large_lits += instance.cnf.num_literals();
+  EXPECT_GT(large_lits, small_lits);
+}
+
+TEST(Suites, SkinEffectInstancesMatchTable3) {
+  const auto instances = skin_effect_instances(1, 7);
+  EXPECT_EQ(instances.size(), 5u);  // the paper's five numbered instances
+}
+
+TEST(Suites, DetailAndCompetitionSuitesNonEmpty) {
+  EXPECT_GE(detail_instances(1, 7).size(), 3u);
+  EXPECT_GE(competition_suite(1, 7).size(), 6u);
+}
+
+TEST(Runner, SolvesAndValidates) {
+  const Suite hole = suite_by_name("Hole", 1, 7);
+  const ClassResult result =
+      run_suite(hole, SolverOptions::berkmin(), /*timeout=*/30.0);
+  EXPECT_EQ(result.num_instances, static_cast<int>(hole.instances.size()));
+  EXPECT_EQ(result.aborted, 0);
+  EXPECT_EQ(result.wrong, 0);
+  EXPECT_EQ(result.solved, result.num_instances);
+  EXPECT_GT(result.finished_seconds, 0.0);
+}
+
+TEST(Runner, TimeoutCountsAsAborted) {
+  // An effectively-zero timeout forces an abort on a non-trivial instance.
+  Suite suite{"Test", {}};
+  suite.instances.push_back(
+      Instance{"hole8", gen::generate_from_spec("hole:8", nullptr)->cnf,
+               gen::Expectation::unsat});
+  const ClassResult result =
+      run_suite(suite, SolverOptions::berkmin(), /*timeout=*/1e-4);
+  EXPECT_EQ(result.aborted, 1);
+  EXPECT_EQ(result.solved, 0);
+}
+
+TEST(Runner, FormatTimeMatchesPaperConvention) {
+  ClassResult result;
+  result.finished_seconds = 409.24;
+  EXPECT_EQ(result.format_time(60000.0), "409.24");
+  result.aborted = 2;
+  result.finished_seconds = 243.0;
+  EXPECT_EQ(result.format_time(60000.0), "> 120243.0 (2)");
+}
+
+TEST(Runner, TotalRowAggregates) {
+  ClassResult a;
+  a.num_instances = 3;
+  a.solved = 3;
+  a.finished_seconds = 10.0;
+  ClassResult b;
+  b.num_instances = 2;
+  b.solved = 1;
+  b.aborted = 1;
+  b.finished_seconds = 5.0;
+  const ClassResult total = total_row({a, b});
+  EXPECT_EQ(total.num_instances, 5);
+  EXPECT_EQ(total.solved, 4);
+  EXPECT_EQ(total.aborted, 1);
+  EXPECT_DOUBLE_EQ(total.finished_seconds, 15.0);
+  EXPECT_EQ(total.class_name, "Total");
+}
+
+TEST(Runner, DetectsExpectationViolationMachinery) {
+  // Feed a SAT instance labelled UNSAT: the runner must flag it.
+  Suite suite{"Mislabeled", {}};
+  Cnf trivial;
+  trivial.add_clause({Lit::positive(0)});
+  suite.instances.push_back(Instance{"trivial", trivial, gen::Expectation::unsat});
+  const ClassResult result =
+      run_suite(suite, SolverOptions::berkmin(), /*timeout=*/10.0);
+  EXPECT_EQ(result.wrong, 1);
+}
+
+}  // namespace
+}  // namespace berkmin::harness

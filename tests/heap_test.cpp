@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/indexed_heap.h"
+#include "util/rng.h"
+
+namespace berkmin {
+namespace {
+
+struct Order {
+  const std::vector<std::uint64_t>* keys;
+  bool operator()(int a, int b) const {
+    if ((*keys)[a] != (*keys)[b]) return (*keys)[a] > (*keys)[b];
+    return a < b;
+  }
+};
+
+class HeapFixture : public ::testing::Test {
+ protected:
+  HeapFixture() : heap(Order{&keys}) {}
+
+  void grow_to(int n) {
+    keys.resize(n, 0);
+    heap.grow(n);
+  }
+
+  std::vector<std::uint64_t> keys;
+  IndexedHeap<Order> heap;
+};
+
+TEST_F(HeapFixture, PopsInPriorityOrder) {
+  grow_to(5);
+  keys = {10, 50, 30, 20, 40};
+  for (int i = 0; i < 5; ++i) heap.insert(i);
+  std::vector<int> popped;
+  while (!heap.empty()) popped.push_back(heap.pop());
+  EXPECT_EQ(popped, (std::vector<int>{1, 4, 2, 3, 0}));
+}
+
+TEST_F(HeapFixture, TieBreaksByIndex) {
+  grow_to(4);
+  keys = {7, 7, 7, 7};
+  for (int i = 3; i >= 0; --i) heap.insert(i);
+  std::vector<int> popped;
+  while (!heap.empty()) popped.push_back(heap.pop());
+  EXPECT_EQ(popped, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST_F(HeapFixture, ContainsTracksMembership) {
+  grow_to(3);
+  heap.insert(1);
+  EXPECT_TRUE(heap.contains(1));
+  EXPECT_FALSE(heap.contains(0));
+  heap.pop();
+  EXPECT_FALSE(heap.contains(1));
+}
+
+TEST_F(HeapFixture, DoubleInsertIsNoop) {
+  grow_to(2);
+  heap.insert(0);
+  heap.insert(0);
+  EXPECT_EQ(heap.size(), 1u);
+}
+
+TEST_F(HeapFixture, IncreasedRestoresOrder) {
+  grow_to(3);
+  keys = {1, 2, 3};
+  for (int i = 0; i < 3; ++i) heap.insert(i);
+  keys[0] = 100;
+  heap.increased(0);
+  EXPECT_EQ(heap.pop(), 0);
+}
+
+TEST_F(HeapFixture, DecreasedRestoresOrder) {
+  grow_to(3);
+  keys = {100, 2, 3};
+  for (int i = 0; i < 3; ++i) heap.insert(i);
+  keys[0] = 1;
+  heap.decreased(0);
+  EXPECT_EQ(heap.pop(), 2);
+}
+
+TEST_F(HeapFixture, ClearEmptiesAndAllowsReinsert) {
+  grow_to(3);
+  for (int i = 0; i < 3; ++i) heap.insert(i);
+  heap.clear();
+  EXPECT_TRUE(heap.empty());
+  EXPECT_FALSE(heap.contains(0));
+  heap.insert(2);
+  EXPECT_EQ(heap.pop(), 2);
+}
+
+TEST_F(HeapFixture, MonotoneGlobalDecayPreservesHeapProperty) {
+  // Dividing every key by a constant is the aging step; heap order must
+  // survive without a rebuild.
+  grow_to(64);
+  Rng rng(3);
+  for (int i = 0; i < 64; ++i) {
+    keys[i] = rng.below(1000);
+    heap.insert(i);
+  }
+  for (auto& k : keys) k /= 4;
+  std::vector<std::uint64_t> popped;
+  while (!heap.empty()) popped.push_back(keys[heap.pop()]);
+  EXPECT_TRUE(std::is_sorted(popped.rbegin(), popped.rend()));
+}
+
+TEST_F(HeapFixture, RandomizedAgainstSort) {
+  Rng rng(99);
+  grow_to(200);
+  for (int i = 0; i < 200; ++i) {
+    keys[i] = rng.below(50);
+    heap.insert(i);
+  }
+  // Random key bumps with heap updates.
+  for (int round = 0; round < 300; ++round) {
+    const int idx = static_cast<int>(rng.below(200));
+    keys[idx] += rng.below(10);
+    heap.increased(idx);
+  }
+  std::vector<int> expected(200);
+  for (int i = 0; i < 200; ++i) expected[i] = i;
+  std::sort(expected.begin(), expected.end(), Order{&keys});
+  std::vector<int> popped;
+  while (!heap.empty()) popped.push_back(heap.pop());
+  EXPECT_EQ(popped, expected);
+}
+
+}  // namespace
+}  // namespace berkmin

@@ -1,0 +1,204 @@
+// Incremental solving: assumptions, failed-assumption cores, and model
+// enumeration.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/enumerate.h"
+#include "core/solver.h"
+#include "gen/random_ksat.h"
+#include "reference/brute_force.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace berkmin {
+namespace {
+
+using testing::lits;
+using testing::make_cnf;
+
+TEST(Assumptions, SatUnderCompatibleAssumptions) {
+  Solver solver;
+  solver.load(make_cnf({{1, 2}, {-1, 3}}));
+  const auto a = lits({1});
+  ASSERT_EQ(solver.solve_with_assumptions(a), SolveStatus::satisfiable);
+  EXPECT_TRUE(solver.model_value(from_dimacs(1)));
+  EXPECT_TRUE(solver.model_value(from_dimacs(3)));
+}
+
+TEST(Assumptions, UnsatUnderContradictingAssumptions) {
+  Solver solver;
+  solver.load(make_cnf({{-1, -2}}));
+  const auto a = lits({1, 2});
+  EXPECT_EQ(solver.solve_with_assumptions(a), SolveStatus::unsatisfiable);
+  // The formula itself is still satisfiable: the solver stays usable.
+  EXPECT_TRUE(solver.ok());
+  EXPECT_EQ(solver.solve(), SolveStatus::satisfiable);
+}
+
+TEST(Assumptions, FailedSetIsSubsetOfAssumptions) {
+  Solver solver;
+  solver.load(make_cnf({{-1, -2}, {5, 6}}));
+  const auto a = lits({3, 1, 4, 2});  // only 1 and 2 matter
+  ASSERT_EQ(solver.solve_with_assumptions(a), SolveStatus::unsatisfiable);
+  const auto& failed = solver.failed_assumptions();
+  EXPECT_FALSE(failed.empty());
+  const std::set<Lit> allowed(a.begin(), a.end());
+  for (const Lit l : failed) {
+    EXPECT_TRUE(allowed.count(l)) << to_string(l);
+  }
+  // The irrelevant assumptions 3 and 4 should not be blamed.
+  const std::set<Lit> failed_set(failed.begin(), failed.end());
+  EXPECT_TRUE(failed_set.count(from_dimacs(1)));
+  EXPECT_TRUE(failed_set.count(from_dimacs(2)));
+  EXPECT_FALSE(failed_set.count(from_dimacs(3)));
+  EXPECT_FALSE(failed_set.count(from_dimacs(4)));
+}
+
+TEST(Assumptions, FailedCoreIsActuallyUnsat) {
+  // Verify the semantic guarantee: formula AND failed core is UNSAT.
+  const Cnf cnf = gen::random_ksat(20, 70, 3, 11);
+  Solver probe;
+  probe.load(cnf);
+  std::vector<Lit> assumptions;
+  for (Var v = 0; v < 12; ++v) assumptions.push_back(Lit(v, v % 2 == 0));
+  if (probe.solve_with_assumptions(assumptions) == SolveStatus::unsatisfiable &&
+      probe.ok()) {
+    Cnf augmented = cnf;
+    for (const Lit l : probe.failed_assumptions()) augmented.add_unit(l);
+    Solver check;
+    check.load(augmented);
+    EXPECT_EQ(check.solve(), SolveStatus::unsatisfiable);
+  }
+}
+
+TEST(Assumptions, AssumptionDirectlyContradictsUnit) {
+  Solver solver;
+  solver.load(make_cnf({{-1}, {2, 3}}));
+  ASSERT_EQ(solver.solve_with_assumptions(lits({1})),
+            SolveStatus::unsatisfiable);
+  EXPECT_TRUE(solver.ok());
+  const auto& failed = solver.failed_assumptions();
+  ASSERT_EQ(failed.size(), 1u);
+  EXPECT_EQ(failed[0], from_dimacs(1));
+}
+
+TEST(Assumptions, RepeatedAndRedundantAssumptions) {
+  Solver solver;
+  solver.load(make_cnf({{1, 2}}));
+  EXPECT_EQ(solver.solve_with_assumptions(lits({1, 1, 1})),
+            SolveStatus::satisfiable);
+}
+
+TEST(Assumptions, GloballyUnsatFormulaReportsNotOk) {
+  Solver solver;
+  solver.load(make_cnf({{1}, {-1}}));
+  EXPECT_EQ(solver.solve_with_assumptions(lits({2})),
+            SolveStatus::unsatisfiable);
+  EXPECT_FALSE(solver.ok());
+}
+
+TEST(Assumptions, SequenceOfCallsMatchesOracle) {
+  // Incremental use: probe each variable's possible polarity; compare
+  // against the brute-force backbone.
+  const Cnf cnf = gen::random_ksat(12, 40, 3, 5);
+  const auto oracle = reference::brute_force_solve(cnf);
+  if (!oracle.satisfiable) return;
+
+  Solver solver;
+  solver.load(cnf);
+  for (Var v = 0; v < cnf.num_vars(); ++v) {
+    for (const bool positive : {true, false}) {
+      const Lit probe = Lit(v, !positive);
+      std::vector<Lit> assumption{probe};
+      const SolveStatus status = solver.solve_with_assumptions(assumption);
+      // Compare with brute force restricted to probe.
+      Cnf restricted = cnf;
+      restricted.add_unit(probe);
+      const bool expected = reference::brute_force_satisfiable(restricted);
+      EXPECT_EQ(status == SolveStatus::satisfiable, expected)
+          << "var " << v << " positive " << positive;
+    }
+  }
+}
+
+class AssumptionSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(AssumptionSweep, MatchesAddingUnits) {
+  const std::uint64_t seed = static_cast<std::uint64_t>(GetParam());
+  const Cnf cnf = gen::random_ksat(16, 60, 3, seed + 300);
+  Rng rng(seed);
+  std::vector<Lit> assumptions;
+  for (int i = 0; i < 5; ++i) {
+    assumptions.push_back(Lit(static_cast<Var>(rng.below(16)), rng.coin()));
+  }
+
+  Solver incremental;
+  incremental.load(cnf);
+  const SolveStatus with_assumptions =
+      incremental.solve_with_assumptions(assumptions);
+
+  Cnf augmented = cnf;
+  for (const Lit l : assumptions) augmented.add_unit(l);
+  Solver direct;
+  direct.load(augmented);
+  EXPECT_EQ(with_assumptions, direct.solve());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AssumptionSweep, ::testing::Range(0, 15));
+
+// --- model enumeration ----------------------------------------------------
+
+TEST(Enumerate, CountsMatchBruteForce) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const Cnf cnf = gen::random_ksat(10, 25, 3, seed + 40);
+    const auto oracle = reference::brute_force_solve(cnf);
+    const std::uint64_t counted =
+        count_models(cnf, SolverOptions::berkmin());
+    EXPECT_EQ(counted, oracle.num_models) << "seed " << seed;
+  }
+}
+
+TEST(Enumerate, MaxModelsLimits) {
+  const Cnf cnf = make_cnf({{1, 2, 3}});  // 7 models
+  EnumerateOptions options;
+  options.max_models = 3;
+  EXPECT_EQ(count_models(cnf, SolverOptions::berkmin(), options), 3u);
+}
+
+TEST(Enumerate, CallbackReceivesValidModels) {
+  const Cnf cnf = make_cnf({{1, 2}, {-1, -2}});  // exactly 2 models
+  Solver solver;
+  solver.load(cnf);
+  int valid = 0;
+  const std::uint64_t n = enumerate_models(
+      solver, {}, [&](const std::vector<Value>& model) {
+        if (cnf.is_satisfied_by(model)) ++valid;
+      });
+  EXPECT_EQ(n, 2u);
+  EXPECT_EQ(valid, 2);
+}
+
+TEST(Enumerate, ProjectionCountsProjectedAssignments) {
+  // (1 | 2) with projection on variable 1 only: both values of var 1 are
+  // possible, so the projected count is 2.
+  const Cnf cnf = make_cnf({{1, 2}});
+  EnumerateOptions options;
+  options.projection = {0};
+  EXPECT_EQ(count_models(cnf, SolverOptions::berkmin(), options), 2u);
+}
+
+TEST(Enumerate, UnsatFormulaHasNoModels) {
+  const Cnf cnf = make_cnf({{1}, {-1}});
+  EXPECT_EQ(count_models(cnf, SolverOptions::berkmin()), 0u);
+}
+
+TEST(Enumerate, ChaffConfigurationAgrees) {
+  const Cnf cnf = gen::random_ksat(9, 20, 3, 77);
+  const auto oracle = reference::brute_force_solve(cnf);
+  EXPECT_EQ(count_models(cnf, SolverOptions::chaff_like()), oracle.num_models);
+}
+
+}  // namespace
+}  // namespace berkmin

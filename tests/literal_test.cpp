@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include "cnf/literal.h"
+
+namespace berkmin {
+namespace {
+
+TEST(Lit, EncodesVarAndSign) {
+  const Lit p = Lit::positive(5);
+  const Lit n = Lit::negative(5);
+  EXPECT_EQ(p.var(), 5);
+  EXPECT_EQ(n.var(), 5);
+  EXPECT_TRUE(p.is_positive());
+  EXPECT_FALSE(p.is_negative());
+  EXPECT_TRUE(n.is_negative());
+  EXPECT_NE(p, n);
+}
+
+TEST(Lit, CodeLayoutIsDense) {
+  EXPECT_EQ(Lit::positive(0).code(), 0);
+  EXPECT_EQ(Lit::negative(0).code(), 1);
+  EXPECT_EQ(Lit::positive(1).code(), 2);
+  EXPECT_EQ(Lit::negative(1).code(), 3);
+}
+
+TEST(Lit, NegationIsInvolution) {
+  for (Var v = 0; v < 10; ++v) {
+    const Lit l = Lit::positive(v);
+    EXPECT_EQ(~~l, l);
+    EXPECT_EQ((~l).var(), v);
+    EXPECT_NE(~l, l);
+  }
+}
+
+TEST(Lit, FromCodeRoundTrips) {
+  for (int code = 0; code < 20; ++code) {
+    EXPECT_EQ(Lit::from_code(code).code(), code);
+  }
+}
+
+TEST(Lit, DimacsConversion) {
+  EXPECT_EQ(to_dimacs(Lit::positive(0)), 1);
+  EXPECT_EQ(to_dimacs(Lit::negative(0)), -1);
+  EXPECT_EQ(to_dimacs(Lit::positive(41)), 42);
+  EXPECT_EQ(from_dimacs(42), Lit::positive(41));
+  EXPECT_EQ(from_dimacs(-42), Lit::negative(41));
+  for (int v : {1, -1, 7, -19, 1000}) {
+    EXPECT_EQ(to_dimacs(from_dimacs(v)), v);
+  }
+}
+
+TEST(Lit, OrderingGroupsByVariable) {
+  EXPECT_LT(Lit::positive(0), Lit::negative(0));
+  EXPECT_LT(Lit::negative(0), Lit::positive(1));
+}
+
+TEST(Value, Negate) {
+  EXPECT_EQ(negate(Value::true_value), Value::false_value);
+  EXPECT_EQ(negate(Value::false_value), Value::true_value);
+  EXPECT_EQ(negate(Value::unassigned), Value::unassigned);
+}
+
+TEST(Value, OfLiteral) {
+  EXPECT_EQ(value_of_literal(Value::true_value, Lit::positive(0)),
+            Value::true_value);
+  EXPECT_EQ(value_of_literal(Value::true_value, Lit::negative(0)),
+            Value::false_value);
+  EXPECT_EQ(value_of_literal(Value::false_value, Lit::negative(0)),
+            Value::true_value);
+  EXPECT_EQ(value_of_literal(Value::unassigned, Lit::positive(0)),
+            Value::unassigned);
+  EXPECT_EQ(value_of_literal(Value::unassigned, Lit::negative(0)),
+            Value::unassigned);
+}
+
+TEST(Value, ToValue) {
+  EXPECT_EQ(to_value(true), Value::true_value);
+  EXPECT_EQ(to_value(false), Value::false_value);
+}
+
+}  // namespace
+}  // namespace berkmin

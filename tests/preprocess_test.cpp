@@ -1,0 +1,155 @@
+// The subsumption / self-subsumption preprocessor and CNF statistics.
+#include <gtest/gtest.h>
+
+#include "cnf/cnf_stats.h"
+#include "cnf/preprocess.h"
+#include "core/solver.h"
+#include "gen/pigeonhole.h"
+#include "gen/random_ksat.h"
+#include "reference/brute_force.h"
+#include "test_util.h"
+
+namespace berkmin {
+namespace {
+
+using testing::lits;
+using testing::make_cnf;
+
+TEST(Preprocess, RemovesSubsumedClauses) {
+  // (1 2) subsumes (1 2 3) and (1 2 4).
+  const Cnf cnf = make_cnf({{1, 2}, {1, 2, 3}, {1, 2, 4}});
+  const PreprocessResult result = preprocess(cnf);
+  EXPECT_FALSE(result.unsat);
+  EXPECT_EQ(result.removed_subsumed, 2u);
+  EXPECT_EQ(result.cnf.num_clauses(), 1u);
+}
+
+TEST(Preprocess, RemovesDuplicates) {
+  const Cnf cnf = make_cnf({{1, 2}, {2, 1}, {1, 2}});
+  const PreprocessResult result = preprocess(cnf);
+  EXPECT_EQ(result.cnf.num_clauses(), 1u);
+}
+
+TEST(Preprocess, SelfSubsumptionStrengthens) {
+  // (1 2) and (-1 2 3): resolving on 1 gives (2 3) ⊂ (-1 2 3)... the
+  // precise effect: (1 2) self-subsumes (-1 2 3)? (1 2)\{1} = {2} ⊆
+  // {2 3} = (-1 2 3)\{-1}, so -1 is deleted, leaving (2 3).
+  const Cnf cnf = make_cnf({{1, 2}, {-1, 2, 3}});
+  const PreprocessResult result = preprocess(cnf);
+  EXPECT_GE(result.strengthened_literals, 1u);
+  bool found = false;
+  for (const auto& clause : result.cnf.clauses()) {
+    if (clause == lits({2, 3})) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Preprocess, PropagatesUnits) {
+  const Cnf cnf = make_cnf({{1}, {-1, 2}, {-2, 3, 4}});
+  const PreprocessResult result = preprocess(cnf);
+  EXPECT_GE(result.propagated_units, 2u);
+  ASSERT_EQ(result.cnf.num_clauses(), 1u);
+  EXPECT_EQ(result.cnf.clause(0), lits({3, 4}));
+}
+
+TEST(Preprocess, DetectsUnsat) {
+  const Cnf cnf = make_cnf({{1}, {-1, 2}, {-2}});
+  EXPECT_TRUE(preprocess(cnf).unsat);
+}
+
+TEST(Preprocess, DropsTautologies) {
+  const Cnf cnf = make_cnf({{1, -1, 2}, {3, 4}});
+  EXPECT_EQ(preprocess(cnf).cnf.num_clauses(), 1u);
+}
+
+TEST(Preprocess, OptionsDisableStages) {
+  const Cnf cnf = make_cnf({{1, 2}, {1, 2, 3}});
+  PreprocessOptions options;
+  options.subsumption = false;
+  options.self_subsumption = false;
+  const PreprocessResult result = preprocess(cnf, options);
+  EXPECT_EQ(result.removed_subsumed, 0u);
+  EXPECT_EQ(result.cnf.num_clauses(), 2u);
+}
+
+class PreprocessEquisat : public ::testing::TestWithParam<int> {};
+
+TEST_P(PreprocessEquisat, PreservesSatisfiabilityAndModels) {
+  const std::uint64_t seed = static_cast<std::uint64_t>(GetParam());
+  const Cnf cnf = gen::random_ksat(12, 45, 3, seed + 900);
+  const bool expected = reference::brute_force_satisfiable(cnf);
+
+  const PreprocessResult result = preprocess(cnf);
+  if (result.unsat) {
+    EXPECT_FALSE(expected);
+    return;
+  }
+  Solver solver;
+  solver.load(result.cnf);
+  const SolveStatus status = solver.solve();
+  EXPECT_EQ(status == SolveStatus::satisfiable, expected) << "seed " << seed;
+  if (status == SolveStatus::satisfiable) {
+    // Subsumption/strengthening preserve equivalence, so any model of the
+    // reduced formula must satisfy the original too (after extending with
+    // units the preprocessor fixed — which keep their variable values in
+    // the reduced formula's model only if re-asserted; check the reduced
+    // formula instead).
+    EXPECT_TRUE(result.cnf.is_satisfied_by(solver.model()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PreprocessEquisat, ::testing::Range(0, 20));
+
+TEST(Preprocess, ShrinksPigeonholeDuplicateFreeFormula) {
+  // Pigeonhole has no subsumed clauses: the preprocessor must not damage it.
+  const Cnf cnf = gen::pigeonhole(4);
+  const PreprocessResult result = preprocess(cnf);
+  EXPECT_EQ(result.cnf.num_clauses(), cnf.num_clauses());
+  Solver solver;
+  solver.load(result.cnf);
+  EXPECT_EQ(solver.solve(), SolveStatus::unsatisfiable);
+}
+
+// --- statistics -------------------------------------------------------------
+
+TEST(CnfStatsTest, CountsShapes) {
+  const Cnf cnf = make_cnf({{1}, {1, 2}, {-1, 2, 3}, {1, 2, 3, 4}});
+  const CnfStats stats = compute_stats(cnf);
+  EXPECT_EQ(stats.num_vars, 4);
+  EXPECT_EQ(stats.num_clauses, 4u);
+  EXPECT_EQ(stats.num_units, 1u);
+  EXPECT_EQ(stats.num_binary, 1u);
+  EXPECT_EQ(stats.num_ternary, 1u);
+  EXPECT_EQ(stats.max_clause_length, 4u);
+  EXPECT_EQ(stats.num_literals, 10u);
+  EXPECT_DOUBLE_EQ(stats.mean_clause_length, 2.5);
+  EXPECT_EQ(stats.length_histogram[3], 1u);
+}
+
+TEST(CnfStatsTest, HornDetection) {
+  // (-1 -2 3) is horn (1 positive); (1 2) is not (2 positives).
+  const Cnf cnf = make_cnf({{-1, -2, 3}, {1, 2}});
+  const CnfStats stats = compute_stats(cnf);
+  EXPECT_EQ(stats.num_horn, 1u);
+}
+
+TEST(CnfStatsTest, PositiveFraction) {
+  const Cnf cnf = make_cnf({{1, -2}});
+  EXPECT_DOUBLE_EQ(compute_stats(cnf).positive_literal_fraction, 0.5);
+}
+
+TEST(CnfStatsTest, SummaryMentionsCounts) {
+  const Cnf cnf = make_cnf({{1, 2}});
+  const std::string text = compute_stats(cnf).summary();
+  EXPECT_NE(text.find("2 vars"), std::string::npos);
+  EXPECT_NE(text.find("1 clauses"), std::string::npos);
+}
+
+TEST(CnfStatsTest, EmptyFormula) {
+  const CnfStats stats = compute_stats(Cnf(3));
+  EXPECT_EQ(stats.num_clauses, 0u);
+  EXPECT_DOUBLE_EQ(stats.mean_clause_length, 0.0);
+}
+
+}  // namespace
+}  // namespace berkmin

@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include "cnf/simplify.h"
+#include "test_util.h"
+
+namespace berkmin {
+namespace {
+
+using testing::lits;
+using testing::make_cnf;
+
+TEST(NormalizeClause, SortsAndDeduplicates) {
+  const auto result = normalize_clause(lits({3, 1, 3, -2}));
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(*result, lits({1, -2, 3}));
+}
+
+TEST(NormalizeClause, DetectsTautology) {
+  EXPECT_FALSE(normalize_clause(lits({1, -1})).has_value());
+  EXPECT_FALSE(normalize_clause(lits({2, 1, -2})).has_value());
+}
+
+TEST(NormalizeClause, EmptyStaysEmpty) {
+  const auto result = normalize_clause({});
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->empty());
+}
+
+TEST(Simplify, PropagatesUnitsToFixpoint) {
+  // x0; x0 -> x1; x1 -> x2 — everything collapses to units.
+  const Cnf cnf = make_cnf({{1}, {-1, 2}, {-2, 3}, {3, 4}});
+  const SimplifyResult result = simplify(cnf);
+  EXPECT_FALSE(result.unsat);
+  EXPECT_EQ(result.cnf.num_clauses(), 0u);
+  EXPECT_EQ(result.root_units.size(), 3u);
+}
+
+TEST(Simplify, DetectsRootConflict) {
+  const Cnf cnf = make_cnf({{1}, {-1}});
+  const SimplifyResult result = simplify(cnf);
+  EXPECT_TRUE(result.unsat);
+}
+
+TEST(Simplify, DetectsEmptyClause) {
+  Cnf cnf = make_cnf({{1, 2}});
+  cnf.add_clause(std::vector<Lit>{});
+  EXPECT_TRUE(simplify(cnf).unsat);
+}
+
+TEST(Simplify, RemovesSatisfiedClausesAndFalseLiterals) {
+  // x0 true: first clause satisfied, second loses its -1 literal.
+  const Cnf cnf = make_cnf({{1}, {1, 2}, {-1, 2, 3}});
+  const SimplifyResult result = simplify(cnf);
+  EXPECT_FALSE(result.unsat);
+  ASSERT_EQ(result.cnf.num_clauses(), 1u);
+  EXPECT_EQ(result.cnf.clause(0), lits({2, 3}));
+}
+
+TEST(Simplify, DropsTautologies) {
+  const Cnf cnf = make_cnf({{1, -1, 2}});
+  const SimplifyResult result = simplify(cnf);
+  EXPECT_EQ(result.cnf.num_clauses(), 0u);
+  EXPECT_FALSE(result.unsat);
+}
+
+TEST(Simplify, PreservesVariableNumbering) {
+  const Cnf cnf = make_cnf({{1}, {3, 4}});
+  const SimplifyResult result = simplify(cnf);
+  EXPECT_EQ(result.cnf.num_vars(), cnf.num_vars());
+  EXPECT_EQ(result.cnf.clause(0), lits({3, 4}));
+}
+
+TEST(Simplify, ChainedConflictThroughUnits) {
+  // Units force x0=1, x1=1, then clause (-1 -2) is falsified.
+  const Cnf cnf = make_cnf({{1}, {2}, {-1, -2}});
+  EXPECT_TRUE(simplify(cnf).unsat);
+}
+
+}  // namespace
+}  // namespace berkmin

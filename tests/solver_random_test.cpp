@@ -1,0 +1,159 @@
+// Property tests: on random formulas, every solver configuration must
+// agree with the brute-force oracle, produce verifying models, and keep
+// its internal statistics consistent.
+#include <gtest/gtest.h>
+
+#include "core/solver.h"
+#include "gen/random_ksat.h"
+#include "reference/brute_force.h"
+#include "reference/dpll.h"
+#include "test_util.h"
+
+namespace berkmin {
+namespace {
+
+struct RandomCase {
+  int num_vars;
+  int num_clauses;
+  std::uint64_t seed;
+};
+
+class RandomAgainstBruteForce
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(RandomAgainstBruteForce, AllConfigsMatchOracle) {
+  const auto [seed, density_index] = GetParam();
+  // Densities straddling the 3-SAT phase transition (ratio ~4.26).
+  const double ratios[] = {3.0, 4.3, 5.5};
+  const int num_vars = 14;
+  const int num_clauses =
+      static_cast<int>(num_vars * ratios[density_index]);
+  const Cnf cnf = gen::random_ksat(num_vars, num_clauses, 3,
+                                   static_cast<std::uint64_t>(seed));
+
+  const bool expected = reference::brute_force_satisfiable(cnf);
+
+  for (const SolverOptions& options : testing::all_paper_configs()) {
+    Solver solver(options);
+    solver.load(cnf);
+    const SolveStatus status = solver.solve();
+    ASSERT_NE(status, SolveStatus::unknown);
+    EXPECT_EQ(status == SolveStatus::satisfiable, expected)
+        << options.describe() << " seed=" << seed;
+    if (status == SolveStatus::satisfiable) {
+      EXPECT_TRUE(cnf.is_satisfied_by(solver.model())) << options.describe();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RandomAgainstBruteForce,
+    ::testing::Combine(::testing::Range(0, 20), ::testing::Range(0, 3)));
+
+class RandomAgainstDpll : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomAgainstDpll, MediumFormulasMatchReferenceSolver) {
+  const std::uint64_t seed = static_cast<std::uint64_t>(GetParam()) + 1000;
+  const Cnf cnf = gen::random_ksat(40, 170, 3, seed);
+
+  const reference::DpllResult reference_result = reference::dpll_solve(cnf);
+  ASSERT_TRUE(reference_result.completed);
+
+  Solver solver(SolverOptions::berkmin());
+  solver.load(cnf);
+  const SolveStatus status = solver.solve();
+  ASSERT_NE(status, SolveStatus::unknown);
+  EXPECT_EQ(status == SolveStatus::satisfiable, reference_result.satisfiable);
+
+  Solver chaff(SolverOptions::chaff_like());
+  chaff.load(cnf);
+  EXPECT_EQ(chaff.solve(), status);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomAgainstDpll, ::testing::Range(0, 15));
+
+TEST(ReferenceSolvers, AgreeWithEachOther) {
+  for (std::uint64_t seed = 0; seed < 25; ++seed) {
+    const Cnf cnf = gen::random_ksat(12, 50, 3, seed);
+    const bool brute = reference::brute_force_satisfiable(cnf);
+    const reference::DpllResult dpll = reference::dpll_solve(cnf);
+    ASSERT_TRUE(dpll.completed);
+    EXPECT_EQ(dpll.satisfiable, brute) << "seed " << seed;
+    if (dpll.satisfiable) {
+      EXPECT_TRUE(cnf.is_satisfied_by(dpll.model));
+    }
+  }
+}
+
+TEST(BruteForce, CountsModels) {
+  // (1 | 2): 3 of 4 assignments satisfy.
+  const auto result = reference::brute_force_solve(testing::make_cnf({{1, 2}}));
+  EXPECT_TRUE(result.satisfiable);
+  EXPECT_EQ(result.num_models, 3u);
+}
+
+TEST(BruteForce, UnsatHasZeroModels) {
+  const auto result = reference::brute_force_solve(
+      testing::make_cnf({{1}, {-1}}));
+  EXPECT_FALSE(result.satisfiable);
+  EXPECT_EQ(result.num_models, 0u);
+}
+
+TEST(Dpll, RespectsNodeBudget) {
+  const Cnf cnf = gen::random_ksat(30, 128, 3, 7);
+  const auto result = reference::dpll_solve(cnf, 2);
+  // With a 2-node budget the search cannot complete (unless trivially
+  // decided at the root, which this formula is not).
+  EXPECT_FALSE(result.completed);
+}
+
+class StatsConsistency : public ::testing::TestWithParam<int> {};
+
+TEST_P(StatsConsistency, CountersAreCoherent) {
+  const std::uint64_t seed = static_cast<std::uint64_t>(GetParam());
+  const Cnf cnf = gen::random_ksat(30, 128, 3, seed);
+  Solver solver;
+  solver.load(cnf);
+  solver.solve();
+  const SolverStats& stats = solver.stats();
+  // Learned literal count is at least the clause count (clauses are
+  // non-empty).
+  EXPECT_GE(stats.learned_literals, stats.learned_clauses);
+  // Top-clause + global decisions = all decisions (berkmin policy).
+  EXPECT_EQ(stats.top_clause_decisions + stats.global_decisions,
+            stats.decisions);
+  // The live peak can never exceed everything ever created.
+  EXPECT_LE(stats.max_live_clauses,
+            stats.initial_clauses + stats.learned_clauses);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StatsConsistency, ::testing::Range(0, 10));
+
+TEST(Determinism, SameSeedSameRun) {
+  const Cnf cnf = gen::random_ksat(30, 128, 3, 5);
+  SolverOptions options;
+  options.seed = 42;
+  Solver a(options);
+  Solver b(options);
+  a.load(cnf);
+  b.load(cnf);
+  EXPECT_EQ(a.solve(), b.solve());
+  EXPECT_EQ(a.stats().decisions, b.stats().decisions);
+  EXPECT_EQ(a.stats().conflicts, b.stats().conflicts);
+}
+
+TEST(Minimization, PreservesSatisfiabilityOnRandomSweep) {
+  for (std::uint64_t seed = 0; seed < 15; ++seed) {
+    const Cnf cnf = gen::random_ksat(14, 60, 3, seed + 500);
+    const bool expected = reference::brute_force_satisfiable(cnf);
+    SolverOptions options;
+    options.minimize_learned = true;
+    Solver solver(options);
+    solver.load(cnf);
+    EXPECT_EQ(solver.solve() == SolveStatus::satisfiable, expected)
+        << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace berkmin

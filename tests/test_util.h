@@ -1,0 +1,55 @@
+// Shared helpers for the test suite.
+#pragma once
+
+#include <initializer_list>
+#include <vector>
+
+#include "cnf/cnf_formula.h"
+#include "cnf/literal.h"
+#include "core/options.h"
+#include "core/solver.h"
+
+namespace berkmin::testing {
+
+// Builds literals from DIMACS-style signed integers: lits({1, -2}) is
+// (x0 OR NOT x1).
+inline std::vector<Lit> lits(std::initializer_list<int> dimacs_lits) {
+  std::vector<Lit> out;
+  out.reserve(dimacs_lits.size());
+  for (const int v : dimacs_lits) out.push_back(from_dimacs(v));
+  return out;
+}
+
+// A CNF from DIMACS-style clause lists.
+inline Cnf make_cnf(std::initializer_list<std::initializer_list<int>> clauses) {
+  Cnf cnf;
+  for (const auto& clause : clauses) cnf.add_clause(lits(clause));
+  return cnf;
+}
+
+inline SolveStatus solve_with(const Cnf& cnf, const SolverOptions& options,
+                              const Budget& budget = Budget::unlimited()) {
+  Solver solver(options);
+  solver.load(cnf);
+  return solver.solve(budget);
+}
+
+// The solver configurations exercised by cross-checking property tests:
+// the paper's presets plus every ablation from Tables 1/2/4/5.
+inline std::vector<SolverOptions> all_paper_configs() {
+  std::vector<SolverOptions> configs;
+  configs.push_back(SolverOptions::berkmin());
+  configs.push_back(SolverOptions::chaff_like());
+  configs.push_back(SolverOptions::limmat_like());
+  configs.push_back(SolverOptions::less_sensitivity());
+  configs.push_back(SolverOptions::less_mobility());
+  configs.push_back(SolverOptions::with_polarity(PolarityPolicy::sat_top));
+  configs.push_back(SolverOptions::with_polarity(PolarityPolicy::unsat_top));
+  configs.push_back(SolverOptions::with_polarity(PolarityPolicy::take_0));
+  configs.push_back(SolverOptions::with_polarity(PolarityPolicy::take_1));
+  configs.push_back(SolverOptions::with_polarity(PolarityPolicy::take_rand));
+  configs.push_back(SolverOptions::limited_keeping());
+  return configs;
+}
+
+}  // namespace berkmin::testing

@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/cli.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+namespace berkmin {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int differing = 0;
+  for (int i = 0; i < 16; ++i) {
+    if (a.next_u64() != b.next_u64()) ++differing;
+  }
+  EXPECT_GT(differing, 0);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.below(10), 10u);
+  }
+}
+
+TEST(Rng, BelowOneIsAlwaysZero) {
+  Rng rng(7);
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(9);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    const auto v = rng.range(-2, 3);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 6u);  // all six values appear over 500 draws
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, SampleDrawsDistinctValues) {
+  Rng rng(13);
+  const auto sample = rng.sample(20, 8);
+  ASSERT_EQ(sample.size(), 8u);
+  const std::set<std::size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 8u);
+  for (const auto v : sample) EXPECT_LT(v, 20u);
+}
+
+TEST(Rng, SampleMoreThanPopulationClamps) {
+  Rng rng(13);
+  const auto sample = rng.sample(3, 10);
+  EXPECT_EQ(sample.size(), 3u);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(17);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7};
+  std::vector<int> shuffled = v;
+  rng.shuffle(shuffled);
+  std::multiset<int> a(v.begin(), v.end());
+  std::multiset<int> b(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(Table, AlignsColumns) {
+  Table t({"Class", "Time (s)"});
+  t.add_row({"Hole", "231.1"});
+  t.add_row({"Fvp_unsat2.0", "6539.84"});
+  const std::string rendered = t.to_string();
+  EXPECT_NE(rendered.find("Class"), std::string::npos);
+  EXPECT_NE(rendered.find("Fvp_unsat2.0"), std::string::npos);
+  // Both data rows end aligned: every line has the same length.
+  std::size_t prev = std::string::npos;
+  std::size_t start = 0;
+  int lines = 0;
+  while (start < rendered.size()) {
+    const std::size_t end = rendered.find('\n', start);
+    const std::size_t len = end - start;
+    if (lines >= 2) {  // data rows (header+separator may differ)
+      if (prev != std::string::npos) {
+        EXPECT_EQ(len, prev);
+      }
+      prev = len;
+    }
+    ++lines;
+    start = end + 1;
+  }
+  EXPECT_EQ(lines, 4);
+}
+
+TEST(TableFormat, Seconds) {
+  EXPECT_EQ(format_seconds(1.2345), "1.234");
+  EXPECT_EQ(format_seconds(42.0), "42.00");
+  EXPECT_EQ(format_seconds(1234.5), "1234.5");
+}
+
+TEST(TableFormat, Count) {
+  EXPECT_EQ(format_count(0), "0");
+  EXPECT_EQ(format_count(999), "999");
+  EXPECT_EQ(format_count(1000), "1,000");
+  EXPECT_EQ(format_count(2577451), "2,577,451");
+}
+
+TEST(TableFormat, Ratio) { EXPECT_EQ(format_ratio(2.397), "2.40"); }
+
+TEST(Cli, ParsesOptionsAndFlags) {
+  const char* argv[] = {"prog", "--count", "5", "--verbose", "file.cnf",
+                        "--rate=2.5"};
+  ArgParser parser(6, argv);
+  parser.add_option("count", "1", "a count");
+  parser.add_option("rate", "1.0", "a rate");
+  parser.add_flag("verbose", "chatty");
+  ASSERT_TRUE(parser.parse()) << parser.error();
+  EXPECT_EQ(parser.get_int("count"), 5);
+  EXPECT_DOUBLE_EQ(parser.get_double("rate"), 2.5);
+  EXPECT_TRUE(parser.has_flag("verbose"));
+  ASSERT_EQ(parser.positional().size(), 1u);
+  EXPECT_EQ(parser.positional()[0], "file.cnf");
+}
+
+TEST(Cli, DefaultsApply) {
+  const char* argv[] = {"prog"};
+  ArgParser parser(1, argv);
+  parser.add_option("count", "7", "a count");
+  ASSERT_TRUE(parser.parse());
+  EXPECT_EQ(parser.get_int("count"), 7);
+  EXPECT_FALSE(parser.has_flag("count"));
+}
+
+TEST(Cli, RejectsUnknownOption) {
+  const char* argv[] = {"prog", "--bogus"};
+  ArgParser parser(2, argv);
+  EXPECT_FALSE(parser.parse());
+  EXPECT_NE(parser.error().find("bogus"), std::string::npos);
+}
+
+TEST(Cli, RejectsMissingValue) {
+  const char* argv[] = {"prog", "--count"};
+  ArgParser parser(2, argv);
+  parser.add_option("count", "1", "a count");
+  EXPECT_FALSE(parser.parse());
+}
+
+TEST(Cli, HelpMentionsOptions) {
+  const char* argv[] = {"prog"};
+  ArgParser parser(1, argv);
+  parser.add_option("timeout", "10", "per-instance timeout");
+  EXPECT_NE(parser.help("demo").find("timeout"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace berkmin

@@ -1,0 +1,186 @@
+// The solver invariant validator and the backbone utility.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/backbone.h"
+#include "core/validate.h"
+#include "gen/pigeonhole.h"
+#include "gen/random_ksat.h"
+#include "harness/suites.h"
+#include "reference/brute_force.h"
+#include "test_util.h"
+
+namespace berkmin {
+namespace {
+
+using testing::lits;
+using testing::make_cnf;
+
+TEST(Invariants, FreshSolverIsConsistent) {
+  Solver solver;
+  solver.load(make_cnf({{1, 2}, {-1, 3}}));
+  EXPECT_EQ(solver.validate_invariants(), "");
+}
+
+TEST(Invariants, HoldAfterSolve) {
+  Solver solver;
+  solver.load(gen::pigeonhole(5));
+  solver.solve();
+  EXPECT_EQ(solver.validate_invariants(), "");
+}
+
+TEST(Invariants, HoldMidSearchAtDecisionLevels) {
+  Solver solver;
+  solver.load(make_cnf({{-1, 2}, {-2, 3}, {3, 4, 5}}));
+  solver.assume(from_dimacs(1));
+  ASSERT_EQ(solver.propagate(), no_clause);
+  EXPECT_EQ(solver.validate_invariants(), "");
+  solver.assume(from_dimacs(-4));
+  ASSERT_EQ(solver.propagate(), no_clause);
+  EXPECT_EQ(solver.validate_invariants(), "");
+}
+
+TEST(Invariants, HoldAfterManualConflictResolution) {
+  Solver solver;
+  solver.load(make_cnf({{-1, 2}, {-1, -2}}));
+  solver.assume(from_dimacs(1));
+  const ClauseRef conflict = solver.propagate();
+  ASSERT_NE(conflict, no_clause);
+  solver.resolve_conflict(conflict);
+  ASSERT_EQ(solver.propagate(), no_clause);
+  EXPECT_EQ(solver.validate_invariants(), "");
+}
+
+TEST(Invariants, HoldAfterRestartAndReduction) {
+  SolverOptions options;
+  options.restart_policy = RestartPolicy::none;
+  Solver solver(options);
+  solver.load(gen::pigeonhole(6));
+  // Interrupt mid-search, then force a restart + reduction by hand.
+  const SolveStatus status = solver.solve(Budget::conflicts(200));
+  ASSERT_EQ(status, SolveStatus::unknown);  // pigeonhole(6) needs far more
+  solver.restart_now();
+  EXPECT_EQ(solver.validate_invariants(), "");
+  EXPECT_EQ(solver.stats().reductions, 1u);
+  // Restarting a refuted solver must be a harmless no-op.
+  ASSERT_EQ(solver.solve(), SolveStatus::unsatisfiable);
+  solver.restart_now();
+  EXPECT_EQ(solver.validate_invariants(), "");
+}
+
+class InvariantSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(InvariantSweep, HoldAcrossConfigsAndSolves) {
+  const auto configs = testing::all_paper_configs();
+  const SolverOptions& options =
+      configs[static_cast<std::size_t>(GetParam()) % configs.size()];
+  const Cnf cnf = gen::random_ksat(25, 105, 3,
+                                   static_cast<std::uint64_t>(GetParam()));
+  Solver solver(options);
+  solver.load(cnf);
+  solver.solve(Budget::conflicts(300));
+  EXPECT_EQ(solver.validate_invariants(), "") << options.describe();
+  solver.solve();  // finish
+  EXPECT_EQ(solver.validate_invariants(), "") << options.describe();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, InvariantSweep, ::testing::Range(0, 12));
+
+TEST(Invariants, HoldOnStructuredFamilies) {
+  for (const harness::Suite& suite : harness::paper_classes(1, 5)) {
+    for (const harness::Instance& instance : suite.instances) {
+      Solver solver;
+      solver.load(instance.cnf);
+      solver.solve(Budget::wall_clock(10.0));
+      EXPECT_EQ(solver.validate_invariants(), "") << instance.name;
+      break;  // one instance per class keeps this test quick
+    }
+  }
+}
+
+// --- backbone ---------------------------------------------------------------
+
+// Reference backbone by enumeration.
+std::set<Lit> brute_force_backbone(const Cnf& cnf) {
+  std::set<Lit> backbone;
+  bool first = true;
+  std::vector<Value> assignment(cnf.num_vars(), Value::false_value);
+  const std::uint64_t limit = std::uint64_t{1} << cnf.num_vars();
+  for (std::uint64_t bits = 0; bits < limit; ++bits) {
+    for (int v = 0; v < cnf.num_vars(); ++v) {
+      assignment[v] = to_value(((bits >> v) & 1) != 0);
+    }
+    if (!cnf.is_satisfied_by(assignment)) continue;
+    std::set<Lit> of_model;
+    for (int v = 0; v < cnf.num_vars(); ++v) {
+      of_model.insert(Lit(v, assignment[v] == Value::false_value));
+    }
+    if (first) {
+      backbone = of_model;
+      first = false;
+    } else {
+      std::set<Lit> intersection;
+      std::set_intersection(backbone.begin(), backbone.end(), of_model.begin(),
+                            of_model.end(),
+                            std::inserter(intersection, intersection.begin()));
+      backbone = std::move(intersection);
+    }
+  }
+  return backbone;
+}
+
+TEST(Backbone, HandComputedExample) {
+  // (1) forces 1; (1 | 2) adds nothing for 2; (-2 | 3) with 2 free...
+  // models: 1=T, 2 in {T,F}, constrained by (-2 | 3).
+  const Cnf cnf = make_cnf({{1}, {-2, 3}});
+  const BackboneResult result =
+      compute_backbone(cnf, SolverOptions::berkmin());
+  ASSERT_TRUE(result.satisfiable);
+  const std::set<Lit> backbone(result.backbone.begin(), result.backbone.end());
+  EXPECT_TRUE(backbone.count(from_dimacs(1)));
+  EXPECT_FALSE(backbone.count(from_dimacs(2)));
+  EXPECT_FALSE(backbone.count(from_dimacs(3)));
+}
+
+TEST(Backbone, UnsatFormulaHasNone) {
+  const Cnf cnf = make_cnf({{1}, {-1}});
+  const BackboneResult result =
+      compute_backbone(cnf, SolverOptions::berkmin());
+  EXPECT_FALSE(result.satisfiable);
+  EXPECT_TRUE(result.backbone.empty());
+}
+
+class BackboneSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(BackboneSweep, MatchesBruteForce) {
+  const std::uint64_t seed = static_cast<std::uint64_t>(GetParam());
+  const Cnf cnf = gen::random_ksat(11, 44, 3, seed + 600);
+  if (!reference::brute_force_satisfiable(cnf)) return;
+
+  const BackboneResult result =
+      compute_backbone(cnf, SolverOptions::berkmin());
+  ASSERT_TRUE(result.satisfiable);
+  ASSERT_TRUE(result.complete);
+  const std::set<Lit> expected = brute_force_backbone(cnf);
+  const std::set<Lit> actual(result.backbone.begin(), result.backbone.end());
+  EXPECT_EQ(actual, expected) << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BackboneSweep, ::testing::Range(0, 12));
+
+TEST(Backbone, ChaffConfigurationAgrees) {
+  const Cnf cnf = gen::random_ksat(10, 38, 3, 123);
+  if (!reference::brute_force_satisfiable(cnf)) return;
+  const auto berkmin_result = compute_backbone(cnf, SolverOptions::berkmin());
+  const auto chaff_result = compute_backbone(cnf, SolverOptions::chaff_like());
+  const std::set<Lit> a(berkmin_result.backbone.begin(),
+                        berkmin_result.backbone.end());
+  const std::set<Lit> b(chaff_result.backbone.begin(),
+                        chaff_result.backbone.end());
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace berkmin
