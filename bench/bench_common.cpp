@@ -18,6 +18,8 @@ BenchArgs parse_bench_args(int argc, char** argv, double default_timeout,
   parser.add_option("timeout", std::to_string(default_timeout),
                     "per-instance timeout in seconds (the paper used 60000)");
   parser.add_option("seed", "7", "generator seed");
+  parser.add_option("threads", "1",
+                    "portfolio workers per solve (clause sharing on)");
   parser.add_flag("help", "show this help");
   if (!parser.parse()) {
     std::cerr << "error: " << parser.error() << "\n";
@@ -31,6 +33,7 @@ BenchArgs parse_bench_args(int argc, char** argv, double default_timeout,
   args.scale = static_cast<int>(parser.get_int("scale"));
   args.timeout = parser.get_double("timeout");
   args.seed = static_cast<std::uint64_t>(parser.get_int("seed"));
+  args.threads = static_cast<int>(parser.get_int("threads"));
   return args;
 }
 
@@ -39,7 +42,9 @@ int run_class_comparison(const std::string& title,
                          const BenchArgs& args) {
   std::cout << "=== " << title << " ===\n";
   std::cout << "scale " << args.scale << ", timeout " << args.timeout
-            << " s/instance, seed " << args.seed << "\n";
+            << " s/instance, seed " << args.seed;
+  if (args.threads > 1) std::cout << ", " << args.threads << " threads";
+  std::cout << "\n";
   for (const Column& column : columns) {
     std::cout << "  " << column.label << ": " << column.options.describe()
               << "\n";
@@ -58,7 +63,8 @@ int run_class_comparison(const std::string& title,
     std::vector<std::string> row{suite.name};
     for (std::size_t c = 0; c < columns.size(); ++c) {
       const harness::ClassResult result =
-          harness::run_suite(suite, columns[c].options, args.timeout);
+          harness::run_suite(suite, columns[c].options, args.timeout,
+                             args.threads);
       violations += result.wrong;
       row.push_back(result.format_time(args.timeout));
       per_column[c].push_back(result);

@@ -23,9 +23,12 @@ struct BenchArgs {
   int scale = 2;
   double timeout = 10.0;
   std::uint64_t seed = 7;
+  // > 1 solves every instance through a schedule-jittered portfolio of the
+  // column's configuration (see harness::run_instance).
+  int threads = 1;
 };
 
-// Parses --scale/--timeout/--seed (exits on --help or bad flags).
+// Parses --scale/--timeout/--seed/--threads (exits on --help or bad flags).
 BenchArgs parse_bench_args(int argc, char** argv, double default_timeout = 10.0,
                            int default_scale = 2);
 

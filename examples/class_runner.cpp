@@ -17,7 +17,7 @@ using namespace berkmin;
 namespace {
 
 int run_class(const harness::Suite& suite, const SolverOptions& options,
-              double timeout) {
+              double timeout, int threads) {
   std::cout << "== " << suite.name << " ==\n";
   Table table({"Instance", "Shape", "Status", "Time (s)", "Decisions",
                "Conflicts", "Learned", "Peak DB"});
@@ -25,7 +25,7 @@ int run_class(const harness::Suite& suite, const SolverOptions& options,
   for (const harness::Instance& instance : suite.instances) {
     const CnfStats shape = compute_stats(instance.cnf);
     const harness::RunResult run =
-        harness::run_instance(instance, options, timeout);
+        harness::run_instance(instance, options, timeout, threads);
     if (run.expectation_violated) ++violations;
     table.add_row({instance.name,
                    std::to_string(shape.num_vars) + "v/" +
@@ -53,6 +53,7 @@ int main(int argc, char** argv) {
   args.add_option("scale", "2", "instance scale");
   args.add_option("timeout", "10", "per-instance timeout in seconds");
   args.add_option("seed", "7", "generator seed");
+  args.add_option("threads", "1", "portfolio workers per solve");
   args.add_flag("all", "run every class");
   args.add_flag("help", "show this help");
   if (!args.parse()) {
@@ -75,17 +76,18 @@ int main(int argc, char** argv) {
   const int scale = static_cast<int>(args.get_int("scale"));
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed"));
   const double timeout = args.get_double("timeout");
+  const int threads = static_cast<int>(args.get_int("threads"));
 
   int violations = 0;
   try {
     if (args.has_flag("all")) {
       for (const harness::Suite& suite : harness::paper_classes(scale, seed)) {
-        violations += run_class(suite, options, timeout);
+        violations += run_class(suite, options, timeout, threads);
       }
     } else {
       violations += run_class(
           harness::suite_by_name(args.get_string("class"), scale, seed),
-          options, timeout);
+          options, timeout, threads);
     }
   } catch (const std::exception& ex) {
     std::cerr << "error: " << ex.what() << "\n";

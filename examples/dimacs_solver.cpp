@@ -15,6 +15,7 @@
 #include "core/drat.h"
 #include "core/solver.h"
 #include "gen/registry.h"
+#include "portfolio/portfolio.h"
 #include "util/cli.h"
 #include "util/timer.h"
 
@@ -57,6 +58,10 @@ int main(int argc, char** argv) {
                   "take_1, take_rand");
   args.add_option("generate", "", "generate an instance instead of reading a file "
                   "(see --list-generators)");
+  args.add_option("threads", "1",
+                  "portfolio size: run N diversified solvers in parallel with "
+                  "learned-clause sharing (1 = the classic sequential solver)");
+  args.add_flag("no-share", "portfolio only: disable clause sharing");
   args.add_option("timeout", "0", "wall-clock budget in seconds (0 = none)");
   args.add_option("conflicts", "0", "conflict budget (0 = none)");
   args.add_option("restart", "550", "restart interval in conflicts");
@@ -149,6 +154,78 @@ int main(int argc, char** argv) {
   options.var_decay_interval = static_cast<std::uint32_t>(args.get_int("decay-interval"));
   options.var_decay_factor = static_cast<std::uint32_t>(args.get_int("decay-factor"));
 
+  Budget budget;
+  budget.max_seconds = args.get_double("timeout");
+  budget.max_conflicts = static_cast<std::uint64_t>(args.get_int("conflicts"));
+
+  const int threads = static_cast<int>(args.get_int("threads"));
+  if (threads > 1) {
+    if (!args.get_string("drat").empty()) {
+      std::cerr << "error: --drat requires --threads 1 (imported clauses are "
+                   "not part of a single worker's derivation)\n";
+      return 1;
+    }
+    portfolio::PortfolioOptions popts;
+    popts.num_threads = threads;
+    popts.share_clauses = !args.has_flag("no-share");
+    popts.base_seed = options.seed;
+    // An explicit preset or any tuning flag keeps the tuned configuration
+    // on every worker (only the restart/decay schedule and seeds are
+    // jittered); otherwise the default diversified lineup runs. --seed
+    // alone stays on the default lineup — it already reseeds it.
+    const bool tuned =
+        args.get_string("preset") != "berkmin" || args.provided("restart") ||
+        args.has_flag("minimize") || args.provided("young-max-len") ||
+        args.provided("young-min-act") || args.provided("old-max-len") ||
+        args.provided("old-act-threshold") || args.provided("decay-interval") ||
+        args.provided("decay-factor");
+    if (tuned) {
+      popts.configs = portfolio::diversify_around(options, threads, options.seed);
+    }
+    portfolio::PortfolioSolver portfolio(popts);
+    portfolio.load(cnf);
+
+    WallTimer timer;
+    const SolveStatus status = portfolio.solve(budget);
+    const double elapsed = timer.seconds();
+
+    std::cout << "s " << to_string(status) << "\n";
+    if (status == SolveStatus::satisfiable) {
+      if (args.has_flag("model")) {
+        std::cout << "v ";
+        for (Var v = 0; v < cnf.num_vars(); ++v) {
+          std::cout << (portfolio.model_value(Lit::positive(v)) ? v + 1 : -(v + 1))
+                    << ' ';
+        }
+        std::cout << "0\n";
+      }
+      if (!cnf.is_satisfied_by(portfolio.model())) {
+        std::cerr << "error: model failed validation (solver bug)\n";
+        return 1;
+      }
+    }
+    if (args.has_flag("stats")) {
+      std::cout << "c time " << elapsed << " s, " << threads << " workers\n"
+                << "c winner " << portfolio.winner_name() << " (worker "
+                << portfolio.winner() << ")\n";
+      for (const portfolio::WorkerReport& report : portfolio.reports()) {
+        std::cout << "c worker " << report.name << ": "
+                  << to_string(report.status) << " in " << report.seconds
+                  << " s, " << report.stats.summary() << "\n";
+      }
+      const portfolio::ExchangeStats& ex = portfolio.exchange_stats();
+      std::cout << "c exchange: " << ex.accepted << " stored ("
+                << ex.rejected_duplicate << " dup, " << ex.rejected_length
+                << " long, " << ex.rejected_full << " over budget), "
+                << ex.collected << " collected; totals exported "
+                << portfolio.clauses_exported() << ", imported "
+                << portfolio.clauses_imported() << "\n";
+    }
+    if (status == SolveStatus::satisfiable) return 10;
+    if (status == SolveStatus::unsatisfiable) return 20;
+    return 0;
+  }
+
   Solver solver(options);
   std::ofstream drat_file;
   DratWriter drat(drat_file);
@@ -162,10 +239,6 @@ int main(int argc, char** argv) {
   }
 
   solver.load(cnf);
-
-  Budget budget;
-  budget.max_seconds = args.get_double("timeout");
-  budget.max_conflicts = static_cast<std::uint64_t>(args.get_int("conflicts"));
 
   WallTimer timer;
   const SolveStatus status = solver.solve(budget);

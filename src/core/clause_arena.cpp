@@ -27,6 +27,10 @@ std::string SolverStats::summary() const {
   out += " restarts=" + std::to_string(restarts);
   out += " learned=" + std::to_string(learned_clauses);
   out += " deleted=" + std::to_string(deleted_clauses);
+  if (exported_clauses || imported_clauses) {
+    out += " exported=" + std::to_string(exported_clauses);
+    out += " imported=" + std::to_string(imported_clauses);
+  }
   return out;
 }
 

@@ -36,6 +36,9 @@ void Solver::handle_restart() {
     return;
   }
   if (opts_.reduction_policy != ReductionPolicy::none) reduce_db();
+  // Restart boundary: decision level 0, propagation fixpoint, database
+  // freshly reduced — the safe point for clause imports (portfolio).
+  if (restart_callback_) restart_callback_();
 }
 
 namespace {

@@ -38,6 +38,10 @@ Var Solver::new_var() {
 }
 
 bool Solver::add_clause(std::span<const Lit> lits) {
+  return add_root_clause(lits, /*learned=*/false);
+}
+
+bool Solver::add_root_clause(std::span<const Lit> lits, bool learned) {
   assert(decision_level() == 0);
   if (!ok_) return false;
 
@@ -67,12 +71,22 @@ bool Solver::add_clause(std::span<const Lit> lits) {
     // flips ok_.
     return true;
   }
-  add_clause_internal(reduced, /*learned=*/false);
+  add_clause_internal(reduced, learned);
   return true;
 }
 
 bool Solver::add_clause(std::initializer_list<Lit> lits) {
   return add_clause(std::span<const Lit>(lits.begin(), lits.size()));
+}
+
+bool Solver::import_clause(std::span<const Lit> lits) {
+  // Shared clauses are resolution consequences of the (identical) formula
+  // a sibling solver holds, so adding them preserves both satisfiability
+  // and unsatisfiability answers. They enter the learned stack — not the
+  // originals — so the Section 8 database management ages them out like
+  // any other lemma instead of pinning them forever.
+  ++stats_.imported_clauses;
+  return add_root_clause(lits, /*learned=*/true);
 }
 
 bool Solver::load(const Cnf& cnf) {
@@ -239,6 +253,7 @@ std::uint64_t Solver::next_restart_limit() const {
 }
 
 bool Solver::budget_exhausted(const Budget& budget) const {
+  if (stop_requested()) return true;
   if (budget.max_conflicts && stats_.conflicts >= budget.max_conflicts) return true;
   if (budget.max_decisions && stats_.decisions >= budget.max_decisions) return true;
   if (budget.max_propagations && stats_.propagations >= budget.max_propagations) {
@@ -333,6 +348,7 @@ SolveStatus Solver::search(const Budget& budget) {
   std::uint64_t steps_until_clock_check = 1024;
 
   for (;;) {
+    if (stop_requested()) return SolveStatus::unknown;
     if (--steps_until_clock_check == 0) {
       steps_until_clock_check = 1024;
       if (budget.max_seconds > 0.0 && solve_timer_.seconds() >= budget.max_seconds) {

@@ -15,6 +15,7 @@
 //     use(solver.model());
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <span>
@@ -66,6 +67,38 @@ class Solver {
   }
 
   bool ok() const { return ok_; }
+
+  // ---- external cancellation --------------------------------------------
+  // Thread-safe: any thread may ask a running solve() to stop; the search
+  // notices at the next loop iteration and returns SolveStatus::unknown.
+  // The request is sticky until clear_stop(), so a stop issued just before
+  // solve() still cancels it. A portfolio can additionally broadcast one
+  // flag to many solvers through set_external_stop().
+  void request_stop() { stop_requested_.store(true, std::memory_order_relaxed); }
+  void clear_stop() { stop_requested_.store(false, std::memory_order_relaxed); }
+  void set_external_stop(const std::atomic<bool>* flag) { external_stop_ = flag; }
+  bool stop_requested() const {
+    return stop_requested_.load(std::memory_order_relaxed) ||
+           (external_stop_ != nullptr &&
+            external_stop_->load(std::memory_order_relaxed));
+  }
+
+  // ---- clause sharing (portfolio) ---------------------------------------
+  // Adds a clause learned by a sibling solver. Must be called at decision
+  // level 0 (add_clause's contract) — in a portfolio that means from the
+  // restart callback or between solve() calls. Counted separately from the
+  // problem clauses in stats().imported_clauses.
+  bool import_clause(std::span<const Lit> lits);
+  // Bumps stats().exported_clauses; called by the owner of the learn
+  // callback when a clause was accepted by a sharing pool.
+  void note_exported_clause() { ++stats_.exported_clauses; }
+
+  // Invoked at the end of every restart, at decision level 0 after the
+  // database reduction — the safe point for importing shared clauses.
+  using RestartCallback = std::function<void()>;
+  void set_restart_callback(RestartCallback cb) {
+    restart_callback_ = std::move(cb);
+  }
 
   // Model of the last satisfiable solve, indexed by variable.
   const std::vector<Value>& model() const { return model_; }
@@ -148,6 +181,9 @@ class Solver {
   void enqueue(Lit l, ClauseRef reason);
   ClauseRef propagate_internal();
   void attach_clause(ClauseRef ref);
+  // Normalizes and records a clause at the root level; learned selects
+  // whether it joins the originals or the reducible learned stack.
+  bool add_root_clause(std::span<const Lit> lits, bool learned);
   ClauseRef add_clause_internal(std::span<const Lit> lits, bool learned);
   void save_model();
   std::uint64_t next_restart_limit() const;
@@ -269,6 +305,12 @@ class Solver {
 
   ClauseCallback learn_callback_;
   ClauseCallback delete_callback_;
+  RestartCallback restart_callback_;
+
+  // External cancellation (see request_stop). The atomic makes Solver
+  // non-copyable, which every current use site already respects.
+  std::atomic<bool> stop_requested_{false};
+  const std::atomic<bool>* external_stop_ = nullptr;
 };
 
 }  // namespace berkmin

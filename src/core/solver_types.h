@@ -83,6 +83,11 @@ struct SolverStats {
   std::uint64_t top_clause_decisions = 0;
   std::uint64_t global_decisions = 0;
 
+  // Portfolio clause sharing (src/portfolio): clauses this solver exported
+  // to / imported from a sharing pool. Zero outside a portfolio run.
+  std::uint64_t exported_clauses = 0;
+  std::uint64_t imported_clauses = 0;
+
   // Live database tracking (Table 9). initial_clauses is fixed at the first
   // solve() call; max_live_clauses tracks originals + learned still stored.
   std::uint64_t initial_clauses = 0;

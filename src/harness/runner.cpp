@@ -1,12 +1,64 @@
 #include "harness/runner.h"
 
+#include "portfolio/portfolio.h"
 #include "util/table.h"
 #include "util/timer.h"
 
 namespace berkmin::harness {
 
+namespace {
+
+// Shared scoring against the generator's expectation, once a status and
+// (for satisfiable answers) a model are known.
+void score_result(RunResult* result, const Instance& instance,
+                  const std::vector<Value>& model) {
+  result->timed_out = result->status == SolveStatus::unknown;
+  if (result->status == SolveStatus::satisfiable) {
+    // Always validate models against the original formula.
+    if (!instance.cnf.is_satisfied_by(model)) {
+      result->expectation_violated = true;
+    }
+    if (instance.expected == gen::Expectation::unsat) {
+      result->expectation_violated = true;
+    }
+  } else if (result->status == SolveStatus::unsatisfiable &&
+             instance.expected == gen::Expectation::sat) {
+    result->expectation_violated = true;
+  }
+}
+
+RunResult run_instance_portfolio(const Instance& instance,
+                                 const SolverOptions& options,
+                                 double timeout_seconds, int threads) {
+  RunResult result;
+  result.name = instance.name;
+
+  portfolio::PortfolioOptions popts;
+  popts.num_threads = threads;
+  popts.base_seed = options.seed;
+  popts.configs = portfolio::diversify_around(options, threads, options.seed);
+  portfolio::PortfolioSolver solver(popts);
+  solver.load(instance.cnf);
+
+  WallTimer timer;
+  result.status = solver.solve(Budget::wall_clock(timeout_seconds));
+  result.seconds = timer.seconds();
+  if (solver.winner() >= 0) {
+    result.stats = solver.reports()[solver.winner()].stats;
+  }
+  result.stats.exported_clauses = solver.clauses_exported();
+  result.stats.imported_clauses = solver.clauses_imported();
+  score_result(&result, instance, solver.model());
+  return result;
+}
+
+}  // namespace
+
 RunResult run_instance(const Instance& instance, const SolverOptions& options,
-                       double timeout_seconds) {
+                       double timeout_seconds, int threads) {
+  if (threads > 1) {
+    return run_instance_portfolio(instance, options, timeout_seconds, threads);
+  }
   RunResult result;
   result.name = instance.name;
 
@@ -17,20 +69,7 @@ RunResult run_instance(const Instance& instance, const SolverOptions& options,
   result.status = solver.solve(Budget::wall_clock(timeout_seconds));
   result.seconds = timer.seconds();
   result.stats = solver.stats();
-  result.timed_out = result.status == SolveStatus::unknown;
-
-  if (result.status == SolveStatus::satisfiable) {
-    // Always validate models against the original formula.
-    if (!instance.cnf.is_satisfied_by(solver.model())) {
-      result.expectation_violated = true;
-    }
-    if (instance.expected == gen::Expectation::unsat) {
-      result.expectation_violated = true;
-    }
-  } else if (result.status == SolveStatus::unsatisfiable &&
-             instance.expected == gen::Expectation::sat) {
-    result.expectation_violated = true;
-  }
+  score_result(&result, instance, solver.model());
   return result;
 }
 
@@ -41,11 +80,11 @@ std::string ClassResult::format_time(double timeout_seconds) const {
 }
 
 ClassResult run_suite(const Suite& suite, const SolverOptions& options,
-                      double timeout_seconds) {
+                      double timeout_seconds, int threads) {
   ClassResult result;
   result.class_name = suite.name;
   for (const Instance& instance : suite.instances) {
-    RunResult run = run_instance(instance, options, timeout_seconds);
+    RunResult run = run_instance(instance, options, timeout_seconds, threads);
     ++result.num_instances;
     if (run.timed_out) {
       ++result.aborted;

@@ -21,8 +21,13 @@ struct RunResult {
   SolverStats stats;
 };
 
+// `threads` > 1 solves through a portfolio whose worker 0 keeps `options`
+// unchanged and whose other workers jitter only the restart/decay schedule
+// and seed (portfolio::diversify_around), so comparisons across options
+// stay meaningful. Clause-sharing totals land in stats.exported_clauses /
+// stats.imported_clauses (summed over workers).
 RunResult run_instance(const Instance& instance, const SolverOptions& options,
-                       double timeout_seconds);
+                       double timeout_seconds, int threads = 1);
 
 struct ClassResult {
   std::string class_name;
@@ -39,7 +44,7 @@ struct ClassResult {
 };
 
 ClassResult run_suite(const Suite& suite, const SolverOptions& options,
-                      double timeout_seconds);
+                      double timeout_seconds, int threads = 1);
 
 // Sums class results into a "Total" row (aborts propagate).
 ClassResult total_row(const std::vector<ClassResult>& rows);

@@ -1,0 +1,62 @@
+#include "portfolio/clause_exchange.h"
+
+#include <algorithm>
+
+namespace berkmin::portfolio {
+
+ClauseExchange::ClauseExchange(int num_workers, ExchangeLimits limits)
+    : limits_(limits), cursors_(static_cast<std::size_t>(num_workers), 0) {}
+
+bool ClauseExchange::publish(int worker, std::span<const Lit> clause) {
+  if (clause.empty()) return false;
+
+  std::vector<std::int32_t> key;
+  key.reserve(clause.size());
+  for (const Lit l : clause) key.push_back(l.code());
+  std::sort(key.begin(), key.end());
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.published;
+  if (clause.size() > limits_.max_clause_length) {
+    ++stats_.rejected_length;
+    return false;
+  }
+  if (entries_.size() >= limits_.max_clauses) {
+    ++stats_.rejected_full;
+    return false;
+  }
+  if (!seen_.insert(std::move(key)).second) {
+    ++stats_.rejected_duplicate;
+    return false;
+  }
+  entries_.push_back(Entry{worker, {clause.begin(), clause.end()}});
+  ++stats_.accepted;
+  return true;
+}
+
+std::size_t ClauseExchange::collect(int worker,
+                                    std::vector<std::vector<Lit>>* out) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t& cursor = cursors_[static_cast<std::size_t>(worker)];
+  std::size_t appended = 0;
+  for (; cursor < entries_.size(); ++cursor) {
+    const Entry& entry = entries_[cursor];
+    if (entry.source == worker) continue;  // never hand a worker its own
+    out->push_back(entry.lits);
+    ++appended;
+  }
+  stats_.collected += appended;
+  return appended;
+}
+
+ExchangeStats ClauseExchange::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+std::size_t ClauseExchange::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+}  // namespace berkmin::portfolio

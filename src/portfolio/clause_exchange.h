@@ -1,0 +1,75 @@
+// Bounded learned-clause exchange between portfolio workers.
+//
+// Workers publish short learned clauses as they are deduced (through
+// Solver's learn callback) and collect the clauses their siblings
+// published at every restart boundary. The pool is deliberately modest:
+//
+//  * only clauses up to max_clause_length literals are accepted — short
+//    clauses prune exponentially more of the search space per literal and
+//    keep both the lock hold times and the importers' databases small;
+//  * duplicates (up to literal order) are rejected, so one popular lemma
+//    costs the pool one slot no matter how many workers deduce it;
+//  * a hard max_clauses budget caps the pool's memory; once full, new
+//    clauses are dropped rather than evicting old ones (every stored
+//    clause may still be un-collected by some worker).
+//
+// All operations take one std::mutex; contention is low because callers
+// filter by length before locking and collect in restart-sized batches.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <set>
+#include <span>
+#include <vector>
+
+#include "cnf/literal.h"
+
+namespace berkmin::portfolio {
+
+struct ExchangeLimits {
+  std::uint32_t max_clause_length = 8;
+  std::uint64_t max_clauses = 1 << 16;
+};
+
+struct ExchangeStats {
+  std::uint64_t published = 0;           // publish() calls
+  std::uint64_t accepted = 0;            // clauses stored
+  std::uint64_t rejected_length = 0;     // too long
+  std::uint64_t rejected_duplicate = 0;  // already in the pool
+  std::uint64_t rejected_full = 0;       // budget exhausted
+  std::uint64_t collected = 0;           // clauses handed to importers
+};
+
+class ClauseExchange {
+ public:
+  explicit ClauseExchange(int num_workers, ExchangeLimits limits = {});
+
+  // Offers a clause deduced by `worker`. Returns true iff it was stored
+  // (short enough, novel, and the pool had budget left).
+  bool publish(int worker, std::span<const Lit> clause);
+
+  // Appends to `out` every clause published by OTHER workers since this
+  // worker's previous collect() call. Returns the number appended.
+  std::size_t collect(int worker, std::vector<std::vector<Lit>>* out);
+
+  ExchangeStats stats() const;
+  std::size_t size() const;
+  const ExchangeLimits& limits() const { return limits_; }
+
+ private:
+  struct Entry {
+    int source;
+    std::vector<Lit> lits;
+  };
+
+  ExchangeLimits limits_;
+  mutable std::mutex mutex_;
+  std::vector<Entry> entries_;
+  // Canonical sorted-code keys of every clause ever accepted.
+  std::set<std::vector<std::int32_t>> seen_;
+  std::vector<std::size_t> cursors_;  // per worker: next entry to collect
+  ExchangeStats stats_;
+};
+
+}  // namespace berkmin::portfolio

@@ -1,0 +1,103 @@
+#include "portfolio/diversify.h"
+
+#include <algorithm>
+
+#include "util/rng.h"
+
+namespace berkmin::portfolio {
+
+namespace {
+
+// The named part of the lineup: BerkMin first, then the baselines and
+// ablations the paper's tables compare. Ordered so small portfolios get
+// the most complementary heads first.
+std::vector<WorkerConfig> named_presets() {
+  std::vector<WorkerConfig> presets;
+  presets.push_back({"berkmin", SolverOptions::berkmin()});
+
+  SolverOptions luby = SolverOptions::berkmin();
+  luby.restart_policy = RestartPolicy::luby;
+  presets.push_back({"berkmin-luby", luby});
+
+  presets.push_back({"chaff", SolverOptions::chaff_like()});
+
+  SolverOptions rapid = SolverOptions::berkmin();
+  rapid.restart_interval = 150;
+  presets.push_back({"berkmin-rapid", rapid});
+
+  presets.push_back({"less_sensitivity", SolverOptions::less_sensitivity()});
+  presets.push_back({"less_mobility", SolverOptions::less_mobility()});
+  presets.push_back({"limited_keeping", SolverOptions::limited_keeping()});
+  presets.push_back({"limmat", SolverOptions::limmat_like()});
+  presets.push_back(
+      {"sat_top", SolverOptions::with_polarity(PolarityPolicy::sat_top)});
+  presets.push_back(
+      {"unsat_top", SolverOptions::with_polarity(PolarityPolicy::unsat_top)});
+  presets.push_back(
+      {"take_rand", SolverOptions::with_polarity(PolarityPolicy::take_rand)});
+  presets.push_back(
+      {"take_0", SolverOptions::with_polarity(PolarityPolicy::take_0)});
+  presets.push_back(
+      {"take_1", SolverOptions::with_polarity(PolarityPolicy::take_1)});
+  return presets;
+}
+
+// Fabricated variant for lineups larger than the named presets: jitter
+// the restart/decay schedule around BerkMin's defaults.
+WorkerConfig fabricated_variant(int index, std::uint64_t* seed_state) {
+  SolverOptions o = SolverOptions::berkmin();
+  const std::uint64_t r = splitmix64(*seed_state);
+  o.restart_interval = 100 + static_cast<std::uint32_t>(r % 1900);
+  o.var_decay_interval = 64u << (r >> 16 & 3);  // 64..512
+  if (r >> 20 & 1) o.restart_policy = RestartPolicy::luby;
+  if (r >> 21 & 1) o.polarity_policy = PolarityPolicy::take_rand;
+  return {"variant-" + std::to_string(index), o};
+}
+
+}  // namespace
+
+std::vector<WorkerConfig> diversified_configs(int num_workers,
+                                              std::uint64_t base_seed) {
+  std::vector<WorkerConfig> configs = named_presets();
+  if (num_workers < static_cast<int>(configs.size())) {
+    configs.resize(num_workers);
+  }
+  std::uint64_t seed_state = base_seed ^ 0x9e3779b97f4a7c15ULL;
+  while (static_cast<int>(configs.size()) < num_workers) {
+    configs.push_back(
+        fabricated_variant(static_cast<int>(configs.size()), &seed_state));
+  }
+  // Distinct tie-breaking seeds even for otherwise identical options.
+  std::uint64_t worker_seed = base_seed;
+  for (WorkerConfig& config : configs) {
+    config.options.seed = splitmix64(worker_seed);
+  }
+  return configs;
+}
+
+std::vector<WorkerConfig> diversify_around(const SolverOptions& base,
+                                           int num_workers,
+                                           std::uint64_t base_seed) {
+  std::vector<WorkerConfig> configs;
+  configs.push_back({"base", base});
+  std::uint64_t seed_state = base_seed ^ 0xbf58476d1ce4e5b9ULL;
+  for (int i = 1; i < num_workers; ++i) {
+    SolverOptions o = base;
+    const std::uint64_t r = splitmix64(seed_state);
+    // Schedule-only jitter: the heuristic policies stay the base's.
+    o.restart_interval =
+        std::max<std::uint32_t>(50, base.restart_interval / 2 +
+                                        static_cast<std::uint32_t>(
+                                            r % (base.restart_interval + 1)));
+    o.var_decay_interval = 64u << (r >> 16 & 3);
+    if (o.restart_policy == RestartPolicy::none) {
+      // A worker that never restarts would never import shared clauses.
+      o.restart_policy = RestartPolicy::fixed_interval;
+    }
+    o.seed = splitmix64(seed_state);
+    configs.push_back({"base+jitter-" + std::to_string(i), o});
+  }
+  return configs;
+}
+
+}  // namespace berkmin::portfolio

@@ -1,0 +1,143 @@
+#include "portfolio/portfolio.h"
+
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "util/timer.h"
+
+namespace berkmin::portfolio {
+
+PortfolioSolver::PortfolioSolver(PortfolioOptions options)
+    : opts_(std::move(options)) {
+  if (opts_.num_threads < 1) opts_.num_threads = 1;
+}
+
+bool PortfolioSolver::load(const Cnf& cnf) {
+  while (cnf_.num_vars() < cnf.num_vars()) cnf_.add_var();
+  for (const auto& clause : cnf.clauses()) cnf_.add_clause(clause);
+  return true;
+}
+
+SolveStatus PortfolioSolver::solve(const Budget& budget) {
+  return solve_with_assumptions({}, budget);
+}
+
+SolveStatus PortfolioSolver::solve_with_assumptions(
+    std::span<const Lit> assumptions, const Budget& budget) {
+  const int n = opts_.num_threads;
+  std::vector<WorkerConfig> configs = opts_.configs;
+  if (configs.empty()) {
+    configs = diversified_configs(n, opts_.base_seed);
+  } else if (static_cast<int>(configs.size()) < n) {
+    // Extend an explicit-but-short lineup with jitter around its first.
+    auto extra = diversify_around(configs.front().options, n, opts_.base_seed);
+    for (std::size_t i = configs.size(); i < extra.size(); ++i) {
+      configs.push_back(std::move(extra[i]));
+    }
+  }
+  configs.resize(static_cast<std::size_t>(n));
+
+  winner_ = -1;
+  winner_name_.clear();
+  model_.clear();
+  failed_assumptions_.clear();
+  reports_.assign(static_cast<std::size_t>(n), WorkerReport{});
+
+  ClauseExchange exchange(n, opts_.exchange);
+  std::vector<std::unique_ptr<Solver>> solvers(static_cast<std::size_t>(n));
+  std::mutex winner_mutex;
+
+  const std::vector<Lit> assumed(assumptions.begin(), assumptions.end());
+
+  const auto worker = [&](int id) {
+    Solver& solver = *solvers[static_cast<std::size_t>(id)];
+    solver.set_external_stop(&user_stop_);
+    if (opts_.share_clauses) {
+      const std::uint32_t max_len = opts_.exchange.max_clause_length;
+      solver.set_learn_callback([&exchange, &solver, id,
+                                 max_len](std::span<const Lit> lits) {
+        // Length filter before taking the exchange lock: long clauses are
+        // the common case and never eligible.
+        if (lits.empty() || lits.size() > max_len) return;
+        if (exchange.publish(id, lits)) solver.note_exported_clause();
+      });
+      solver.set_restart_callback([&exchange, &solver, id]() {
+        std::vector<std::vector<Lit>> batch;
+        exchange.collect(id, &batch);
+        for (const auto& clause : batch) {
+          if (!solver.import_clause(clause)) break;  // root-level conflict
+        }
+      });
+    }
+    solver.load(cnf_);
+
+    WallTimer timer;
+    const SolveStatus status = solver.solve_with_assumptions(assumed, budget);
+    const double seconds = timer.seconds();
+
+    WorkerReport& report = reports_[static_cast<std::size_t>(id)];
+    report.status = status;
+    report.seconds = seconds;
+
+    if (status != SolveStatus::unknown) {
+      std::lock_guard<std::mutex> lock(winner_mutex);
+      if (winner_ < 0) winner_ = id;
+      // Cancel the race through each sibling's own sticky flag (the
+      // shared user_stop_ must stay untouched: it belongs to the user).
+      for (const auto& sibling : solvers) sibling->request_stop();
+    }
+  };
+
+  for (int i = 0; i < n; ++i) {
+    solvers[static_cast<std::size_t>(i)] =
+        std::make_unique<Solver>(configs[static_cast<std::size_t>(i)].options);
+    reports_[static_cast<std::size_t>(i)].name =
+        configs[static_cast<std::size_t>(i)].name;
+  }
+
+  if (n == 1) {
+    worker(0);
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) threads.emplace_back(worker, i);
+    for (std::thread& t : threads) t.join();
+  }
+
+  // Snapshot per-worker stats only after every thread has stopped.
+  for (int i = 0; i < n; ++i) {
+    reports_[static_cast<std::size_t>(i)].stats =
+        solvers[static_cast<std::size_t>(i)]->stats();
+  }
+  exchange_stats_ = exchange.stats();
+
+  if (winner_ < 0) return SolveStatus::unknown;
+  const Solver& winning = *solvers[static_cast<std::size_t>(winner_)];
+  winner_name_ = reports_[static_cast<std::size_t>(winner_)].name;
+  const SolveStatus status = reports_[static_cast<std::size_t>(winner_)].status;
+  if (status == SolveStatus::satisfiable) {
+    model_ = winning.model();
+  } else {
+    failed_assumptions_ = winning.failed_assumptions();
+  }
+  return status;
+}
+
+std::uint64_t PortfolioSolver::clauses_exported() const {
+  std::uint64_t total = 0;
+  for (const WorkerReport& report : reports_) {
+    total += report.stats.exported_clauses;
+  }
+  return total;
+}
+
+std::uint64_t PortfolioSolver::clauses_imported() const {
+  std::uint64_t total = 0;
+  for (const WorkerReport& report : reports_) {
+    total += report.stats.imported_clauses;
+  }
+  return total;
+}
+
+}  // namespace berkmin::portfolio

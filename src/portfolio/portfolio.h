@@ -1,0 +1,118 @@
+// Parallel portfolio solving: N diversified BerkMin engines racing on the
+// same formula, cooperating through learned-clause exchange.
+//
+// Each worker runs a full berkmin::Solver on its own std::thread with a
+// configuration from diversify.h (the paper's presets and ablations plus
+// schedule/seed jitter). Workers export short learned clauses to a shared
+// ClauseExchange as they deduce them and import their siblings' clauses
+// at every restart boundary. The first worker to reach a definitive
+// answer wins: one shared atomic stop flag (checked inside every worker's
+// search loop) cancels the rest, and the winner's model or failed-
+// assumption set is returned through the same SolveStatus API the
+// sequential Solver uses.
+//
+// Typical use:
+//   PortfolioSolver portfolio(PortfolioOptions{.num_threads = 4});
+//   portfolio.load(cnf);
+//   if (portfolio.solve(Budget::wall_clock(10.0)) == SolveStatus::satisfiable)
+//     use(portfolio.model());
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "cnf/cnf_formula.h"
+#include "cnf/literal.h"
+#include "core/solver.h"
+#include "portfolio/clause_exchange.h"
+#include "portfolio/diversify.h"
+
+namespace berkmin::portfolio {
+
+struct PortfolioOptions {
+  int num_threads = 4;
+  bool share_clauses = true;
+  ExchangeLimits exchange;
+  // Seeds the diversification (tie-breaking seeds, fabricated variants).
+  std::uint64_t base_seed = 0;
+  // Explicit worker lineup; when empty, diversified_configs() supplies
+  // num_threads workers. When shorter than num_threads it is extended,
+  // when longer it is truncated.
+  std::vector<WorkerConfig> configs;
+};
+
+// Per-worker outcome of the last solve, for stats printing and tests.
+struct WorkerReport {
+  std::string name;
+  SolveStatus status = SolveStatus::unknown;
+  double seconds = 0.0;
+  SolverStats stats;
+};
+
+class PortfolioSolver {
+ public:
+  explicit PortfolioSolver(PortfolioOptions options = {});
+
+  // ---- problem construction (mirrors Solver) ---------------------------
+  Var new_var() { return cnf_.add_var(); }
+  int num_vars() const { return cnf_.num_vars(); }
+  void add_clause(std::span<const Lit> lits) { cnf_.add_clause(lits); }
+  void add_clause(std::initializer_list<Lit> lits) { cnf_.add_clause(lits); }
+  bool load(const Cnf& cnf);
+
+  // ---- solving ---------------------------------------------------------
+  // The budget applies to every worker independently (a wall-clock budget
+  // therefore bounds the whole race). Returns unknown only when no worker
+  // reached an answer within the budget.
+  SolveStatus solve(const Budget& budget = Budget::unlimited());
+  SolveStatus solve_with_assumptions(std::span<const Lit> assumptions,
+                                     const Budget& budget = Budget::unlimited());
+
+  // Thread-safe: cancels an in-flight solve (every worker returns unknown
+  // at its next search step unless it already finished). Sticky, matching
+  // Solver's contract: a request that races the start of solve() still
+  // cancels it, and later solves stay cancelled until clear_stop().
+  void request_stop() { user_stop_.store(true, std::memory_order_relaxed); }
+  void clear_stop() { user_stop_.store(false, std::memory_order_relaxed); }
+
+  // ---- results (valid after solve) -------------------------------------
+  const std::vector<Value>& model() const { return model_; }
+  bool model_value(Lit l) const {
+    return value_of_literal(model_[l.var()], l) == Value::true_value;
+  }
+  const std::vector<Lit>& failed_assumptions() const {
+    return failed_assumptions_;
+  }
+
+  // Index/name of the worker whose answer was returned (-1 / "" when the
+  // last solve returned unknown).
+  int winner() const { return winner_; }
+  const std::string& winner_name() const { return winner_name_; }
+
+  const std::vector<WorkerReport>& reports() const { return reports_; }
+  const ExchangeStats& exchange_stats() const { return exchange_stats_; }
+  std::uint64_t clauses_exported() const;  // sum over workers
+  std::uint64_t clauses_imported() const;
+
+  const PortfolioOptions& options() const { return opts_; }
+
+ private:
+  PortfolioOptions opts_;
+  Cnf cnf_;
+
+  // User cancellation only; never reset by solve itself. Race
+  // cancellation goes through each worker Solver's own request_stop().
+  std::atomic<bool> user_stop_{false};
+
+  int winner_ = -1;
+  std::string winner_name_;
+  std::vector<Value> model_;
+  std::vector<Lit> failed_assumptions_;
+  std::vector<WorkerReport> reports_;
+  ExchangeStats exchange_stats_;
+};
+
+}  // namespace berkmin::portfolio

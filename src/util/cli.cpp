@@ -61,6 +61,10 @@ bool ArgParser::has_flag(const std::string& name) const {
   return values_.count(name) > 0;
 }
 
+bool ArgParser::provided(const std::string& name) const {
+  return values_.count(name) > 0;
+}
+
 std::string ArgParser::get_string(const std::string& name) const {
   if (const auto it = values_.find(name); it != values_.end()) return it->second;
   if (const auto it = specs_.find(name); it != specs_.end()) return it->second.default_value;

@@ -24,6 +24,8 @@ class ArgParser {
   bool parse();
 
   bool has_flag(const std::string& name) const;
+  // True iff the option was given on the command line (vs its default).
+  bool provided(const std::string& name) const;
   std::string get_string(const std::string& name) const;
   std::int64_t get_int(const std::string& name) const;
   double get_double(const std::string& name) const;
