@@ -1,0 +1,319 @@
+// Batch SAT solving over the time-sliced SolverService: read a manifest
+// of instances, multiplex them over one worker pool, and stream one JSON
+// result object per job (JSONL) as jobs finish.
+//
+//   ./build/examples/batch_solver manifest.txt --pool 4 --slice-conflicts 2000
+//   ./build/examples/batch_solver manifest.txt --deadline-ms 500 --check
+//
+// Manifest format: one instance per line, '#' starts a comment.
+//   <spec> [key=value ...]
+// where <spec> is a generator spec ("hole:8", "rand3:60:258:1", see
+// --list-generators of dimacs_solver) or a DIMACS path (use "file:<path>"
+// to force file interpretation). Per-job keys override the global flags:
+//   name=<str> deadline-ms=<int> conflicts=<int> threads=<int>
+//   priority=<int> assume=<d1,d2,...>   (DIMACS literals)
+//
+// Exit codes: 0 = every job reached a terminal state (and --check, if
+// given, found no disagreement), 1 = manifest/usage error or a mismatch.
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cnf/dimacs.h"
+#include "core/solver.h"
+#include "gen/registry.h"
+#include "service/solver_service.h"
+#include "util/cli.h"
+
+using namespace berkmin;
+
+namespace {
+
+struct ManifestEntry {
+  std::string name;
+  Cnf cnf;
+  std::vector<Lit> assumptions;
+  service::JobLimits limits;
+};
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string result_json(const service::JobResult& result, int model_valid) {
+  std::ostringstream out;
+  out << "{\"id\":" << result.id << ",\"name\":\"" << json_escape(result.name)
+      << "\",\"status\":\"" << to_string(result.status) << "\",\"outcome\":\""
+      << to_string(result.outcome) << "\",\"slices\":" << result.slices
+      << ",\"preemptions\":" << result.preemptions
+      << ",\"conflicts\":" << result.conflicts
+      << ",\"decisions\":" << result.decisions
+      << ",\"propagations\":" << result.propagations
+      << ",\"learned\":" << result.learned_clauses
+      << ",\"queue_s\":" << result.queue_seconds
+      << ",\"solve_s\":" << result.solve_seconds
+      << ",\"wall_s\":" << result.wall_seconds;
+  if (model_valid >= 0) {
+    out << ",\"model_valid\":" << (model_valid ? "true" : "false");
+  }
+  if (!result.error.empty()) {
+    out << ",\"error\":\"" << json_escape(result.error) << "\"";
+  }
+  out << "}";
+  return out.str();
+}
+
+// Parses one manifest line into an entry. Returns false with *error set
+// on malformed lines.
+bool parse_entry(const std::string& line, const service::JobLimits& defaults,
+                 ManifestEntry* entry, std::string* error) {
+  std::istringstream tokens(line);
+  std::string spec;
+  tokens >> spec;
+  entry->limits = defaults;
+
+  std::string token;
+  while (tokens >> token) {
+    const auto eq = token.find('=');
+    if (eq == std::string::npos) {
+      *error = "malformed manifest token '" + token + "' (want key=value)";
+      return false;
+    }
+    const std::string key = token.substr(0, eq);
+    const std::string value = token.substr(eq + 1);
+    try {
+      if (key == "name") {
+        entry->name = value;
+      } else if (key == "deadline-ms") {
+        entry->limits.deadline_seconds = std::stod(value) / 1000.0;
+      } else if (key == "conflicts") {
+        entry->limits.max_conflicts = std::stoull(value);
+      } else if (key == "threads") {
+        entry->limits.threads = std::stoi(value);
+      } else if (key == "priority") {
+        entry->limits.priority = std::stoi(value);
+      } else if (key == "assume") {
+        std::istringstream dimacs(value);
+        std::string item;
+        while (std::getline(dimacs, item, ',')) {
+          entry->assumptions.push_back(from_dimacs(std::stoi(item)));
+        }
+      } else {
+        *error = "unknown manifest key '" + key + "'";
+        return false;
+      }
+    } catch (const std::exception&) {
+      *error = "bad value for manifest key '" + key + "': " + value;
+      return false;
+    }
+  }
+
+  if (spec.rfind("file:", 0) == 0) {
+    const std::string path = spec.substr(5);
+    try {
+      entry->cnf = dimacs::read_file(path);
+    } catch (const std::exception& ex) {
+      *error = ex.what();
+      return false;
+    }
+    if (entry->name.empty()) entry->name = path;
+    return true;
+  }
+
+  std::string gen_error;
+  if (auto instance = gen::generate_from_spec(spec, &gen_error)) {
+    entry->cnf = std::move(instance->cnf);
+    if (entry->name.empty()) entry->name = instance->name;
+    return true;
+  }
+  // Not a known generator spec: fall back to a DIMACS path.
+  try {
+    entry->cnf = dimacs::read_file(spec);
+  } catch (const std::exception& ex) {
+    *error = "'" + spec + "' is neither a generator spec (" + gen_error +
+             ") nor a readable DIMACS file (" + ex.what() + ")";
+    return false;
+  }
+  if (entry->name.empty()) entry->name = spec;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ArgParser args(argc, argv);
+  args.add_option("pool", "4", "service worker threads");
+  args.add_option("slice-conflicts", "2000",
+                  "conflicts per time slice (0 = run each job to completion)");
+  args.add_option("deadline-ms", "0",
+                  "default per-job wall-clock deadline in ms (0 = none)");
+  args.add_option("conflicts", "0",
+                  "default per-job total conflict budget (0 = none)");
+  args.add_option("threads", "1",
+                  "default per-job portfolio escalation (>1 races that many "
+                  "diversified workers inside each slice)");
+  args.add_option("max-pending", "1024", "bounded admission queue size");
+  args.add_flag("check", "re-solve each instance with a plain single-threaded "
+                "Solver and fail on any verdict mismatch");
+  args.add_flag("stats", "append a summary JSON line with service stats");
+  args.add_flag("help", "show this help");
+
+  if (!args.parse()) {
+    std::cerr << "error: " << args.error() << "\n";
+    return 1;
+  }
+  if (args.has_flag("help")) {
+    std::cout << args.help("batch_solver — time-sliced batch solving over one "
+                           "thread pool");
+    return 0;
+  }
+  if (args.positional().empty()) {
+    std::cerr << "error: no manifest file given\n";
+    return 1;
+  }
+
+  std::ifstream manifest(args.positional()[0]);
+  if (!manifest) {
+    std::cerr << "error: cannot open manifest '" << args.positional()[0]
+              << "'\n";
+    return 1;
+  }
+
+  service::JobLimits defaults;
+  defaults.deadline_seconds = args.get_double("deadline-ms") / 1000.0;
+  defaults.max_conflicts =
+      static_cast<std::uint64_t>(args.get_int("conflicts"));
+  defaults.threads = static_cast<int>(args.get_int("threads"));
+
+  std::vector<ManifestEntry> entries;
+  std::string line;
+  int line_number = 0;
+  while (std::getline(manifest, line)) {
+    ++line_number;
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#') continue;
+    ManifestEntry entry;
+    std::string error;
+    if (!parse_entry(line.substr(first), defaults, &entry, &error)) {
+      std::cerr << "error: manifest line " << line_number << ": " << error
+                << "\n";
+      return 1;
+    }
+    entries.push_back(std::move(entry));
+  }
+  if (entries.empty()) {
+    std::cerr << "error: manifest holds no instances\n";
+    return 1;
+  }
+
+  service::ServiceOptions sopts;
+  sopts.num_workers = static_cast<int>(args.get_int("pool"));
+  sopts.slice_conflicts =
+      static_cast<std::uint64_t>(args.get_int("slice-conflicts"));
+  sopts.max_pending = static_cast<std::size_t>(args.get_int("max-pending"));
+  service::SolverService solving(sopts);
+
+  // Stream results as they finish. Jobs get sequential ids starting at 1
+  // in submission order, so id-1 indexes entries.
+  std::mutex output_mutex;
+  bool model_failure = false;
+  solving.set_completion_callback([&](const service::JobResult& result) {
+    int model_valid = -1;
+    if (result.status == SolveStatus::satisfiable) {
+      const ManifestEntry& entry = entries[result.id - 1];
+      model_valid = entry.cnf.is_satisfied_by(result.model) ? 1 : 0;
+      for (const Lit assumption : entry.assumptions) {
+        if (value_of_literal(result.model[assumption.var()], assumption) !=
+            Value::true_value) {
+          model_valid = 0;
+        }
+      }
+    }
+    std::lock_guard<std::mutex> lock(output_mutex);
+    if (model_valid == 0) model_failure = true;
+    std::cout << result_json(result, model_valid) << "\n" << std::flush;
+  });
+
+  for (ManifestEntry& entry : entries) {
+    service::JobRequest request;
+    request.name = entry.name;
+    request.cnf = entry.cnf;  // keep a copy for --check / model validation
+    request.assumptions = entry.assumptions;
+    request.limits = entry.limits;
+    if (!solving.submit(std::move(request))) {
+      std::cerr << "error: service refused a job (shutdown?)\n";
+      return 1;
+    }
+  }
+
+  const std::vector<service::JobResult> results = solving.wait_all();
+  solving.shutdown(service::SolverService::Shutdown::drain);
+
+  int mismatches = 0;
+  if (args.has_flag("check")) {
+    for (const service::JobResult& result : results) {
+      if (result.status == SolveStatus::unknown) continue;
+      const ManifestEntry& entry = entries[result.id - 1];
+      Solver reference;
+      reference.load(entry.cnf);
+      const SolveStatus expected =
+          reference.solve_with_assumptions(entry.assumptions);
+      if (expected != result.status) {
+        ++mismatches;
+        std::cerr << "MISMATCH " << entry.name << ": service says "
+                  << to_string(result.status) << ", plain solver says "
+                  << to_string(expected) << "\n";
+      }
+    }
+    std::cerr << "c check: " << results.size() - mismatches << "/"
+              << results.size() << " verdicts agree\n";
+  }
+
+  if (args.has_flag("stats")) {
+    const service::ServiceStats stats = solving.stats();
+    std::cout << "{\"summary\":true,\"submitted\":" << stats.submitted
+              << ",\"completed\":" << stats.completed
+              << ",\"budget_exhausted\":" << stats.budget_exhausted
+              << ",\"deadline_expired\":" << stats.deadline_expired
+              << ",\"cancelled\":" << stats.cancelled
+              << ",\"errors\":" << stats.errors
+              << ",\"slices\":" << stats.slices
+              << ",\"preemptions\":" << stats.preemptions
+              << ",\"conflicts\":" << stats.conflicts
+              << ",\"peak_pending\":" << stats.peak_pending
+              << ",\"solve_s\":" << stats.solve_seconds << "}\n";
+  }
+
+  return (mismatches > 0 || model_failure) ? 1 : 0;
+}

@@ -17,17 +17,32 @@ using namespace berkmin;
 namespace {
 
 int run_class(const harness::Suite& suite, const SolverOptions& options,
-              double timeout, int threads) {
+              double timeout, int threads, int pool) {
   std::cout << "== " << suite.name << " ==\n";
   Table table({"Instance", "Shape", "Status", "Time (s)", "Decisions",
                "Conflicts", "Learned", "Peak DB"});
   int violations = 0;
-  for (const harness::Instance& instance : suite.instances) {
-    const CnfStats shape = compute_stats(instance.cnf);
-    const harness::RunResult run =
-        harness::run_instance(instance, options, timeout, threads);
+
+  std::vector<harness::RunResult> runs;
+  if (pool > 1) {
+    // Batch mode: the whole class goes through one time-sliced
+    // SolverService so instances interleave over the pool; --threads
+    // escalates each job to a portfolio of that size inside its slices.
+    service::ServiceOptions sopts;
+    sopts.num_workers = pool;
+    runs = harness::run_suite_service(suite, options, timeout, sopts, threads)
+               .runs;
+  } else {
+    for (const harness::Instance& instance : suite.instances) {
+      runs.push_back(harness::run_instance(instance, options, timeout, threads));
+    }
+  }
+
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const harness::RunResult& run = runs[i];
+    const CnfStats shape = compute_stats(suite.instances[i].cnf);
     if (run.expectation_violated) ++violations;
-    table.add_row({instance.name,
+    table.add_row({run.name,
                    std::to_string(shape.num_vars) + "v/" +
                        std::to_string(shape.num_clauses) + "c",
                    run.timed_out ? "timeout" : to_string(run.status),
@@ -54,6 +69,9 @@ int main(int argc, char** argv) {
   args.add_option("timeout", "10", "per-instance timeout in seconds");
   args.add_option("seed", "7", "generator seed");
   args.add_option("threads", "1", "portfolio workers per solve");
+  args.add_option("pool", "1",
+                  "batch the class through a time-sliced SolverService with "
+                  "this many worker threads (1 = solve instances one by one)");
   args.add_flag("all", "run every class");
   args.add_flag("help", "show this help");
   if (!args.parse()) {
@@ -77,17 +95,18 @@ int main(int argc, char** argv) {
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed"));
   const double timeout = args.get_double("timeout");
   const int threads = static_cast<int>(args.get_int("threads"));
+  const int pool = static_cast<int>(args.get_int("pool"));
 
   int violations = 0;
   try {
     if (args.has_flag("all")) {
       for (const harness::Suite& suite : harness::paper_classes(scale, seed)) {
-        violations += run_class(suite, options, timeout, threads);
+        violations += run_class(suite, options, timeout, threads, pool);
       }
     } else {
       violations += run_class(
           harness::suite_by_name(args.get_string("class"), scale, seed),
-          options, timeout, threads);
+          options, timeout, threads, pool);
     }
   } catch (const std::exception& ex) {
     std::cerr << "error: " << ex.what() << "\n";

@@ -19,6 +19,24 @@ const char* to_string(SolveStatus status) {
   return "INVALID";
 }
 
+const char* to_string(StopCause cause) {
+  switch (cause) {
+    case StopCause::none:
+      return "none";
+    case StopCause::external_stop:
+      return "external_stop";
+    case StopCause::conflict_budget:
+      return "conflict_budget";
+    case StopCause::decision_budget:
+      return "decision_budget";
+    case StopCause::propagation_budget:
+      return "propagation_budget";
+    case StopCause::wall_clock:
+      return "wall_clock";
+  }
+  return "invalid";
+}
+
 std::string SolverStats::summary() const {
   std::string out;
   out += "decisions=" + std::to_string(decisions);

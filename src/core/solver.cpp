@@ -252,11 +252,27 @@ std::uint64_t Solver::next_restart_limit() const {
   return 0;
 }
 
-bool Solver::budget_exhausted(const Budget& budget) const {
-  if (stop_requested()) return true;
-  if (budget.max_conflicts && stats_.conflicts >= budget.max_conflicts) return true;
-  if (budget.max_decisions && stats_.decisions >= budget.max_decisions) return true;
-  if (budget.max_propagations && stats_.propagations >= budget.max_propagations) {
+// Budgets bound the work of one solve() call, so they are checked against
+// the distance from the entry snapshot, not the cumulative counters — a
+// preempted job re-entering solve() gets a full fresh slice.
+bool Solver::budget_exhausted(const Budget& budget) {
+  if (stop_requested()) {
+    last_stop_cause_ = StopCause::external_stop;
+    return true;
+  }
+  if (budget.max_conflicts &&
+      stats_.conflicts - slice_base_.conflicts >= budget.max_conflicts) {
+    last_stop_cause_ = StopCause::conflict_budget;
+    return true;
+  }
+  if (budget.max_decisions &&
+      stats_.decisions - slice_base_.decisions >= budget.max_decisions) {
+    last_stop_cause_ = StopCause::decision_budget;
+    return true;
+  }
+  if (budget.max_propagations &&
+      stats_.propagations - slice_base_.propagations >= budget.max_propagations) {
+    last_stop_cause_ = StopCause::propagation_budget;
     return true;
   }
   return false;
@@ -274,6 +290,11 @@ SolveStatus Solver::solve_with_assumptions(std::span<const Lit> assumptions,
   }
   failed_assumptions_.clear();
   failed_by_assumptions_ = false;
+  last_stop_cause_ = StopCause::none;
+  slice_base_ = SliceBase{stats_.conflicts, stats_.decisions,
+                          stats_.propagations, stats_.restarts,
+                          stats_.learned_clauses};
+  last_slice_ = SliceStats{};
   if (!ok_) return SolveStatus::unsatisfiable;
 
   assumptions_.assign(assumptions.begin(), assumptions.end());
@@ -285,6 +306,7 @@ SolveStatus Solver::solve_with_assumptions(std::span<const Lit> assumptions,
   if (propagate_internal() != no_clause) {
     ok_ = false;
     assumptions_.clear();
+    record_slice();
     return SolveStatus::unsatisfiable;
   }
 
@@ -294,7 +316,18 @@ SolveStatus Solver::solve_with_assumptions(std::span<const Lit> assumptions,
   }
   backtrack_to(0);
   assumptions_.clear();
+  record_slice();
   return status;
+}
+
+void Solver::record_slice() {
+  last_slice_.conflicts = stats_.conflicts - slice_base_.conflicts;
+  last_slice_.decisions = stats_.decisions - slice_base_.decisions;
+  last_slice_.propagations = stats_.propagations - slice_base_.propagations;
+  last_slice_.restarts = stats_.restarts - slice_base_.restarts;
+  last_slice_.learned_clauses =
+      stats_.learned_clauses - slice_base_.learned_clauses;
+  last_slice_.seconds = solve_timer_.seconds();
 }
 
 Lit Solver::next_assumption(bool* failed) {
@@ -348,10 +381,14 @@ SolveStatus Solver::search(const Budget& budget) {
   std::uint64_t steps_until_clock_check = 1024;
 
   for (;;) {
-    if (stop_requested()) return SolveStatus::unknown;
+    if (stop_requested()) {
+      last_stop_cause_ = StopCause::external_stop;
+      return SolveStatus::unknown;
+    }
     if (--steps_until_clock_check == 0) {
       steps_until_clock_check = 1024;
       if (budget.max_seconds > 0.0 && solve_timer_.seconds() >= budget.max_seconds) {
+        last_stop_cause_ = StopCause::wall_clock;
         return SolveStatus::unknown;
       }
     }
@@ -390,7 +427,9 @@ SolveStatus Solver::search(const Budget& budget) {
         }
       }
       ++stats_.decisions;
-      if (budget.max_decisions && stats_.decisions > budget.max_decisions) {
+      if (budget.max_decisions &&
+          stats_.decisions - slice_base_.decisions > budget.max_decisions) {
+        last_stop_cause_ = StopCause::decision_budget;
         return SolveStatus::unknown;
       }
       new_decision_level();

@@ -68,6 +68,18 @@ class Solver {
 
   bool ok() const { return ok_; }
 
+  // ---- resumable slices --------------------------------------------------
+  // Why the last solve() returned unknown (StopCause::none after a
+  // definitive answer). Budget causes are resumable: calling solve() again
+  // continues the search with every learned clause, activity and saved
+  // polarity intact, which is what lets a scheduler run a long job as many
+  // short Budget-bounded slices.
+  StopCause last_stop_cause() const { return last_stop_cause_; }
+  bool last_unknown_resumable() const { return is_resumable(last_stop_cause_); }
+  // Work performed by the most recent solve() call only (deltas of the
+  // cumulative stats()), for per-slice accounting.
+  const SliceStats& last_slice() const { return last_slice_; }
+
   // ---- external cancellation --------------------------------------------
   // Thread-safe: any thread may ask a running solve() to stop; the search
   // notices at the next loop iteration and returns SolveStatus::unknown.
@@ -171,7 +183,7 @@ class Solver {
  private:
   // --- search loop (solver.cpp) ---
   SolveStatus search(const Budget& budget);
-  bool budget_exhausted(const Budget& budget) const;
+  bool budget_exhausted(const Budget& budget);
   // Decides the next assumption (or returns undef_lit to fall through to
   // the heuristics); sets *failed when an assumption is already false.
   Lit next_assumption(bool* failed);
@@ -186,6 +198,7 @@ class Solver {
   bool add_root_clause(std::span<const Lit> lits, bool learned);
   ClauseRef add_clause_internal(std::span<const Lit> lits, bool learned);
   void save_model();
+  void record_slice();
   std::uint64_t next_restart_limit() const;
   void update_live_peak();
 
@@ -297,6 +310,18 @@ class Solver {
   std::vector<Value> model_;
   SolverStats stats_;
   WallTimer solve_timer_;
+  StopCause last_stop_cause_ = StopCause::none;
+  SliceStats last_slice_;
+  // Cumulative-counter snapshot taken when solve() starts; budgets and
+  // last_slice() are measured from here.
+  struct SliceBase {
+    std::uint64_t conflicts = 0;
+    std::uint64_t decisions = 0;
+    std::uint64_t propagations = 0;
+    std::uint64_t restarts = 0;
+    std::uint64_t learned_clauses = 0;
+  };
+  SliceBase slice_base_;
 
   // Per-call assumption state (solve_with_assumptions).
   std::vector<Lit> assumptions_;

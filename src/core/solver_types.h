@@ -31,7 +31,43 @@ enum class SolveStatus : std::uint8_t {
 
 const char* to_string(SolveStatus status);
 
-// Resource limits for a single solve() call. Zero means "unlimited".
+// Why the last solve() returned unknown. Budget causes are *resumable*:
+// the search state (learned clauses, activities, saved polarities) is
+// intact and another solve() call continues where the slice stopped — the
+// contract the time-sliced SolverService scheduler relies on. An external
+// stop is a cancellation, not a pause: whoever set the flag decides what
+// happens next.
+enum class StopCause : std::uint8_t {
+  none,                // the last solve reached a definitive answer
+  external_stop,       // request_stop() / set_external_stop() fired
+  conflict_budget,
+  decision_budget,
+  propagation_budget,
+  wall_clock,
+};
+
+const char* to_string(StopCause cause);
+
+inline bool is_resumable(StopCause cause) {
+  return cause != StopCause::none && cause != StopCause::external_stop;
+}
+
+// Work done by a single solve() call, as deltas of the cumulative
+// SolverStats counters. The service scheduler charges these against
+// per-job budgets and aggregates them into throughput stats.
+struct SliceStats {
+  std::uint64_t conflicts = 0;
+  std::uint64_t decisions = 0;
+  std::uint64_t propagations = 0;
+  std::uint64_t restarts = 0;
+  std::uint64_t learned_clauses = 0;
+  double seconds = 0.0;
+};
+
+// Resource limits for a single solve() call, measured against the work
+// that call performs (not the solver's lifetime counters): a solver that
+// already spent 10k conflicts and is handed Budget::conflicts(100) gets
+// 100 more. Zero means "unlimited".
 struct Budget {
   std::uint64_t max_conflicts = 0;
   std::uint64_t max_decisions = 0;

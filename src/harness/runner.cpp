@@ -98,6 +98,57 @@ ClassResult run_suite(const Suite& suite, const SolverOptions& options,
   return result;
 }
 
+ClassResult run_suite_service(const Suite& suite, const SolverOptions& options,
+                              double timeout_seconds,
+                              const service::ServiceOptions& service_options,
+                              int job_threads) {
+  service::SolverService solving(service_options);
+
+  std::vector<service::JobId> ids;
+  ids.reserve(suite.instances.size());
+  for (const Instance& instance : suite.instances) {
+    service::JobRequest request;
+    request.name = instance.name;
+    request.cnf = instance.cnf;
+    request.options = options;
+    request.limits.deadline_seconds = timeout_seconds;
+    request.limits.threads = job_threads;
+    // submit() only fails after shutdown, which cannot have happened yet.
+    ids.push_back(*solving.submit(std::move(request)));
+  }
+
+  ClassResult result;
+  result.class_name = suite.name;
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    const service::JobResult job = solving.wait(ids[i]);
+    const Instance& instance = suite.instances[i];
+
+    RunResult run;
+    run.name = instance.name;
+    run.status = job.status;
+    run.seconds = job.solve_seconds;
+    run.stats.conflicts = job.conflicts;
+    run.stats.decisions = job.decisions;
+    run.stats.propagations = job.propagations;
+    run.stats.learned_clauses = job.learned_clauses;
+    run.stats.max_live_clauses = job.max_live_clauses;
+    run.stats.initial_clauses = job.initial_clauses;
+    score_result(&run, instance, job.model);
+
+    ++result.num_instances;
+    if (run.timed_out) {
+      ++result.aborted;
+    } else {
+      ++result.solved;
+      result.finished_seconds += run.seconds;
+    }
+    if (run.expectation_violated) ++result.wrong;
+    result.runs.push_back(std::move(run));
+  }
+  solving.shutdown(service::SolverService::Shutdown::drain);
+  return result;
+}
+
 ClassResult total_row(const std::vector<ClassResult>& rows) {
   ClassResult total;
   total.class_name = "Total";

@@ -9,6 +9,7 @@
 #include "core/options.h"
 #include "core/solver.h"
 #include "harness/suites.h"
+#include "service/solver_service.h"
 
 namespace berkmin::harness {
 
@@ -45,6 +46,17 @@ struct ClassResult {
 
 ClassResult run_suite(const Suite& suite, const SolverOptions& options,
                       double timeout_seconds, int threads = 1);
+
+// Routes a whole suite through a time-sliced SolverService instead of
+// one-shot solvers: every instance is submitted as a job (deadline =
+// timeout_seconds) and the service's worker pool interleaves them, so one
+// hard instance cannot serialize the batch. `job_threads` > 1 escalates
+// each job to a portfolio run of that many workers inside its slices.
+// Results are scored exactly like run_suite's.
+ClassResult run_suite_service(const Suite& suite, const SolverOptions& options,
+                              double timeout_seconds,
+                              const service::ServiceOptions& service_options,
+                              int job_threads = 1);
 
 // Sums class results into a "Total" row (aborts propagate).
 ClassResult total_row(const std::vector<ClassResult>& rows);

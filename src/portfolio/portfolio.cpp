@@ -23,54 +23,102 @@ SolveStatus PortfolioSolver::solve(const Budget& budget) {
   return solve_with_assumptions({}, budget);
 }
 
+void PortfolioSolver::warm_up_workers() {
+  const int n = opts_.num_threads;
+  if (solvers_.empty()) {
+    std::vector<WorkerConfig> configs = opts_.configs;
+    if (configs.empty()) {
+      configs = diversified_configs(n, opts_.base_seed);
+    } else if (static_cast<int>(configs.size()) < n) {
+      // Extend an explicit-but-short lineup with jitter around its first.
+      auto extra = diversify_around(configs.front().options, n, opts_.base_seed);
+      for (std::size_t i = configs.size(); i < extra.size(); ++i) {
+        configs.push_back(std::move(extra[i]));
+      }
+    }
+    configs.resize(static_cast<std::size_t>(n));
+
+    exchange_ = std::make_unique<ClauseExchange>(n, opts_.exchange);
+    solvers_.resize(static_cast<std::size_t>(n));
+    worker_names_.resize(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      auto& slot = solvers_[static_cast<std::size_t>(i)];
+      slot = std::make_unique<Solver>(configs[static_cast<std::size_t>(i)].options);
+      worker_names_[static_cast<std::size_t>(i)] =
+          configs[static_cast<std::size_t>(i)].name;
+
+      Solver* solver = slot.get();
+      solver->set_external_stop(&user_stop_);
+      if (opts_.share_clauses) {
+        ClauseExchange* exchange = exchange_.get();
+        const std::uint32_t max_len = opts_.exchange.max_clause_length;
+        solver->set_learn_callback(
+            [exchange, solver, i, max_len](std::span<const Lit> lits) {
+              // Length filter before taking the exchange lock: long clauses
+              // are the common case and never eligible.
+              if (lits.empty() || lits.size() > max_len) return;
+              if (exchange->publish(i, lits)) solver->note_exported_clause();
+            });
+        solver->set_restart_callback([exchange, solver, i]() {
+          std::vector<std::vector<Lit>> batch;
+          exchange->collect(i, &batch);
+          for (const auto& clause : batch) {
+            if (!solver->import_clause(clause)) break;  // root-level conflict
+          }
+        });
+      }
+    }
+  }
+
+  // Feed only what changed since the previous call, keeping each worker's
+  // learned clauses, activities and saved polarities intact. Workers are
+  // independent during loading, so the first (full) load runs one thread
+  // per worker — like the racing phase itself — instead of serializing n
+  // copies of the formula on the calling thread.
+  const std::size_t from = loaded_clauses_;
+  const auto feed = [&](Solver& solver) {
+    while (solver.num_vars() < cnf_.num_vars()) solver.new_var();
+    for (std::size_t ci = from; ci < cnf_.num_clauses(); ++ci) {
+      if (!solver.add_clause(cnf_.clause(ci))) break;  // root-level conflict
+    }
+  };
+  if (cnf_.num_clauses() > from && solvers_.size() > 1) {
+    std::vector<std::thread> threads;
+    threads.reserve(solvers_.size());
+    for (const auto& solver : solvers_) {
+      threads.emplace_back([&feed, &solver] { feed(*solver); });
+    }
+    for (std::thread& t : threads) t.join();
+  } else {
+    for (const auto& solver : solvers_) feed(*solver);
+  }
+  loaded_clauses_ = cnf_.num_clauses();
+}
+
 SolveStatus PortfolioSolver::solve_with_assumptions(
     std::span<const Lit> assumptions, const Budget& budget) {
   const int n = opts_.num_threads;
-  std::vector<WorkerConfig> configs = opts_.configs;
-  if (configs.empty()) {
-    configs = diversified_configs(n, opts_.base_seed);
-  } else if (static_cast<int>(configs.size()) < n) {
-    // Extend an explicit-but-short lineup with jitter around its first.
-    auto extra = diversify_around(configs.front().options, n, opts_.base_seed);
-    for (std::size_t i = configs.size(); i < extra.size(); ++i) {
-      configs.push_back(std::move(extra[i]));
-    }
-  }
-  configs.resize(static_cast<std::size_t>(n));
+  warm_up_workers();
 
   winner_ = -1;
   winner_name_.clear();
   model_.clear();
   failed_assumptions_.clear();
   reports_.assign(static_cast<std::size_t>(n), WorkerReport{});
+  for (int i = 0; i < n; ++i) {
+    reports_[static_cast<std::size_t>(i)].name =
+        worker_names_[static_cast<std::size_t>(i)];
+  }
 
-  ClauseExchange exchange(n, opts_.exchange);
-  std::vector<std::unique_ptr<Solver>> solvers(static_cast<std::size_t>(n));
+  // Un-latch the per-worker stop flags a previous race's winner set on its
+  // siblings; the user's own flag (user_stop_) stays untouched.
+  for (const auto& solver : solvers_) solver->clear_stop();
+
   std::mutex winner_mutex;
-
   const std::vector<Lit> assumed(assumptions.begin(), assumptions.end());
 
   const auto worker = [&](int id) {
-    Solver& solver = *solvers[static_cast<std::size_t>(id)];
-    solver.set_external_stop(&user_stop_);
-    if (opts_.share_clauses) {
-      const std::uint32_t max_len = opts_.exchange.max_clause_length;
-      solver.set_learn_callback([&exchange, &solver, id,
-                                 max_len](std::span<const Lit> lits) {
-        // Length filter before taking the exchange lock: long clauses are
-        // the common case and never eligible.
-        if (lits.empty() || lits.size() > max_len) return;
-        if (exchange.publish(id, lits)) solver.note_exported_clause();
-      });
-      solver.set_restart_callback([&exchange, &solver, id]() {
-        std::vector<std::vector<Lit>> batch;
-        exchange.collect(id, &batch);
-        for (const auto& clause : batch) {
-          if (!solver.import_clause(clause)) break;  // root-level conflict
-        }
-      });
-    }
-    solver.load(cnf_);
+    Solver& solver = *solvers_[static_cast<std::size_t>(id)];
 
     WallTimer timer;
     const SolveStatus status = solver.solve_with_assumptions(assumed, budget);
@@ -85,16 +133,9 @@ SolveStatus PortfolioSolver::solve_with_assumptions(
       if (winner_ < 0) winner_ = id;
       // Cancel the race through each sibling's own sticky flag (the
       // shared user_stop_ must stay untouched: it belongs to the user).
-      for (const auto& sibling : solvers) sibling->request_stop();
+      for (const auto& sibling : solvers_) sibling->request_stop();
     }
   };
-
-  for (int i = 0; i < n; ++i) {
-    solvers[static_cast<std::size_t>(i)] =
-        std::make_unique<Solver>(configs[static_cast<std::size_t>(i)].options);
-    reports_[static_cast<std::size_t>(i)].name =
-        configs[static_cast<std::size_t>(i)].name;
-  }
 
   if (n == 1) {
     worker(0);
@@ -105,15 +146,17 @@ SolveStatus PortfolioSolver::solve_with_assumptions(
     for (std::thread& t : threads) t.join();
   }
 
-  // Snapshot per-worker stats only after every thread has stopped.
+  // Snapshot per-worker stats only after every thread has stopped. The
+  // counters are cumulative over the workers' lifetime — warm workers keep
+  // growing them call after call.
   for (int i = 0; i < n; ++i) {
     reports_[static_cast<std::size_t>(i)].stats =
-        solvers[static_cast<std::size_t>(i)]->stats();
+        solvers_[static_cast<std::size_t>(i)]->stats();
   }
-  exchange_stats_ = exchange.stats();
+  exchange_stats_ = exchange_->stats();
 
   if (winner_ < 0) return SolveStatus::unknown;
-  const Solver& winning = *solvers[static_cast<std::size_t>(winner_)];
+  const Solver& winning = *solvers_[static_cast<std::size_t>(winner_)];
   winner_name_ = reports_[static_cast<std::size_t>(winner_)].name;
   const SolveStatus status = reports_[static_cast<std::size_t>(winner_)].status;
   if (status == SolveStatus::satisfiable) {

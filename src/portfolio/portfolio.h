@@ -20,6 +20,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
@@ -67,6 +68,11 @@ class PortfolioSolver {
   // The budget applies to every worker independently (a wall-clock budget
   // therefore bounds the whole race). Returns unknown only when no worker
   // reached an answer within the budget.
+  //
+  // Workers stay warm across calls: the first solve builds the lineup and
+  // loads the formula, later calls only feed clauses added since, so
+  // learned clauses, activities and exchange cursors carry over — repeated
+  // assumption queries and budget slices resume instead of restarting.
   SolveStatus solve(const Budget& budget = Budget::unlimited());
   SolveStatus solve_with_assumptions(std::span<const Lit> assumptions,
                                      const Budget& budget = Budget::unlimited());
@@ -99,9 +105,31 @@ class PortfolioSolver {
 
   const PortfolioOptions& options() const { return opts_; }
 
+  // ---- warm-worker introspection (tests, tools) -------------------------
+  // True once the first solve has built the worker lineup; the same Solver
+  // objects then serve every later call.
+  bool workers_warm() const { return !solvers_.empty(); }
+  // The id-th worker engine, or nullptr before the first solve / out of
+  // range. Only valid to inspect while no solve is in flight.
+  const Solver* worker(int id) const {
+    return id >= 0 && id < static_cast<int>(solvers_.size())
+               ? solvers_[static_cast<std::size_t>(id)].get()
+               : nullptr;
+  }
+
  private:
+  // Builds the diversified lineup, exchange and worker solvers (first
+  // solve only), then feeds any clauses added since the previous call.
+  void warm_up_workers();
+
   PortfolioOptions opts_;
   Cnf cnf_;
+
+  // Warm state, created by the first solve and reused afterwards.
+  std::vector<std::unique_ptr<Solver>> solvers_;
+  std::vector<std::string> worker_names_;
+  std::unique_ptr<ClauseExchange> exchange_;
+  std::size_t loaded_clauses_ = 0;
 
   // User cancellation only; never reset by solve itself. Race
   // cancellation goes through each worker Solver's own request_stop().

@@ -1,0 +1,106 @@
+// Job types for the time-sliced SolverService.
+//
+// A job is one SAT query — a CNF (inline or as a DIMACS path), optional
+// assumptions, and per-job limits — submitted to the service's bounded
+// queue. The service reports progress through JobState (the lifecycle
+// queued → running → preempted → done/cancelled; preempted jobs re-enter
+// the run queue with all solver state intact) and delivers a JobResult
+// once the job reaches a terminal state.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cnf/cnf_formula.h"
+#include "cnf/literal.h"
+#include "core/options.h"
+#include "core/solver_types.h"
+
+namespace berkmin::service {
+
+using JobId = std::uint64_t;
+inline constexpr JobId invalid_job = 0;
+
+// Lifecycle of a job inside the service. `preempted` means a slice budget
+// expired with the query still open: the job keeps its solver (learned
+// clauses, activities, polarities) and waits in the run queue for its next
+// slice. Terminal states are done and cancelled.
+enum class JobState : std::uint8_t {
+  queued,     // waiting for its first slice
+  running,    // a worker is inside solve() for this job
+  preempted,  // between slices, waiting in the run queue
+  done,       // result available (including deadline/budget expiry)
+  cancelled,  // cancel() or a non-draining shutdown got there first
+};
+
+const char* to_string(JobState state);
+
+// How a job reached a terminal state.
+enum class JobOutcome : std::uint8_t {
+  completed,         // definitive SAT/UNSAT answer
+  budget_exhausted,  // the per-job conflict budget ran out (status unknown)
+  deadline_expired,  // the wall-clock deadline passed (status unknown)
+  cancelled,         // cancel() or non-draining shutdown
+  error,             // the formula could not be loaded (see JobResult::error)
+};
+
+const char* to_string(JobOutcome outcome);
+
+// Per-job limits. All zero/default means "run to completion".
+struct JobLimits {
+  // Total conflicts across all slices (0 = unlimited).
+  std::uint64_t max_conflicts = 0;
+  // Wall-clock deadline measured from submission (0 = none). A job past
+  // its deadline reports status unknown with outcome deadline_expired; its
+  // solver is discarded, never poisoned — resubmitting the query works.
+  double deadline_seconds = 0.0;
+  // Escalation: > 1 solves the job through a warm PortfolioSolver with
+  // this many racing workers instead of a single Solver. The portfolio is
+  // sliced exactly like a sequential job.
+  int threads = 1;
+  // Higher-priority jobs are scheduled first; equal priorities time-slice
+  // fairly with aging (see SolverService's scheduler).
+  int priority = 0;
+};
+
+struct JobRequest {
+  std::string name;  // echoed in results; defaults to "job-<id>"
+  // The formula: either inline...
+  Cnf cnf;
+  // ...or a DIMACS file parsed lazily on a worker thread at the job's
+  // first slice (used when non-empty, so submission stays cheap).
+  std::string dimacs_path;
+  std::vector<Lit> assumptions;
+  JobLimits limits;
+  SolverOptions options = SolverOptions::berkmin();
+};
+
+struct JobResult {
+  JobId id = invalid_job;
+  std::string name;
+  SolveStatus status = SolveStatus::unknown;
+  JobOutcome outcome = JobOutcome::completed;
+  std::string error;  // outcome == error: what went wrong
+
+  // Valid when status is satisfiable / unsatisfiable respectively.
+  std::vector<Value> model;
+  std::vector<Lit> failed_assumptions;
+
+  // Scheduling + work accounting, summed over every slice.
+  std::uint32_t slices = 0;
+  std::uint32_t preemptions = 0;
+  std::uint64_t conflicts = 0;
+  std::uint64_t decisions = 0;
+  std::uint64_t propagations = 0;
+  std::uint64_t learned_clauses = 0;
+  // Database shape at the end of the job (winner's, for portfolio jobs);
+  // zero when the job never ran a slice.
+  std::uint64_t max_live_clauses = 0;
+  std::uint64_t initial_clauses = 0;
+  double queue_seconds = 0.0;  // submit → first slice
+  double solve_seconds = 0.0;  // time inside solve() slices
+  double wall_seconds = 0.0;   // submit → terminal state
+};
+
+}  // namespace berkmin::service

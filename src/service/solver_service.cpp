@@ -1,0 +1,502 @@
+#include "service/solver_service.h"
+
+#include <algorithm>
+#include <exception>
+#include <stdexcept>
+#include <utility>
+
+#include "cnf/dimacs.h"
+#include "portfolio/diversify.h"
+
+namespace berkmin::service {
+
+const char* to_string(JobState state) {
+  switch (state) {
+    case JobState::queued:
+      return "queued";
+    case JobState::running:
+      return "running";
+    case JobState::preempted:
+      return "preempted";
+    case JobState::done:
+      return "done";
+    case JobState::cancelled:
+      return "cancelled";
+  }
+  return "invalid";
+}
+
+const char* to_string(JobOutcome outcome) {
+  switch (outcome) {
+    case JobOutcome::completed:
+      return "completed";
+    case JobOutcome::budget_exhausted:
+      return "budget_exhausted";
+    case JobOutcome::deadline_expired:
+      return "deadline_expired";
+    case JobOutcome::cancelled:
+      return "cancelled";
+    case JobOutcome::error:
+      return "error";
+  }
+  return "invalid";
+}
+
+SolverService::SolverService(ServiceOptions options) : opts_(options) {
+  if (opts_.num_workers < 1) opts_.num_workers = 1;
+  if (opts_.max_pending < 1) opts_.max_pending = 1;
+  workers_.reserve(static_cast<std::size_t>(opts_.num_workers));
+  for (int i = 0; i < opts_.num_workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+SolverService::~SolverService() { shutdown(Shutdown::cancel_pending); }
+
+std::optional<JobId> SolverService::submit(JobRequest request) {
+  std::unique_lock<std::mutex> lk(lock_);
+  space_cv_.wait(
+      lk, [&] { return pending_ < opts_.max_pending || !accepting_; });
+  return admit_locked(std::move(request));
+}
+
+std::optional<JobId> SolverService::try_submit(JobRequest request) {
+  std::unique_lock<std::mutex> lk(lock_);
+  return admit_locked(std::move(request));
+}
+
+std::optional<JobId> SolverService::admit_locked(JobRequest request) {
+  if (!accepting_ || pending_ >= opts_.max_pending) {
+    ++stats_.rejected;
+    return std::nullopt;
+  }
+  auto job = std::make_shared<Job>();
+  job->id = next_id_++;
+  if (request.name.empty()) request.name = "job-" + std::to_string(job->id);
+  if (request.limits.threads < 1) request.limits.threads = 1;
+  job->request = std::move(request);
+  job->submit_time = clock_.seconds();
+  if (job->request.limits.deadline_seconds > 0.0) {
+    job->deadline_point = job->submit_time + job->request.limits.deadline_seconds;
+  }
+  job->result.id = job->id;
+  job->result.name = job->request.name;
+
+  jobs_.emplace(job->id, job);
+  ++pending_;
+  ++stats_.submitted;
+  stats_.peak_pending = std::max<std::uint64_t>(stats_.peak_pending, pending_);
+  enqueue_ready_locked(job);
+  work_cv_.notify_one();
+  return job->id;
+}
+
+bool SolverService::cancel(JobId id) {
+  JobResult notify;
+  {
+    std::lock_guard<std::mutex> lk(lock_);
+    const auto it = jobs_.find(id);
+    if (it == jobs_.end() || it->second->finished) return false;
+    const std::shared_ptr<Job>& job = it->second;
+    job->cancel_requested = true;
+    if (job->job_state == JobState::running) {
+      // The worker owns the job: stop its solver mid-slice and let the
+      // worker classify the result (it re-checks cancel_requested under
+      // this lock after the slice, so the request cannot be lost).
+      if (job->solver != nullptr) job->solver->request_stop();
+      if (job->portfolio != nullptr) job->portfolio->request_stop();
+      return true;
+    }
+    notify = finish_locked(job, JobOutcome::cancelled);
+  }
+  deliver(std::move(notify));
+  return true;
+}
+
+void SolverService::shutdown(Shutdown mode) {
+  std::vector<JobResult> notifications;
+  {
+    std::lock_guard<std::mutex> lk(lock_);
+    accepting_ = false;
+    if (mode == Shutdown::cancel_pending) {
+      for (auto& [id, job] : jobs_) {
+        if (job->finished) continue;
+        job->cancel_requested = true;
+        if (job->job_state == JobState::running) {
+          if (job->solver != nullptr) job->solver->request_stop();
+          if (job->portfolio != nullptr) job->portfolio->request_stop();
+        } else {
+          notifications.push_back(finish_locked(job, JobOutcome::cancelled));
+        }
+      }
+      ready_.clear();
+    }
+    work_cv_.notify_all();
+    space_cv_.notify_all();
+  }
+  for (JobResult& result : notifications) deliver(std::move(result));
+
+  // Joining is serialized separately so concurrent shutdown calls (and the
+  // destructor racing an explicit shutdown) are safe.
+  std::lock_guard<std::mutex> jg(join_lock_);
+  if (joined_) return;
+  for (std::thread& worker : workers_) worker.join();
+  joined_ = true;
+}
+
+JobState SolverService::state(JobId id) const {
+  std::lock_guard<std::mutex> lk(lock_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) throw std::out_of_range("unknown job id");
+  return it->second->job_state;
+}
+
+JobResult SolverService::wait(JobId id) {
+  std::unique_lock<std::mutex> lk(lock_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) throw std::out_of_range("unknown job id");
+  const std::shared_ptr<Job> job = it->second;
+  done_cv_.wait(lk, [&] { return job->finished; });
+  return job->result;
+}
+
+std::vector<JobResult> SolverService::wait_all() {
+  std::unique_lock<std::mutex> lk(lock_);
+  done_cv_.wait(lk, [&] { return pending_ == 0; });
+  std::vector<JobResult> results;
+  results.reserve(jobs_.size());
+  for (const auto& [id, job] : jobs_) results.push_back(job->result);
+  std::sort(results.begin(), results.end(),
+            [](const JobResult& a, const JobResult& b) { return a.id < b.id; });
+  return results;
+}
+
+void SolverService::set_completion_callback(CompletionCallback callback) {
+  std::lock_guard<std::mutex> lk(lock_);
+  completion_ = std::move(callback);
+}
+
+ServiceStats SolverService::stats() const {
+  std::lock_guard<std::mutex> lk(lock_);
+  return stats_;
+}
+
+void SolverService::enqueue_ready_locked(const std::shared_ptr<Job>& job) {
+  job->ready_since = dispatch_tick_;
+  ready_.push_back(job->id);
+}
+
+double SolverService::schedule_key_locked(const Job& job) const {
+  // Lower runs first: few consumed slices (short jobs finish fast), high
+  // explicit priority, and aging credit for time spent waiting — so a
+  // steady stream of fresh jobs cannot starve a long-running one forever.
+  const double age =
+      static_cast<double>(dispatch_tick_ - job.ready_since) * opts_.aging_rate;
+  return static_cast<double>(job.result.slices) -
+         static_cast<double>(job.request.limits.priority) * opts_.priority_weight -
+         age;
+}
+
+std::shared_ptr<SolverService::Job> SolverService::pop_ready_locked() {
+  // Linear scan: the ready queue is bounded by max_pending and a dispatch
+  // happens once per multi-thousand-conflict slice, so O(n) selection is
+  // noise. Stale ids (jobs cancelled while queued) are compacted away.
+  std::shared_ptr<Job> best;
+  double best_key = 0.0;
+  std::vector<JobId> runnable;
+  runnable.reserve(ready_.size());
+  for (const JobId id : ready_) {
+    const auto it = jobs_.find(id);
+    if (it == jobs_.end()) continue;
+    const std::shared_ptr<Job>& job = it->second;
+    if (job->finished || job->job_state == JobState::running) continue;
+    runnable.push_back(id);
+    const double key = schedule_key_locked(*job);
+    if (best == nullptr || key < best_key ||
+        (key == best_key && id < best->id)) {
+      best = job;
+      best_key = key;
+    }
+  }
+  if (best != nullptr) {
+    runnable.erase(std::find(runnable.begin(), runnable.end(), best->id));
+  }
+  ready_ = std::move(runnable);
+  return best;
+}
+
+void SolverService::worker_loop() {
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lk(lock_);
+      work_cv_.wait(lk, [&] { return !ready_.empty() || !accepting_; });
+      job = pop_ready_locked();
+      if (job == nullptr) {
+        if (!accepting_ && ready_.empty()) return;
+        continue;
+      }
+      ++dispatch_tick_;
+      job->job_state = JobState::running;
+      if (job->first_slice_time < 0.0) job->first_slice_time = clock_.seconds();
+    }
+    run_slice(job);
+  }
+}
+
+void SolverService::run_slice(const std::shared_ptr<Job>& job) {
+  const JobLimits& limits = job->request.limits;
+
+  // Pre-flight: cancellation or an already-expired deadline ends the job
+  // without spending a slice on it.
+  {
+    JobResult notify;
+    bool terminal = false;
+    std::unique_lock<std::mutex> lk(lock_);
+    if (job->cancel_requested) {
+      notify = finish_locked(job, JobOutcome::cancelled);
+      terminal = true;
+    } else if (job->deadline_point > 0.0 &&
+               clock_.seconds() >= job->deadline_point) {
+      notify = finish_locked(job, JobOutcome::deadline_expired);
+      terminal = true;
+    }
+    if (terminal) {
+      lk.unlock();
+      deliver(std::move(notify));
+      return;
+    }
+  }
+
+  // First slice: materialize the formula and the engine. Parsing and
+  // loading happen outside the lock (they can dwarf a slice); the engine
+  // pointer is published under the lock so cancel() can reach it.
+  if (!job->loaded) {
+    std::string error;
+    std::unique_ptr<Solver> solver;
+    std::unique_ptr<portfolio::PortfolioSolver> portfolio;
+    try {
+      Cnf parsed;
+      const Cnf* formula = &job->request.cnf;
+      if (!job->request.dimacs_path.empty()) {
+        parsed = dimacs::read_file(job->request.dimacs_path);
+        formula = &parsed;
+      }
+      if (limits.threads > 1) {
+        portfolio::PortfolioOptions popts;
+        popts.num_threads = limits.threads;
+        popts.base_seed = job->request.options.seed;
+        popts.configs = portfolio::diversify_around(
+            job->request.options, limits.threads, job->request.options.seed);
+        portfolio = std::make_unique<portfolio::PortfolioSolver>(popts);
+        portfolio->load(*formula);
+      } else {
+        solver = std::make_unique<Solver>(job->request.options);
+        solver->load(*formula);
+      }
+    } catch (const std::exception& ex) {
+      error = ex.what();
+    }
+
+    JobResult notify;
+    bool terminal = false;
+    {
+      std::unique_lock<std::mutex> lk(lock_);
+      if (!error.empty()) {
+        job->result.error = error;
+        notify = finish_locked(job, JobOutcome::error);
+        terminal = true;
+      } else if (job->cancel_requested) {
+        notify = finish_locked(job, JobOutcome::cancelled);
+        terminal = true;
+      } else {
+        job->solver = std::move(solver);
+        job->portfolio = std::move(portfolio);
+        job->loaded = true;
+      }
+    }
+    if (terminal) {
+      deliver(std::move(notify));
+      return;
+    }
+  }
+
+  // Slice budget: the service-wide slice size, clamped by what remains of
+  // the job's own conflict budget and deadline.
+  Budget budget;
+  budget.max_conflicts = opts_.slice_conflicts;
+  if (limits.max_conflicts != 0) {
+    const std::uint64_t used = job->result.conflicts;
+    const std::uint64_t remaining =
+        limits.max_conflicts > used ? limits.max_conflicts - used : 1;
+    if (budget.max_conflicts == 0 || remaining < budget.max_conflicts) {
+      budget.max_conflicts = remaining;
+    }
+  }
+  budget.max_seconds = opts_.slice_seconds;
+  if (job->deadline_point > 0.0) {
+    double remaining = job->deadline_point - clock_.seconds();
+    if (remaining < 1e-3) remaining = 1e-3;
+    if (budget.max_seconds == 0.0 || remaining < budget.max_seconds) {
+      budget.max_seconds = remaining;
+    }
+  }
+
+  // A cancel() arriving from here on finds the published engine pointer
+  // and stops the solve mid-slice; the sticky flag means even a request
+  // that lands before solve() starts is honored.
+  WallTimer slice_timer;
+  SolveStatus status;
+  if (job->solver != nullptr) {
+    status = job->solver->solve_with_assumptions(job->request.assumptions, budget);
+  } else {
+    status =
+        job->portfolio->solve_with_assumptions(job->request.assumptions, budget);
+  }
+  const double slice_seconds = slice_timer.seconds();
+
+  JobResult notify;
+  bool terminal = false;
+  {
+    std::unique_lock<std::mutex> lk(lock_);
+    ++stats_.slices;
+    stats_.solve_seconds += slice_seconds;
+    ++job->result.slices;
+    job->result.solve_seconds += slice_seconds;
+
+    std::uint64_t conflicts = 0;
+    std::uint64_t decisions = 0;
+    std::uint64_t propagations = 0;
+    std::uint64_t learned = 0;
+    if (job->solver != nullptr) {
+      const SliceStats& slice = job->solver->last_slice();
+      conflicts = slice.conflicts;
+      decisions = slice.decisions;
+      propagations = slice.propagations;
+      learned = slice.learned_clauses;
+    } else {
+      // Portfolio reports are cumulative over its (warm) workers; charge
+      // the delta since the previous slice.
+      std::uint64_t total_conflicts = 0;
+      std::uint64_t total_decisions = 0;
+      std::uint64_t total_propagations = 0;
+      std::uint64_t total_learned = 0;
+      for (const portfolio::WorkerReport& report : job->portfolio->reports()) {
+        total_conflicts += report.stats.conflicts;
+        total_decisions += report.stats.decisions;
+        total_propagations += report.stats.propagations;
+        total_learned += report.stats.learned_clauses;
+      }
+      conflicts = total_conflicts - job->portfolio_seen_conflicts;
+      decisions = total_decisions - job->portfolio_seen_decisions;
+      propagations = total_propagations - job->portfolio_seen_propagations;
+      learned = total_learned - job->portfolio_seen_learned;
+      job->portfolio_seen_conflicts = total_conflicts;
+      job->portfolio_seen_decisions = total_decisions;
+      job->portfolio_seen_propagations = total_propagations;
+      job->portfolio_seen_learned = total_learned;
+    }
+    job->result.conflicts += conflicts;
+    job->result.decisions += decisions;
+    job->result.propagations += propagations;
+    job->result.learned_clauses += learned;
+    stats_.conflicts += conflicts;
+
+    if (status != SolveStatus::unknown) {
+      job->result.status = status;
+      notify = finish_locked(job, JobOutcome::completed);
+      terminal = true;
+    } else if (job->cancel_requested) {
+      notify = finish_locked(job, JobOutcome::cancelled);
+      terminal = true;
+    } else if (job->deadline_point > 0.0 &&
+               clock_.seconds() >= job->deadline_point) {
+      notify = finish_locked(job, JobOutcome::deadline_expired);
+      terminal = true;
+    } else if (limits.max_conflicts != 0 &&
+               job->result.conflicts >= limits.max_conflicts) {
+      notify = finish_locked(job, JobOutcome::budget_exhausted);
+      terminal = true;
+    } else {
+      // Budget slice expired with the query still open: back into the run
+      // queue with all solver state intact.
+      job->job_state = JobState::preempted;
+      ++job->result.preemptions;
+      ++stats_.preemptions;
+      enqueue_ready_locked(job);
+      work_cv_.notify_one();
+    }
+  }
+  if (terminal) deliver(std::move(notify));
+}
+
+JobResult SolverService::finish_locked(const std::shared_ptr<Job>& job,
+                                       JobOutcome outcome) {
+  job->result.outcome = outcome;
+  if (outcome == JobOutcome::completed) {
+    if (job->result.status == SolveStatus::satisfiable) {
+      job->result.model = job->solver != nullptr ? job->solver->model()
+                                                 : job->portfolio->model();
+    } else if (job->result.status == SolveStatus::unsatisfiable) {
+      job->result.failed_assumptions = job->solver != nullptr
+                                           ? job->solver->failed_assumptions()
+                                           : job->portfolio->failed_assumptions();
+    }
+  }
+  // Snapshot the database shape before the engine is released.
+  if (job->solver != nullptr) {
+    job->result.max_live_clauses = job->solver->stats().max_live_clauses;
+    job->result.initial_clauses = job->solver->stats().initial_clauses;
+  } else if (job->portfolio != nullptr && job->portfolio->winner() >= 0) {
+    const SolverStats& winning =
+        job->portfolio->reports()[static_cast<std::size_t>(
+                                      job->portfolio->winner())]
+            .stats;
+    job->result.max_live_clauses = winning.max_live_clauses;
+    job->result.initial_clauses = winning.initial_clauses;
+  }
+  const double now = clock_.seconds();
+  job->result.wall_seconds = now - job->submit_time;
+  job->result.queue_seconds =
+      (job->first_slice_time >= 0.0 ? job->first_slice_time : now) -
+      job->submit_time;
+
+  job->job_state =
+      outcome == JobOutcome::cancelled ? JobState::cancelled : JobState::done;
+  job->finished = true;
+  job->solver.reset();
+  job->portfolio.reset();
+
+  switch (outcome) {
+    case JobOutcome::completed:
+      ++stats_.completed;
+      break;
+    case JobOutcome::budget_exhausted:
+      ++stats_.budget_exhausted;
+      break;
+    case JobOutcome::deadline_expired:
+      ++stats_.deadline_expired;
+      break;
+    case JobOutcome::cancelled:
+      ++stats_.cancelled;
+      break;
+    case JobOutcome::error:
+      ++stats_.errors;
+      break;
+  }
+  --pending_;
+  space_cv_.notify_one();
+  done_cv_.notify_all();
+  return job->result;
+}
+
+void SolverService::deliver(JobResult result) {
+  CompletionCallback callback;
+  {
+    std::lock_guard<std::mutex> lk(lock_);
+    callback = completion_;
+  }
+  if (callback) callback(result);
+}
+
+}  // namespace berkmin::service

@@ -1,0 +1,197 @@
+// SolverService: a multi-tenant, time-sliced SAT solving engine.
+//
+// Many formulas share one fixed pool of worker threads. Jobs enter a
+// bounded queue and are executed as Budget-bounded solve() slices
+// (slice_conflicts conflicts at a time), so a short job submitted behind a
+// hard one is never starved: after each slice the long job re-enters the
+// run queue — keeping its learned clauses, variable activities and saved
+// polarities, because the job's Solver survives between slices and the
+// core's budgets are per-call — and the scheduler picks the next job by
+// consumed slices, explicit priority, and waiting-time aging.
+//
+// Lifecycle: queued → running ⇄ preempted → done/cancelled. Individual
+// jobs can be cancelled mid-slice (the slice stops at the solver's next
+// search step); shutdown either drains the queue or cancels every
+// unfinished job, exactly once each.
+//
+// Typical use:
+//   SolverService service({.num_workers = 4, .slice_conflicts = 2000});
+//   JobRequest request;
+//   request.cnf = formula;
+//   request.limits.deadline_seconds = 1.0;
+//   const JobId id = *service.submit(std::move(request));
+//   const JobResult result = service.wait(id);
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/solver.h"
+#include "portfolio/portfolio.h"
+#include "service/job.h"
+#include "util/timer.h"
+
+namespace berkmin::service {
+
+struct ServiceOptions {
+  int num_workers = 4;
+  // Bounded admission: the number of unfinished jobs (queued + running +
+  // preempted) the service holds at once. submit() blocks while full;
+  // try_submit() fails instead.
+  std::size_t max_pending = 1024;
+  // Conflicts per slice (0 = run every job to completion in one slice).
+  std::uint64_t slice_conflicts = 2000;
+  // Optional wall-clock cap per slice (0 = none). Deadlines clamp slices
+  // regardless, so a job never overshoots its deadline by more than one
+  // search step's worth of clock checking.
+  double slice_seconds = 0.0;
+  // Scheduler shaping: one unit of JobLimits::priority is worth this many
+  // consumed slices, and every dispatch a waiting job ages by aging_rate
+  // slices — so low-priority or long jobs cannot be starved forever.
+  double priority_weight = 4.0;
+  double aging_rate = 0.125;
+};
+
+// Aggregate throughput counters, all monotone over the service lifetime.
+struct ServiceStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t rejected = 0;  // try_submit on a full queue / after shutdown
+  std::uint64_t completed = 0;         // definitive SAT/UNSAT
+  std::uint64_t budget_exhausted = 0;  // per-job conflict budget ran out
+  std::uint64_t deadline_expired = 0;
+  std::uint64_t cancelled = 0;
+  std::uint64_t errors = 0;  // unloadable formulas
+  std::uint64_t slices = 0;
+  std::uint64_t preemptions = 0;
+  std::uint64_t conflicts = 0;  // summed over every slice of every job
+  std::uint64_t peak_pending = 0;
+  double solve_seconds = 0.0;  // total time inside solve() slices
+
+  std::uint64_t finished() const {
+    return completed + budget_exhausted + deadline_expired + cancelled + errors;
+  }
+};
+
+class SolverService {
+ public:
+  explicit SolverService(ServiceOptions options = {});
+  ~SolverService();  // shutdown(Shutdown::cancel_pending)
+
+  SolverService(const SolverService&) = delete;
+  SolverService& operator=(const SolverService&) = delete;
+
+  // ---- submission -------------------------------------------------------
+  // Enqueues a job. submit() blocks while the service is at max_pending;
+  // both return std::nullopt once shutdown has begun (and try_submit also
+  // when the queue is full).
+  std::optional<JobId> submit(JobRequest request);
+  std::optional<JobId> try_submit(JobRequest request);
+
+  // ---- control ----------------------------------------------------------
+  // Cancels one job. Returns true iff the job was still unfinished: a
+  // queued/preempted job is cancelled immediately, a running job stops at
+  // its solver's next search step. The result (outcome cancelled) is
+  // delivered through wait()/the completion callback like any other.
+  bool cancel(JobId id);
+
+  // Ends the service. `drain` finishes every queued job first;
+  // `cancel_pending` cancels all unfinished jobs (running jobs stop at the
+  // next search step). Idempotent; every job reaches exactly one terminal
+  // state either way. The destructor uses cancel_pending.
+  enum class Shutdown { drain, cancel_pending };
+  void shutdown(Shutdown mode = Shutdown::drain);
+
+  // ---- observation ------------------------------------------------------
+  // Valid for any id returned by submit()/try_submit(); unknown ids throw
+  // std::out_of_range.
+  JobState state(JobId id) const;
+  // Blocks until the job is terminal and returns its result.
+  JobResult wait(JobId id);
+  // Blocks until every submitted job is terminal; results in id order.
+  std::vector<JobResult> wait_all();
+
+  // Invoked on a worker thread each time a job reaches a terminal state
+  // (including cancellations of jobs that never ran). Set it before the
+  // first submit; the callback must not call back into the service.
+  using CompletionCallback = std::function<void(const JobResult&)>;
+  void set_completion_callback(CompletionCallback callback);
+
+  ServiceStats stats() const;
+  const ServiceOptions& options() const { return opts_; }
+
+ private:
+  struct Job {
+    JobId id = invalid_job;
+    JobRequest request;
+    JobState job_state = JobState::queued;
+    bool cancel_requested = false;
+
+    // Scheduling.
+    double deadline_point = 0.0;  // service-clock seconds; 0 = none
+    std::uint64_t ready_since = 0;  // dispatch tick of the last enqueue
+    double submit_time = 0.0;
+    double first_slice_time = -1.0;
+
+    // Engine — exactly one is non-null once loaded (threads > 1 picks the
+    // portfolio). Reset when the job finishes to release memory.
+    std::unique_ptr<Solver> solver;
+    std::unique_ptr<portfolio::PortfolioSolver> portfolio;
+    bool loaded = false;
+    // Portfolio stats are cumulative across warm calls; remember the
+    // previous totals so slices can be charged as deltas.
+    std::uint64_t portfolio_seen_conflicts = 0;
+    std::uint64_t portfolio_seen_decisions = 0;
+    std::uint64_t portfolio_seen_propagations = 0;
+    std::uint64_t portfolio_seen_learned = 0;
+
+    JobResult result;
+    bool finished = false;
+  };
+
+  void worker_loop();
+  // Shared admission path of submit()/try_submit(). Must hold lock_.
+  std::optional<JobId> admit_locked(JobRequest request);
+  // Picks the runnable job with the best (lowest) schedule key, or null.
+  std::shared_ptr<Job> pop_ready_locked();
+  double schedule_key_locked(const Job& job) const;
+  void enqueue_ready_locked(const std::shared_ptr<Job>& job);
+  // One slice of one job: load if needed, solve under the slice budget,
+  // then classify the outcome. Called without the lock held.
+  void run_slice(const std::shared_ptr<Job>& job);
+  // Moves a job to a terminal state, fills the remaining result fields and
+  // wakes waiters. Must hold lock_; returns the callback payload.
+  JobResult finish_locked(const std::shared_ptr<Job>& job, JobOutcome outcome);
+  void deliver(JobResult result);  // completion callback, outside the lock
+
+  ServiceOptions opts_;
+  CompletionCallback completion_;
+  WallTimer clock_;
+
+  mutable std::mutex lock_;
+  std::condition_variable work_cv_;   // workers: ready job or shutdown
+  std::condition_variable space_cv_;  // submitters: queue has room
+  std::condition_variable done_cv_;   // waiters: some job finished
+
+  bool accepting_ = true;
+  JobId next_id_ = 1;
+  std::uint64_t dispatch_tick_ = 0;
+  std::size_t pending_ = 0;  // unfinished jobs
+  std::vector<JobId> ready_;  // queued/preempted jobs (may hold stale ids)
+  std::unordered_map<JobId, std::shared_ptr<Job>> jobs_;
+  ServiceStats stats_;
+
+  // Serializes the join phase of shutdown() so concurrent shutdown calls
+  // (including the destructor) are safe. Never taken while holding lock_.
+  std::mutex join_lock_;
+  bool joined_ = false;  // guarded by join_lock_
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace berkmin::service

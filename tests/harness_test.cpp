@@ -74,6 +74,44 @@ TEST(Runner, TimeoutCountsAsAborted) {
   EXPECT_EQ(result.solved, 0);
 }
 
+TEST(Runner, ServiceRouteMatchesOneShotRoute) {
+  // The batched route through the time-sliced SolverService must score a
+  // suite exactly like the classic per-instance route.
+  const Suite hole = suite_by_name("Hole", 1, 7);
+  const ClassResult direct =
+      run_suite(hole, SolverOptions::berkmin(), /*timeout=*/30.0);
+
+  service::ServiceOptions options;
+  options.num_workers = 2;
+  options.slice_conflicts = 100;  // small enough to preempt the larger holes
+  const ClassResult batched =
+      run_suite_service(hole, SolverOptions::berkmin(), /*timeout=*/30.0, options);
+
+  EXPECT_EQ(batched.num_instances, direct.num_instances);
+  EXPECT_EQ(batched.solved, direct.solved);
+  EXPECT_EQ(batched.aborted, 0);
+  EXPECT_EQ(batched.wrong, 0);
+  ASSERT_EQ(batched.runs.size(), direct.runs.size());
+  for (std::size_t i = 0; i < batched.runs.size(); ++i) {
+    EXPECT_EQ(batched.runs[i].status, direct.runs[i].status)
+        << batched.runs[i].name;
+  }
+}
+
+TEST(Runner, ServiceRouteCountsDeadlinesAsAborted) {
+  Suite suite{"Test", {}};
+  suite.instances.push_back(
+      Instance{"hole9", gen::generate_from_spec("hole:9", nullptr)->cnf,
+               gen::Expectation::unsat});
+  service::ServiceOptions options;
+  options.num_workers = 1;
+  options.slice_conflicts = 50;
+  const ClassResult result = run_suite_service(
+      suite, SolverOptions::berkmin(), /*timeout=*/1e-3, options);
+  EXPECT_EQ(result.aborted, 1);
+  EXPECT_EQ(result.solved, 0);
+}
+
 TEST(Runner, FormatTimeMatchesPaperConvention) {
   ClassResult result;
   result.finished_seconds = 409.24;

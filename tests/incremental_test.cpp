@@ -7,6 +7,7 @@
 
 #include "core/enumerate.h"
 #include "core/solver.h"
+#include "gen/pigeonhole.h"
 #include "gen/random_ksat.h"
 #include "reference/brute_force.h"
 #include "test_util.h"
@@ -147,6 +148,104 @@ TEST_P(AssumptionSweep, MatchesAddingUnits) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, AssumptionSweep, ::testing::Range(0, 15));
+
+// --- incremental slicing invariants ---------------------------------------
+// A job preempted N times by tiny conflict budgets must reach the same
+// verdict (and an equally sound failed-assumption core) as one unsliced
+// run: the contract the time-sliced SolverService builds on.
+
+class SlicedSolveSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SlicedSolveSweep, PreemptedRunMatchesUnslicedRun) {
+  const std::uint64_t seed = static_cast<std::uint64_t>(GetParam());
+  const Cnf cnf = gen::random_ksat(24, 100, 3, seed + 900);
+  Rng rng(seed + 5);
+  std::vector<Lit> assumptions;
+  for (int i = 0; i < 5; ++i) {
+    assumptions.push_back(Lit(static_cast<Var>(rng.below(24)), rng.coin()));
+  }
+
+  // Unsliced oracle.
+  Solver direct;
+  direct.load(cnf);
+  const SolveStatus expected = direct.solve_with_assumptions(assumptions);
+  ASSERT_NE(expected, SolveStatus::unknown);
+
+  // Sliced run: resume through tiny budgets until definitive. Every
+  // intermediate unknown must be marked resumable with the conflict
+  // budget as its cause.
+  Solver sliced;
+  sliced.load(cnf);
+  SolveStatus status = SolveStatus::unknown;
+  int slices = 0;
+  for (; slices < 100000; ++slices) {
+    status = sliced.solve_with_assumptions(assumptions, Budget::conflicts(3));
+    if (status != SolveStatus::unknown) break;
+    ASSERT_EQ(sliced.last_stop_cause(), StopCause::conflict_budget);
+    ASSERT_TRUE(sliced.last_unknown_resumable());
+    ASSERT_LE(sliced.last_slice().conflicts, 3u);
+  }
+  EXPECT_EQ(status, expected) << "seed " << seed << " after " << slices
+                              << " slices";
+
+  if (status == SolveStatus::unsatisfiable && sliced.ok() && direct.ok()) {
+    // Both cores must be subsets of the assumptions and semantically
+    // sufficient: formula AND core is unsatisfiable.
+    for (const Solver* solver : {&sliced, &direct}) {
+      const std::set<Lit> allowed(assumptions.begin(), assumptions.end());
+      for (const Lit l : solver->failed_assumptions()) {
+        EXPECT_TRUE(allowed.count(l)) << to_string(l);
+      }
+      Cnf augmented = cnf;
+      for (const Lit l : solver->failed_assumptions()) augmented.add_unit(l);
+      Solver check;
+      check.load(augmented);
+      EXPECT_EQ(check.solve(), SolveStatus::unsatisfiable) << "seed " << seed;
+    }
+  }
+  if (status == SolveStatus::satisfiable) {
+    EXPECT_TRUE(cnf.is_satisfied_by(sliced.model())) << "seed " << seed;
+    for (const Lit a : assumptions) {
+      EXPECT_EQ(value_of_literal(sliced.model()[a.var()], a),
+                Value::true_value)
+          << "seed " << seed;
+    }
+  }
+  EXPECT_EQ(sliced.validate_invariants(), "");
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SlicedSolveSweep, ::testing::Range(0, 12));
+
+TEST(SlicedSolve, StatePersistsAcrossPreemptions) {
+  // The whole point of preemption-with-state: learned clauses accumulated
+  // in early slices are still there in later ones, so the sliced run's
+  // total conflicts stay comparable to an unsliced run's instead of
+  // restarting from scratch every slice.
+  const Cnf cnf = gen::pigeonhole(6);
+
+  Solver sliced;
+  sliced.load(cnf);
+  int slices = 0;
+  std::uint64_t learned_high_water = 0;
+  while (sliced.solve(Budget::conflicts(20)) == SolveStatus::unknown) {
+    ++slices;
+    ASSERT_EQ(sliced.last_stop_cause(), StopCause::conflict_budget);
+    // Cumulative learned clauses never reset between slices.
+    ASSERT_GE(sliced.stats().learned_clauses, learned_high_water);
+    learned_high_water = sliced.stats().learned_clauses;
+    ASSERT_LT(slices, 100000) << "sliced run diverged";
+  }
+  EXPECT_GT(slices, 0) << "hole(6) finished in one 20-conflict slice?";
+
+  Solver direct;
+  direct.load(cnf);
+  ASSERT_EQ(direct.solve(), SolveStatus::unsatisfiable);
+
+  // If slices restarted the search from zero each time, the sliced total
+  // would blow up by orders of magnitude; with preserved state it stays
+  // within a small factor of the unsliced run.
+  EXPECT_LT(sliced.stats().conflicts, 20 * direct.stats().conflicts + 2000);
+}
 
 // --- model enumeration ----------------------------------------------------
 

@@ -279,6 +279,106 @@ TEST(PortfolioSolve, BudgetExpiryReturnsUnknown) {
   EXPECT_EQ(solver.winner_name(), "");
 }
 
+// ---- warm workers across calls ----------------------------------------
+
+TEST(PortfolioWarm, WorkersAndLearnedClausesPersistAcrossCalls) {
+  // Regression: solve_with_assumptions used to rebuild and reload every
+  // worker on every call, throwing away all learned clauses. Workers must
+  // now stay warm: same Solver objects, cumulative stats, learned clauses
+  // carried into the next call.
+  PortfolioOptions opts;
+  opts.num_threads = 2;
+  PortfolioSolver solver(opts);
+  // Hard enough to generate conflicts, satisfiable under both probes.
+  solver.load(gen::random_ksat(50, 205, 3, 21));
+
+  EXPECT_FALSE(solver.workers_warm());
+  EXPECT_EQ(solver.worker(0), nullptr);
+
+  const SolveStatus first =
+      solver.solve_with_assumptions(testing::lits({1}));
+  ASSERT_NE(first, SolveStatus::unknown);
+  ASSERT_TRUE(solver.workers_warm());
+  const Solver* worker0 = solver.worker(0);
+  const Solver* worker1 = solver.worker(1);
+  ASSERT_NE(worker0, nullptr);
+  const std::uint64_t conflicts_before = worker0->stats().conflicts;
+  const std::uint64_t learned_before = worker0->stats().learned_clauses;
+
+  const SolveStatus second =
+      solver.solve_with_assumptions(testing::lits({-1}));
+  ASSERT_NE(second, SolveStatus::unknown);
+
+  // Same engines, counters never reset: the second call resumed warm
+  // workers instead of reloading.
+  EXPECT_EQ(solver.worker(0), worker0);
+  EXPECT_EQ(solver.worker(1), worker1);
+  EXPECT_GE(worker0->stats().conflicts, conflicts_before);
+  EXPECT_GE(worker0->stats().learned_clauses, learned_before);
+  EXPECT_EQ(worker0->validate_invariants(), "");
+
+  // Verdicts still match a cold sequential solver.
+  for (const int probe : {1, -1}) {
+    Solver plain;
+    plain.load(gen::random_ksat(50, 205, 3, 21));
+    const SolveStatus expected =
+        plain.solve_with_assumptions(testing::lits({probe}));
+    PortfolioSolver fresh(opts);
+    fresh.load(gen::random_ksat(50, 205, 3, 21));
+    EXPECT_EQ(fresh.solve_with_assumptions(testing::lits({probe})), expected);
+  }
+}
+
+TEST(PortfolioWarm, ClausesAddedBetweenCallsReachWarmWorkers) {
+  PortfolioOptions opts;
+  opts.num_threads = 2;
+  PortfolioSolver solver(opts);
+  solver.load(testing::make_cnf({{1, 2}}));
+  ASSERT_EQ(solver.solve(), SolveStatus::satisfiable);
+  const Solver* worker0 = solver.worker(0);
+
+  // Constrain the formula incrementally; the warm workers must see the
+  // new clauses without a reload.
+  solver.add_clause(testing::lits({-1}));
+  solver.add_clause(testing::lits({-2}));
+  EXPECT_EQ(solver.solve(), SolveStatus::unsatisfiable);
+  EXPECT_EQ(solver.worker(0), worker0);
+}
+
+TEST(PortfolioWarm, SlicedPortfolioSolveResumesInsteadOfRestarting) {
+  // Budget-sliced portfolio calls are what the SolverService issues for
+  // escalated jobs: repeated small budgets must make monotone progress
+  // and end in the same verdict as an unbounded run.
+  PortfolioOptions opts;
+  opts.num_threads = 2;
+  PortfolioSolver solver(opts);
+  solver.load(gen::pigeonhole(7));
+
+  int slices = 0;
+  SolveStatus status = SolveStatus::unknown;
+  std::uint64_t conflicts_high_water = 0;
+  while (status == SolveStatus::unknown) {
+    status = solver.solve(Budget::conflicts(100));
+    ++slices;
+    std::uint64_t total = 0;
+    for (const auto& report : solver.reports()) total += report.stats.conflicts;
+    ASSERT_GE(total, conflicts_high_water) << "worker stats were reset";
+    conflicts_high_water = total;
+    ASSERT_LT(slices, 10000) << "sliced portfolio run diverged";
+  }
+  EXPECT_EQ(status, SolveStatus::unsatisfiable);
+  EXPECT_GT(slices, 1) << "hole(7) finished within one 100-conflict slice?";
+}
+
+TEST(PortfolioWarm, RepeatSolveAfterGlobalUnsatStaysUnsat) {
+  PortfolioOptions opts;
+  opts.num_threads = 2;
+  PortfolioSolver solver(opts);
+  solver.load(gen::pigeonhole(5));
+  EXPECT_EQ(solver.solve(), SolveStatus::unsatisfiable);
+  EXPECT_EQ(solver.solve(), SolveStatus::unsatisfiable);
+}
+
 // A worker importing a shared clause must behave exactly as if it had
 // learned the clause itself: end-to-end round trip through Solver's
 // import/export hooks rather than the exchange alone.

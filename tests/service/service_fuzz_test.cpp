@@ -1,0 +1,151 @@
+// Differential fuzzing of the time-sliced service: ~200 random small CNFs
+// solved three ways — the plain sequential Solver, the SolverService with
+// a pool of 4 and slices tiny enough to force many preemptions, and the
+// independent DPLL reference — must agree on every verdict, and every
+// satisfiable verdict must come with a validated model.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/solver.h"
+#include "gen/random_ksat.h"
+#include "reference/dpll.h"
+#include "service/solver_service.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace berkmin {
+namespace {
+
+using service::JobId;
+using service::JobOutcome;
+using service::JobRequest;
+using service::JobResult;
+using service::ServiceOptions;
+using service::SolverService;
+
+// Mixed shapes around the 3-SAT phase transition (ratio ~3.4–5.1), sized
+// so the DPLL oracle stays fast while the tiny service slices still force
+// preemptions on the harder draws.
+Cnf fuzz_formula(std::uint64_t seed) {
+  Rng rng(seed * 2654435761u + 17);
+  const int num_vars = 8 + static_cast<int>(rng.below(19));  // 8..26
+  const double ratio = 3.4 + static_cast<double>(rng.below(18)) / 10.0;
+  const int num_clauses = static_cast<int>(num_vars * ratio);
+  return gen::random_ksat(num_vars, num_clauses, 3, seed + 9000);
+}
+
+TEST(ServiceFuzz, TwoHundredRandomCnfsAgreeAcrossEngines) {
+  constexpr int kFormulas = 200;
+
+  // One service for the whole batch: preempted jobs interleave with fresh
+  // ones exactly as in production.
+  ServiceOptions options;
+  options.num_workers = 4;
+  options.slice_conflicts = 8;  // tiny: most non-trivial jobs get preempted
+  SolverService solving(options);
+
+  std::vector<Cnf> formulas;
+  std::vector<JobId> ids;
+  formulas.reserve(kFormulas);
+  ids.reserve(kFormulas);
+  for (int i = 0; i < kFormulas; ++i) {
+    formulas.push_back(fuzz_formula(static_cast<std::uint64_t>(i)));
+    JobRequest request;
+    request.name = "fuzz-" + std::to_string(i);
+    request.cnf = formulas.back();
+    ids.push_back(*solving.submit(std::move(request)));
+  }
+
+  std::uint64_t preempted_jobs = 0;
+  for (int i = 0; i < kFormulas; ++i) {
+    const JobResult sliced = solving.wait(ids[i]);
+    ASSERT_EQ(sliced.outcome, JobOutcome::completed) << "formula " << i;
+    if (sliced.preemptions > 0) ++preempted_jobs;
+
+    // Engine 2: the plain sequential solver.
+    Solver plain;
+    plain.load(formulas[i]);
+    const SolveStatus expected = plain.solve();
+    ASSERT_NE(expected, SolveStatus::unknown);
+
+    // Engine 3: the DPLL reference (no learning at all).
+    const reference::DpllResult oracle = reference::dpll_solve(formulas[i]);
+    ASSERT_TRUE(oracle.completed) << "formula " << i;
+
+    EXPECT_EQ(sliced.status, expected) << "formula " << i;
+    EXPECT_EQ(expected == SolveStatus::satisfiable, oracle.satisfiable)
+        << "formula " << i;
+    if (sliced.status == SolveStatus::satisfiable) {
+      EXPECT_TRUE(formulas[i].is_satisfied_by(sliced.model))
+          << "service model invalid for formula " << i;
+      EXPECT_TRUE(formulas[i].is_satisfied_by(plain.model()))
+          << "plain model invalid for formula " << i;
+    }
+  }
+  // The slices were tiny: if nothing was ever preempted the scheduler was
+  // not actually exercised and this suite proves little.
+  EXPECT_GT(preempted_jobs, 0u);
+  EXPECT_GT(solving.stats().preemptions, 0u);
+}
+
+TEST(ServiceFuzz, AssumptionJobsMatchPlainSolverAndCoresAreSound) {
+  constexpr int kFormulas = 60;
+
+  ServiceOptions options;
+  options.num_workers = 4;
+  options.slice_conflicts = 8;
+  SolverService solving(options);
+
+  std::vector<Cnf> formulas;
+  std::vector<std::vector<Lit>> assumptions;
+  std::vector<JobId> ids;
+  for (int i = 0; i < kFormulas; ++i) {
+    formulas.push_back(fuzz_formula(static_cast<std::uint64_t>(500 + i)));
+    Rng rng(static_cast<std::uint64_t>(i) + 77);
+    std::vector<Lit> assumed;
+    const int num_vars = formulas.back().num_vars();
+    for (int k = 0; k < 4; ++k) {
+      assumed.push_back(
+          Lit(static_cast<Var>(rng.below(static_cast<std::uint32_t>(num_vars))),
+              rng.coin()));
+    }
+    assumptions.push_back(assumed);
+
+    JobRequest request;
+    request.cnf = formulas.back();
+    request.assumptions = assumed;
+    ids.push_back(*solving.submit(std::move(request)));
+  }
+
+  for (int i = 0; i < kFormulas; ++i) {
+    const JobResult sliced = solving.wait(ids[i]);
+    ASSERT_EQ(sliced.outcome, JobOutcome::completed) << "formula " << i;
+
+    Solver plain;
+    plain.load(formulas[i]);
+    const SolveStatus expected = plain.solve_with_assumptions(assumptions[i]);
+    EXPECT_EQ(sliced.status, expected) << "formula " << i;
+
+    if (sliced.status == SolveStatus::satisfiable) {
+      EXPECT_TRUE(formulas[i].is_satisfied_by(sliced.model)) << "formula " << i;
+      for (const Lit a : assumptions[i]) {
+        EXPECT_EQ(value_of_literal(sliced.model[a.var()], a),
+                  Value::true_value)
+            << "formula " << i << " ignores assumption " << to_string(a);
+      }
+    } else if (plain.ok()) {
+      // Semantic check of the sliced failed-assumption core: the formula
+      // conjoined with the core must itself be unsatisfiable.
+      Cnf augmented = formulas[i];
+      for (const Lit l : sliced.failed_assumptions) augmented.add_unit(l);
+      Solver check;
+      check.load(augmented);
+      EXPECT_EQ(check.solve(), SolveStatus::unsatisfiable) << "formula " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace berkmin

@@ -66,6 +66,52 @@ TEST(StopToken, ExternalFlagSharedAcrossSolvers) {
   EXPECT_EQ(b.solve(), SolveStatus::unsatisfiable);
 }
 
+TEST(StopCause, DistinguishesBudgetExpiryFromCancellation) {
+  Solver solver;
+  solver.load(gen::pigeonhole(8));
+
+  // Budget expiry: resumable — a scheduler may slice again.
+  ASSERT_EQ(solver.solve(Budget::conflicts(5)), SolveStatus::unknown);
+  EXPECT_EQ(solver.last_stop_cause(), StopCause::conflict_budget);
+  EXPECT_TRUE(solver.last_unknown_resumable());
+  EXPECT_GE(solver.last_slice().conflicts, 1u);
+  EXPECT_LE(solver.last_slice().conflicts, 5u);
+
+  ASSERT_EQ(solver.solve(Budget::decisions(3)), SolveStatus::unknown);
+  EXPECT_EQ(solver.last_stop_cause(), StopCause::decision_budget);
+  EXPECT_TRUE(solver.last_unknown_resumable());
+
+  // External stop: a cancellation, not a pause.
+  solver.request_stop();
+  ASSERT_EQ(solver.solve(), SolveStatus::unknown);
+  EXPECT_EQ(solver.last_stop_cause(), StopCause::external_stop);
+  EXPECT_FALSE(solver.last_unknown_resumable());
+  solver.clear_stop();
+}
+
+TEST(StopCause, NoneAfterDefinitiveAnswer) {
+  Solver solver;
+  solver.load(gen::pigeonhole(5));
+  ASSERT_EQ(solver.solve(), SolveStatus::unsatisfiable);
+  EXPECT_EQ(solver.last_stop_cause(), StopCause::none);
+  EXPECT_FALSE(solver.last_unknown_resumable());
+  EXPECT_GT(solver.last_slice().conflicts, 0u);
+}
+
+TEST(StopCause, BudgetsArePerCallNotCumulative) {
+  // A preempted job re-entering solve() gets a full fresh slice: the
+  // second 50-conflict slice must not be starved by the first one's
+  // spending.
+  Solver solver;
+  solver.load(gen::pigeonhole(8));
+  ASSERT_EQ(solver.solve(Budget::conflicts(50)), SolveStatus::unknown);
+  const std::uint64_t after_first = solver.stats().conflicts;
+  EXPECT_GE(after_first, 50u);
+  ASSERT_EQ(solver.solve(Budget::conflicts(50)), SolveStatus::unknown);
+  EXPECT_GE(solver.stats().conflicts, after_first + 50u);
+  EXPECT_EQ(solver.last_slice().conflicts, solver.stats().conflicts - after_first);
+}
+
 TEST(StopToken, StoppedSolverStaysConsistent) {
   Solver solver;
   solver.load(gen::random_ksat(40, 170, 3, 11));
