@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Runs the BCP/propagation microbenchmarks (google-benchmark) in Release
+# mode and writes the raw JSON report, establishing the repo's perf
+# trajectory (see BENCH_PR3.json at the repo root for the tracked
+# before/after record of the PR-3 hot-path overhaul).
+#
+# Usage:
+#   bench/run_bench.sh [output.json]
+#
+# Environment:
+#   BUILD_DIR     build directory (default: <repo>/build-bench)
+#   BENCH_FILTER  --benchmark_filter regex
+#                 (default: BM_PropagationThroughput|BM_NbTwoCostFunction)
+#   BENCH_REPS    --benchmark_repetitions (default: 3)
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${BUILD_DIR:-$ROOT/build-bench}"
+OUT="${1:-$ROOT/bench_propagation.json}"
+FILTER="${BENCH_FILTER:-BM_PropagationThroughput|BM_NbTwoCostFunction}"
+REPS="${BENCH_REPS:-3}"
+
+cmake -B "$BUILD" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release
+cmake --build "$BUILD" --target micro_solver -j "$(nproc)"
+
+if [ ! -x "$BUILD/bench/micro_solver" ]; then
+  echo "error: micro_solver was not built (is libbenchmark-dev installed?)" >&2
+  exit 1
+fi
+
+"$BUILD/bench/micro_solver" \
+  --benchmark_filter="$FILTER" \
+  --benchmark_repetitions="$REPS" \
+  --benchmark_report_aggregates_only=true \
+  --benchmark_out="$OUT" \
+  --benchmark_out_format=json
+
+echo "wrote $OUT"

@@ -49,28 +49,49 @@ void Solver::analyze(ClauseRef conflict, std::vector<Lit>& learned,
   std::size_t index = trail_.size();
   ClauseRef reason_ref = conflict;
 
-  for (;;) {
-    assert(reason_ref != no_clause);
-    Clause c = arena_.deref(reason_ref);
-
-    // Every clause the chain touches is "responsible for the conflict".
-    if (c.learned()) c.bump_activity();
-    if (opts_.activity_policy == ActivityPolicy::responsible_clauses) {
-      for (std::uint32_t k = 0; k < c.size(); ++k) bump_var(c[k].var());
+  // Marks one antecedent literal: current-level literals open a resolution
+  // path, lower-level ones join the learned clause. Shared by the arena
+  // walk and the materialized binary-reason branch so the two can never
+  // diverge.
+  const auto mark_literal = [&](Lit q) {
+    const Var qv = q.var();
+    if (seen_[qv] || level_[qv] == 0) return;
+    seen_[qv] = 1;
+    to_clear_.push_back(qv);
+    if (level_[qv] >= current_level) {
+      ++open_paths;
+    } else {
+      learned.push_back(q);
     }
+  };
 
-    // Slot 0 of a reason clause is the literal it propagated (== p),
-    // already handled; the conflicting clause is scanned in full.
-    for (std::uint32_t k = (p == undef_lit ? 0 : 1); k < c.size(); ++k) {
-      const Lit q = c[k];
-      const Var qv = q.var();
-      if (seen_[qv] || level_[qv] == 0) continue;
-      seen_[qv] = 1;
-      to_clear_.push_back(qv);
-      if (level_[qv] >= current_level) {
-        ++open_paths;
-      } else {
-        learned.push_back(q);
+  for (;;) {
+    const Lit bin_other =
+        (p == undef_lit) ? undef_lit : bin_reason_other_[p.var()];
+    if (bin_other != undef_lit) {
+      // Binary reason {p, bin_other}, materialized from the propagation-time
+      // watch entry: no arena access. Clause activity of binary lemmas is
+      // not bumped — Section 8's deletion rules keep every two-literal
+      // clause by length alone, so the counter is never consulted.
+      if (opts_.activity_policy == ActivityPolicy::responsible_clauses) {
+        bump_var(p.var());
+        bump_var(bin_other.var());
+      }
+      mark_literal(bin_other);
+    } else {
+      assert(reason_ref != no_clause);
+      Clause c = arena_.deref(reason_ref);
+
+      // Every clause the chain touches is "responsible for the conflict".
+      if (c.learned()) c.bump_activity();
+      if (opts_.activity_policy == ActivityPolicy::responsible_clauses) {
+        for (std::uint32_t k = 0; k < c.size(); ++k) bump_var(c[k].var());
+      }
+
+      // Slot 0 of a reason clause is the literal it propagated (== p),
+      // already handled; the conflicting clause is scanned in full.
+      for (std::uint32_t k = (p == undef_lit ? 0 : 1); k < c.size(); ++k) {
+        mark_literal(c[k]);
       }
     }
 
@@ -138,6 +159,12 @@ void Solver::minimize_learned_clause(std::vector<Lit>& learned) {
 bool Solver::literal_is_redundant(Lit l) const {
   const ClauseRef reason = reason_[l.var()];
   if (reason == no_clause) return false;  // decision literal
+  const Lit bin_other = bin_reason_other_[l.var()];
+  if (bin_other != undef_lit) {
+    // Binary reason: its only tail literal is the stored one.
+    const Var v = bin_other.var();
+    return seen_[v] || level_[v] == 0;
+  }
   const Clause c = arena_.deref(reason);
   for (std::uint32_t k = 1; k < c.size(); ++k) {
     const Var v = c[k].var();
@@ -182,7 +209,10 @@ void Solver::record_learned(const std::vector<Lit>& learned, int backtrack_level
   }
 
   const ClauseRef ref = add_clause_internal(learned, /*learned=*/true);
-  enqueue(learned[0], ref);
+  // A learned binary asserts through the binary fast path like any other
+  // two-literal clause, so materialize its reason the same way.
+  enqueue(learned[0], ref,
+          learned.size() == 2 ? learned[1] : undef_lit);
 }
 
 }  // namespace berkmin

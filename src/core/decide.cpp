@@ -15,6 +15,9 @@
 namespace berkmin {
 
 bool Solver::clause_is_satisfied(ClauseRef ref) const {
+  // value(Lit) is a single assign_lit_ load, so the top-clause scans this
+  // backs (and nb_two's currently-binary tests) cost one arena walk with
+  // no per-literal sign arithmetic.
   const Clause c = arena_.deref(ref);
   for (std::uint32_t i = 0; i < c.size(); ++i) {
     if (value(c[i]) == Value::true_value) return true;

@@ -36,6 +36,19 @@ void Solver::handle_restart() {
     return;
   }
   if (opts_.reduction_policy != ReductionPolicy::none) reduce_db();
+  // Watch-pool hygiene: span relocations during the search leave garbage
+  // slots behind (reduce_db rebuilds the pools gap-free, but the policy
+  // may be none). A restart is the one point where no scan is in flight,
+  // so compacting here is safe. wasted() is O(1) and usually 0 right
+  // after a rebuild; live() scans the span table, so check it second.
+  if (watches_.wasted() > 1024 &&
+      watches_.wasted() > watches_.live() + 1024) {
+    watches_.compact();
+  }
+  if (bin_watches_.wasted() > 1024 &&
+      bin_watches_.wasted() > bin_watches_.live() + 1024) {
+    bin_watches_.compact();
+  }
   // Restart boundary: decision level 0, propagation fixpoint, database
   // freshly reduced — the safe point for clause imports (portfolio).
   if (restart_callback_) restart_callback_();
@@ -105,7 +118,10 @@ void Solver::reduce_db() {
   // Root assignments are permanent from here on; drop their reason
   // references so reason clauses are free to be collected. (Conflict
   // analysis never expands level-0 literals, so the references are dead.)
-  for (const Lit l : trail_) reason_[l.var()] = no_clause;
+  for (const Lit l : trail_) {
+    reason_[l.var()] = no_clause;
+    bin_reason_other_[l.var()] = undef_lit;
+  }
 
   std::vector<char> keep(learned_stack_.size(), 0);
   for (std::size_t i = 0; i < learned_stack_.size(); ++i) {
@@ -182,9 +198,23 @@ void Solver::garbage_collect(const std::vector<char>& keep_learned) {
   learned_stack_ = std::move(new_learned);
   satisfied_cache_.assign(learned_stack_.size(), undef_lit);
 
-  // Rebuild watches and occurrence lists from scratch.
-  for (auto& wl : watches_) wl.clear();
+  // Rebuild watches and occurrence lists from scratch. Counting the
+  // watchers first lets the flat pools lay every span out contiguously
+  // with zero relocations and zero slack.
   for (auto& ol : occ_) ol.clear();
+  std::vector<std::uint32_t> watch_counts(2 * static_cast<std::size_t>(num_vars()), 0);
+  std::vector<std::uint32_t> bin_counts(2 * static_cast<std::size_t>(num_vars()), 0);
+  const auto count_watches = [&](ClauseRef ref) {
+    const Clause c = arena_.deref(ref);
+    auto& counts = c.size() == 2 ? bin_counts : watch_counts;
+    ++counts[(~c[0]).code()];
+    ++counts[(~c[1]).code()];
+  };
+  for (const ClauseRef ref : originals_) count_watches(ref);
+  for (const ClauseRef ref : learned_stack_) count_watches(ref);
+  watches_.rebuild(watch_counts);
+  bin_watches_.rebuild(bin_counts);
+
   for (const ClauseRef ref : originals_) {
     attach_clause(ref);
     const Clause c = arena_.deref(ref);

@@ -17,12 +17,15 @@ Solver::Solver(SolverOptions options)
 Var Solver::new_var() {
   const Var v = static_cast<Var>(assign_.size());
   assign_.push_back(Value::unassigned);
+  assign_lit_.push_back(Value::unassigned);
+  assign_lit_.push_back(Value::unassigned);
   reason_.push_back(no_clause);
+  bin_reason_other_.push_back(undef_lit);
   level_.push_back(0);
   var_activity_.push_back(0);
   seen_.push_back(0);
-  watches_.emplace_back();
-  watches_.emplace_back();
+  watches_.resize_literals(2 * static_cast<std::size_t>(v) + 2);
+  bin_watches_.resize_literals(2 * static_cast<std::size_t>(v) + 2);
   occ_.emplace_back();
   occ_.emplace_back();
   lit_activity_.push_back(0);
@@ -64,6 +67,15 @@ bool Solver::add_root_clause(std::span<const Lit> lits, bool learned) {
   if (reduced.empty()) {
     ok_ = false;
     return false;
+  }
+  // Imported clauses frequently duplicate lemmas this solver (or an earlier
+  // import) already holds; an identical binary would be attached twice and
+  // propagate twice per trigger. The binary watch lists make the membership
+  // test one contiguous scan.
+  if (learned && reduced.size() == 2 &&
+      binary_clause_present(reduced[0], reduced[1])) {
+    ++stats_.duplicate_binaries_skipped;
+    return true;
   }
   if (reduced.size() == 1) {
     enqueue(reduced[0], no_clause);
@@ -115,8 +127,22 @@ ClauseRef Solver::add_clause_internal(std::span<const Lit> lits, bool learned) {
 void Solver::attach_clause(ClauseRef ref) {
   const Clause c = arena_.deref(ref);
   assert(c.size() >= 2);
-  watches_[(~c[0]).code()].push_back(Watcher{ref, c[1]});
-  watches_[(~c[1]).code()].push_back(Watcher{ref, c[0]});
+  if (c.size() == 2) {
+    bin_watches_.push((~c[0]).code(), BinWatch{c[1], ref});
+    bin_watches_.push((~c[1]).code(), BinWatch{c[0], ref});
+    return;
+  }
+  watches_.push((~c[0]).code(), Watcher{ref, c[1]});
+  watches_.push((~c[1]).code(), Watcher{ref, c[0]});
+}
+
+bool Solver::binary_clause_present(Lit a, Lit b) const {
+  const int code = (~a).code();
+  const BinWatch* w = bin_watches_.data(code);
+  for (std::uint32_t i = 0, n = bin_watches_.size(code); i < n; ++i) {
+    if (w[i].other == b) return true;
+  }
+  return false;
 }
 
 void Solver::update_live_peak() {
@@ -124,11 +150,14 @@ void Solver::update_live_peak() {
   if (live > stats_.max_live_clauses) stats_.max_live_clauses = live;
 }
 
-void Solver::enqueue(Lit l, ClauseRef reason) {
+void Solver::enqueue(Lit l, ClauseRef reason, Lit bin_other) {
   assert(value(l) == Value::unassigned);
   const Var v = l.var();
   assign_[v] = to_value(l.is_positive());
+  assign_lit_[l.code()] = Value::true_value;
+  assign_lit_[(~l).code()] = Value::false_value;
   reason_[v] = reason;
+  bin_reason_other_[v] = bin_other;
   level_[v] = decision_level();
   trail_.push_back(l);
 }
@@ -143,17 +172,42 @@ ClauseRef Solver::propagate() { return propagate_internal(); }
 ClauseRef Solver::propagate_internal() {
   while (propagate_head_ < trail_.size()) {
     const Lit p = trail_[propagate_head_++];  // p is now true
-    std::vector<Watcher>& wl = watches_[p.code()];  // clauses watching ~p
+    const int pcode = p.code();
     const Lit false_lit = ~p;
 
-    std::size_t i = 0;
-    std::size_t j = 0;
-    const std::size_t end = wl.size();
+    // Binary clauses first: one contiguous scan, zero arena derefs. The
+    // implied literal sits inline in the watch entry, so every step is a
+    // single assign_lit_ load plus (rarely) an enqueue. Nothing is pushed
+    // during the scan, so a raw pointer into the pool is safe.
+    {
+      const BinWatch* bw = bin_watches_.data(pcode);
+      for (std::uint32_t n = bin_watches_.size(pcode); n != 0; --n, ++bw) {
+        const Value v = assign_lit_[bw->other.code()];
+        if (v == Value::true_value) continue;
+        if (v == Value::false_value) {
+          propagate_head_ = trail_.size();
+          return bw->cref;
+        }
+        ++stats_.propagations;
+        enqueue(bw->other, bw->cref, false_lit);
+      }
+    }
+
+    // Longer clauses through the flat pool. The span is walked by absolute
+    // pool index: pushing a moved watch for another literal may grow the
+    // pool (relocating that literal's span and possibly the whole vector),
+    // but this literal's offset never changes mid-scan, and no clause ever
+    // re-watches ~p while p is true.
+    const std::uint32_t base = watches_.offset(pcode);
+    const std::uint32_t end = watches_.size(pcode);
+    std::uint32_t i = 0;
+    std::uint32_t j = 0;
     while (i != end) {
-      const Watcher w = wl[i];
+      const Watcher w = watches_.at(base + i);
       // Satisfied via the blocker: keep the watcher, skip the clause.
-      if (value(w.blocker) == Value::true_value) {
-        wl[j++] = wl[i++];
+      if (assign_lit_[w.blocker.code()] == Value::true_value) {
+        watches_.at(base + j++) = w;
+        ++i;
         continue;
       }
 
@@ -167,18 +221,18 @@ ClauseRef Solver::propagate_internal() {
 
       const Lit first = c[0];
       const Watcher replacement{w.cref, first};
-      if (first != w.blocker && value(first) == Value::true_value) {
-        wl[j++] = replacement;
+      if (first != w.blocker && assign_lit_[first.code()] == Value::true_value) {
+        watches_.at(base + j++) = replacement;
         continue;
       }
 
       // Look for a non-false literal to take over the watch.
       bool moved = false;
       for (std::uint32_t k = 2; k < c.size(); ++k) {
-        if (value(c[k]) != Value::false_value) {
+        if (assign_lit_[c[k].code()] != Value::false_value) {
           c.set_lit(1, c[k]);
           c.set_lit(k, false_lit);
-          watches_[(~c[1]).code()].push_back(replacement);
+          watches_.push((~c[1]).code(), replacement);
           moved = true;
           break;
         }
@@ -186,18 +240,18 @@ ClauseRef Solver::propagate_internal() {
       if (moved) continue;
 
       // Clause is unit or conflicting under the current assignment.
-      wl[j++] = replacement;
-      if (value(first) == Value::false_value) {
+      watches_.at(base + j++) = replacement;
+      if (assign_lit_[first.code()] == Value::false_value) {
         // Conflict: flush the remaining watchers and stop propagating.
-        while (i != end) wl[j++] = wl[i++];
-        wl.resize(j);
+        while (i != end) watches_.at(base + j++) = watches_.at(base + i++);
+        watches_.truncate(pcode, j);
         propagate_head_ = trail_.size();
         return w.cref;
       }
       ++stats_.propagations;
       enqueue(first, w.cref);
     }
-    wl.resize(j);
+    watches_.truncate(pcode, j);
   }
   return no_clause;
 }
@@ -206,9 +260,13 @@ void Solver::backtrack_to(int target_level) {
   if (decision_level() <= target_level) return;
   const int boundary = trail_lim_[target_level];
   for (std::size_t i = trail_.size(); i-- > static_cast<std::size_t>(boundary);) {
-    const Var v = trail_[i].var();
+    const Lit l = trail_[i];
+    const Var v = l.var();
     assign_[v] = Value::unassigned;
+    assign_lit_[l.code()] = Value::unassigned;
+    assign_lit_[(~l).code()] = Value::unassigned;
     reason_[v] = no_clause;
+    bin_reason_other_[v] = undef_lit;
     var_heap_.insert(v);
     if (opts_.decision_policy == DecisionPolicy::chaff_literal) {
       lit_heap_.insert(Lit::positive(v).code());
@@ -364,6 +422,10 @@ void Solver::analyze_final(Lit failing) {
     if (reason_[v] == no_clause) {
       // Every decision below the assumption prefix is an assumption.
       failed_assumptions_.push_back(trail_[i]);
+    } else if (bin_reason_other_[v] != undef_lit) {
+      // Binary reason {trail_[i], other}: the tail is the one stored literal.
+      const Var other = bin_reason_other_[v].var();
+      if (level_[other] > 0) seen_[other] = 1;
     } else {
       const Clause c = arena_.deref(reason_[v]);
       for (std::uint32_t k = 1; k < c.size(); ++k) {

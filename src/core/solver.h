@@ -27,6 +27,7 @@
 #include "core/indexed_heap.h"
 #include "core/options.h"
 #include "core/solver_types.h"
+#include "core/watch_pool.h"
 #include "util/rng.h"
 #include "util/timer.h"
 
@@ -130,7 +131,9 @@ class Solver {
 
   // ---- introspection (tests, instrumentation, tools) --------------------
   Value value(Var v) const { return assign_[v]; }
-  Value value(Lit l) const { return value_of_literal(assign_[l.var()], l); }
+  // One load: the literal-indexed mirror of assign_ is maintained on every
+  // enqueue/backtrack, so no sign arithmetic happens on the BCP hot path.
+  Value value(Lit l) const { return assign_lit_[l.code()]; }
   int decision_level() const { return static_cast<int>(trail_lim_.size()); }
   std::size_t num_learned() const { return learned_stack_.size(); }
   std::size_t num_originals() const { return originals_.size(); }
@@ -190,9 +193,14 @@ class Solver {
   // Collects the subset of assumptions responsible for forcing ~failing.
   void analyze_final(Lit failing);
   void new_decision_level() { trail_lim_.push_back(static_cast<int>(trail_.size())); }
-  void enqueue(Lit l, ClauseRef reason);
+  // bin_other != undef_lit marks a binary-clause reason: the reason clause
+  // is {l, bin_other}, and conflict analysis reconstructs it from
+  // bin_reason_other_ without touching the arena.
+  void enqueue(Lit l, ClauseRef reason, Lit bin_other = undef_lit);
   ClauseRef propagate_internal();
   void attach_clause(ClauseRef ref);
+  // True when an identical two-literal clause is already attached.
+  bool binary_clause_present(Lit a, Lit b) const;
   // Normalizes and records a clause at the root level; learned selects
   // whether it joins the originals or the reducible learned stack.
   bool add_root_clause(std::span<const Lit> lits, bool learned);
@@ -257,17 +265,28 @@ class Solver {
   std::vector<ClauseRef> learned_stack_;
   std::vector<Lit> satisfied_cache_;
 
-  // Assignment state.
+  // Assignment state. assign_lit_ mirrors assign_ by literal code
+  // (assign_lit_[l.code()] == value_of_literal(assign_[l.var()], l)), so
+  // the inner loops evaluate a literal with a single load.
   std::vector<Value> assign_;
+  std::vector<Value> assign_lit_;
   std::vector<ClauseRef> reason_;
+  // For a variable propagated by a binary clause: the clause's other
+  // literal (undef_lit otherwise). Lets analyze/redundancy walks resolve
+  // binary reasons without dereferencing the arena.
+  std::vector<Lit> bin_reason_other_;
   std::vector<int> level_;
   std::vector<Lit> trail_;
   std::vector<int> trail_lim_;
   std::size_t propagate_head_ = 0;
 
-  // Watches (by literal code) and full occurrence lists of original
-  // clauses (by literal code; needed only by nb_two).
-  std::vector<std::vector<Watcher>> watches_;
+  // Watches, both stored as flat per-literal spans over one contiguous
+  // pool (see core/watch_pool.h): watches_ for clauses of three or more
+  // literals, bin_watches_ for the specialized two-literal lists that
+  // propagate with zero arena derefs. occ_ holds full occurrence lists of
+  // original clauses (needed only by nb_two).
+  WatchPool watches_;
+  BinWatchPool bin_watches_;
   std::vector<std::vector<ClauseRef>> occ_;
 
   // Heuristic state.

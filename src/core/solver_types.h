@@ -23,6 +23,16 @@ struct Watcher {
   Lit blocker;
 };
 
+// One entry of a *binary* watch list. A two-literal clause {a, b} is fully
+// described by its entries in the lists of ~a and ~b: when ~other becomes
+// false, `other` is implied (or conflicting) with no clause-arena access
+// at all. `cref` keeps the arena identity for conflict analysis, proof
+// logging and database management.
+struct BinWatch {
+  Lit other;
+  ClauseRef cref = no_clause;
+};
+
 enum class SolveStatus : std::uint8_t {
   satisfiable,
   unsatisfiable,
@@ -123,6 +133,10 @@ struct SolverStats {
   // to / imported from a sharing pool. Zero outside a portfolio run.
   std::uint64_t exported_clauses = 0;
   std::uint64_t imported_clauses = 0;
+  // Imported binary clauses dropped because an identical clause was already
+  // present in the binary watch lists (sibling solvers frequently learn the
+  // same short lemma).
+  std::uint64_t duplicate_binaries_skipped = 0;
 
   // Live database tracking (Table 9). initial_clauses is fixed at the first
   // solve() call; max_live_clauses tracks originals + learned still stored.

@@ -3,8 +3,10 @@
 // checking code never creeps into the solving paths.
 #include "core/validate.h"
 
+#include <algorithm>
 #include <map>
 #include <sstream>
+#include <utility>
 
 namespace berkmin {
 namespace {
@@ -64,19 +66,87 @@ std::string Solver::validate_invariants() const {
     }
   }
 
-  // --- clause database ----------------------------------------------------
-  // Each stored clause must appear in exactly the two watch lists of its
-  // first two literals' negations.
-  std::map<ClauseRef, int> watch_count;
+  // --- literal-indexed assignment mirror ----------------------------------
+  if (assign_lit_.size() != 2 * assign_.size()) {
+    return "assign_lit size is not twice assign size";
+  }
   for (Var v = 0; v < num_vars(); ++v) {
     for (const Lit l : {Lit::positive(v), Lit::negative(v)}) {
-      for (const Watcher& w : watches_[l.code()]) {
+      if (assign_lit_[l.code()] != value_of_literal(assign_[v], l)) {
+        problem << "literal-indexed assignment of " << describe_lit(l)
+                << " disagrees with the variable-indexed truth value";
+        return problem.str();
+      }
+    }
+  }
+
+  // --- watch pool structure ------------------------------------------------
+  const auto check_pool = [&](const auto& pool, const char* what) -> std::string {
+    if (pool.num_literals() != 2 * assign_.size()) {
+      return std::string(what) + " pool span table size mismatch";
+    }
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> regions;  // offset, cap
+    for (std::size_t code = 0; code < pool.num_literals(); ++code) {
+      const auto& s = pool.span(code);
+      if (s.len > s.cap) {
+        return std::string(what) + " span length exceeds its capacity";
+      }
+      if (static_cast<std::size_t>(s.offset) + s.cap > pool.pool_slots()) {
+        return std::string(what) + " span reaches past the end of the pool";
+      }
+      if (s.cap != 0) regions.emplace_back(s.offset, s.cap);
+    }
+    std::sort(regions.begin(), regions.end());
+    for (std::size_t i = 1; i < regions.size(); ++i) {
+      if (regions[i - 1].first + regions[i - 1].second > regions[i].first) {
+        return std::string(what) + " spans overlap";
+      }
+    }
+    return "";
+  };
+  for (const std::string& fault :
+       {check_pool(watches_, "long-clause watch"),
+        check_pool(bin_watches_, "binary watch")}) {
+    if (!fault.empty()) return fault;
+  }
+
+  // --- clause database ----------------------------------------------------
+  // Each stored long clause must appear in exactly the two pool spans of
+  // its first two literals' negations; each stored binary clause in exactly
+  // the two binary watch lists its literals' negations key, carrying the
+  // other literal inline.
+  std::map<ClauseRef, int> watch_count;
+  std::map<ClauseRef, int> bin_count;
+  for (Var v = 0; v < num_vars(); ++v) {
+    for (const Lit l : {Lit::positive(v), Lit::negative(v)}) {
+      const std::uint32_t base = watches_.offset(l.code());
+      for (std::uint32_t i = 0; i < watches_.size(l.code()); ++i) {
+        const Watcher& w = watches_.at(base + i);
         ++watch_count[w.cref];
         const Clause c = arena_.deref(w.cref);
+        if (c.size() < 3) {
+          return "two-literal clause stored in the long-clause watch pool";
+        }
         // The watched (false-triggering) literal must be c[0] or c[1].
         if (~c[0] != l && ~c[1] != l) {
           problem << "clause watched on a non-watch literal "
                   << describe_lit(l);
+          return problem.str();
+        }
+      }
+      const std::uint32_t bin_base = bin_watches_.offset(l.code());
+      for (std::uint32_t i = 0; i < bin_watches_.size(l.code()); ++i) {
+        const BinWatch& w = bin_watches_.at(bin_base + i);
+        ++bin_count[w.cref];
+        const Clause c = arena_.deref(w.cref);
+        if (c.size() != 2) {
+          return "longer clause stored in a binary watch list";
+        }
+        const Lit triggering = ~l;
+        if (!((c[0] == triggering && c[1] == w.other) ||
+              (c[1] == triggering && c[0] == w.other))) {
+          problem << "binary watch entry under " << describe_lit(l)
+                  << " does not match its arena clause";
           return problem.str();
         }
       }
@@ -87,9 +157,22 @@ std::string Solver::validate_invariants() const {
     const Clause c = arena_.deref(ref);
     if (c.size() < 2) return "stored clause shorter than 2 literals";
     if (c.learned() != learned) return "learned flag mismatch";
-    const auto it = watch_count.find(ref);
-    if (it == watch_count.end() || it->second != 2) {
-      return "clause not watched exactly twice";
+    if (c.size() == 2) {
+      const auto it = bin_count.find(ref);
+      if (it == bin_count.end() || it->second != 2) {
+        return "binary clause not in exactly two binary watch lists";
+      }
+      if (watch_count.count(ref) != 0) {
+        return "binary clause also present in the long-clause watch pool";
+      }
+    } else {
+      const auto it = watch_count.find(ref);
+      if (it == watch_count.end() || it->second != 2) {
+        return "clause not watched exactly twice";
+      }
+      if (bin_count.count(ref) != 0) {
+        return "long clause also present in a binary watch list";
+      }
     }
     for (std::uint32_t i = 0; i < c.size(); ++i) {
       const Var v = c[i].var();
@@ -107,8 +190,8 @@ std::string Solver::validate_invariants() const {
     if (!fault.empty()) return fault + " (learned)";
   }
   std::size_t stored = originals_.size() + learned_stack_.size();
-  if (watch_count.size() != stored) {
-    problem << "watch lists reference " << watch_count.size()
+  if (watch_count.size() + bin_count.size() != stored) {
+    problem << "watch lists reference " << watch_count.size() + bin_count.size()
             << " clauses, but " << stored << " are stored";
     return problem.str();
   }
@@ -117,11 +200,42 @@ std::string Solver::validate_invariants() const {
   }
 
   // --- reasons --------------------------------------------------------------
+  for (Var v = 0; v < num_vars(); ++v) {
+    if (assign_[v] == Value::unassigned && bin_reason_other_[v] != undef_lit) {
+      problem << "unassigned variable " << v << " has a stale binary reason";
+      return problem.str();
+    }
+  }
   for (std::size_t i = 0; i < trail_.size(); ++i) {
     const Lit l = trail_[i];
     const ClauseRef reason = reason_[l.var()];
-    if (reason == no_clause) continue;
+    if (reason == no_clause) {
+      if (bin_reason_other_[l.var()] != undef_lit) {
+        problem << "decision/root literal " << describe_lit(l)
+                << " has a binary reason literal";
+        return problem.str();
+      }
+      continue;
+    }
     const Clause c = arena_.deref(reason);
+    const Lit bin_other = bin_reason_other_[l.var()];
+    if (bin_other != undef_lit) {
+      // Binary fast path: the arena clause is untouched during propagation,
+      // so slots are unordered — it must simply be {l, bin_other}.
+      if (c.size() != 2 ||
+          !((c[0] == l && c[1] == bin_other) ||
+            (c[1] == l && c[0] == bin_other))) {
+        problem << "materialized binary reason of " << describe_lit(l)
+                << " does not match its arena clause";
+        return problem.str();
+      }
+      if (value(bin_other) != Value::false_value) {
+        problem << "binary reason of " << describe_lit(l)
+                << " has a non-false other literal";
+        return problem.str();
+      }
+      continue;
+    }
     if (c[0] != l) {
       problem << "reason clause of " << describe_lit(l)
               << " does not propagate it in slot 0";

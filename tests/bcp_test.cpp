@@ -5,6 +5,7 @@
 
 #include "core/solver.h"
 #include "gen/random_ksat.h"
+#include "reference/dpll.h"
 #include "test_util.h"
 #include "util/rng.h"
 
@@ -168,6 +169,177 @@ TEST_P(BcpDifferential, MatchesNaivePropagatorOnRandomFormulas) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, BcpDifferential, ::testing::Range(0, 25));
+
+// ---- binary-clause specialization ----------------------------------------
+// Two-literal clauses propagate through dedicated binary watch lists with
+// no clause-arena access; these tests pin down that fast path.
+
+TEST(BcpBinary, LongPureBinaryImplicationChain) {
+  constexpr int kChain = 20000;
+  Cnf cnf(kChain + 1);
+  for (int i = 0; i < kChain; ++i) {
+    cnf.add_binary(Lit::negative(i), Lit::positive(i + 1));
+  }
+  Solver solver;
+  solver.load(cnf);
+
+  solver.assume(Lit::positive(0));
+  ASSERT_EQ(solver.propagate(), no_clause);
+  for (int v = 0; v <= kChain; v += kChain / 100) {
+    ASSERT_EQ(solver.value(Var{v}), Value::true_value) << "var " << v;
+  }
+  EXPECT_EQ(solver.validate_invariants(), "");
+
+  // The chain also propagates backwards: falsifying the head forces every
+  // predecessor to false through the same binary lists.
+  solver.backtrack_to(0);
+  solver.assume(Lit::negative(kChain));
+  ASSERT_EQ(solver.propagate(), no_clause);
+  for (int v = 0; v <= kChain; v += kChain / 100) {
+    ASSERT_EQ(solver.value(Var{v}), Value::false_value) << "var " << v;
+  }
+  EXPECT_EQ(solver.validate_invariants(), "");
+}
+
+TEST(BcpBinary, ConflictDiscoveredInBinaryClause) {
+  Solver solver;
+  solver.load(make_cnf({{-1, 2}, {-1, 3}, {-2, -3}}));
+  solver.assume(from_dimacs(1));
+  const ClauseRef conflict = solver.propagate();
+  ASSERT_NE(conflict, no_clause);
+  const std::vector<Lit> clause = solver.clause_literals(conflict);
+  EXPECT_EQ(clause.size(), 2u);
+  // Both literals of the conflicting binary are false.
+  for (const Lit l : clause) {
+    EXPECT_EQ(solver.value(l), Value::false_value);
+  }
+}
+
+TEST(BcpBinary, BinaryReasonReconstructionInAnalyze) {
+  // assume 1 implies 2, then 3 and 4 through binary reasons; {-3,-4}
+  // conflicts. 1-UIP resolution walks the materialized binary reasons of 3
+  // and 4 back to the dominator 2 and must learn the unit {-2}.
+  Solver solver;
+  solver.load(make_cnf({{-1, 2}, {-2, 3}, {-2, 4}, {-3, -4}}));
+  solver.assume(from_dimacs(1));
+  const ClauseRef conflict = solver.propagate();
+  ASSERT_NE(conflict, no_clause);
+
+  solver.resolve_conflict(conflict);
+  ASSERT_TRUE(solver.ok());
+  EXPECT_EQ(solver.last_learned_clause(), lits({-2}));
+  EXPECT_EQ(solver.decision_level(), 0);
+  EXPECT_EQ(solver.value(from_dimacs(-2)), Value::true_value);
+  // The responsible-clauses policy bumps the variables of every clause on
+  // the resolution chain — including the ones only reachable through the
+  // arena-free binary reasons.
+  EXPECT_GE(solver.var_activity(from_dimacs(3).var()), 1u);
+  EXPECT_GE(solver.var_activity(from_dimacs(4).var()), 1u);
+  EXPECT_EQ(solver.validate_invariants(), "");
+}
+
+TEST(BcpBinary, WatchRebuildAfterReduceWithMixedSurvivors) {
+  // Mixed binary/ternary formula with enough conflicts to learn clauses of
+  // both lengths, then a restart (reduce_db + garbage collection) must
+  // rebuild the binary lists and the flat pool consistently. Seeds are
+  // scanned for an instance the budgeted solve leaves mid-search (alive,
+  // with learned clauses to migrate).
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    Rng rng(seed);
+    Cnf cnf = gen::random_ksat(50, 190, 3, seed);
+    for (int i = 0; i < 8; ++i) {
+      cnf.add_binary(Lit(static_cast<Var>(rng.below(50)), rng.coin()),
+                     Lit(static_cast<Var>(rng.below(50)), rng.coin()));
+    }
+
+    Solver solver;
+    if (!solver.load(cnf)) continue;
+    (void)solver.solve(Budget::conflicts(60));
+    if (!solver.ok() || solver.num_learned() == 0) continue;
+
+    solver.restart_now();
+    ASSERT_EQ(solver.validate_invariants(), "")
+        << "after reduce_db, seed " << seed;
+
+    const SolveStatus status = solver.solve();
+    ASSERT_EQ(solver.validate_invariants(), "")
+        << "after final solve, seed " << seed;
+
+    const auto oracle = reference::dpll_solve(cnf);
+    ASSERT_TRUE(oracle.completed);
+    EXPECT_EQ(status == SolveStatus::satisfiable, oracle.satisfiable)
+        << "seed " << seed;
+    return;
+  }
+  FAIL() << "no seed produced a mid-search instance with learned clauses";
+}
+
+TEST(BcpBinary, DuplicateBinaryImportsAreSkipped) {
+  Solver solver;
+  solver.load(make_cnf({{1, 2}, {3, 4, 5}}));
+
+  // Identical to the original binary (in either literal order): dropped.
+  EXPECT_TRUE(solver.import_clause(lits({1, 2})));
+  EXPECT_TRUE(solver.import_clause(lits({2, 1})));
+  EXPECT_EQ(solver.stats().duplicate_binaries_skipped, 2u);
+  EXPECT_EQ(solver.num_learned(), 0u);
+
+  // A fresh binary is accepted — and only its first copy.
+  EXPECT_TRUE(solver.import_clause(lits({-1, 3})));
+  EXPECT_EQ(solver.num_learned(), 1u);
+  EXPECT_TRUE(solver.import_clause(lits({-1, 3})));
+  EXPECT_EQ(solver.stats().duplicate_binaries_skipped, 3u);
+  EXPECT_EQ(solver.num_learned(), 1u);
+
+  EXPECT_EQ(solver.stats().imported_clauses, 4u);
+  EXPECT_EQ(solver.validate_invariants(), "");
+}
+
+// Differential fuzz of the full engine on binary-heavy random formulas:
+// the new propagation substrate must agree with the reference DPLL oracle
+// on every SAT/UNSAT verdict, produce genuine models, and keep every
+// internal invariant (binary lists, flat pool spans, literal-indexed
+// assignments) intact after the search.
+class BcpEngineFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(BcpEngineFuzz, MatchesDpllOracleAndKeepsInvariants) {
+  const std::uint64_t seed = static_cast<std::uint64_t>(GetParam());
+  Rng rng(seed * 7919 + 31);
+  const int num_vars = 10 + static_cast<int>(rng.below(16));
+  const int num_clauses = num_vars * (3 + static_cast<int>(rng.below(2)));
+
+  Cnf cnf(num_vars);
+  for (int i = 0; i < num_clauses; ++i) {
+    // Mix binary and ternary clauses so both watch structures carry load.
+    const int width = rng.coin() ? 2 : 3;
+    std::vector<Lit> clause;
+    for (int k = 0; k < width; ++k) {
+      clause.push_back(Lit(static_cast<Var>(rng.below(num_vars)), rng.coin()));
+    }
+    cnf.add_clause(clause);
+  }
+
+  Solver solver;
+  solver.load(cnf);
+  const SolveStatus status = solver.solve();
+  ASSERT_NE(status, SolveStatus::unknown);
+  EXPECT_EQ(solver.validate_invariants(), "");
+
+  const auto oracle = reference::dpll_solve(cnf);
+  ASSERT_TRUE(oracle.completed);
+  ASSERT_EQ(status == SolveStatus::satisfiable, oracle.satisfiable)
+      << "verdict mismatch on seed " << seed;
+
+  if (status == SolveStatus::satisfiable) {
+    for (const auto& clause : cnf.clauses()) {
+      bool satisfied = false;
+      for (const Lit l : clause) satisfied = satisfied || solver.model_value(l);
+      ASSERT_TRUE(satisfied) << "model falsifies a clause on seed " << seed;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BcpEngineFuzz, ::testing::Range(0, 40));
 
 }  // namespace
 }  // namespace berkmin
