@@ -4,6 +4,8 @@
 //
 //   ./build/examples/batch_solver manifest.txt --pool 4 --slice-conflicts 2000
 //   ./build/examples/batch_solver manifest.txt --deadline-ms 500 --check
+//   ./build/examples/batch_solver manifest.txt --check-proofs \
+//       --drat proofs/ --unsat-core cores/
 //
 // Manifest format: one instance per line, '#' starts a comment.
 //   <spec> [key=value ...]
@@ -17,6 +19,7 @@
 // given, found no disagreement), 1 = manifest/usage error or a mismatch.
 #include <cstdint>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <mutex>
@@ -27,6 +30,8 @@
 #include "cnf/dimacs.h"
 #include "core/solver.h"
 #include "gen/registry.h"
+#include "proof/drat_checker.h"
+#include "proof/drat_file.h"
 #include "service/solver_service.h"
 #include "util/cli.h"
 
@@ -81,11 +86,28 @@ std::string result_json(const service::JobResult& result, int model_valid) {
       << ",\"decisions\":" << result.decisions
       << ",\"propagations\":" << result.propagations
       << ",\"learned\":" << result.learned_clauses
+      << ",\"dup_binaries_skipped\":" << result.duplicate_binaries_skipped
       << ",\"queue_s\":" << result.queue_seconds
       << ",\"solve_s\":" << result.solve_seconds
       << ",\"wall_s\":" << result.wall_seconds;
   if (model_valid >= 0) {
     out << ",\"model_valid\":" << (model_valid ? "true" : "false");
+  }
+  if (result.proof_checked) {
+    out << ",\"proof_valid\":" << (result.proof_valid ? "true" : "false")
+        << ",\"proof_steps\":" << result.proof.size();
+  }
+  if (!result.unsat_core.empty()) {
+    out << ",\"core_clauses\":" << result.unsat_core.size();
+  }
+  if (result.status == SolveStatus::unsatisfiable &&
+      !result.failed_assumptions.empty()) {
+    // The failed-assumption core: these assumptions alone already clash.
+    out << ",\"failed_assumptions\":[";
+    for (std::size_t i = 0; i < result.failed_assumptions.size(); ++i) {
+      out << (i == 0 ? "" : ",") << to_dimacs(result.failed_assumptions[i]);
+    }
+    out << "]";
   }
   if (!result.error.empty()) {
     out << ",\"error\":\"" << json_escape(result.error) << "\"";
@@ -184,6 +206,14 @@ int main(int argc, char** argv) {
                   "default per-job portfolio escalation (>1 races that many "
                   "diversified workers inside each slice)");
   args.add_option("max-pending", "1024", "bounded admission queue size");
+  args.add_option("drat", "", "directory for per-job DRAT traces "
+                  "(<dir>/job-<id>.drat, written for UNSAT jobs)");
+  args.add_flag("binary-drat", "write traces in drat-trim's binary format");
+  args.add_option("unsat-core", "", "directory for per-job UNSAT cores "
+                  "(<dir>/job-<id>.core.cnf; implies --check-proofs)");
+  args.add_flag("check-proofs", "verify every UNSAT trace with the in-tree "
+                "checker inside the service; JSONL gains proof_valid and the "
+                "run fails on any invalid proof");
   args.add_flag("check", "re-solve each instance with a plain single-threaded "
                 "Solver and fail on any verdict mismatch");
   args.add_flag("stats", "append a summary JSON line with service stats");
@@ -237,6 +267,23 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  const std::string drat_dir = args.get_string("drat");
+  const std::string core_dir = args.get_string("unsat-core");
+  service::JobProofOptions proof_options;
+  proof_options.log = !drat_dir.empty();
+  proof_options.check = args.has_flag("check-proofs") || !core_dir.empty();
+  proof_options.core = !core_dir.empty();
+  const proof::DratFormat drat_format = args.has_flag("binary-drat")
+                                            ? proof::DratFormat::binary
+                                            : proof::DratFormat::text;
+  try {
+    if (!drat_dir.empty()) std::filesystem::create_directories(drat_dir);
+    if (!core_dir.empty()) std::filesystem::create_directories(core_dir);
+  } catch (const std::exception& ex) {
+    std::cerr << "error: " << ex.what() << "\n";
+    return 1;
+  }
+
   service::ServiceOptions sopts;
   sopts.num_workers = static_cast<int>(args.get_int("pool"));
   sopts.slice_conflicts =
@@ -248,6 +295,7 @@ int main(int argc, char** argv) {
   // in submission order, so id-1 indexes entries.
   std::mutex output_mutex;
   bool model_failure = false;
+  bool proof_failure = false;
   solving.set_completion_callback([&](const service::JobResult& result) {
     int model_valid = -1;
     if (result.status == SolveStatus::satisfiable) {
@@ -260,8 +308,34 @@ int main(int argc, char** argv) {
         }
       }
     }
+    // Per-job proof artifacts land in their own files (ids are unique, so
+    // no lock is needed for the writes themselves).
+    bool job_proof_failed = result.proof_checked && !result.proof_valid;
+    if (result.status == SolveStatus::unsatisfiable) {
+      const std::string stem = "job-" + std::to_string(result.id);
+      std::string error;
+      if (!drat_dir.empty() && result.proof.ends_with_empty() &&
+          !proof::write_drat_file(drat_dir + "/" + stem + ".drat",
+                                  result.proof, drat_format, &error)) {
+        std::cerr << "error: " << error << "\n";
+        job_proof_failed = true;
+      }
+      if (!core_dir.empty() && !result.unsat_core.empty()) {
+        const ManifestEntry& entry = entries[result.id - 1];
+        try {
+          dimacs::write_file(
+              core_dir + "/" + stem + ".core.cnf",
+              proof::DratChecker::core_formula(entry.cnf, result.unsat_core),
+              "unsat core extracted by batch_solver for " + entry.name);
+        } catch (const std::exception& ex) {
+          std::cerr << "error: " << ex.what() << "\n";
+          job_proof_failed = true;
+        }
+      }
+    }
     std::lock_guard<std::mutex> lock(output_mutex);
     if (model_valid == 0) model_failure = true;
+    if (job_proof_failed) proof_failure = true;
     std::cout << result_json(result, model_valid) << "\n" << std::flush;
   });
 
@@ -271,6 +345,7 @@ int main(int argc, char** argv) {
     request.cnf = entry.cnf;  // keep a copy for --check / model validation
     request.assumptions = entry.assumptions;
     request.limits = entry.limits;
+    request.proof = proof_options;
     if (!solving.submit(std::move(request))) {
       std::cerr << "error: service refused a job (shutdown?)\n";
       return 1;
@@ -302,6 +377,16 @@ int main(int argc, char** argv) {
 
   if (args.has_flag("stats")) {
     const service::ServiceStats stats = solving.stats();
+    std::uint64_t dup_binaries = 0;
+    std::uint64_t proofs_checked = 0;
+    std::uint64_t proofs_valid = 0;
+    for (const service::JobResult& result : results) {
+      dup_binaries += result.duplicate_binaries_skipped;
+      if (result.proof_checked) {
+        ++proofs_checked;
+        if (result.proof_valid) ++proofs_valid;
+      }
+    }
     std::cout << "{\"summary\":true,\"submitted\":" << stats.submitted
               << ",\"completed\":" << stats.completed
               << ",\"budget_exhausted\":" << stats.budget_exhausted
@@ -311,9 +396,12 @@ int main(int argc, char** argv) {
               << ",\"slices\":" << stats.slices
               << ",\"preemptions\":" << stats.preemptions
               << ",\"conflicts\":" << stats.conflicts
+              << ",\"duplicate_binaries_skipped\":" << dup_binaries
+              << ",\"proofs_checked\":" << proofs_checked
+              << ",\"proofs_valid\":" << proofs_valid
               << ",\"peak_pending\":" << stats.peak_pending
               << ",\"solve_s\":" << stats.solve_seconds << "}\n";
   }
 
-  return (mismatches > 0 || model_failure) ? 1 : 0;
+  return (mismatches > 0 || model_failure || proof_failure) ? 1 : 0;
 }

@@ -4,18 +4,24 @@
 //   ./build/examples/dimacs_solver formula.cnf
 //   ./build/examples/dimacs_solver --generate hole:8 --preset chaff
 //   ./build/examples/dimacs_solver formula.cnf --drat proof.out --stats
+//   ./build/examples/dimacs_solver --generate hole:6 --threads 4 \
+//       --drat proof.out --unsat-core core.cnf --check-model
 //
 // Exit codes follow the SAT-competition convention: 10 = satisfiable,
-// 20 = unsatisfiable, 0 = unknown/budget, 1 = usage error.
+// 20 = unsatisfiable, 0 = unknown/budget, 1 = usage error or failed
+// --check-model / proof verification.
 #include <fstream>
 #include <iostream>
+#include <memory>
 
 #include "cnf/dimacs.h"
 #include "cnf/preprocess.h"
-#include "core/drat.h"
 #include "core/solver.h"
 #include "gen/registry.h"
 #include "portfolio/portfolio.h"
+#include "proof/drat_checker.h"
+#include "proof/drat_file.h"
+#include "proof/proof_writer.h"
 #include "util/cli.h"
 #include "util/timer.h"
 
@@ -38,6 +44,54 @@ SolverOptions preset_by_name(const std::string& name, bool* ok) {
   if (name == "take_rand") return SolverOptions::with_polarity(PolarityPolicy::take_rand);
   *ok = false;
   return SolverOptions::berkmin();
+}
+
+// --check-model: refuse to announce a model the formula rejects. Prints
+// the SAT-competition "unknown" verdict on failure; the caller exits 1.
+bool model_checks_out(const Cnf& cnf, const std::vector<Value>& model) {
+  if (cnf.is_satisfied_by(model)) return true;
+  std::cout << "s UNKNOWN\n";
+  std::cerr << "error: model failed --check-model validation\n";
+  return false;
+}
+
+// Verifies an UNSAT trace with the in-tree checker and writes the
+// requested artifacts: the (possibly spliced) DRAT file and/or the
+// original-clause unsatisfiable core as DIMACS. Returns false after
+// printing an error when verification or a write fails.
+bool certify_unsat(const Cnf& cnf, const proof::Proof& trace,
+                   const std::string& drat_path, proof::DratFormat format,
+                   const std::string& core_path) {
+  std::string error;
+  if (!drat_path.empty() &&
+      !proof::write_drat_file(drat_path, trace, format, &error)) {
+    std::cerr << "error: " << error << "\n";
+    return false;
+  }
+  if (core_path.empty()) return true;
+
+  proof::DratChecker checker(cnf);
+  const proof::CheckResult check = checker.check(trace);
+  if (!check.valid) {
+    std::cerr << "error: proof failed verification (" << check.error
+              << ") — refusing to extract a core\n";
+    return false;
+  }
+  std::cout << "c proof: " << trace.size() << " steps, "
+            << check.checked_adds << " additions verified, trimmed to "
+            << checker.trimmed().num_adds() << " adds; core "
+            << checker.core().size() << " of " << cnf.num_clauses()
+            << " clauses\n";
+  try {
+    dimacs::write_file(core_path,
+                       proof::DratChecker::core_formula(cnf, checker.core()),
+                       "unsat core extracted by dimacs_solver");
+  } catch (const std::exception& ex) {
+    std::cerr << "error: " << ex.what() << "\n";
+    return false;
+  }
+  std::cout << "c wrote core to " << core_path << "\n";
+  return true;
 }
 
 void print_skin_histogram(const SolverStats& stats) {
@@ -72,7 +126,15 @@ int main(int argc, char** argv) {
   args.add_option("old-act-threshold", "60", "or above this activity threshold");
   args.add_option("decay-interval", "256", "conflicts between activity decays");
   args.add_option("decay-factor", "2", "activity decay divisor");
-  args.add_option("drat", "", "write a DRAT proof to this file");
+  args.add_option("drat", "", "write a DRAT proof to this file (with "
+                  "--threads N the spliced multi-worker trace, written after "
+                  "an UNSAT answer)");
+  args.add_flag("binary-drat", "emit proofs in drat-trim's binary format");
+  args.add_option("unsat-core", "", "on UNSAT: verify the proof with the "
+                  "in-tree checker and write an unsatisfiable core of the "
+                  "input to this file as DIMACS");
+  args.add_flag("check-model", "verify the model against the parsed formula "
+                "before printing s SATISFIABLE (exit 1 on failure)");
   args.add_option("write-dimacs", "",
                   "export the (possibly generated) formula to this file and "
                   "continue solving");
@@ -126,6 +188,19 @@ int main(int argc, char** argv) {
     dimacs::write_file(path, cnf, "exported by dimacs_solver");
     std::cout << "c wrote " << path << "\n";
   }
+  const std::string drat_path = args.get_string("drat");
+  const std::string core_path = args.get_string("unsat-core");
+  const bool want_proof = !drat_path.empty() || !core_path.empty();
+  const proof::DratFormat drat_format = args.has_flag("binary-drat")
+                                            ? proof::DratFormat::binary
+                                            : proof::DratFormat::text;
+  if (args.has_flag("preprocess") && want_proof) {
+    // A proof certifies the formula actually solved; preprocessing
+    // rewrites it first and is not yet covered by the trace (ROADMAP).
+    std::cerr << "error: --drat/--unsat-core cannot be combined with "
+                 "--preprocess yet\n";
+    return 1;
+  }
   if (args.has_flag("preprocess")) {
     const PreprocessResult pre = preprocess(cnf);
     if (pre.unsat) {
@@ -160,15 +235,11 @@ int main(int argc, char** argv) {
 
   const int threads = static_cast<int>(args.get_int("threads"));
   if (threads > 1) {
-    if (!args.get_string("drat").empty()) {
-      std::cerr << "error: --drat requires --threads 1 (imported clauses are "
-                   "not part of a single worker's derivation)\n";
-      return 1;
-    }
     portfolio::PortfolioOptions popts;
     popts.num_threads = threads;
     popts.share_clauses = !args.has_flag("no-share");
     popts.base_seed = options.seed;
+    popts.log_proof = want_proof;
     // An explicit preset or any tuning flag keeps the tuned configuration
     // on every worker (only the restart/decay schedule and seeds are
     // jittered); otherwise the default diversified lineup runs. --seed
@@ -189,6 +260,10 @@ int main(int argc, char** argv) {
     const SolveStatus status = portfolio.solve(budget);
     const double elapsed = timer.seconds();
 
+    if (status == SolveStatus::satisfiable && args.has_flag("check-model") &&
+        !model_checks_out(cnf, portfolio.model())) {
+      return 1;
+    }
     std::cout << "s " << to_string(status) << "\n";
     if (status == SolveStatus::satisfiable) {
       if (args.has_flag("model")) {
@@ -203,6 +278,11 @@ int main(int argc, char** argv) {
         std::cerr << "error: model failed validation (solver bug)\n";
         return 1;
       }
+    }
+    if (status == SolveStatus::unsatisfiable && want_proof &&
+        !certify_unsat(cnf, portfolio.spliced_proof(), drat_path, drat_format,
+                       core_path)) {
+      return 1;
     }
     if (args.has_flag("stats")) {
       std::cout << "c time " << elapsed << " s, " << threads << " workers\n"
@@ -227,15 +307,25 @@ int main(int argc, char** argv) {
   }
 
   Solver solver(options);
-  std::ofstream drat_file;
-  DratWriter drat(drat_file);
-  if (const std::string path = args.get_string("drat"); !path.empty()) {
-    drat_file.open(path);
-    if (!drat_file) {
-      std::cerr << "error: cannot open '" << path << "' for the proof\n";
+  // Core extraction needs the whole trace in memory; plain --drat streams
+  // straight to disk as the search runs.
+  proof::MemoryProofWriter memory_proof;
+  std::ofstream drat_stream;
+  std::unique_ptr<proof::ProofWriter> stream_writer;
+  if (!core_path.empty()) {
+    solver.set_proof(&memory_proof);
+  } else if (!drat_path.empty()) {
+    drat_stream.open(drat_path, std::ios::binary);
+    if (!drat_stream) {
+      std::cerr << "error: cannot open '" << drat_path << "' for the proof\n";
       return 1;
     }
-    drat.attach(solver);
+    if (drat_format == proof::DratFormat::binary) {
+      stream_writer = std::make_unique<proof::BinaryDratWriter>(drat_stream);
+    } else {
+      stream_writer = std::make_unique<proof::TextDratWriter>(drat_stream);
+    }
+    solver.set_proof(stream_writer.get());
   }
 
   solver.load(cnf);
@@ -244,7 +334,16 @@ int main(int argc, char** argv) {
   const SolveStatus status = solver.solve(budget);
   const double elapsed = timer.seconds();
 
+  if (status == SolveStatus::satisfiable && args.has_flag("check-model") &&
+      !model_checks_out(cnf, solver.model())) {
+    return 1;
+  }
   std::cout << "s " << to_string(status) << "\n";
+  if (status == SolveStatus::unsatisfiable && !core_path.empty() &&
+      !certify_unsat(cnf, memory_proof.proof(), drat_path, drat_format,
+                     core_path)) {
+    return 1;
+  }
   if (status == SolveStatus::satisfiable && args.has_flag("model")) {
     std::cout << "v ";
     for (Var v = 0; v < cnf.num_vars(); ++v) {

@@ -177,7 +177,10 @@ void Solver::resolve_conflict(ClauseRef conflict) {
   ++stats_.conflicts;
   ++conflicts_since_restart_;
   if (decision_level() == 0) {
+    // Root conflict: unit propagation over the (logged) database already
+    // derives falsum, so the empty clause closes the proof.
     ok_ = false;
+    proof_emit_empty();
     return;
   }
   int backtrack_level = 0;
@@ -198,6 +201,10 @@ void Solver::record_learned(const std::vector<Lit>& learned, int backtrack_level
     for (const Lit l : learned) bump_chaff(l);
   }
 
+  // Proof before learn callback: the callback may publish the clause to a
+  // sharing pool, and a spliced portfolio trace needs the producer's add
+  // sequenced before any importer can log its copy.
+  proof_emit_add(learned);
   if (learn_callback_) learn_callback_(learned);
 
   if (learned.size() == 1) {

@@ -1,10 +1,17 @@
-// DRAT proof logging.
+// DRAT proof logging over the learn/delete callbacks (legacy path).
 //
 // Attaching a DratWriter to a Solver records every learned clause and
 // every deletion in the standard textual DRAT format, so UNSAT results
 // can be verified externally (drat-trim) or by the bundled RupChecker.
 // Every clause the CDCL engine learns is a reverse-unit-propagation (RUP)
 // consequence, so the emitted proof is valid DRUP/DRAT.
+//
+// The full-fidelity instrumentation lives in src/proof/: Solver::set_proof
+// additionally captures imports and the final empty clause, offers binary
+// and buffered backends, splices portfolio traces, and pairs with the
+// in-tree proof::DratChecker (forward/backward checking, trimming, UNSAT
+// cores). Prefer that interface for new code; this writer stays for the
+// callback-level tests and as the minimal example of the trace format.
 #pragma once
 
 #include <ostream>

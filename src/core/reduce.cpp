@@ -33,6 +33,7 @@ void Solver::handle_restart() {
   // the reduction's literal stripping requires the fixpoint.
   if (propagate_internal() != no_clause) {
     ok_ = false;
+    proof_emit_empty();
     return;
   }
   if (opts_.reduction_policy != ReductionPolicy::none) reduce_db();
@@ -136,9 +137,10 @@ void Solver::reduce_db() {
 
 void Solver::notify_deleted(ClauseRef ref) {
   ++stats_.deleted_clauses;
-  if (delete_callback_) {
+  if (delete_callback_ || proof() != nullptr) {
     arena_.deref(ref).copy_to(callback_scratch_);
-    delete_callback_(callback_scratch_);
+    if (delete_callback_) delete_callback_(callback_scratch_);
+    proof_emit_delete(callback_scratch_);
   }
 }
 
@@ -153,10 +155,15 @@ void Solver::garbage_collect(const std::vector<char>& keep_learned) {
   // original is deleted.
   const auto strengthen_trace = [&](const Clause& c) {
     ++stats_.strengthened_clauses;
+    // Proof before the learn callback, same as record_learned: the
+    // callback may publish to a sharing pool, and a spliced trace needs
+    // this add sequenced first.
+    proof_emit_add(stripped);
     if (learn_callback_) learn_callback_(stripped);
-    if (delete_callback_) {
+    if (delete_callback_ || proof() != nullptr) {
       c.copy_to(before);
-      delete_callback_(before);
+      if (delete_callback_) delete_callback_(before);
+      proof_emit_delete(before);
     }
   };
 

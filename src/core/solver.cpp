@@ -4,8 +4,23 @@
 #include <cassert>
 
 #include "cnf/simplify.h"
+#include "proof/proof_writer.h"
 
 namespace berkmin {
+
+void Solver::proof_emit_add(std::span<const Lit> lits) {
+  if (proof_ != nullptr) proof_->add_clause(lits);
+}
+
+void Solver::proof_emit_delete(std::span<const Lit> lits) {
+  if (proof_ != nullptr) proof_->delete_clause(lits);
+}
+
+void Solver::proof_emit_empty() {
+  if (proof_ == nullptr || proof_emitted_empty_) return;
+  proof_emitted_empty_ = true;
+  proof_->add_clause({});
+}
 
 Solver::Solver(SolverOptions options)
     : opts_(options),
@@ -65,18 +80,27 @@ bool Solver::add_root_clause(std::span<const Lit> lits, bool learned) {
   }
 
   if (reduced.empty()) {
+    // Every literal is false under the retained root assignment: the
+    // formula is refuted, and the empty clause is a unit-propagation
+    // consequence the proof trace can end with.
     ok_ = false;
+    proof_emit_empty();
     return false;
   }
   // Imported clauses frequently duplicate lemmas this solver (or an earlier
   // import) already holds; an identical binary would be attached twice and
   // propagate twice per trigger. The binary watch lists make the membership
-  // test one contiguous scan.
+  // test one contiguous scan. Nothing enters the database, so nothing is
+  // logged to the proof either.
   if (learned && reduced.size() == 2 &&
       binary_clause_present(reduced[0], reduced[1])) {
     ++stats_.duplicate_binaries_skipped;
     return true;
   }
+  // Learned/imported clauses are additions the original formula does not
+  // contain, so the proof must record them (in the root-simplified form
+  // the database actually holds, which is RUP given the logged units).
+  if (learned) proof_emit_add(reduced);
   if (reduced.size() == 1) {
     enqueue(reduced[0], no_clause);
     // Propagation of the unit happens lazily in solve(); a conflict there
@@ -363,6 +387,7 @@ SolveStatus Solver::solve_with_assumptions(std::span<const Lit> assumptions,
   // Root propagation of any units queued by add_clause.
   if (propagate_internal() != no_clause) {
     ok_ = false;
+    proof_emit_empty();
     assumptions_.clear();
     record_slice();
     return SolveStatus::unsatisfiable;

@@ -33,6 +33,10 @@
 
 namespace berkmin {
 
+namespace proof {
+class ProofWriter;
+}
+
 class Solver {
  public:
   explicit Solver(SolverOptions options = SolverOptions::berkmin());
@@ -128,6 +132,18 @@ class Solver {
   using ClauseCallback = std::function<void(std::span<const Lit>)>;
   void set_learn_callback(ClauseCallback cb) { learn_callback_ = std::move(cb); }
   void set_delete_callback(ClauseCallback cb) { delete_callback_ = std::move(cb); }
+
+  // Full proof instrumentation (src/proof/): the writer sees every clause
+  // the database gains (learned clauses, learned units, imported clauses,
+  // clauses shortened by root-level strengthening) and loses (reductions,
+  // strengthening), plus the final empty clause when the formula is
+  // refuted — a complete, checkable DRAT trace, which the learn/delete
+  // callbacks alone are not (they miss imports and the empty clause).
+  // Orthogonal to the callbacks, so a portfolio can export clauses and
+  // log a proof at the same time. The writer must outlive the solver's
+  // solving calls; pass nullptr to detach.
+  void set_proof(proof::ProofWriter* writer) { proof_ = writer; }
+  proof::ProofWriter* proof() const { return proof_; }
 
   // ---- introspection (tests, instrumentation, tools) --------------------
   Value value(Var v) const { return assign_[v]; }
@@ -245,6 +261,14 @@ class Solver {
   // --- restarts & database management (reduce.cpp) ---
   void handle_restart();
   void reduce_db();
+  // --- proof emission (solver.cpp) ---
+  // No-ops while no writer is attached. proof_emit_empty records the final
+  // empty clause exactly once, at the moment ok_ flips false for a root
+  // conflict (never for assumption-failure answers, which leave the
+  // formula satisfiable).
+  void proof_emit_add(std::span<const Lit> lits);
+  void proof_emit_delete(std::span<const Lit> lits);
+  void proof_emit_empty();
   struct ReduceDecision {
     bool keep = false;
     bool satisfied_at_root = false;
@@ -350,6 +374,8 @@ class Solver {
   ClauseCallback learn_callback_;
   ClauseCallback delete_callback_;
   RestartCallback restart_callback_;
+  proof::ProofWriter* proof_ = nullptr;
+  bool proof_emitted_empty_ = false;
 
   // External cancellation (see request_stop). The atomic makes Solver
   // non-copyable, which every current use site already respects.

@@ -39,6 +39,9 @@ void PortfolioSolver::warm_up_workers() {
     configs.resize(static_cast<std::size_t>(n));
 
     exchange_ = std::make_unique<ClauseExchange>(n, opts_.exchange);
+    if (opts_.log_proof) {
+      splicer_ = std::make_unique<proof::ProofSplicer>(n);
+    }
     solvers_.resize(static_cast<std::size_t>(n));
     worker_names_.resize(static_cast<std::size_t>(n));
     for (int i = 0; i < n; ++i) {
@@ -49,6 +52,7 @@ void PortfolioSolver::warm_up_workers() {
 
       Solver* solver = slot.get();
       solver->set_external_stop(&user_stop_);
+      if (splicer_ != nullptr) solver->set_proof(splicer_->writer(i));
       if (opts_.share_clauses) {
         ClauseExchange* exchange = exchange_.get();
         const std::uint32_t max_len = opts_.exchange.max_clause_length;
@@ -165,6 +169,10 @@ SolveStatus PortfolioSolver::solve_with_assumptions(
     failed_assumptions_ = winning.failed_assumptions();
   }
   return status;
+}
+
+proof::Proof PortfolioSolver::spliced_proof() const {
+  return splicer_ != nullptr ? splicer_->spliced() : proof::Proof{};
 }
 
 std::uint64_t PortfolioSolver::clauses_exported() const {

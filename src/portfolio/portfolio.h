@@ -30,6 +30,8 @@
 #include "core/solver.h"
 #include "portfolio/clause_exchange.h"
 #include "portfolio/diversify.h"
+#include "proof/proof.h"
+#include "proof/splice.h"
 
 namespace berkmin::portfolio {
 
@@ -39,6 +41,13 @@ struct PortfolioOptions {
   ExchangeLimits exchange;
   // Seeds the diversification (tie-breaking seeds, fabricated variants).
   std::uint64_t base_seed = 0;
+  // Record a checkable DRAT proof of the whole race: every worker logs
+  // its clause additions (tagged with its worker id) through one
+  // proof::ProofSplicer, and spliced_proof() merges them into a single
+  // trace that certifies an UNSAT answer regardless of which worker won
+  // or how clauses were exchanged. Deletions are suppressed while
+  // logging, so long UNSAT races hold their whole trace in memory.
+  bool log_proof = false;
   // Explicit worker lineup; when empty, diversified_configs() supplies
   // num_threads workers. When shorter than num_threads it is extended,
   // when longer it is truncated.
@@ -98,6 +107,15 @@ class PortfolioSolver {
   int winner() const { return winner_; }
   const std::string& winner_name() const { return winner_name_; }
 
+  // ---- proof logging (PortfolioOptions::log_proof) -----------------------
+  // The spliced multi-worker trace, merged by global sequence number.
+  // Complete — ends with the empty clause — exactly when the last solve
+  // answered unsatisfiable with no failed assumptions; proof::DratChecker
+  // verifies it against the loaded formula. Empty when logging is off.
+  // Only valid to call while no solve is in flight.
+  proof::Proof spliced_proof() const;
+  bool proof_logging() const { return opts_.log_proof; }
+
   const std::vector<WorkerReport>& reports() const { return reports_; }
   const ExchangeStats& exchange_stats() const { return exchange_stats_; }
   std::uint64_t clauses_exported() const;  // sum over workers
@@ -129,6 +147,7 @@ class PortfolioSolver {
   std::vector<std::unique_ptr<Solver>> solvers_;
   std::vector<std::string> worker_names_;
   std::unique_ptr<ClauseExchange> exchange_;
+  std::unique_ptr<proof::ProofSplicer> splicer_;
   std::size_t loaded_clauses_ = 0;
 
   // User cancellation only; never reset by solve itself. Race

@@ -1,0 +1,393 @@
+#include "proof/drat_checker.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "cnf/simplify.h"
+
+namespace berkmin::proof {
+
+DratChecker::DratChecker(const Cnf& cnf) {
+  ensure_var(cnf.num_vars() - 1);
+  num_original_clauses_ = 0;
+
+  // Store and attach every original clause first (nothing is assigned yet,
+  // so any two literals may be watched), then seed propagation with the
+  // units. A conflict here means the formula is refuted by unit
+  // propagation alone.
+  std::vector<std::uint32_t> units;
+  for (std::size_t i = 0; i < cnf.num_clauses(); ++i) {
+    auto normalized = normalize_clause(cnf.clause(i));
+    if (!normalized) continue;  // tautology: can never matter
+    const std::uint32_t id = store(*normalized, /*from_proof=*/false, i);
+    DbClause& c = clauses_[id];
+    if (c.lits.empty()) {
+      record_empty_derivation({id});
+    } else if (c.lits.size() == 1) {
+      units.push_back(id);
+    } else {
+      attach(id);
+    }
+  }
+  num_original_clauses_ = clauses_.size();
+  if (derived_empty_) return;
+
+  for (const std::uint32_t id : units) {
+    const Lit l = clauses_[id].lits[0];
+    const Value v = value(l);
+    if (v == Value::true_value) continue;
+    if (v == Value::false_value) {
+      auto ants = collect_antecedents(invalid_clause, l.var());
+      ants.push_back(id);
+      record_empty_derivation(std::move(ants));
+      return;
+    }
+    enqueue(l, id);
+  }
+  const std::uint32_t conflict = propagate();
+  if (conflict != invalid_clause) {
+    record_empty_derivation(collect_antecedents(conflict));
+  }
+}
+
+void DratChecker::ensure_var(Var v) {
+  if (v < 0) return;
+  const std::size_t needed = static_cast<std::size_t>(v) + 1;
+  if (assign_.size() >= needed) return;
+  assign_.resize(needed, Value::unassigned);
+  reason_.resize(needed, invalid_clause);
+  seen_.resize(needed, 0);
+  watches_.resize(2 * needed);
+}
+
+std::uint32_t DratChecker::store(const std::vector<Lit>& normalized,
+                                 bool from_proof, std::size_t source) {
+  for (const Lit l : normalized) ensure_var(l.var());
+  const auto id = static_cast<std::uint32_t>(clauses_.size());
+  DbClause c;
+  c.lits = normalized;
+  c.active = true;
+  c.from_proof = from_proof;
+  c.source = source;
+  clauses_.push_back(std::move(c));
+  if (live_index_built_) live_by_lits_[normalized].push_back(id);
+  return id;
+}
+
+void DratChecker::ensure_live_index() {
+  if (live_index_built_) return;
+  live_index_built_ = true;
+  // Ascending id order keeps each bucket youngest-last, which is the
+  // order the deletion scan walks from the back.
+  for (std::uint32_t id = 0; id < clauses_.size(); ++id) {
+    if (clauses_[id].active) live_by_lits_[clauses_[id].lits].push_back(id);
+  }
+}
+
+void DratChecker::attach(std::uint32_t id) {
+  const DbClause& c = clauses_[id];
+  assert(c.lits.size() >= 2);
+  watches_[(~c.lits[0]).code()].push_back(id);
+  watches_[(~c.lits[1]).code()].push_back(id);
+}
+
+void DratChecker::enqueue(Lit l, std::uint32_t reason) {
+  assert(value(l) == Value::unassigned);
+  assign_[static_cast<std::size_t>(l.var())] = to_value(l.is_positive());
+  reason_[static_cast<std::size_t>(l.var())] = reason;
+  trail_.push_back(l);
+}
+
+std::uint32_t DratChecker::propagate() {
+  while (propagate_head_ < trail_.size()) {
+    const Lit p = trail_[propagate_head_++];
+    std::vector<std::uint32_t>& list = watches_[p.code()];
+    const Lit false_lit = ~p;
+
+    std::size_t i = 0;
+    std::size_t j = 0;
+    while (i < list.size()) {
+      const std::uint32_t id = list[i];
+      DbClause& c = clauses_[id];
+      if (!c.active) {
+        ++i;  // deleted: drop the watcher on the way through
+        continue;
+      }
+      if (c.lits[0] == false_lit) std::swap(c.lits[0], c.lits[1]);
+      assert(c.lits[1] == false_lit);
+      ++i;
+
+      if (value(c.lits[0]) == Value::true_value) {
+        list[j++] = id;
+        continue;
+      }
+      bool moved = false;
+      for (std::size_t k = 2; k < c.lits.size(); ++k) {
+        if (value(c.lits[k]) != Value::false_value) {
+          std::swap(c.lits[1], c.lits[k]);
+          watches_[(~c.lits[1]).code()].push_back(id);
+          moved = true;
+          break;
+        }
+      }
+      if (moved) continue;
+
+      list[j++] = id;
+      if (value(c.lits[0]) == Value::false_value) {
+        while (i < list.size()) list[j++] = list[i++];
+        list.resize(j);
+        propagate_head_ = trail_.size();
+        return id;
+      }
+      enqueue(c.lits[0], id);
+    }
+    list.resize(j);
+  }
+  return invalid_clause;
+}
+
+void DratChecker::undo_to(std::size_t trail_size) {
+  while (trail_.size() > trail_size) {
+    const Var v = trail_.back().var();
+    assign_[static_cast<std::size_t>(v)] = Value::unassigned;
+    reason_[static_cast<std::size_t>(v)] = invalid_clause;
+    trail_.pop_back();
+  }
+  propagate_head_ = trail_.size();
+}
+
+std::vector<std::uint32_t> DratChecker::collect_antecedents(
+    std::uint32_t conflict, Var start) {
+  std::vector<std::uint32_t> out;
+  std::vector<Var> marked;
+
+  const auto mark_clause = [&](std::uint32_t id) {
+    out.push_back(id);
+    for (const Lit l : clauses_[id].lits) {
+      const Var v = l.var();
+      if (!seen_[static_cast<std::size_t>(v)]) {
+        seen_[static_cast<std::size_t>(v)] = 1;
+        marked.push_back(v);
+      }
+    }
+  };
+
+  if (conflict != invalid_clause) {
+    mark_clause(conflict);
+  } else {
+    assert(start != no_var);
+    seen_[static_cast<std::size_t>(start)] = 1;
+    marked.push_back(start);
+  }
+
+  for (std::size_t i = trail_.size(); i-- > 0;) {
+    const Var v = trail_[i].var();
+    if (!seen_[static_cast<std::size_t>(v)]) continue;
+    const std::uint32_t reason = reason_[static_cast<std::size_t>(v)];
+    if (reason != invalid_clause) mark_clause(reason);
+  }
+
+  for (const Var v : marked) seen_[static_cast<std::size_t>(v)] = 0;
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+bool DratChecker::check_rup(const std::vector<Lit>& clause,
+                            std::vector<std::uint32_t>* antecedents) {
+  const std::size_t mark = trail_.size();
+
+  // Assert the negation. A literal already true at the root contradicts
+  // its own negation immediately — the antecedents are the reason chain
+  // that forced it.
+  for (const Lit l : clause) {
+    const Value v = value(l);
+    if (v == Value::true_value) {
+      *antecedents = collect_antecedents(invalid_clause, l.var());
+      undo_to(mark);
+      return true;
+    }
+    if (v == Value::unassigned) enqueue(~l, invalid_clause);
+  }
+
+  const std::uint32_t conflict = propagate();
+  if (conflict == invalid_clause) {
+    undo_to(mark);
+    return false;
+  }
+  *antecedents = collect_antecedents(conflict);
+  undo_to(mark);
+  return true;
+}
+
+void DratChecker::record_empty_derivation(
+    std::vector<std::uint32_t> antecedents) {
+  if (derived_empty_) return;
+  derived_empty_ = true;
+  std::sort(antecedents.begin(), antecedents.end());
+  antecedents.erase(std::unique(antecedents.begin(), antecedents.end()),
+                    antecedents.end());
+  empty_antecedents_ = std::move(antecedents);
+}
+
+CheckResult DratChecker::check(const Proof& proof) {
+  CheckResult result;
+  if (checked_) {
+    result.error = "DratChecker instances are single-use; construct a new one";
+    return result;
+  }
+  checked_ = true;
+
+  for (std::size_t i = 0; i < proof.steps.size() && !derived_empty_; ++i) {
+    const ProofStep& step = proof.steps[i];
+    auto normalized = normalize_clause(step.lits);
+
+    if (step.is_delete()) {
+      ++result.deletions;
+      if (!normalized) {
+        ++result.skipped_deletions;
+        continue;
+      }
+      // A clause that is the recorded reason of a root-trail literal must
+      // survive: dropping it would leave a literal assigned that unit
+      // propagation could no longer re-derive. Skipping such deletions
+      // (drat-trim does the same for unit deletions) only strengthens the
+      // database, so later checks stay sound. Deletions run at the root
+      // fixpoint, so the reason table holds root reasons only.
+      const auto is_root_reason = [&](std::uint32_t id) {
+        for (const Lit l : clauses_[id].lits) {
+          const auto v = static_cast<std::size_t>(l.var());
+          if (assign_[v] != Value::unassigned && reason_[v] == id) return true;
+        }
+        return false;
+      };
+      ensure_live_index();
+      const auto it = live_by_lits_.find(*normalized);
+      std::uint32_t victim = invalid_clause;
+      if (it != live_by_lits_.end()) {
+        for (std::size_t k = it->second.size(); k-- > 0;) {
+          const std::uint32_t id = it->second[k];
+          if (clauses_[id].active && !is_root_reason(id)) {
+            victim = id;
+            it->second.erase(it->second.begin() +
+                             static_cast<std::ptrdiff_t>(k));
+            break;
+          }
+        }
+      }
+      if (victim == invalid_clause) {
+        ++result.skipped_deletions;
+        continue;
+      }
+      clauses_[victim].active = false;  // watchers are pruned lazily
+      continue;
+    }
+
+    // Addition: must be RUP against the current database.
+    if (!normalized) continue;  // tautology: vacuously sound, never needed
+    std::vector<std::uint32_t> antecedents;
+    if (!check_rup(*normalized, &antecedents)) {
+      result.error = "step " + std::to_string(i) + ": clause is not RUP";
+      result.derived_empty = false;
+      return result;
+    }
+    ++result.checked_adds;
+
+    if (normalized->empty()) {
+      // check_rup on the empty clause succeeds only when the database
+      // already propagates to a conflict, which record_empty_derivation
+      // would have caught — defensive, not reachable for our traces.
+      empty_producer_ = step.producer;
+      record_empty_derivation(std::move(antecedents));
+      break;
+    }
+
+    const std::uint32_t id = store(*normalized, /*from_proof=*/true, i);
+    clauses_[id].antecedents = std::move(antecedents);
+    DbClause& c = clauses_[id];
+
+    if (c.lits.size() == 1) {
+      const Lit l = c.lits[0];
+      const Value v = value(l);
+      if (v == Value::false_value) {
+        auto ants = collect_antecedents(invalid_clause, l.var());
+        ants.push_back(id);
+        empty_producer_ = step.producer;
+        record_empty_derivation(std::move(ants));
+      } else if (v == Value::unassigned) {
+        enqueue(l, id);
+        const std::uint32_t conflict = propagate();
+        if (conflict != invalid_clause) {
+          empty_producer_ = step.producer;
+          record_empty_derivation(collect_antecedents(conflict));
+        }
+      }
+      continue;
+    }
+
+    // Move two non-false literals into the watched slots. One non-false
+    // literal means the clause is unit under the root assignment; zero is
+    // unreachable after a successful RUP check (the negated clause would
+    // have added no assumption and the fixpoint held no conflict).
+    std::size_t found = 0;
+    for (std::size_t k = 0; k < c.lits.size() && found < 2; ++k) {
+      if (value(c.lits[k]) != Value::false_value) {
+        std::swap(c.lits[found], c.lits[k]);
+        ++found;
+      }
+    }
+    attach(id);
+    if (found == 0) {
+      empty_producer_ = step.producer;
+      record_empty_derivation(collect_antecedents(id));
+    } else if (found == 1 && value(c.lits[0]) == Value::unassigned) {
+      enqueue(c.lits[0], id);
+      const std::uint32_t conflict = propagate();
+      if (conflict != invalid_clause) {
+        empty_producer_ = step.producer;
+        record_empty_derivation(collect_antecedents(conflict));
+      }
+    }
+  }
+
+  result.derived_empty = derived_empty_;
+  result.valid = derived_empty_;
+  if (!result.valid && result.error.empty()) {
+    result.error = "trace ended without deriving the empty clause";
+  }
+  if (result.valid) build_trim_and_core(proof);
+  return result;
+}
+
+void DratChecker::build_trim_and_core(const Proof& proof) {
+  std::vector<char> needed(clauses_.size(), 0);
+  for (const std::uint32_t id : empty_antecedents_) needed[id] = 1;
+
+  // Clause ids grow monotonically with step order, so a reverse id sweep
+  // visits every addition after all the steps that could depend on it.
+  for (std::size_t id = clauses_.size(); id-- > num_original_clauses_;) {
+    if (!needed[id]) continue;
+    for (const std::uint32_t a : clauses_[id].antecedents) needed[a] = 1;
+  }
+
+  core_.clear();
+  for (std::size_t id = 0; id < num_original_clauses_; ++id) {
+    if (needed[id]) core_.push_back(clauses_[id].source);
+  }
+
+  trimmed_.steps.clear();
+  for (std::size_t id = num_original_clauses_; id < clauses_.size(); ++id) {
+    if (!needed[id] || !clauses_[id].from_proof) continue;
+    trimmed_.steps.push_back(proof.steps[clauses_[id].source]);
+  }
+  trimmed_.steps.push_back(ProofStep{StepKind::add, empty_producer_, {}});
+}
+
+Cnf DratChecker::core_formula(const Cnf& original,
+                              const std::vector<std::size_t>& core) {
+  Cnf out(original.num_vars());
+  for (const std::size_t index : core) out.add_clause(original.clause(index));
+  return out;
+}
+
+}  // namespace berkmin::proof

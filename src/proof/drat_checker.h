@@ -1,0 +1,135 @@
+// In-tree DRAT proof checking, trimming and UNSAT-core extraction.
+//
+// DratChecker verifies a clausal proof against the original formula
+// without trusting the solver that produced it: it is its own
+// two-watched-literal propagation engine over the original clauses plus
+// the proof's live additions. The check runs in two passes:
+//
+//  * forward — every added clause must be a reverse-unit-propagation
+//    (RUP) consequence of the current database: asserting the negation of
+//    its literals and propagating to fixpoint must yield a conflict. The
+//    clauses touched by that conflict's resolution chain are recorded as
+//    the step's antecedents. Deletions remove one live copy (deletions of
+//    clauses that force a root literal are skipped, the standard DRUP
+//    convention, which only grows the database and so never weakens a
+//    later check).
+//  * backward — starting from the antecedents of the empty clause, mark
+//    every addition some marked step depends on. Unmarked additions are
+//    dead weight: trimmed() returns the proof without them, and the
+//    marked original clauses form an unsatisfiable core of the input.
+//
+// The engine checks strict RUP only — exactly what our CDCL solver (and
+// any clause-learning solver that logs deletions) emits. RAT steps are
+// rejected, which makes a successful check a stronger statement, not a
+// weaker one.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cnf/cnf_formula.h"
+#include "cnf/literal.h"
+#include "proof/proof.h"
+
+namespace berkmin::proof {
+
+struct CheckResult {
+  // True iff every addition verified as RUP and the empty clause was
+  // derived — the proof certifies unsatisfiability of the formula.
+  bool valid = false;
+  bool derived_empty = false;
+  std::size_t checked_adds = 0;
+  std::size_t deletions = 0;
+  // Deletions ignored: the clause forces a root literal, or no live copy
+  // matched (spliced portfolio traces suppress deletions entirely).
+  std::size_t skipped_deletions = 0;
+  // First failure, as "step <index>: <what>"; empty when valid.
+  std::string error;
+};
+
+class DratChecker {
+ public:
+  explicit DratChecker(const Cnf& cnf);
+
+  // Verifies the whole trace. May be called once per checker instance.
+  CheckResult check(const Proof& proof);
+
+  // Valid after a successful check(): the needed additions in original
+  // order (producer tags preserved), ending with the empty clause.
+  const Proof& trimmed() const { return trimmed_; }
+
+  // Valid after a successful check(): indices into cnf.clauses() of the
+  // original clauses the trimmed proof rests on, ascending. The induced
+  // subformula is itself unsatisfiable.
+  const std::vector<std::size_t>& core() const { return core_; }
+
+  // Materializes a core as a formula over the same variable numbering.
+  static Cnf core_formula(const Cnf& original,
+                          const std::vector<std::size_t>& core);
+
+ private:
+  static constexpr std::uint32_t invalid_clause = 0xFFFFFFFFu;
+
+  struct DbClause {
+    std::vector<Lit> lits;  // normalized; watched literals in slots 0/1
+    bool active = false;
+    // Originals: index into cnf.clauses(); additions: proof step index.
+    std::size_t source = 0;
+    bool from_proof = false;
+    // Clause ids whose unit consequences made this addition RUP.
+    std::vector<std::uint32_t> antecedents;
+  };
+
+  void ensure_var(Var v);
+  // Stores a normalized clause; returns its id, or invalid_clause for
+  // tautologies (vacuous, never stored).
+  std::uint32_t store(const std::vector<Lit>& normalized, bool from_proof,
+                      std::size_t source);
+  void attach(std::uint32_t id);
+  Value value(Lit l) const {
+    return value_of_literal(assign_[static_cast<std::size_t>(l.var())], l);
+  }
+  void enqueue(Lit l, std::uint32_t reason);
+  // Propagates from the current head; returns the conflicting clause id
+  // or invalid_clause. On conflict the head is left past the end so a
+  // subsequent undo restores a consistent state.
+  std::uint32_t propagate();
+  void undo_to(std::size_t trail_size);
+  // Collects the ids of every clause in the resolution chain of
+  // `conflict` (or of the root assignment of `start`, when the conflict
+  // is an assumption contradicting a root-true literal).
+  std::vector<std::uint32_t> collect_antecedents(std::uint32_t conflict,
+                                                 Var start = no_var);
+  // Verifies one addition; fills *antecedents on success.
+  bool check_rup(const std::vector<Lit>& clause,
+                 std::vector<std::uint32_t>* antecedents);
+  void ensure_live_index();
+  void record_empty_derivation(std::vector<std::uint32_t> antecedents);
+  void build_trim_and_core(const Proof& proof);
+
+  std::size_t num_original_clauses_ = 0;
+  std::vector<DbClause> clauses_;
+  // Deletion lookup (normalized literals -> live clause ids), built
+  // lazily on the first deletion: spliced portfolio traces contain none,
+  // and the map costs a full literal-vector copy per stored clause.
+  std::map<std::vector<Lit>, std::vector<std::uint32_t>> live_by_lits_;
+  bool live_index_built_ = false;
+  std::vector<std::vector<std::uint32_t>> watches_;  // by literal code
+  std::vector<Value> assign_;                        // by variable
+  std::vector<Lit> trail_;
+  std::vector<std::uint32_t> reason_;  // by variable; invalid for assumptions
+  std::size_t propagate_head_ = 0;
+  std::vector<char> seen_;  // collect_antecedents scratch, by variable
+
+  bool derived_empty_ = false;
+  std::vector<std::uint32_t> empty_antecedents_;
+  std::int32_t empty_producer_ = no_producer;
+
+  bool checked_ = false;
+  Proof trimmed_;
+  std::vector<std::size_t> core_;
+};
+
+}  // namespace berkmin::proof

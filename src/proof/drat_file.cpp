@@ -1,0 +1,181 @@
+#include "proof/drat_file.h"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "proof/proof_writer.h"
+
+namespace berkmin::proof {
+
+namespace {
+
+bool read_text(std::istream& in, Proof* out, std::string* error) {
+  std::string token;
+  std::vector<Lit> lits;
+  bool in_delete = false;
+  bool in_clause = false;
+  std::uint64_t line = 1;
+
+  const auto fail = [&](const std::string& what) {
+    if (error != nullptr) {
+      *error = "text DRAT, line " + std::to_string(line) + ": " + what;
+    }
+    return false;
+  };
+
+  char c;
+  while (in.get(c)) {
+    if (c == '\n') ++line;
+    if (std::isspace(static_cast<unsigned char>(c))) continue;
+    if (c == 'c' && !in_clause) {
+      // Comment line (some tools emit them): skip to end of line.
+      while (in.get(c) && c != '\n') {
+      }
+      ++line;
+      continue;
+    }
+    if (c == 'd' && !in_clause) {
+      in_delete = true;
+      in_clause = true;
+      continue;
+    }
+    if (c != '-' && !std::isdigit(static_cast<unsigned char>(c))) {
+      return fail(std::string("unexpected character '") + c + "'");
+    }
+    token.clear();
+    token.push_back(c);
+    while (in.get(c) && std::isdigit(static_cast<unsigned char>(c))) {
+      token.push_back(c);
+    }
+    if (in) in.unget();
+    long long value = 0;
+    try {
+      value = std::stoll(token);
+    } catch (const std::exception&) {
+      return fail("bad literal '" + token + "'");
+    }
+    if (value == 0) {
+      if (in_delete) {
+        out->del(lits);
+      } else {
+        out->add(lits);
+      }
+      lits.clear();
+      in_delete = false;
+      in_clause = false;
+    } else {
+      in_clause = true;
+      lits.push_back(from_dimacs(static_cast<int>(value)));
+    }
+  }
+  if (in_clause) return fail("trace ends inside a clause (missing 0)");
+  return true;
+}
+
+bool read_binary(std::istream& in, Proof* out, std::string* error) {
+  const auto fail = [&](const std::string& what) {
+    if (error != nullptr) *error = "binary DRAT: " + what;
+    return false;
+  };
+
+  char tag;
+  std::vector<Lit> lits;
+  while (in.get(tag)) {
+    const bool is_delete = tag == 'd';
+    if (!is_delete && tag != 'a') {
+      return fail("bad step tag byte " +
+                  std::to_string(static_cast<unsigned char>(tag)));
+    }
+    lits.clear();
+    for (;;) {
+      std::uint32_t mapped = 0;
+      int shift = 0;
+      char byte;
+      bool more = true;
+      while (more) {
+        if (!in.get(byte)) return fail("trace ends inside a step");
+        const auto b = static_cast<unsigned char>(byte);
+        if (shift >= 32) return fail("literal varint overflows 32 bits");
+        mapped |= static_cast<std::uint32_t>(b & 0x7Fu) << shift;
+        shift += 7;
+        more = (b & 0x80u) != 0;
+      }
+      if (mapped == 0) break;  // step terminator
+      const int magnitude = static_cast<int>(mapped >> 1);
+      if (magnitude == 0) return fail("literal maps to variable 0");
+      lits.push_back(from_dimacs((mapped & 1u) != 0 ? -magnitude : magnitude));
+    }
+    if (is_delete) {
+      out->del(lits);
+    } else {
+      out->add(lits);
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+bool read_drat(std::istream& in, DratFormat format, Proof* out,
+               std::string* error) {
+  return format == DratFormat::text ? read_text(in, out, error)
+                                    : read_binary(in, out, error);
+}
+
+bool read_drat_file(const std::string& path, Proof* out, std::string* error,
+                    DratFormat* detected) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    if (error != nullptr) *error = "cannot open '" + path + "'";
+    return false;
+  }
+  // No textual trace starts with an 'a', and no textual trace contains a
+  // 0x00 byte or a byte with the high bit set — while every binary step
+  // ends with a 0x00 terminator within a couple of bytes per literal and
+  // large literals carry high-bit continuation bytes. Scanning a prefix
+  // for those is decisive, unlike peeking at the first two bytes (which
+  // confuses "d 1 ..." with a binary 'd' tag whose first varint byte
+  // happens to be 0x20 or 0x09).
+  DratFormat format = DratFormat::text;
+  char buffer[4096];
+  in.read(buffer, sizeof buffer);
+  const std::streamsize prefix = in.gcount();
+  if (prefix > 0 && buffer[0] == 'a') format = DratFormat::binary;
+  for (std::streamsize i = 0; i < prefix && format == DratFormat::text; ++i) {
+    const auto b = static_cast<unsigned char>(buffer[i]);
+    if (b == 0x00 || b >= 0x80) format = DratFormat::binary;
+  }
+  in.clear();
+  in.seekg(0);
+  if (detected != nullptr) *detected = format;
+  return read_drat(in, format, out, error);
+}
+
+void write_drat(std::ostream& out, const Proof& proof, DratFormat format) {
+  if (format == DratFormat::text) {
+    TextDratWriter writer(out);
+    replay(proof, writer);
+  } else {
+    BinaryDratWriter writer(out);
+    replay(proof, writer);
+  }
+}
+
+bool write_drat_file(const std::string& path, const Proof& proof,
+                     DratFormat format, std::string* error) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    if (error != nullptr) *error = "cannot open '" + path + "' for writing";
+    return false;
+  }
+  write_drat(out, proof, format);
+  out.flush();
+  if (!out) {
+    if (error != nullptr) *error = "write to '" + path + "' failed";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace berkmin::proof

@@ -1,0 +1,36 @@
+// DRAT trace (de)serialization.
+//
+// Reads a textual or binary DRAT stream back into a proof::Proof so the
+// in-tree checker can verify traces produced by an earlier run (or by
+// another solver), and writes a buffered Proof out in either format.
+// The two formats are distinguishable by their first byte — a binary
+// trace starts with an 'a' (0x61) or 'd'+0x00... step tag that no textual
+// trace can start with — so read_drat_file can autodetect.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "proof/proof.h"
+
+namespace berkmin::proof {
+
+enum class DratFormat : std::uint8_t { text, binary };
+
+// Parses a stream in the given format. Returns false and fills *error on
+// the first malformed step (the partially parsed prefix stays in *out).
+bool read_drat(std::istream& in, DratFormat format, Proof* out,
+               std::string* error);
+
+// Reads a whole file, autodetecting the format from the first byte
+// (binary steps start with 'a' 0x61 or 'd' 0x64 followed by varint bytes;
+// a textual trace starts with a digit, '-', 'd' followed by whitespace,
+// whitespace itself, or a 'c' comment).
+bool read_drat_file(const std::string& path, Proof* out, std::string* error,
+                    DratFormat* detected = nullptr);
+
+void write_drat(std::ostream& out, const Proof& proof, DratFormat format);
+bool write_drat_file(const std::string& path, const Proof& proof,
+                     DratFormat format, std::string* error);
+
+}  // namespace berkmin::proof

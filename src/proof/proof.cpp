@@ -1,0 +1,23 @@
+#include "proof/proof.h"
+
+#include <algorithm>
+
+namespace berkmin::proof {
+
+std::size_t Proof::num_adds() const {
+  return static_cast<std::size_t>(
+      std::count_if(steps.begin(), steps.end(),
+                    [](const ProofStep& s) { return s.is_add(); }));
+}
+
+std::size_t Proof::num_deletes() const {
+  return steps.size() - num_adds();
+}
+
+bool Proof::ends_with_empty() const {
+  return std::any_of(steps.begin(), steps.end(), [](const ProofStep& s) {
+    return s.is_add() && s.lits.empty();
+  });
+}
+
+}  // namespace berkmin::proof

@@ -1,0 +1,60 @@
+#include "proof/proof_writer.h"
+
+namespace berkmin::proof {
+
+void TextDratWriter::add_clause(std::span<const Lit> lits) {
+  ++added_;
+  write_lits(lits);
+}
+
+void TextDratWriter::delete_clause(std::span<const Lit> lits) {
+  ++deleted_;
+  out_ << "d ";
+  write_lits(lits);
+}
+
+void TextDratWriter::write_lits(std::span<const Lit> lits) {
+  for (const Lit l : lits) out_ << to_dimacs(l) << ' ';
+  out_ << "0\n";
+}
+
+void BinaryDratWriter::add_clause(std::span<const Lit> lits) {
+  ++added_;
+  write_step('a', lits);
+}
+
+void BinaryDratWriter::delete_clause(std::span<const Lit> lits) {
+  ++deleted_;
+  write_step('d', lits);
+}
+
+void BinaryDratWriter::write_step(char tag, std::span<const Lit> lits) {
+  out_.put(tag);
+  for (const Lit l : lits) {
+    // drat-trim's mapping: literal v -> 2v, -v -> 2v+1 (v the 1-based
+    // DIMACS variable), then 7-bit little-endian chunks with a
+    // continuation bit.
+    const int dimacs = to_dimacs(l);
+    std::uint32_t mapped = dimacs > 0
+                               ? 2u * static_cast<std::uint32_t>(dimacs)
+                               : 2u * static_cast<std::uint32_t>(-dimacs) + 1u;
+    while (mapped >= 0x80u) {
+      out_.put(static_cast<char>(0x80u | (mapped & 0x7Fu)));
+      mapped >>= 7;
+    }
+    out_.put(static_cast<char>(mapped));
+  }
+  out_.put('\0');
+}
+
+void replay(const Proof& proof, ProofWriter& writer) {
+  for (const ProofStep& step : proof.steps) {
+    if (step.is_add()) {
+      writer.add_clause(step.lits);
+    } else {
+      writer.delete_clause(step.lits);
+    }
+  }
+}
+
+}  // namespace berkmin::proof

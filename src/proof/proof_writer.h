@@ -1,0 +1,101 @@
+// Proof emission backends.
+//
+// A ProofWriter receives every clause addition and deletion a Solver
+// performs (Solver::set_proof wires the engine's clause-lifecycle sites to
+// it). Three backends cover the common shapes:
+//
+//  * TextDratWriter — the standard textual DRAT format ("d" prefix for
+//    deletions, DIMACS literals, 0-terminated lines), readable by external
+//    checkers such as drat-trim;
+//  * BinaryDratWriter — drat-trim's compressed binary format ('a'/'d'
+//    step bytes, variable-length 7-bit literal encoding), typically 3-5x
+//    smaller than text on the same trace;
+//  * MemoryProofWriter — buffers the trace as a proof::Proof so it can be
+//    checked in-process (DratChecker), trimmed, or serialized later.
+//
+// Writers are not thread-safe; a portfolio run gives each worker its own
+// writer through proof::ProofSplicer (splice.h).
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <span>
+
+#include "cnf/literal.h"
+#include "proof/proof.h"
+
+namespace berkmin::proof {
+
+class ProofWriter {
+ public:
+  virtual ~ProofWriter() = default;
+
+  // Called with every clause the solver adds to / removes from its
+  // database after loading; an empty `lits` addition is the final step of
+  // an unsatisfiability proof.
+  virtual void add_clause(std::span<const Lit> lits) = 0;
+  virtual void delete_clause(std::span<const Lit> lits) = 0;
+
+  std::uint64_t num_added() const { return added_; }
+  std::uint64_t num_deleted() const { return deleted_; }
+
+ protected:
+  std::uint64_t added_ = 0;
+  std::uint64_t deleted_ = 0;
+};
+
+class TextDratWriter : public ProofWriter {
+ public:
+  explicit TextDratWriter(std::ostream& out) : out_(out) {}
+
+  void add_clause(std::span<const Lit> lits) override;
+  void delete_clause(std::span<const Lit> lits) override;
+
+ private:
+  void write_lits(std::span<const Lit> lits);
+
+  std::ostream& out_;
+};
+
+class BinaryDratWriter : public ProofWriter {
+ public:
+  explicit BinaryDratWriter(std::ostream& out) : out_(out) {}
+
+  void add_clause(std::span<const Lit> lits) override;
+  void delete_clause(std::span<const Lit> lits) override;
+
+ private:
+  void write_step(char tag, std::span<const Lit> lits);
+
+  std::ostream& out_;
+};
+
+class MemoryProofWriter : public ProofWriter {
+ public:
+  // Steps recorded through this writer carry `producer` (a portfolio
+  // worker id; no_producer for single-solver runs).
+  explicit MemoryProofWriter(std::int32_t producer = no_producer)
+      : producer_(producer) {}
+
+  void add_clause(std::span<const Lit> lits) override {
+    ++added_;
+    proof_.add(lits, producer_);
+  }
+  void delete_clause(std::span<const Lit> lits) override {
+    ++deleted_;
+    proof_.del(lits, producer_);
+  }
+
+  const Proof& proof() const { return proof_; }
+  Proof take_proof() { return std::move(proof_); }
+
+ private:
+  std::int32_t producer_;
+  Proof proof_;
+};
+
+// Serializes a buffered proof through any writer (used to turn a checked
+// or trimmed in-memory trace back into a DRAT file).
+void replay(const Proof& proof, ProofWriter& writer);
+
+}  // namespace berkmin::proof

@@ -1,0 +1,57 @@
+#include "proof/splice.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace berkmin::proof {
+
+ProofSplicer::ProofSplicer(int num_workers) {
+  assert(num_workers >= 1);
+  writers_.reserve(static_cast<std::size_t>(num_workers));
+  for (int i = 0; i < num_workers; ++i) {
+    writers_.push_back(std::make_unique<TaggedWriter>(this, i));
+  }
+}
+
+ProofWriter* ProofSplicer::writer(int id) {
+  assert(id >= 0 && id < static_cast<int>(writers_.size()));
+  return writers_[static_cast<std::size_t>(id)].get();
+}
+
+void ProofSplicer::TaggedWriter::add_clause(std::span<const Lit> lits) {
+  ++added_;
+  const std::uint64_t seq =
+      owner_->next_seq_.fetch_add(1, std::memory_order_relaxed);
+  buffer_.push_back(SequencedStep{
+      seq, ProofStep{StepKind::add, id_, {lits.begin(), lits.end()}}});
+}
+
+void ProofSplicer::TaggedWriter::delete_clause(std::span<const Lit>) {
+  // Suppressed: a sibling's derivation may still lean on this clause's
+  // copy in the spliced database (see the header comment).
+  ++deleted_;
+}
+
+std::size_t ProofSplicer::total_steps() const {
+  std::size_t total = 0;
+  for (const auto& w : writers_) total += w->buffer_.size();
+  return total;
+}
+
+Proof ProofSplicer::spliced() const {
+  std::vector<const SequencedStep*> all;
+  all.reserve(total_steps());
+  for (const auto& w : writers_) {
+    for (const SequencedStep& s : w->buffer_) all.push_back(&s);
+  }
+  std::sort(all.begin(), all.end(),
+            [](const SequencedStep* a, const SequencedStep* b) {
+              return a->seq < b->seq;
+            });
+  Proof out;
+  out.steps.reserve(all.size());
+  for (const SequencedStep* s : all) out.steps.push_back(s->step);
+  return out;
+}
+
+}  // namespace berkmin::proof

@@ -1,0 +1,77 @@
+// Splicing per-worker proof traces into one checkable portfolio proof.
+//
+// A portfolio worker's trace is not checkable on its own: clauses imported
+// from siblings appear in its derivations without a justification. The
+// splicer fixes that by giving every worker a tagged ProofWriter whose
+// additions carry the worker id and a global sequence number (one shared
+// atomic counter), and by merging all per-worker buffers in sequence order
+// after the race. The merged trace is a valid DRUP/DRAT proof of the
+// shared formula because
+//
+//  * a clause is published to the exchange only after its addition was
+//    logged, and an importer logs its (root-simplified) copy only after
+//    collecting it, so every add appears after the adds it depends on —
+//    the atomic counter's total order extends the export -> import
+//    happens-before edges;
+//  * deletions are suppressed: worker A deleting its copy of a lemma must
+//    not remove the copy worker B's later derivations lean on, and a
+//    database that only grows keeps every RUP step checkable (unit
+//    propagation is monotone in the clause set). The cost is checker
+//    memory proportional to the whole trace, which backward trimming
+//    recovers after the fact.
+//
+// Thread safety: writer(i) must be wired to worker i only; each worker
+// appends to its own buffer, and the only shared state is the sequence
+// counter. spliced() may be called once every worker thread has joined.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "proof/proof.h"
+#include "proof/proof_writer.h"
+
+namespace berkmin::proof {
+
+class ProofSplicer {
+ public:
+  explicit ProofSplicer(int num_workers);
+
+  // The proof sink for worker `id`; owned by the splicer, valid for its
+  // lifetime. Additions are tagged with `id`, deletions are dropped.
+  ProofWriter* writer(int id);
+
+  // Steps logged so far, across all workers (post-join use only).
+  std::size_t total_steps() const;
+
+  // Merges every worker's buffer into one trace ordered by the global
+  // sequence. Call only while no worker is solving.
+  Proof spliced() const;
+
+ private:
+  struct SequencedStep {
+    std::uint64_t seq = 0;
+    ProofStep step;
+  };
+
+  class TaggedWriter : public ProofWriter {
+   public:
+    TaggedWriter(ProofSplicer* owner, std::int32_t id)
+        : owner_(owner), id_(id) {}
+    void add_clause(std::span<const Lit> lits) override;
+    void delete_clause(std::span<const Lit> lits) override;
+
+   private:
+    friend class ProofSplicer;
+    ProofSplicer* owner_;
+    std::int32_t id_;
+    std::vector<SequencedStep> buffer_;
+  };
+
+  std::atomic<std::uint64_t> next_seq_{0};
+  std::vector<std::unique_ptr<TaggedWriter>> writers_;
+};
+
+}  // namespace berkmin::proof

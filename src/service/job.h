@@ -16,6 +16,7 @@
 #include "cnf/literal.h"
 #include "core/options.h"
 #include "core/solver_types.h"
+#include "proof/proof.h"
 
 namespace berkmin::service {
 
@@ -64,6 +65,22 @@ struct JobLimits {
   int priority = 0;
 };
 
+// Per-job proof options. `log` records the job's DRAT trace — across
+// every slice of a preempted job, and spliced across workers for
+// portfolio-escalated jobs — and ships it in JobResult::proof when the
+// answer is UNSAT. `check` additionally verifies the trace with the
+// in-tree proof::DratChecker before the result is delivered; `core`
+// extracts the original-clause unsatisfiable core from the checked,
+// trimmed trace. check implies log, core implies both.
+struct JobProofOptions {
+  bool log = false;
+  bool check = false;
+  bool core = false;
+
+  bool wanted() const { return log || check || core; }
+  bool verify() const { return check || core; }
+};
+
 struct JobRequest {
   std::string name;  // echoed in results; defaults to "job-<id>"
   // The formula: either inline...
@@ -73,6 +90,7 @@ struct JobRequest {
   std::string dimacs_path;
   std::vector<Lit> assumptions;
   JobLimits limits;
+  JobProofOptions proof;
   SolverOptions options = SolverOptions::berkmin();
 };
 
@@ -85,7 +103,20 @@ struct JobResult {
 
   // Valid when status is satisfiable / unsatisfiable respectively.
   std::vector<Value> model;
+  // For UNSAT-under-assumptions answers this is the failed-assumption
+  // core: a subset of the submitted assumptions that already suffices for
+  // the conflict (Solver::analyze_final).
   std::vector<Lit> failed_assumptions;
+
+  // Proof artifacts (JobProofOptions). The trace is present for
+  // assumption-free UNSAT answers of proof-logged jobs; proof_checked /
+  // proof_valid report the in-tree verification, and unsat_core holds
+  // indices into the submitted formula's clauses() (set only when `core`
+  // was requested and the check succeeded).
+  proof::Proof proof;
+  bool proof_checked = false;
+  bool proof_valid = false;
+  std::vector<std::size_t> unsat_core;
 
   // Scheduling + work accounting, summed over every slice.
   std::uint32_t slices = 0;
@@ -98,6 +129,10 @@ struct JobResult {
   // zero when the job never ran a slice.
   std::uint64_t max_live_clauses = 0;
   std::uint64_t initial_clauses = 0;
+  // Import-dedupe observability: identical binaries dropped at
+  // import_clause time, summed over portfolio workers (zero for
+  // single-solver jobs, which never import).
+  std::uint64_t duplicate_binaries_skipped = 0;
   double queue_seconds = 0.0;  // submit → first slice
   double solve_seconds = 0.0;  // time inside solve() slices
   double wall_seconds = 0.0;   // submit → terminal state

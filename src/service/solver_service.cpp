@@ -7,6 +7,7 @@
 
 #include "cnf/dimacs.h"
 #include "portfolio/diversify.h"
+#include "proof/drat_checker.h"
 
 namespace berkmin::service {
 
@@ -275,6 +276,8 @@ void SolverService::run_slice(const std::shared_ptr<Job>& job) {
     std::string error;
     std::unique_ptr<Solver> solver;
     std::unique_ptr<portfolio::PortfolioSolver> portfolio;
+    std::unique_ptr<proof::MemoryProofWriter> proof_writer;
+    const JobProofOptions& proof_opts = job->request.proof;
     try {
       Cnf parsed;
       const Cnf* formula = &job->request.cnf;
@@ -286,13 +289,24 @@ void SolverService::run_slice(const std::shared_ptr<Job>& job) {
         portfolio::PortfolioOptions popts;
         popts.num_threads = limits.threads;
         popts.base_seed = job->request.options.seed;
+        popts.log_proof = proof_opts.wanted();
         popts.configs = portfolio::diversify_around(
             job->request.options, limits.threads, job->request.options.seed);
         portfolio = std::make_unique<portfolio::PortfolioSolver>(popts);
         portfolio->load(*formula);
       } else {
         solver = std::make_unique<Solver>(job->request.options);
+        if (proof_opts.wanted()) {
+          proof_writer = std::make_unique<proof::MemoryProofWriter>();
+          solver->set_proof(proof_writer.get());
+        }
         solver->load(*formula);
+      }
+      // Checking / core extraction needs the formula after the engine is
+      // done with it. The inline request.cnf lives as long as the job, so
+      // only a parsed DIMACS copy (which dies with this scope) is kept.
+      if (proof_opts.verify() && !job->request.dimacs_path.empty()) {
+        job->proof_formula = *formula;
       }
     } catch (const std::exception& ex) {
       error = ex.what();
@@ -312,6 +326,7 @@ void SolverService::run_slice(const std::shared_ptr<Job>& job) {
       } else {
         job->solver = std::move(solver);
         job->portfolio = std::move(portfolio);
+        job->proof_writer = std::move(proof_writer);
         job->loaded = true;
       }
     }
@@ -354,6 +369,37 @@ void SolverService::run_slice(const std::shared_ptr<Job>& job) {
         job->portfolio->solve_with_assumptions(job->request.assumptions, budget);
   }
   const double slice_seconds = slice_timer.seconds();
+
+  // Proof harvest and verification run outside the lock (a check can
+  // dwarf a slice). A trace is deliverable only when it is complete —
+  // UNSAT of the formula itself ends with the empty clause; an
+  // assumption-failure answer does not (its certificate is the
+  // failed-assumption core instead).
+  const JobProofOptions& proof_opts = job->request.proof;
+  proof::Proof trace;
+  bool have_trace = false;
+  bool proof_checked = false;
+  bool proof_valid = false;
+  std::vector<std::size_t> unsat_core;
+  if (status == SolveStatus::unsatisfiable && proof_opts.wanted()) {
+    // The slice is terminal (unsatisfiable is a definitive answer), so
+    // the writer's buffer can be taken rather than copied.
+    trace = job->proof_writer != nullptr ? job->proof_writer->take_proof()
+                                         : job->portfolio->spliced_proof();
+    have_trace = trace.ends_with_empty();
+    if (have_trace && proof_opts.verify()) {
+      const Cnf& formula = job->request.dimacs_path.empty()
+                               ? job->request.cnf
+                               : job->proof_formula;
+      proof::DratChecker checker(formula);
+      const proof::CheckResult check = checker.check(trace);
+      proof_checked = true;
+      proof_valid = check.valid;
+      if (check.valid && proof_opts.core) unsat_core = checker.core();
+    } else if (!have_trace) {
+      trace = proof::Proof{};
+    }
+  }
 
   JobResult notify;
   bool terminal = false;
@@ -404,6 +450,12 @@ void SolverService::run_slice(const std::shared_ptr<Job>& job) {
 
     if (status != SolveStatus::unknown) {
       job->result.status = status;
+      if (have_trace) {
+        job->result.proof = std::move(trace);
+        job->result.proof_checked = proof_checked;
+        job->result.proof_valid = proof_valid;
+        job->result.unsat_core = std::move(unsat_core);
+      }
       notify = finish_locked(job, JobOutcome::completed);
       terminal = true;
     } else if (job->cancel_requested) {
@@ -447,6 +499,8 @@ JobResult SolverService::finish_locked(const std::shared_ptr<Job>& job,
   if (job->solver != nullptr) {
     job->result.max_live_clauses = job->solver->stats().max_live_clauses;
     job->result.initial_clauses = job->solver->stats().initial_clauses;
+    job->result.duplicate_binaries_skipped =
+        job->solver->stats().duplicate_binaries_skipped;
   } else if (job->portfolio != nullptr && job->portfolio->winner() >= 0) {
     const SolverStats& winning =
         job->portfolio->reports()[static_cast<std::size_t>(
@@ -454,6 +508,10 @@ JobResult SolverService::finish_locked(const std::shared_ptr<Job>& job,
             .stats;
     job->result.max_live_clauses = winning.max_live_clauses;
     job->result.initial_clauses = winning.initial_clauses;
+    for (const portfolio::WorkerReport& report : job->portfolio->reports()) {
+      job->result.duplicate_binaries_skipped +=
+          report.stats.duplicate_binaries_skipped;
+    }
   }
   const double now = clock_.seconds();
   job->result.wall_seconds = now - job->submit_time;
@@ -466,6 +524,8 @@ JobResult SolverService::finish_locked(const std::shared_ptr<Job>& job,
   job->finished = true;
   job->solver.reset();
   job->portfolio.reset();
+  job->proof_writer.reset();
+  job->proof_formula = Cnf{};
 
   switch (outcome) {
     case JobOutcome::completed:

@@ -35,6 +35,7 @@
 
 #include "core/solver.h"
 #include "portfolio/portfolio.h"
+#include "proof/proof_writer.h"
 #include "service/job.h"
 #include "util/timer.h"
 
@@ -144,6 +145,13 @@ class SolverService {
     std::unique_ptr<Solver> solver;
     std::unique_ptr<portfolio::PortfolioSolver> portfolio;
     bool loaded = false;
+    // Proof plumbing (JobProofOptions): single-solver jobs log into this
+    // writer across all their slices (portfolio jobs log through the
+    // engine's own splicer). For DIMACS-path jobs the parsed formula is
+    // retained for the in-tree check / core extraction; inline jobs read
+    // request.cnf directly.
+    std::unique_ptr<proof::MemoryProofWriter> proof_writer;
+    Cnf proof_formula;
     // Portfolio stats are cumulative across warm calls; remember the
     // previous totals so slices can be charged as deltas.
     std::uint64_t portfolio_seen_conflicts = 0;

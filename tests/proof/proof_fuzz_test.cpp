@@ -1,0 +1,98 @@
+// Seeded differential fuzz for the proof pipeline: random 3-SAT near the
+// phase transition, solved with rotating configurations (including
+// reduction-heavy ones that exercise deletions and strengthening). Every
+// UNSAT verdict must come with a trace the in-tree checker verifies, a
+// trimmed trace that re-verifies, and a core that re-solves UNSAT; every
+// SAT verdict must come with a model the formula accepts.
+#include <gtest/gtest.h>
+
+#include "core/solver.h"
+#include "gen/random_ksat.h"
+#include "portfolio/portfolio.h"
+#include "proof/drat_checker.h"
+#include "proof/proof_writer.h"
+#include "test_util.h"
+
+namespace berkmin {
+namespace {
+
+SolverOptions fuzz_config(int seed) {
+  // Rotate through the paper presets, then harden every third run with an
+  // aggressive restart schedule so reductions (deletions, strengthening)
+  // appear in the traces.
+  const auto configs = testing::all_paper_configs();
+  SolverOptions options = configs[static_cast<std::size_t>(seed) % configs.size()];
+  if (seed % 3 == 0) options.restart_interval = 20;
+  if (seed % 4 == 0) options.minimize_learned = true;
+  options.seed = static_cast<std::uint64_t>(seed);
+  return options;
+}
+
+class ProofFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(ProofFuzz, TraceCoreAndModelAllCheck) {
+  const int seed = GetParam();
+  // Ratio ~4.6 skews unsatisfiable while keeping both outcomes common.
+  const Cnf cnf = gen::random_ksat(/*num_vars=*/45, /*num_clauses=*/207,
+                                   /*k=*/3, static_cast<std::uint64_t>(seed));
+
+  proof::MemoryProofWriter writer;
+  Solver solver(fuzz_config(seed));
+  solver.set_proof(&writer);
+  solver.load(cnf);
+  const SolveStatus status = solver.solve();
+  ASSERT_NE(status, SolveStatus::unknown);
+
+  if (status == SolveStatus::satisfiable) {
+    EXPECT_TRUE(cnf.is_satisfied_by(solver.model())) << "seed " << seed;
+    EXPECT_FALSE(writer.proof().ends_with_empty());
+    return;
+  }
+
+  ASSERT_TRUE(writer.proof().ends_with_empty()) << "seed " << seed;
+  proof::DratChecker checker(cnf);
+  const proof::CheckResult result = checker.check(writer.proof());
+  ASSERT_TRUE(result.valid) << "seed " << seed << ": " << result.error;
+
+  proof::DratChecker recheck(cnf);
+  EXPECT_TRUE(recheck.check(checker.trimmed()).valid) << "seed " << seed;
+
+  Solver resolver;
+  resolver.load(proof::DratChecker::core_formula(cnf, checker.core()));
+  EXPECT_EQ(resolver.solve(), SolveStatus::unsatisfiable) << "seed " << seed;
+}
+
+// The acceptance bar: at least 40 distinct CNFs.
+INSTANTIATE_TEST_SUITE_P(Seeds, ProofFuzz, ::testing::Range(0, 44));
+
+class PortfolioProofFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(PortfolioProofFuzz, SplicedTraceChecks) {
+  const int seed = GetParam();
+  const Cnf cnf = gen::random_ksat(/*num_vars=*/40, /*num_clauses=*/188,
+                                   /*k=*/3,
+                                   static_cast<std::uint64_t>(1000 + seed));
+  portfolio::PortfolioOptions options;
+  options.num_threads = 2 + (seed % 3);
+  options.log_proof = true;
+  options.base_seed = static_cast<std::uint64_t>(seed);
+  portfolio::PortfolioSolver portfolio(options);
+  portfolio.load(cnf);
+  const SolveStatus status = portfolio.solve();
+  ASSERT_NE(status, SolveStatus::unknown);
+
+  if (status == SolveStatus::satisfiable) {
+    EXPECT_TRUE(cnf.is_satisfied_by(portfolio.model())) << "seed " << seed;
+    return;
+  }
+  const proof::Proof trace = portfolio.spliced_proof();
+  ASSERT_TRUE(trace.ends_with_empty()) << "seed " << seed;
+  proof::DratChecker checker(cnf);
+  const proof::CheckResult result = checker.check(trace);
+  EXPECT_TRUE(result.valid) << "seed " << seed << ": " << result.error;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PortfolioProofFuzz, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace berkmin

@@ -1,0 +1,245 @@
+// End-to-end solver instrumentation: a Solver with a proof writer
+// attached must emit a trace the in-tree checker verifies for every
+// clause-lifecycle site — learning (including units and binaries),
+// database reduction, root-level strengthening, imports, and the final
+// empty clause — and the extracted cores must themselves be UNSAT.
+#include <gtest/gtest.h>
+
+#include "core/solver.h"
+#include "gen/parity.h"
+#include "gen/pigeonhole.h"
+#include "proof/drat_checker.h"
+#include "proof/proof_writer.h"
+#include "test_util.h"
+
+namespace berkmin {
+namespace {
+
+using testing::lits;
+using testing::make_cnf;
+
+SolveStatus solve_logged(const Cnf& cnf, const SolverOptions& options,
+                         proof::MemoryProofWriter* writer) {
+  Solver solver(options);
+  solver.set_proof(writer);
+  solver.load(cnf);
+  return solver.solve();
+}
+
+TEST(SolverProof, UnsatTraceEndsWithEmptyAndVerifies) {
+  const Cnf cnf = gen::pigeonhole(4);
+  proof::MemoryProofWriter writer;
+  ASSERT_EQ(solve_logged(cnf, SolverOptions::berkmin(), &writer),
+            SolveStatus::unsatisfiable);
+  ASSERT_TRUE(writer.proof().ends_with_empty());
+
+  proof::DratChecker checker(cnf);
+  const proof::CheckResult result = checker.check(writer.proof());
+  EXPECT_TRUE(result.valid) << result.error;
+  EXPECT_GT(result.checked_adds, 0u);
+}
+
+TEST(SolverProof, EmptyClauseIsEmittedExactlyOnce) {
+  const Cnf cnf = gen::pigeonhole(4);
+  proof::MemoryProofWriter writer;
+  Solver solver;
+  solver.set_proof(&writer);
+  solver.load(cnf);
+  ASSERT_EQ(solver.solve(), SolveStatus::unsatisfiable);
+  ASSERT_EQ(solver.solve(), SolveStatus::unsatisfiable);  // already refuted
+  std::size_t empties = 0;
+  for (const proof::ProofStep& step : writer.proof().steps) {
+    if (step.is_add() && step.lits.empty()) ++empties;
+  }
+  EXPECT_EQ(empties, 1u);
+}
+
+TEST(SolverProof, AggressiveReductionTraceVerifies) {
+  // Frequent restarts force database reductions (deletions) and
+  // root-level strengthening; the deletions make the checker database
+  // shrink and every strengthened clause appears as add+delete.
+  const Cnf cnf = gen::pigeonhole(5);
+  SolverOptions options;
+  options.restart_interval = 15;
+  proof::MemoryProofWriter writer;
+  Solver solver(options);
+  solver.set_proof(&writer);
+  solver.load(cnf);
+  ASSERT_EQ(solver.solve(), SolveStatus::unsatisfiable);
+  EXPECT_GT(solver.stats().deleted_clauses, 0u);
+  EXPECT_GT(writer.num_deleted(), 0u);
+
+  proof::DratChecker checker(cnf);
+  const proof::CheckResult result = checker.check(writer.proof());
+  EXPECT_TRUE(result.valid) << result.error;
+}
+
+TEST(SolverProof, MinimizationTraceVerifies) {
+  const Cnf cnf = gen::pigeonhole(5);
+  SolverOptions options;
+  options.minimize_learned = true;
+  options.restart_interval = 25;
+  proof::MemoryProofWriter writer;
+  ASSERT_EQ(solve_logged(cnf, options, &writer), SolveStatus::unsatisfiable);
+  proof::DratChecker checker(cnf);
+  EXPECT_TRUE(checker.check(writer.proof()).valid);
+}
+
+TEST(SolverProof, ExtractedCoreResolvesUnsat) {
+  // Pigeonhole plus satisfiable padding: the padding must stay out of the
+  // core, and the core alone must still be unsatisfiable.
+  Cnf cnf = gen::pigeonhole(4);
+  const Var pad = cnf.add_vars(4);
+  cnf.add_binary(Lit::positive(pad), Lit::positive(pad + 1));
+  cnf.add_binary(Lit::positive(pad + 2), Lit::negative(pad + 3));
+  const std::size_t padding_from = cnf.num_clauses() - 2;
+
+  proof::MemoryProofWriter writer;
+  ASSERT_EQ(solve_logged(cnf, SolverOptions::berkmin(), &writer),
+            SolveStatus::unsatisfiable);
+  proof::DratChecker checker(cnf);
+  ASSERT_TRUE(checker.check(writer.proof()).valid);
+
+  for (const std::size_t index : checker.core()) {
+    EXPECT_LT(index, padding_from) << "satisfiable padding entered the core";
+  }
+  Solver resolver;
+  resolver.load(proof::DratChecker::core_formula(cnf, checker.core()));
+  EXPECT_EQ(resolver.solve(), SolveStatus::unsatisfiable);
+}
+
+TEST(SolverProof, TrimmedTraceReverifies) {
+  const Cnf cnf = gen::pigeonhole(5);
+  SolverOptions options;
+  options.restart_interval = 20;
+  proof::MemoryProofWriter writer;
+  ASSERT_EQ(solve_logged(cnf, options, &writer), SolveStatus::unsatisfiable);
+  proof::DratChecker checker(cnf);
+  ASSERT_TRUE(checker.check(writer.proof()).valid);
+  ASSERT_LE(checker.trimmed().num_adds(), writer.proof().num_adds());
+
+  proof::DratChecker recheck(cnf);
+  EXPECT_TRUE(recheck.check(checker.trimmed()).valid);
+}
+
+TEST(SolverProof, ImportedClausesAreLogged) {
+  // An import is an addition the original formula does not contain; a
+  // solo trace records it, and a justified import (RUP against the
+  // solver's own formula) keeps the trace checkable.
+  const Cnf cnf = make_cnf({{-1, 2}, {-2, 3}, {1, 2, 3}});
+  proof::MemoryProofWriter writer;
+  Solver solver;
+  solver.set_proof(&writer);
+  solver.load(cnf);
+  ASSERT_TRUE(solver.import_clause(lits({-1, 3})));  // RUP consequence
+  EXPECT_EQ(solver.stats().imported_clauses, 1u);
+  ASSERT_EQ(writer.proof().num_adds(), 1u);
+  EXPECT_EQ(writer.proof().steps[0].lits, lits({-1, 3}));
+  EXPECT_EQ(solver.solve(), SolveStatus::satisfiable);
+}
+
+TEST(SolverProof, UnjustifiedImportMakesSoloTraceUncheckable) {
+  // The flip side, and the reason portfolio proofs are spliced: a clause
+  // imported from elsewhere without its derivation is not RUP for the
+  // checker, so the solo trace must be rejected — not silently accepted.
+  const Cnf cnf = make_cnf({{1, 2}, {3, 4}});
+  proof::MemoryProofWriter writer;
+  Solver solver;
+  solver.set_proof(&writer);
+  solver.load(cnf);
+  ASSERT_TRUE(solver.import_clause(lits({5})));
+  ASSERT_GE(writer.proof().num_adds(), 1u);
+  proof::DratChecker checker(cnf);
+  const proof::CheckResult result = checker.check(writer.proof());
+  EXPECT_FALSE(result.valid);
+}
+
+TEST(SolverProof, DuplicateBinaryImportIsNotLogged) {
+  const Cnf cnf = make_cnf({{1, 2}, {-1, 3}});
+  proof::MemoryProofWriter writer;
+  Solver solver;
+  solver.set_proof(&writer);
+  solver.load(cnf);
+  ASSERT_TRUE(solver.import_clause(lits({1, 2})));
+  EXPECT_EQ(solver.stats().duplicate_binaries_skipped, 1u);
+  // Nothing entered the database, so nothing may enter the proof.
+  EXPECT_EQ(writer.proof().size(), 0u);
+}
+
+TEST(SolverProof, AssumptionFailureEmitsNoEmptyClause) {
+  const Cnf cnf = make_cnf({{-1, 2}, {-2, 3}});
+  proof::MemoryProofWriter writer;
+  Solver solver;
+  solver.set_proof(&writer);
+  solver.load(cnf);
+  const std::vector<Lit> assumptions = lits({1, -3});
+  ASSERT_EQ(solver.solve_with_assumptions(assumptions),
+            SolveStatus::unsatisfiable);
+  // The formula itself is satisfiable: the trace must stay open and the
+  // certificate is the failed-assumption core instead.
+  EXPECT_FALSE(writer.proof().ends_with_empty());
+  EXPECT_FALSE(solver.failed_assumptions().empty());
+  EXPECT_TRUE(solver.ok());
+}
+
+TEST(SolverProof, FailedAssumptionCoreStillConflicts) {
+  // analyze_final returns a subset of the assumptions that already
+  // suffices: re-solving under only that subset must stay UNSAT.
+  const Cnf cnf = gen::pigeonhole(3);
+  Solver solver;
+  solver.load(cnf);
+  // Assume one pigeon sits in two holes worth of contradictory pattern by
+  // forcing all variables positive; some subset must fail.
+  std::vector<Lit> assumptions;
+  for (Var v = 0; v < cnf.num_vars(); ++v) {
+    assumptions.push_back(Lit::positive(v));
+  }
+  ASSERT_EQ(solver.solve_with_assumptions(assumptions),
+            SolveStatus::unsatisfiable);
+  const std::vector<Lit> core = solver.failed_assumptions();
+  ASSERT_FALSE(core.empty());
+  ASSERT_LE(core.size(), assumptions.size());
+
+  Solver resolver;
+  resolver.load(cnf);
+  EXPECT_EQ(resolver.solve_with_assumptions(core),
+            SolveStatus::unsatisfiable);
+}
+
+TEST(SolverProof, RootConflictDuringLoadStillClosesProof) {
+  proof::MemoryProofWriter writer;
+  Solver solver;
+  solver.set_proof(&writer);
+  const Cnf cnf = make_cnf({{1}, {-1}});
+  solver.load(cnf);
+  EXPECT_EQ(solver.solve(), SolveStatus::unsatisfiable);
+  EXPECT_TRUE(writer.proof().ends_with_empty());
+  proof::DratChecker checker(cnf);
+  EXPECT_TRUE(checker.check(writer.proof()).valid);
+}
+
+class SolverProofConfigs : public ::testing::TestWithParam<int> {};
+
+TEST_P(SolverProofConfigs, UnsatParityTraceVerifies) {
+  gen::ParityParams params;
+  params.num_vars = 10;
+  params.num_equations = 14;
+  params.equation_size = 3;
+  params.satisfiable = false;
+  params.seed = static_cast<std::uint64_t>(GetParam());
+  const Cnf cnf = gen::parity_instance(params);
+
+  const auto configs = testing::all_paper_configs();
+  const SolverOptions& options = configs[GetParam() % configs.size()];
+  proof::MemoryProofWriter writer;
+  ASSERT_EQ(solve_logged(cnf, options, &writer), SolveStatus::unsatisfiable)
+      << options.describe();
+  proof::DratChecker checker(cnf);
+  const proof::CheckResult result = checker.check(writer.proof());
+  EXPECT_TRUE(result.valid) << options.describe() << ": " << result.error;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SolverProofConfigs, ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace berkmin
