@@ -1,0 +1,170 @@
+// Incremental push/pop vs scratch solving on BMC-style equivalence
+// families (ISSUE 5 acceptance benchmark, BENCH_PR5.json).
+//
+// Two query patterns over miter(unroll(C, k), rewrite(unroll(C, k))):
+//
+//  * property-in-group: the base CNF is the two Tseitin-encoded circuit
+//    copies (satisfiable); each query pushes a group asserting the miter
+//    output (UNSAT, the circuits are equivalent), solves, and pops. The
+//    incremental solver re-answers later queries from retained
+//    circuit-consistency lemmas and warm activities; the scratch solver
+//    re-proves everything per query.
+//
+//  * junk-in-group: the base CNF is the full UNSAT miter; each query
+//    pushes a group of side constraints, solves, pops, and re-solves the
+//    popped (base) formula. The base refutation is group-independent, so
+//    the incremental re-solve after the pop rides on retained lemmas.
+//
+// Prints one JSON object (the BENCH_PR5.json payload) to stdout.
+#include <algorithm>
+#include <iostream>
+#include <tuple>
+#include <string>
+#include <vector>
+
+#include "circuit/circuit_gen.h"
+#include "circuit/miter.h"
+#include "circuit/rewrite.h"
+#include "circuit/tseitin.h"
+#include "circuit/unroll.h"
+#include "core/solver.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+using namespace berkmin;
+
+namespace {
+
+struct Family {
+  std::string name;
+  Cnf base;        // satisfiable circuit encoding
+  Lit property;    // asserting this makes it UNSAT
+};
+
+Family build_family(int inputs, int gates, int latches, int cycles,
+                    std::uint64_t seed) {
+  Rng rng(seed);
+  RandomCircuitParams params;
+  params.num_inputs = inputs;
+  params.num_gates = gates;
+  params.num_outputs = 2;
+  params.num_latches = latches;
+  const Circuit sequential = random_circuit(params, rng);
+  const Circuit unrolled = unroll(sequential, cycles);
+  const Circuit other = rewrite_equivalent(unrolled, rng);
+  const Circuit miter = build_miter(unrolled, other);
+
+  Family family;
+  family.name = "bmc-miter-i" + std::to_string(inputs) + "-g" +
+                std::to_string(gates) + "-c" + std::to_string(cycles) +
+                "-s" + std::to_string(seed);
+  const std::vector<Lit> gate_lits = encode_tseitin(miter, family.base);
+  family.property = gate_lits[static_cast<std::size_t>(miter.outputs()[0])];
+  return family;
+}
+
+double median(std::vector<double> xs) {
+  std::sort(xs.begin(), xs.end());
+  return xs.empty() ? 0.0 : xs[xs.size() / 2];
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "{\n  \"bench\": \"incremental_bmc\",\n  \"families\": [\n";
+  bool first_family = true;
+
+  for (const auto& [inputs, gates, latches, cycles, seed] :
+       std::vector<std::tuple<int, int, int, int, std::uint64_t>>{
+           {6, 60, 8, 5, 2},
+           {7, 80, 8, 6, 4},
+           {6, 70, 10, 7, 9},
+       }) {
+    const Family family = build_family(inputs, gates, latches, cycles, seed);
+    constexpr int kQueries = 6;
+
+    // --- property-in-group: repeated UNSAT property queries -------------
+    std::vector<double> scratch_ms;
+    for (int q = 0; q < kQueries; ++q) {
+      Solver scratch;
+      scratch.load(family.base);
+      scratch.add_clause({family.property});
+      WallTimer timer;
+      const SolveStatus status = scratch.solve();
+      scratch_ms.push_back(timer.seconds() * 1e3);
+      if (status != SolveStatus::unsatisfiable) return 1;
+    }
+
+    Solver incremental;
+    incremental.load(family.base);
+    std::vector<double> inc_ms;
+    for (int q = 0; q < kQueries; ++q) {
+      incremental.push_group();
+      incremental.add_clause({family.property});
+      WallTimer timer;
+      const SolveStatus status = incremental.solve();
+      inc_ms.push_back(timer.seconds() * 1e3);
+      if (status != SolveStatus::unsatisfiable) return 1;
+      incremental.pop_group();
+    }
+    // Query 0 pays the same full proof as scratch; the interesting number
+    // is the steady-state re-query cost after pops.
+    const double inc_requery =
+        median(std::vector<double>(inc_ms.begin() + 1, inc_ms.end()));
+    const double scratch_requery =
+        median(std::vector<double>(scratch_ms.begin() + 1, scratch_ms.end()));
+
+    // --- junk-in-group: re-solve of the popped (UNSAT base) formula -----
+    Cnf unsat_base = family.base;
+    unsat_base.add_unit(family.property);
+    double scratch_unsat_ms = 0.0;
+    {
+      Solver scratch;
+      scratch.load(unsat_base);
+      WallTimer timer;
+      if (scratch.solve() != SolveStatus::unsatisfiable) return 1;
+      scratch_unsat_ms = timer.seconds() * 1e3;
+    }
+    double inc_after_pop_ms = 0.0;
+    std::uint64_t retained = 0;
+    std::uint64_t dropped = 0;
+    {
+      Solver solver;
+      solver.load(unsat_base);
+      solver.push_group();
+      // Side constraints over the primary inputs.
+      Rng rng(seed + 1);
+      for (int i = 0; i < 6; ++i) {
+        solver.add_clause({Lit(static_cast<Var>(rng.below(inputs)), rng.coin()),
+                           Lit(static_cast<Var>(rng.below(inputs)), rng.coin())});
+      }
+      if (solver.solve() != SolveStatus::unsatisfiable) return 1;
+      solver.pop_group();
+      retained = solver.stats().pop_retained_learned;
+      dropped = solver.stats().pop_dropped_learned;
+      WallTimer timer;
+      if (solver.solve() != SolveStatus::unsatisfiable) return 1;
+      inc_after_pop_ms = timer.seconds() * 1e3;
+    }
+
+    if (!first_family) std::cout << ",\n";
+    first_family = false;
+    std::cout << "    {\n      \"name\": \"" << family.name << "\",\n"
+              << "      \"vars\": " << family.base.num_vars() << ",\n"
+              << "      \"clauses\": " << family.base.num_clauses() << ",\n"
+              << "      \"property_requery\": {\"scratch_ms\": "
+              << scratch_requery << ", \"incremental_ms\": " << inc_requery
+              << ", \"speedup\": "
+              << (inc_requery > 0 ? scratch_requery / inc_requery : 0.0)
+              << "},\n"
+              << "      \"resolve_after_pop\": {\"scratch_ms\": "
+              << scratch_unsat_ms << ", \"incremental_ms\": "
+              << inc_after_pop_ms << ", \"speedup\": "
+              << (inc_after_pop_ms > 0 ? scratch_unsat_ms / inc_after_pop_ms
+                                       : 0.0)
+              << ", \"lemmas_retained\": " << retained
+              << ", \"lemmas_dropped\": " << dropped << "}\n    }";
+  }
+  std::cout << "\n  ]\n}\n";
+  return 0;
+}

@@ -27,7 +27,10 @@
 #include <string>
 #include <vector>
 
+#include <thread>
+
 #include "cnf/dimacs.h"
+#include "cnf/icnf.h"
 #include "core/solver.h"
 #include "gen/registry.h"
 #include "proof/drat_checker.h"
@@ -44,6 +47,10 @@ struct ManifestEntry {
   Cnf cnf;
   std::vector<Lit> assumptions;
   service::JobLimits limits;
+  // "icnf:<path>" entries: an incremental push/pop script driven through a
+  // persistent service session instead of a one-shot job.
+  bool is_script = false;
+  icnf::Script script;
 };
 
 std::string json_escape(const std::string& s) {
@@ -159,6 +166,19 @@ bool parse_entry(const std::string& line, const service::JobLimits& defaults,
       *error = "bad value for manifest key '" + key + "': " + value;
       return false;
     }
+  }
+
+  if (spec.rfind("icnf:", 0) == 0) {
+    const std::string path = spec.substr(5);
+    try {
+      entry->script = icnf::read_file(path);
+    } catch (const std::exception& ex) {
+      *error = ex.what();
+      return false;
+    }
+    entry->is_script = true;
+    if (entry->name.empty()) entry->name = path;
+    return true;
   }
 
   if (spec.rfind("file:", 0) == 0) {
@@ -291,15 +311,24 @@ int main(int argc, char** argv) {
   sopts.max_pending = static_cast<std::size_t>(args.get_int("max-pending"));
   service::SolverService solving(sopts);
 
-  // Stream results as they finish. Jobs get sequential ids starting at 1
-  // in submission order, so id-1 indexes entries.
+  // One-shot jobs are submitted first (in manifest order), so their ids
+  // are 1..R and id-1 indexes this list; incremental scripts run later on
+  // their own driver threads and report through those instead.
+  std::vector<const ManifestEntry*> regular;
+  std::vector<const ManifestEntry*> scripts;
+  for (const ManifestEntry& entry : entries) {
+    (entry.is_script ? scripts : regular).push_back(&entry);
+  }
+
+  // Stream results as they finish.
   std::mutex output_mutex;
   bool model_failure = false;
   bool proof_failure = false;
   solving.set_completion_callback([&](const service::JobResult& result) {
+    if (result.session != service::invalid_session) return;  // driver reports
     int model_valid = -1;
     if (result.status == SolveStatus::satisfiable) {
-      const ManifestEntry& entry = entries[result.id - 1];
+      const ManifestEntry& entry = *regular[result.id - 1];
       model_valid = entry.cnf.is_satisfied_by(result.model) ? 1 : 0;
       for (const Lit assumption : entry.assumptions) {
         if (value_of_literal(result.model[assumption.var()], assumption) !=
@@ -321,7 +350,7 @@ int main(int argc, char** argv) {
         job_proof_failed = true;
       }
       if (!core_dir.empty() && !result.unsat_core.empty()) {
-        const ManifestEntry& entry = entries[result.id - 1];
+        const ManifestEntry& entry = *regular[result.id - 1];
         try {
           dimacs::write_file(
               core_dir + "/" + stem + ".core.cnf",
@@ -339,12 +368,12 @@ int main(int argc, char** argv) {
     std::cout << result_json(result, model_valid) << "\n" << std::flush;
   });
 
-  for (ManifestEntry& entry : entries) {
+  for (const ManifestEntry* entry : regular) {
     service::JobRequest request;
-    request.name = entry.name;
-    request.cnf = entry.cnf;  // keep a copy for --check / model validation
-    request.assumptions = entry.assumptions;
-    request.limits = entry.limits;
+    request.name = entry->name;
+    request.cnf = entry->cnf;  // keep a copy for --check / model validation
+    request.assumptions = entry->assumptions;
+    request.limits = entry->limits;
     request.proof = proof_options;
     if (!solving.submit(std::move(request))) {
       std::cerr << "error: service refused a job (shutdown?)\n";
@@ -352,14 +381,127 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Incremental scripts: one driver thread per script replays its ops
+  // against a persistent service session — mutations applied between
+  // solves, each solve a normal sliced job — and streams one JSONL line
+  // per query. The sessions multiplex over the same worker pool as the
+  // one-shot jobs above.
+  int script_failures = 0;
+  std::vector<std::thread> drivers;
+  drivers.reserve(scripts.size());
+  for (const ManifestEntry* entry : scripts) {
+    drivers.emplace_back([&, entry] {
+      service::SessionRequest sreq;
+      sreq.name = entry->name;
+      sreq.threads = entry->limits.threads;
+      if (proof_options.verify() && sreq.threads == 1) {
+        sreq.proof.log = true;
+        sreq.proof.check = true;
+      }
+      const auto sid = solving.open_session(sreq);
+      if (!sid.has_value()) {
+        std::lock_guard<std::mutex> lock(output_mutex);
+        std::cerr << "error: " << entry->name << ": session refused\n";
+        ++script_failures;
+        return;
+      }
+      std::vector<std::vector<Lit>> active;
+      std::vector<std::size_t> marks;
+      bool failed = false;
+      for (const icnf::Op& op : entry->script.ops) {
+        bool ok = true;
+        switch (op.kind) {
+          case icnf::Op::Kind::add_clause:
+            active.push_back(op.lits);
+            ok = solving.session_add_clause(*sid, op.lits);
+            break;
+          case icnf::Op::Kind::push:
+            marks.push_back(active.size());
+            ok = solving.session_push(*sid);
+            break;
+          case icnf::Op::Kind::pop:
+            active.resize(marks.back());
+            marks.pop_back();
+            ok = solving.session_pop(*sid);
+            break;
+          case icnf::Op::Kind::solve: {
+            const auto jid =
+                solving.session_solve(*sid, op.lits, entry->limits);
+            if (!jid.has_value()) {
+              ok = false;
+              break;
+            }
+            const service::JobResult result = solving.wait(*jid);
+            int model_valid = -1;
+            if (result.status == SolveStatus::satisfiable) {
+              Cnf formula;
+              for (const auto& clause : active) formula.add_clause(clause);
+              model_valid = formula.is_satisfied_by(result.model) ? 1 : 0;
+              for (const Lit a : op.lits) {
+                if (a.var() >= static_cast<Var>(result.model.size()) ||
+                    value_of_literal(result.model[a.var()], a) !=
+                        Value::true_value) {
+                  model_valid = 0;
+                }
+              }
+            }
+            bool query_mismatch = false;
+            if (args.has_flag("check") &&
+                result.status != SolveStatus::unknown) {
+              Solver reference;
+              for (const auto& clause : active) {
+                (void)reference.add_clause(clause);
+              }
+              const SolveStatus expected = reference.solve_with_assumptions(
+                  std::vector<Lit>(op.lits.begin(), op.lits.end()));
+              query_mismatch = expected != result.status;
+            }
+            std::lock_guard<std::mutex> lock(output_mutex);
+            if (model_valid == 0) model_failure = true;
+            if (result.proof_checked && !result.proof_valid) {
+              proof_failure = true;
+            }
+            if (query_mismatch) {
+              ++script_failures;
+              std::cerr << "MISMATCH " << result.name
+                        << ": session says " << to_string(result.status)
+                        << ", scratch solver disagrees\n";
+            }
+            std::cout << result_json(result, model_valid) << "\n"
+                      << std::flush;
+            break;
+          }
+        }
+        if (!ok) {
+          std::lock_guard<std::mutex> lock(output_mutex);
+          std::cerr << "error: " << entry->name
+                    << ": session operation failed\n";
+          ++script_failures;
+          failed = true;
+          break;
+        }
+      }
+      (void)failed;
+      // Close unconditionally: an abandoned session would pin its engine
+      // (and any accumulated proof trace) until service destruction.
+      solving.close_session(*sid);
+    });
+  }
+  for (std::thread& driver : drivers) driver.join();
+
   const std::vector<service::JobResult> results = solving.wait_all();
   solving.shutdown(service::SolverService::Shutdown::drain);
 
-  int mismatches = 0;
+  int mismatches = script_failures;
   if (args.has_flag("check")) {
+    std::size_t checked = 0;
     for (const service::JobResult& result : results) {
-      if (result.status == SolveStatus::unknown) continue;
-      const ManifestEntry& entry = entries[result.id - 1];
+      if (result.status == SolveStatus::unknown ||
+          result.session != service::invalid_session) {
+        continue;
+      }
+      ++checked;
+      const ManifestEntry& entry = *regular[result.id - 1];
       Solver reference;
       reference.load(entry.cnf);
       const SolveStatus expected =
@@ -371,8 +513,11 @@ int main(int argc, char** argv) {
                   << to_string(expected) << "\n";
       }
     }
-    std::cerr << "c check: " << results.size() - mismatches << "/"
-              << results.size() << " verdicts agree\n";
+    // Session queries were checked per-query on their driver threads;
+    // only the one-shot jobs are re-solved here.
+    std::cerr << "c check: " << checked - (mismatches - script_failures)
+              << "/" << checked << " one-shot verdicts agree, "
+              << script_failures << " session query failures\n";
   }
 
   if (args.has_flag("stats")) {

@@ -15,6 +15,7 @@
 #include <memory>
 
 #include "cnf/dimacs.h"
+#include "cnf/icnf.h"
 #include "cnf/preprocess.h"
 #include "core/solver.h"
 #include "gen/registry.h"
@@ -94,6 +95,193 @@ bool certify_unsat(const Cnf& cnf, const proof::Proof& trace,
   return true;
 }
 
+SolverOptions options_from_args(const ArgParser& args, bool* ok) {
+  SolverOptions options = preset_by_name(args.get_string("preset"), ok);
+  if (!*ok) {
+    std::cerr << "error: unknown preset '" << args.get_string("preset") << "'\n";
+    return options;
+  }
+  options.restart_interval = static_cast<std::uint32_t>(args.get_int("restart"));
+  options.seed = static_cast<std::uint64_t>(args.get_int("seed"));
+  options.minimize_learned = args.has_flag("minimize");
+  options.young_keep_max_length = static_cast<std::uint32_t>(args.get_int("young-max-len"));
+  options.young_keep_min_activity = static_cast<std::uint32_t>(args.get_int("young-min-act"));
+  options.old_keep_max_length = static_cast<std::uint32_t>(args.get_int("old-max-len"));
+  options.old_activity_threshold = static_cast<std::uint32_t>(args.get_int("old-act-threshold"));
+  options.var_decay_interval = static_cast<std::uint32_t>(args.get_int("decay-interval"));
+  options.var_decay_factor = static_cast<std::uint32_t>(args.get_int("decay-factor"));
+  return options;
+}
+
+// Scripted (.icnf) mode: replay an incremental push/add/pop/solve script
+// against one persistent engine, reporting one "s" line per "a" line.
+// --check-incremental validates every SAT model against the formula
+// active at that moment and certifies every UNSAT answer by re-checking
+// the accumulated DRAT trace (selectors already elided by the solver)
+// with the lenient incremental checker — adding the failed-assumption
+// core as units for assumption-dependent answers. Exit code follows the
+// last answer (10/20/0); 1 on any error or failed check.
+int run_scripted(const ArgParser& args, const std::string& path) {
+  icnf::Script script;
+  try {
+    script = icnf::read_file(path);
+  } catch (const std::exception& ex) {
+    std::cerr << "error: " << ex.what() << "\n";
+    return 1;
+  }
+
+  bool preset_ok = false;
+  const SolverOptions options = options_from_args(args, &preset_ok);
+  if (!preset_ok) return 1;
+
+  Budget budget;
+  budget.max_seconds = args.get_double("timeout");
+  budget.max_conflicts = static_cast<std::uint64_t>(args.get_int("conflicts"));
+
+  const int threads = static_cast<int>(args.get_int("threads"));
+  const std::string drat_path = args.get_string("drat");
+  const bool check = args.has_flag("check-incremental");
+  const bool want_proof = check || !drat_path.empty();
+  if (want_proof && threads > 1) {
+    std::cerr << "error: incremental proofs need --threads 1 (spliced "
+                 "portfolio traces suppress deletions, which the per-answer "
+                 "check cannot tolerate)\n";
+    return 1;
+  }
+
+  Solver solver(options);
+  std::unique_ptr<portfolio::PortfolioSolver> race;
+  if (threads > 1) {
+    portfolio::PortfolioOptions popts;
+    popts.num_threads = threads;
+    popts.share_clauses = !args.has_flag("no-share");
+    popts.base_seed = options.seed;
+    race = std::make_unique<portfolio::PortfolioSolver>(popts);
+  }
+  proof::MemoryProofWriter trace_writer;
+  if (want_proof) solver.set_proof(&trace_writer);
+
+  // Mirror of the active formula (base + open groups), for checking.
+  std::vector<std::vector<Lit>> active;
+  std::vector<std::size_t> marks;
+
+  std::size_t solves = 0;
+  SolveStatus last = SolveStatus::unknown;
+  bool failed_check = false;
+  std::size_t models_checked = 0;
+  std::size_t proofs_checked = 0;
+  for (const icnf::Op& op : script.ops) {
+    switch (op.kind) {
+      case icnf::Op::Kind::add_clause:
+        active.push_back(op.lits);
+        if (race != nullptr) {
+          race->add_clause(op.lits);
+        } else {
+          (void)solver.add_clause(op.lits);
+        }
+        break;
+      case icnf::Op::Kind::push:
+        marks.push_back(active.size());
+        if (race != nullptr) {
+          race->push_group();
+        } else {
+          solver.push_group();
+        }
+        break;
+      case icnf::Op::Kind::pop:
+        active.resize(marks.back());
+        marks.pop_back();
+        if (race != nullptr) {
+          race->pop_group();
+        } else {
+          solver.pop_group();
+        }
+        break;
+      case icnf::Op::Kind::solve: {
+        ++solves;
+        last = race != nullptr
+                   ? race->solve_with_assumptions(op.lits, budget)
+                   : solver.solve_with_assumptions(op.lits, budget);
+        std::cout << "c query " << solves << "\ns " << to_string(last) << "\n";
+        if (last == SolveStatus::satisfiable && check) {
+          Cnf formula;
+          for (const auto& clause : active) formula.add_clause(clause);
+          const std::vector<Value>& model =
+              race != nullptr ? race->model() : solver.model();
+          bool valid = formula.is_satisfied_by(model);
+          for (const Lit a : op.lits) {
+            if (a.var() >= static_cast<Var>(model.size()) ||
+                value_of_literal(model[a.var()], a) != Value::true_value) {
+              valid = false;
+            }
+          }
+          ++models_checked;
+          if (!valid) {
+            std::cerr << "error: query " << solves
+                      << ": model failed validation\n";
+            failed_check = true;
+          }
+        }
+        if (last == SolveStatus::unsatisfiable && check && race == nullptr) {
+          Cnf formula;
+          for (const auto& clause : active) formula.add_clause(clause);
+          proof::Proof composed = trace_writer.proof();
+          if (!composed.ends_with_empty()) {
+            for (const Lit a : solver.failed_assumptions()) {
+              formula.add_unit(a);
+            }
+            composed.add({});
+          }
+          proof::DratChecker checker(formula);
+          proof::CheckOptions copts;
+          copts.allow_unverified_adds = true;
+          const proof::CheckResult result = checker.check(composed, copts);
+          ++proofs_checked;
+          if (!result.valid) {
+            std::cerr << "error: query " << solves
+                      << ": incremental proof failed verification ("
+                      << result.error << ")\n";
+            failed_check = true;
+          }
+        }
+        break;
+      }
+    }
+  }
+
+  if (!drat_path.empty()) {
+    const proof::DratFormat format = args.has_flag("binary-drat")
+                                         ? proof::DratFormat::binary
+                                         : proof::DratFormat::text;
+    std::string error;
+    if (!proof::write_drat_file(drat_path, trace_writer.proof(), format,
+                                &error)) {
+      std::cerr << "error: " << error << "\n";
+      return 1;
+    }
+  }
+  if (args.has_flag("stats")) {
+    const SolverStats& stats =
+        race != nullptr ? race->reports().empty()
+                              ? SolverStats{}
+                              : race->reports().front().stats
+                        : solver.stats();
+    std::cout << "c scripted: " << solves << " queries, groups pushed "
+              << stats.groups_pushed << " popped " << stats.groups_popped
+              << ", lemmas retained " << stats.pop_retained_learned
+              << " dropped " << stats.pop_dropped_learned << "\n";
+  }
+  if (check) {
+    std::cout << "c check-incremental: " << models_checked
+              << " models validated, " << proofs_checked
+              << " UNSAT answers certified\n";
+  }
+  if (failed_check) return 1;
+  if (last == SolveStatus::satisfiable) return 10;
+  if (last == SolveStatus::unsatisfiable) return 20;
+  return 0;
+}
+
 void print_skin_histogram(const SolverStats& stats) {
   std::cout << "c skin effect f(r) — decisions by top-clause distance:\n";
   const std::size_t rows[] = {0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 50, 100, 500, 1000, 2000};
@@ -138,6 +326,15 @@ int main(int argc, char** argv) {
   args.add_option("write-dimacs", "",
                   "export the (possibly generated) formula to this file and "
                   "continue solving");
+  args.add_flag("icnf", "treat the input as an incremental .icnf script "
+                "(push/pop clause groups; auto-detected by extension)");
+  args.add_flag("check-incremental", "scripted mode: validate every SAT "
+                "model against the active formula and certify every UNSAT "
+                "answer by re-checking the accumulated DRAT trace (exit 1 "
+                "on any failure)");
+  args.add_option("icnf-out", "", "synthesize a push/pop edit script from "
+                  "the loaded formula, write it to this file, and exit");
+  args.add_option("icnf-seed", "0", "seed for --icnf-out synthesis");
   args.add_flag("preprocess", "run subsumption preprocessing first");
   args.add_flag("stats", "print search statistics");
   args.add_flag("skin", "print the skin-effect histogram (Table 3 data)");
@@ -157,6 +354,20 @@ int main(int argc, char** argv) {
   if (args.has_flag("list-generators")) {
     std::cout << gen::registry_help();
     return 0;
+  }
+
+  // Scripted incremental mode: the input is an op stream, not a formula.
+  const bool scripted =
+      args.has_flag("icnf") ||
+      (!args.positional().empty() &&
+       args.positional()[0].size() > 5 &&
+       args.positional()[0].rfind(".icnf") == args.positional()[0].size() - 5);
+  if (scripted) {
+    if (args.positional().empty()) {
+      std::cerr << "error: --icnf needs a script file\n";
+      return 1;
+    }
+    return run_scripted(args, args.positional()[0]);
   }
 
   // Load or generate the formula.
@@ -188,6 +399,19 @@ int main(int argc, char** argv) {
     dimacs::write_file(path, cnf, "exported by dimacs_solver");
     std::cout << "c wrote " << path << "\n";
   }
+  if (const std::string path = args.get_string("icnf-out"); !path.empty()) {
+    const auto seed = static_cast<std::uint64_t>(args.get_int("icnf-seed"));
+    try {
+      icnf::write_file(path, icnf::synthesize_from_cnf(cnf, seed),
+                       "synthesized push/pop edit script (seed " +
+                           std::to_string(seed) + ")");
+    } catch (const std::exception& ex) {
+      std::cerr << "error: " << ex.what() << "\n";
+      return 1;
+    }
+    std::cout << "c wrote incremental script to " << path << "\n";
+    return 0;
+  }
   const std::string drat_path = args.get_string("drat");
   const std::string core_path = args.get_string("unsat-core");
   const bool want_proof = !drat_path.empty() || !core_path.empty();
@@ -214,20 +438,8 @@ int main(int argc, char** argv) {
   }
 
   bool preset_ok = false;
-  SolverOptions options = preset_by_name(args.get_string("preset"), &preset_ok);
-  if (!preset_ok) {
-    std::cerr << "error: unknown preset '" << args.get_string("preset") << "'\n";
-    return 1;
-  }
-  options.restart_interval = static_cast<std::uint32_t>(args.get_int("restart"));
-  options.seed = static_cast<std::uint64_t>(args.get_int("seed"));
-  options.minimize_learned = args.has_flag("minimize");
-  options.young_keep_max_length = static_cast<std::uint32_t>(args.get_int("young-max-len"));
-  options.young_keep_min_activity = static_cast<std::uint32_t>(args.get_int("young-min-act"));
-  options.old_keep_max_length = static_cast<std::uint32_t>(args.get_int("old-max-len"));
-  options.old_activity_threshold = static_cast<std::uint32_t>(args.get_int("old-act-threshold"));
-  options.var_decay_interval = static_cast<std::uint32_t>(args.get_int("decay-interval"));
-  options.var_decay_factor = static_cast<std::uint32_t>(args.get_int("decay-factor"));
+  SolverOptions options = options_from_args(args, &preset_ok);
+  if (!preset_ok) return 1;
 
   Budget budget;
   budget.max_seconds = args.get_double("timeout");

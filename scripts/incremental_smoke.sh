@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# Scripted-mode incremental smoke: for every instance of the batch
+# manifest, synthesize a push/pop edit script (--icnf-out), replay it with
+# dimacs_solver's scripted mode under --check-incremental (every SAT model
+# validated against the formula active at that query, every UNSAT answer
+# certified by re-checking the accumulated DRAT trace with the lenient
+# incremental checker), and run the same scripts through batch_solver's
+# service sessions with differential --check. Any unverified answer fails
+# the run.
+#
+#   scripts/incremental_smoke.sh [build-dir] [manifest] [out-log]
+set -u
+
+BUILD=${1:-build}
+MANIFEST=${2:-examples/manifests/smoke20.txt}
+OUT=${3:-incremental_smoke_results.jsonl}
+SOLVER="$BUILD/examples/dimacs_solver"
+BATCH="$BUILD/examples/batch_solver"
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+fail=0
+scripts=0
+session_manifest="$tmp/sessions.txt"
+: >"$session_manifest"
+
+seed=0
+while read -r spec _rest; do
+  case "$spec" in '' | '#'*) continue ;; esac
+  seed=$((seed + 1))
+  script="$tmp/inc-$seed.icnf"
+  if ! "$SOLVER" --generate "$spec" --icnf-out "$script" \
+      --icnf-seed "$seed" >/dev/null; then
+    echo "FAIL: $spec: script synthesis failed"
+    fail=1
+    continue
+  fi
+  # Exit codes follow the last answer (10 SAT / 20 UNSAT / 0 unknown);
+  # 1 means a failed check or an error.
+  "$SOLVER" "$script" --check-incremental --timeout 300 >/dev/null
+  rc=$?
+  if [ "$rc" -ne 10 ] && [ "$rc" -ne 20 ] && [ "$rc" -ne 0 ]; then
+    echo "FAIL: $spec: scripted replay failed --check-incremental (exit $rc)"
+    fail=1
+    continue
+  fi
+  scripts=$((scripts + 1))
+  echo "icnf:$script name=inc-$seed-$spec" >>"$session_manifest"
+done <"$MANIFEST"
+
+# The same scripts as concurrent incremental sessions over one pool, with
+# per-query differential checking and in-service proof verification.
+if ! "$BATCH" "$session_manifest" --pool 4 --slice-conflicts 500 \
+    --check --check-proofs --stats >"$OUT"; then
+  echo "FAIL: batch_solver session replay reported a mismatch"
+  fail=1
+fi
+
+echo "incremental smoke: $scripts scripts replayed twice" \
+  "(scripted mode + service sessions); results in $OUT"
+exit $fail

@@ -1,0 +1,73 @@
+// Incremental CNF scripts (.icnf) — the scripted face of the solver's
+// push/pop clause groups.
+//
+// The format extends the iCNF convention ("p inccnf" header, clause lines,
+// "a <lits> 0" solve-under-assumptions lines) with explicit group scoping:
+//
+//   c comment
+//   p inccnf
+//   1 2 0          add clause (to the innermost open group, if any)
+//   a 1 -2 0       solve under assumptions 1, -2 (may be empty: "a 0")
+//   push 0         open a clause group
+//   pop 0          retract the innermost group (learned clauses whose
+//                  derivations are group-independent are retained)
+//
+// The trailing 0 on push/pop lines is optional. Drivers replay a Script
+// against Solver / PortfolioSolver / a SolverService session and report
+// one answer per "a" line.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "cnf/cnf_formula.h"
+#include "cnf/literal.h"
+
+namespace berkmin::icnf {
+
+struct Op {
+  enum class Kind : std::uint8_t { add_clause, push, pop, solve };
+  Kind kind = Kind::add_clause;
+  std::vector<Lit> lits;  // clause literals, or solve assumptions
+
+  static Op clause(std::vector<Lit> lits) {
+    return Op{Kind::add_clause, std::move(lits)};
+  }
+  static Op push() { return Op{Kind::push, {}}; }
+  static Op pop() { return Op{Kind::pop, {}}; }
+  static Op solve(std::vector<Lit> assumptions = {}) {
+    return Op{Kind::solve, std::move(assumptions)};
+  }
+};
+
+struct Script {
+  // From the "p inccnf <vars> <clauses>" header when present (both counts
+  // optional); clause literals beyond it grow the variable range anyway.
+  int declared_vars = 0;
+  std::vector<Op> ops;
+
+  std::size_t num_solves() const;
+  // Highest variable referenced by any clause or assumption, plus one.
+  int num_vars() const;
+};
+
+// Parsing. Both throw std::runtime_error on malformed input.
+Script parse(std::istream& in);
+Script read_file(const std::string& path);
+
+// Serialization (round-trips through parse()).
+void write(std::ostream& out, const Script& script,
+           const std::string& comment = "");
+void write_file(const std::string& path, const Script& script,
+                const std::string& comment = "");
+
+// Synthesizes a push/pop edit script over a plain CNF, deterministically
+// from `seed`: a base prefix, then nested groups over the remaining
+// clauses with solves between every edit, then pops with re-solves — the
+// shape of a BMC/IC3 query stream. Used by the scripted-mode smoke
+// pipeline and the differential fuzzers.
+Script synthesize_from_cnf(const Cnf& cnf, std::uint64_t seed);
+
+}  // namespace berkmin::icnf

@@ -123,7 +123,9 @@ Lit Solver::polarity_nb_two(Var v) {
 Var Solver::pop_most_active_var() {
   while (!var_heap_.empty()) {
     const Var v = static_cast<Var>(var_heap_.pop());
-    if (assign_[v] == Value::unassigned) return v;
+    // Selectors are never inserted, so the filter is defensive: branching
+    // on one would silently disable or retract a clause group.
+    if (assign_[v] == Value::unassigned && !is_selector_[v]) return v;
   }
   return no_var;
 }
@@ -131,7 +133,7 @@ Var Solver::pop_most_active_var() {
 Lit Solver::pick_chaff_literal() {
   while (!lit_heap_.empty()) {
     const Lit l = Lit::from_code(lit_heap_.pop());
-    if (value(l) == Value::unassigned) return l;
+    if (value(l) == Value::unassigned && !is_selector_[l.var()]) return l;
   }
   return undef_lit;
 }

@@ -209,8 +209,10 @@ void Solver::garbage_collect(const std::vector<char>& keep_learned) {
   // watchers first lets the flat pools lay every span out contiguously
   // with zero relocations and zero slack.
   for (auto& ol : occ_) ol.clear();
-  std::vector<std::uint32_t> watch_counts(2 * static_cast<std::size_t>(num_vars()), 0);
-  std::vector<std::uint32_t> bin_counts(2 * static_cast<std::size_t>(num_vars()), 0);
+  std::vector<std::uint32_t> watch_counts(
+      2 * static_cast<std::size_t>(num_internal_vars()), 0);
+  std::vector<std::uint32_t> bin_counts(
+      2 * static_cast<std::size_t>(num_internal_vars()), 0);
   const auto count_watches = [&](ClauseRef ref) {
     const Clause c = arena_.deref(ref);
     auto& counts = c.size() == 2 ? bin_counts : watch_counts;

@@ -8,12 +8,35 @@
 
 namespace berkmin {
 
+bool Solver::project_for_proof(std::span<const Lit> lits) {
+  proof_scratch_.clear();
+  for (const Lit l : lits) {
+    if (is_selector_[l.var()]) continue;
+    proof_scratch_.push_back(Lit(int2ext_[l.var()], l.is_negative()));
+  }
+  // A clause whose every literal is a selector has no external meaning:
+  // emitting its projection would claim the empty clause. It only states
+  // that some combination of groups is contradictory, which the next
+  // solve reports as an assumption failure instead.
+  return !proof_scratch_.empty() || lits.empty();
+}
+
 void Solver::proof_emit_add(std::span<const Lit> lits) {
-  if (proof_ != nullptr) proof_->add_clause(lits);
+  if (proof_ == nullptr) return;
+  if (!has_selectors_) {
+    proof_->add_clause(lits);
+    return;
+  }
+  if (project_for_proof(lits)) proof_->add_clause(proof_scratch_);
 }
 
 void Solver::proof_emit_delete(std::span<const Lit> lits) {
-  if (proof_ != nullptr) proof_->delete_clause(lits);
+  if (proof_ == nullptr) return;
+  if (!has_selectors_) {
+    proof_->delete_clause(lits);
+    return;
+  }
+  if (project_for_proof(lits)) proof_->delete_clause(proof_scratch_);
 }
 
 void Solver::proof_emit_empty() {
@@ -29,7 +52,7 @@ Solver::Solver(SolverOptions options)
       rng_(options.seed),
       old_threshold_(options.old_activity_threshold) {}
 
-Var Solver::new_var() {
+Var Solver::new_internal_var(bool selector) {
   const Var v = static_cast<Var>(assign_.size());
   assign_.push_back(Value::unassigned);
   assign_lit_.push_back(Value::unassigned);
@@ -39,6 +62,8 @@ Var Solver::new_var() {
   level_.push_back(0);
   var_activity_.push_back(0);
   seen_.push_back(0);
+  is_selector_.push_back(selector ? 1 : 0);
+  int2ext_.push_back(no_var);
   watches_.resize_literals(2 * static_cast<std::size_t>(v) + 2);
   bin_watches_.resize_literals(2 * static_cast<std::size_t>(v) + 2);
   occ_.emplace_back();
@@ -48,11 +73,83 @@ Var Solver::new_var() {
   chaff_counter_.push_back(0);
   chaff_counter_.push_back(0);
   var_heap_.grow(v + 1);
-  var_heap_.insert(v);
   lit_heap_.grow(2 * v + 2);
-  lit_heap_.insert(Lit::positive(v).code());
-  lit_heap_.insert(Lit::negative(v).code());
+  // Selectors are frozen: never in a decision heap, so the heuristics can
+  // never branch on one (they are always assigned by the assumption prefix
+  // while their group is active, and root-true once it is popped).
+  if (!selector) {
+    var_heap_.insert(v);
+    lit_heap_.insert(Lit::positive(v).code());
+    lit_heap_.insert(Lit::negative(v).code());
+  }
   return v;
+}
+
+Var Solver::new_var() {
+  const Var internal = new_internal_var(/*selector=*/false);
+  const Var external = static_cast<Var>(ext2int_.size());
+  ext2int_.push_back(internal);
+  int2ext_[internal] = external;
+  return external;
+}
+
+Lit Solver::external_to_internal(Lit l) {
+  while (l.var() >= num_vars()) new_var();
+  return Lit(ext2int_[l.var()], l.is_negative());
+}
+
+int Solver::push_group() {
+  assert(decision_level() == 0);
+  const Var s = new_internal_var(/*selector=*/true);
+  has_selectors_ = true;
+  group_selectors_.push_back(Lit::positive(s));
+  ++stats_.groups_pushed;
+  return static_cast<int>(group_selectors_.size());
+}
+
+void Solver::pop_group() {
+  assert(decision_level() == 0);
+  assert(!group_selectors_.empty());
+  if (group_selectors_.empty()) return;
+  const Lit s = group_selectors_.back();
+  group_selectors_.pop_back();
+  ++stats_.groups_popped;
+  if (!ok_) return;  // the refutation was group-independent: nothing to undo
+
+  // Retract by asserting the selector at the root: every clause of the
+  // group — and every learned clause whose derivation depended on it,
+  // which carries s by construction (conflict analysis never resolves on
+  // selector variables, so the literal is inherited) — becomes satisfied.
+  // No clause contains ~s, so this can never conflict by itself; a
+  // conflict here comes from user units still pending propagation.
+  assert(value(s) != Value::false_value);
+  if (value(s) == Value::unassigned) enqueue(s, no_clause);
+  if (propagate_internal() != no_clause) {
+    ok_ = false;
+    proof_emit_empty();
+    return;
+  }
+
+  // Collect the dead clauses immediately, exactly like a reduction: drop
+  // root reasons (conflict analysis never expands level-0 literals), then
+  // garbage-collect everything a retained root assignment satisfies.
+  // Learned clauses free of the popped selector survive — they are
+  // consequences of the remaining formula — and keep their activities.
+  for (const Lit l : trail_) {
+    reason_[l.var()] = no_clause;
+    bin_reason_other_[l.var()] = undef_lit;
+  }
+  std::vector<char> keep(learned_stack_.size(), 1);
+  std::uint64_t dropped = 0;
+  for (std::size_t i = 0; i < learned_stack_.size(); ++i) {
+    if (clause_is_satisfied(learned_stack_[i])) {
+      keep[i] = 0;
+      ++dropped;
+    }
+  }
+  stats_.pop_dropped_learned += dropped;
+  stats_.pop_retained_learned += learned_stack_.size() - dropped;
+  garbage_collect(keep);
 }
 
 bool Solver::add_clause(std::span<const Lit> lits) {
@@ -63,11 +160,23 @@ bool Solver::add_root_clause(std::span<const Lit> lits, bool learned) {
   assert(decision_level() == 0);
   if (!ok_) return false;
 
-  for (const Lit l : lits) {
-    while (l.var() >= num_vars()) new_var();
+  // Problem clauses arrive in external numbering and, inside an active
+  // group, gain the innermost group's selector literal. Learned/imported
+  // clauses are already internal (they come from this solver's or an
+  // identically-laid-out sibling's conflict analysis) and carry whatever
+  // selectors their derivations depended on.
+  add_scratch_.clear();
+  if (learned) {
+    for (const Lit l : lits) {
+      while (l.var() >= num_internal_vars()) new_var();
+      add_scratch_.push_back(l);
+    }
+  } else {
+    for (const Lit l : lits) add_scratch_.push_back(external_to_internal(l));
+    if (!group_selectors_.empty()) add_scratch_.push_back(group_selectors_.back());
   }
 
-  auto normalized = normalize_clause(std::vector<Lit>(lits.begin(), lits.end()));
+  auto normalized = normalize_clause(add_scratch_);
   if (!normalized) return true;  // tautology: trivially satisfied
 
   // Root-level reduction against already-forced assignments.
@@ -291,6 +400,7 @@ void Solver::backtrack_to(int target_level) {
     assign_lit_[(~l).code()] = Value::unassigned;
     reason_[v] = no_clause;
     bin_reason_other_[v] = undef_lit;
+    if (is_selector_[v]) continue;  // selectors never enter a decision heap
     var_heap_.insert(v);
     if (opts_.decision_policy == DecisionPolicy::chaff_literal) {
       lit_heap_.insert(Lit::positive(v).code());
@@ -379,10 +489,16 @@ SolveStatus Solver::solve_with_assumptions(std::span<const Lit> assumptions,
   last_slice_ = SliceStats{};
   if (!ok_) return SolveStatus::unsatisfiable;
 
-  assumptions_.assign(assumptions.begin(), assumptions.end());
-  for (const Lit a : assumptions_) {
-    while (a.var() >= num_vars()) new_var();
-  }
+  // The assumption prefix: active groups' selectors first (negated — the
+  // group is "on"), then the caller's assumptions translated to internal
+  // numbering. Assuming rather than asserting the selectors is what makes
+  // learned clauses record their group dependencies: a selector falsified
+  // at an assumption level enters conflict clauses like any other literal,
+  // while a root-level literal never would.
+  assumptions_.clear();
+  assumptions_.reserve(group_selectors_.size() + assumptions.size());
+  for (const Lit s : group_selectors_) assumptions_.push_back(~s);
+  for (const Lit a : assumptions) assumptions_.push_back(external_to_internal(a));
 
   // Root propagation of any units queued by add_clause.
   if (propagate_internal() != no_clause) {
@@ -399,6 +515,17 @@ SolveStatus Solver::solve_with_assumptions(std::span<const Lit> assumptions,
   }
   backtrack_to(0);
   assumptions_.clear();
+  if (has_selectors_ && !failed_assumptions_.empty()) {
+    // The caller sees its own assumptions only: selector literals are
+    // internal bookkeeping ("this group is active"), and exposing one
+    // would dangle as soon as its group is popped.
+    std::size_t kept = 0;
+    for (const Lit l : failed_assumptions_) {
+      if (is_selector_[l.var()]) continue;
+      failed_assumptions_[kept++] = Lit(int2ext_[l.var()], l.is_negative());
+    }
+    failed_assumptions_.resize(kept);
+  }
   record_slice();
   return status;
 }
@@ -526,7 +653,12 @@ SolveStatus Solver::search(const Budget& budget) {
 }
 
 void Solver::save_model() {
-  model_ = assign_;
+  // External numbering; selector variables have no external image, so the
+  // reported model covers exactly the caller's variables.
+  model_.resize(ext2int_.size());
+  for (std::size_t u = 0; u < ext2int_.size(); ++u) {
+    model_[u] = assign_[static_cast<std::size_t>(ext2int_[u])];
+  }
 }
 
 std::vector<Lit> Solver::clause_literals(ClauseRef ref) const {

@@ -42,8 +42,16 @@ class Solver {
   explicit Solver(SolverOptions options = SolverOptions::berkmin());
 
   // ---- problem construction -------------------------------------------
+  // The solver distinguishes *external* variables (the caller's dense
+  // 0-based numbering: clauses, assumptions, models, failed-assumption
+  // cores and DRAT traces all use it) from *internal* variables, which
+  // additionally include the selector variables allocated by push_group.
+  // While no group was ever pushed the two numberings coincide, so
+  // existing non-incremental callers see no change.
   Var new_var();
-  int num_vars() const { return static_cast<int>(assign_.size()); }
+  int num_vars() const { return static_cast<int>(ext2int_.size()); }
+  // Internal width, selectors included (introspection/validation only).
+  int num_internal_vars() const { return static_cast<int>(assign_.size()); }
 
   // Adds a clause at the root level. Tautologies are dropped; duplicate
   // literals are merged; root-false literals are stripped. Returns false
@@ -54,17 +62,51 @@ class Solver {
   // Loads every clause of a CNF (creating variables as needed).
   bool load(const Cnf& cnf);
 
+  // ---- incremental clause groups (push/pop) -----------------------------
+  // MiniSat-style scoped clause groups, implemented with internal selector
+  // literals. push_group() opens a group: every clause added afterwards
+  // (until the matching pop) is tagged with the group's selector s and
+  // stored as C OR s, and every solve assumes NOT s, so the clause behaves
+  // exactly like C while the group is active. pop_group() retracts the
+  // innermost group by asserting s at the root: the group's clauses (and
+  // every learned clause whose derivation touched them — conflict analysis
+  // makes such lemmas inherit the selector literal) become satisfied and
+  // are collected immediately, while learned clauses whose derivations are
+  // selector-independent are *retained* as consequences of the remaining
+  // formula. Groups nest with stack (LIFO) discipline.
+  //
+  // Selectors are invisible outside the solver: they are frozen out of the
+  // decision heuristics, elided from models, failed-assumption cores and
+  // DRAT traces (traces are emitted in external numbering). Both calls
+  // require decision level 0 — i.e. between solves. Returns the new group
+  // depth.
+  int push_group();
+  void pop_group();
+  int num_groups() const { return static_cast<int>(group_selectors_.size()); }
+  // The active groups' selector literals, innermost last (internal
+  // numbering; introspection for tests and validation).
+  const std::vector<Lit>& group_selectors() const { return group_selectors_; }
+  bool is_selector_var(Var internal_var) const {
+    return internal_var >= 0 &&
+           internal_var < num_internal_vars() &&
+           is_selector_[static_cast<std::size_t>(internal_var)] != 0;
+  }
+
   // ---- solving ----------------------------------------------------------
   // Returns satisfiable/unsatisfiable, or unknown if the budget expired.
   // May be called repeatedly; clauses can be added between calls.
   SolveStatus solve(const Budget& budget = Budget::unlimited());
 
   // Incremental interface: solves under the conjunction of `assumptions`
-  // (tried as the first decisions, in order). An unsatisfiable answer
-  // means "unsatisfiable under these assumptions" — the solver stays
-  // usable, and failed_assumptions() returns a subset of the assumptions
-  // that already suffices for the conflict. A conflict independent of the
-  // assumptions makes the formula permanently unsatisfiable (ok() false).
+  // (tried as the first decisions, in order, after the active groups'
+  // selector assumptions). An unsatisfiable answer means "unsatisfiable
+  // under these assumptions and the active groups" — the solver stays
+  // usable, and failed_assumptions() returns a subset of the *caller's*
+  // assumptions that, together with the active groups, already suffices
+  // for the conflict (selector literals are filtered out, so the set may
+  // be empty when the active groups alone are responsible). A conflict
+  // independent of assumptions and groups makes the formula permanently
+  // unsatisfiable (ok() false).
   SolveStatus solve_with_assumptions(std::span<const Lit> assumptions,
                                      const Budget& budget = Budget::unlimited());
   const std::vector<Lit>& failed_assumptions() const {
@@ -104,7 +146,12 @@ class Solver {
   // Adds a clause learned by a sibling solver. Must be called at decision
   // level 0 (add_clause's contract) — in a portfolio that means from the
   // restart callback or between solve() calls. Counted separately from the
-  // problem clauses in stats().imported_clauses.
+  // problem clauses in stats().imported_clauses. The literals are in the
+  // sibling's *internal* numbering (portfolio workers replay identical
+  // construction sequences, so their internal layouts — selector variables
+  // included — coincide); a shared lemma tagged with a selector the
+  // importer has since popped reduces to a satisfied clause and is
+  // dropped, keeping cross-call migration sound across push/pop.
   bool import_clause(std::span<const Lit> lits);
   // Bumps stats().exported_clauses; called by the owner of the learn
   // callback when a clause was accepted by a sharing pool.
@@ -117,7 +164,8 @@ class Solver {
     restart_callback_ = std::move(cb);
   }
 
-  // Model of the last satisfiable solve, indexed by variable.
+  // Model of the last satisfiable solve, indexed by *external* variable
+  // (selector variables are elided).
   const std::vector<Value>& model() const { return model_; }
   bool model_value(Lit l) const {
     return value_of_literal(model_[l.var()], l) == Value::true_value;
@@ -221,6 +269,16 @@ class Solver {
   // whether it joins the originals or the reducible learned stack.
   bool add_root_clause(std::span<const Lit> lits, bool learned);
   ClauseRef add_clause_internal(std::span<const Lit> lits, bool learned);
+  // Allocates one internal variable; selectors stay out of the decision
+  // heaps and the external numbering.
+  Var new_internal_var(bool selector);
+  // Maps an external literal into internal numbering, creating the
+  // external variable (and its internal twin) on demand.
+  Lit external_to_internal(Lit l);
+  // Copies `lits` into proof_scratch_ in external numbering with selector
+  // literals elided. Returns false when the step must be suppressed (the
+  // clause is selector-only and has no external meaning).
+  bool project_for_proof(std::span<const Lit> lits);
   void save_model();
   void record_slice();
   std::uint64_t next_restart_limit() const;
@@ -289,6 +347,18 @@ class Solver {
   std::vector<ClauseRef> learned_stack_;
   std::vector<Lit> satisfied_cache_;
 
+  // Incremental clause groups. ext2int_/int2ext_ map the caller's dense
+  // external variables to internal ones (identity until the first
+  // push_group interleaves a selector); is_selector_ marks selector
+  // variables, group_selectors_ stacks the active groups' selectors
+  // (innermost last). has_selectors_ short-circuits the translation and
+  // proof-projection paths for non-incremental use.
+  std::vector<Var> ext2int_;
+  std::vector<Var> int2ext_;
+  std::vector<char> is_selector_;
+  std::vector<Lit> group_selectors_;
+  bool has_selectors_ = false;
+
   // Assignment state. assign_lit_ mirrors assign_ by literal code
   // (assign_lit_[l.code()] == value_of_literal(assign_[l.var()], l)), so
   // the inner loops evaluate a literal with a single load.
@@ -349,6 +419,11 @@ class Solver {
   std::vector<Var> to_clear_;
   std::vector<Lit> learned_scratch_;
   mutable std::vector<Lit> callback_scratch_;
+  // Proof-projection scratch; distinct from callback_scratch_, which may
+  // hold the unprojected literals of the same step (notify_deleted).
+  std::vector<Lit> proof_scratch_;
+  // add_root_clause scratch for the translated/selector-tagged input.
+  std::vector<Lit> add_scratch_;
 
   std::vector<Value> model_;
   SolverStats stats_;

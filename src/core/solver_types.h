@@ -138,6 +138,15 @@ struct SolverStats {
   // same short lemma).
   std::uint64_t duplicate_binaries_skipped = 0;
 
+  // Incremental clause groups (Solver::push_group / pop_group).
+  // pop_retained_learned / pop_dropped_learned split the learned stack at
+  // each pop into clauses kept (selector-independent derivations) and
+  // clauses collected with the group.
+  std::uint64_t groups_pushed = 0;
+  std::uint64_t groups_popped = 0;
+  std::uint64_t pop_retained_learned = 0;
+  std::uint64_t pop_dropped_learned = 0;
+
   // Live database tracking (Table 9). initial_clauses is fixed at the first
   // solve() call; max_live_clauses tracks originals + learned still stored.
   std::uint64_t initial_clauses = 0;

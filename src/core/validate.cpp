@@ -23,7 +23,7 @@ std::string Solver::validate_invariants() const {
   for (std::size_t i = 0; i < trail_.size(); ++i) {
     const Lit l = trail_[i];
     const Var v = l.var();
-    if (v < 0 || v >= num_vars()) return "trail literal with bad variable";
+    if (v < 0 || v >= num_internal_vars()) return "trail literal with bad variable";
     if (on_trail[v]) {
       problem << "variable " << v << " appears twice on the trail";
       return problem.str();
@@ -34,7 +34,7 @@ std::string Solver::validate_invariants() const {
       return problem.str();
     }
   }
-  for (Var v = 0; v < num_vars(); ++v) {
+  for (Var v = 0; v < num_internal_vars(); ++v) {
     if ((assign_[v] != Value::unassigned) != (on_trail[v] != 0)) {
       problem << "assignment/trail mismatch for variable " << v;
       return problem.str();
@@ -70,7 +70,7 @@ std::string Solver::validate_invariants() const {
   if (assign_lit_.size() != 2 * assign_.size()) {
     return "assign_lit size is not twice assign size";
   }
-  for (Var v = 0; v < num_vars(); ++v) {
+  for (Var v = 0; v < num_internal_vars(); ++v) {
     for (const Lit l : {Lit::positive(v), Lit::negative(v)}) {
       if (assign_lit_[l.code()] != value_of_literal(assign_[v], l)) {
         problem << "literal-indexed assignment of " << describe_lit(l)
@@ -117,7 +117,7 @@ std::string Solver::validate_invariants() const {
   // other literal inline.
   std::map<ClauseRef, int> watch_count;
   std::map<ClauseRef, int> bin_count;
-  for (Var v = 0; v < num_vars(); ++v) {
+  for (Var v = 0; v < num_internal_vars(); ++v) {
     for (const Lit l : {Lit::positive(v), Lit::negative(v)}) {
       const std::uint32_t base = watches_.offset(l.code());
       for (std::uint32_t i = 0; i < watches_.size(l.code()); ++i) {
@@ -176,7 +176,7 @@ std::string Solver::validate_invariants() const {
     }
     for (std::uint32_t i = 0; i < c.size(); ++i) {
       const Var v = c[i].var();
-      if (v < 0 || v >= num_vars()) return "clause literal with bad variable";
+      if (v < 0 || v >= num_internal_vars()) return "clause literal with bad variable";
     }
     return "";
   };
@@ -199,8 +199,77 @@ std::string Solver::validate_invariants() const {
     return "satisfied_cache size mismatch";
   }
 
+  // --- incremental groups / variable numbering -----------------------------
+  if (is_selector_.size() != assign_.size()) {
+    return "is_selector size mismatch";
+  }
+  if (int2ext_.size() != assign_.size()) {
+    return "int2ext size mismatch";
+  }
+  for (std::size_t u = 0; u < ext2int_.size(); ++u) {
+    const Var internal = ext2int_[u];
+    if (internal < 0 || internal >= num_internal_vars()) {
+      return "external variable maps outside the internal range";
+    }
+    if (is_selector_[static_cast<std::size_t>(internal)]) {
+      return "external variable maps to a selector";
+    }
+    if (int2ext_[static_cast<std::size_t>(internal)] !=
+        static_cast<Var>(u)) {
+      return "ext2int/int2ext disagree";
+    }
+  }
+  for (Var v = 0; v < num_internal_vars(); ++v) {
+    if (is_selector_[static_cast<std::size_t>(v)]) {
+      if (int2ext_[static_cast<std::size_t>(v)] != no_var) {
+        return "selector variable has an external image";
+      }
+      if (var_heap_.contains(v)) {
+        return "selector variable present in the decision heap";
+      }
+    } else if (int2ext_[static_cast<std::size_t>(v)] == no_var) {
+      return "non-selector variable lacks an external image";
+    }
+  }
+  for (const Lit s : group_selectors_) {
+    if (!s.is_positive() || s.var() < 0 || s.var() >= num_internal_vars() ||
+        !is_selector_[static_cast<std::size_t>(s.var())]) {
+      return "group stack holds a non-selector literal";
+    }
+    // An active selector may be unassigned, assumed false during a solve,
+    // or forced true when the formula implies the group is contradictory;
+    // a root-level FALSE selector would mean someone asserted ~s, which no
+    // clause can do.
+    if (decision_level() == 0 && value(s) == Value::false_value) {
+      return "active group selector is false at the root";
+    }
+  }
+  // Selector literals only ever occur positively: the group clauses carry
+  // s, learned clauses inherit s, and nothing holds ~s — the property the
+  // pop-time retraction and retention argument rests on.
+  const auto check_selector_polarity = [&](ClauseRef ref) -> bool {
+    const Clause c = arena_.deref(ref);
+    for (std::uint32_t i = 0; i < c.size(); ++i) {
+      if (is_selector_[static_cast<std::size_t>(c[i].var())] &&
+          c[i].is_negative()) {
+        return false;
+      }
+    }
+    return true;
+  };
+  for (const ClauseRef ref : originals_) {
+    if (!check_selector_polarity(ref)) {
+      return "stored clause contains a negated selector (original)";
+    }
+  }
+  for (const ClauseRef ref : learned_stack_) {
+    if (!check_selector_polarity(ref)) {
+      return "stored clause contains a negated selector (learned)";
+    }
+  }
+
   // --- reasons --------------------------------------------------------------
-  for (Var v = 0; v < num_vars(); ++v) {
+  for (Var v = 0; v < num_internal_vars(); ++v) {
     if (assign_[v] == Value::unassigned && bin_reason_other_[v] != undef_lit) {
       problem << "unassigned variable " << v << " has a stale binary reason";
       return problem.str();

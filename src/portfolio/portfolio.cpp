@@ -1,7 +1,9 @@
 #include "portfolio/portfolio.h"
 
+#include <cassert>
 #include <memory>
 #include <mutex>
+#include <stdexcept>
 #include <thread>
 
 #include "util/timer.h"
@@ -13,10 +15,36 @@ PortfolioSolver::PortfolioSolver(PortfolioOptions options)
   if (opts_.num_threads < 1) opts_.num_threads = 1;
 }
 
+void PortfolioSolver::add_clause(std::span<const Lit> lits) {
+  cnf_.add_clause(lits);
+  ops_.push_back(PendingOp{PendingOp::Kind::clause, cnf_.num_clauses() - 1});
+}
+
 bool PortfolioSolver::load(const Cnf& cnf) {
   while (cnf_.num_vars() < cnf.num_vars()) cnf_.add_var();
-  for (const auto& clause : cnf.clauses()) cnf_.add_clause(clause);
+  for (const auto& clause : cnf.clauses()) add_clause(clause);
   return true;
+}
+
+int PortfolioSolver::push_group() {
+  if (opts_.log_proof) {
+    // Spliced portfolio traces suppress deletions, so lemmas of a popped
+    // group would stay live in a checker's database and could certify a
+    // satisfiable post-pop formula as UNSAT. Refuse at the mechanism
+    // level rather than trusting every caller to remember.
+    throw std::logic_error(
+        "PortfolioSolver: push_group/pop_group cannot be combined with "
+        "log_proof (spliced traces suppress deletions)");
+  }
+  ops_.push_back(PendingOp{PendingOp::Kind::push, 0});
+  return ++num_groups_;
+}
+
+void PortfolioSolver::pop_group() {
+  assert(num_groups_ > 0);
+  if (num_groups_ == 0) return;
+  --num_groups_;
+  ops_.push_back(PendingOp{PendingOp::Kind::pop, 0});
 }
 
 SolveStatus PortfolioSolver::solve(const Budget& budget) {
@@ -74,19 +102,37 @@ void PortfolioSolver::warm_up_workers() {
     }
   }
 
-  // Feed only what changed since the previous call, keeping each worker's
-  // learned clauses, activities and saved polarities intact. Workers are
-  // independent during loading, so the first (full) load runs one thread
-  // per worker — like the racing phase itself — instead of serializing n
-  // copies of the formula on the calling thread.
-  const std::size_t from = loaded_clauses_;
+  // Replay only what changed since the previous call, keeping each
+  // worker's learned clauses, activities and saved polarities intact.
+  // The log is replayed verbatim — clause adds, group pushes and pops in
+  // their original order — so every worker's internal variable layout
+  // (selectors included) is identical, which the clause exchange relies
+  // on. A root-level conflict does not abort the replay: add_clause is
+  // O(1) once ok() is false, and the push/pop ops must still run to keep
+  // the group stacks aligned. Workers are independent during loading, so
+  // the first (full) replay runs one thread per worker — like the racing
+  // phase itself — instead of serializing n copies of the formula on the
+  // calling thread.
+  const std::size_t from = replayed_ops_;
   const auto feed = [&](Solver& solver) {
-    while (solver.num_vars() < cnf_.num_vars()) solver.new_var();
-    for (std::size_t ci = from; ci < cnf_.num_clauses(); ++ci) {
-      if (!solver.add_clause(cnf_.clause(ci))) break;  // root-level conflict
+    for (std::size_t oi = from; oi < ops_.size(); ++oi) {
+      const PendingOp& op = ops_[oi];
+      switch (op.kind) {
+        case PendingOp::Kind::clause:
+          (void)solver.add_clause(cnf_.clause(op.clause_index));
+          break;
+        case PendingOp::Kind::push:
+          solver.push_group();
+          break;
+        case PendingOp::Kind::pop:
+          solver.pop_group();
+          break;
+      }
     }
+    // Trailing variables added without any clause mentioning them.
+    while (solver.num_vars() < cnf_.num_vars()) solver.new_var();
   };
-  if (cnf_.num_clauses() > from && solvers_.size() > 1) {
+  if (ops_.size() > from && solvers_.size() > 1) {
     std::vector<std::thread> threads;
     threads.reserve(solvers_.size());
     for (const auto& solver : solvers_) {
@@ -96,7 +142,7 @@ void PortfolioSolver::warm_up_workers() {
   } else {
     for (const auto& solver : solvers_) feed(*solver);
   }
-  loaded_clauses_ = cnf_.num_clauses();
+  replayed_ops_ = ops_.size();
 }
 
 SolveStatus PortfolioSolver::solve_with_assumptions(

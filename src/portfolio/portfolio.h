@@ -69,9 +69,27 @@ class PortfolioSolver {
   // ---- problem construction (mirrors Solver) ---------------------------
   Var new_var() { return cnf_.add_var(); }
   int num_vars() const { return cnf_.num_vars(); }
-  void add_clause(std::span<const Lit> lits) { cnf_.add_clause(lits); }
-  void add_clause(std::initializer_list<Lit> lits) { cnf_.add_clause(lits); }
+  void add_clause(std::span<const Lit> lits);
+  void add_clause(std::initializer_list<Lit> lits) {
+    add_clause(std::span<const Lit>(lits.begin(), lits.size()));
+  }
   bool load(const Cnf& cnf);
+
+  // ---- incremental clause groups (mirrors Solver) ------------------------
+  // push_group/pop_group are recorded in the portfolio's construction log
+  // and replayed to every (warm) worker at the next solve, so all workers
+  // keep identical internal layouts — which is what keeps the learned-
+  // clause exchange sound across pops: surviving lemmas keep migrating
+  // between workers through the existing ClauseExchange, and a shared
+  // lemma tagged with a popped group's selector reduces to a satisfied
+  // clause at import and is dropped. Workers stay warm across push/pop;
+  // nothing is rebuilt. Incompatible with PortfolioOptions::log_proof
+  // (spliced traces suppress deletions, which a post-pop check cannot
+  // tolerate): push_group throws std::logic_error on a proof-logging
+  // portfolio.
+  int push_group();
+  void pop_group();
+  int num_groups() const { return num_groups_; }
 
   // ---- solving ---------------------------------------------------------
   // The budget applies to every worker independently (a wall-clock budget
@@ -143,12 +161,25 @@ class PortfolioSolver {
   PortfolioOptions opts_;
   Cnf cnf_;
 
+  // Construction log: every clause add (an index into cnf_, which retains
+  // all clauses ever added, popped groups included) and every push/pop, in
+  // order. Workers replay the log from replayed_ops_ at each solve —
+  // identical sequences give identical internal variable layouts, the
+  // invariant clause exchange relies on.
+  struct PendingOp {
+    enum class Kind : std::uint8_t { clause, push, pop };
+    Kind kind = Kind::clause;
+    std::size_t clause_index = 0;
+  };
+  std::vector<PendingOp> ops_;
+  std::size_t replayed_ops_ = 0;
+  int num_groups_ = 0;
+
   // Warm state, created by the first solve and reused afterwards.
   std::vector<std::unique_ptr<Solver>> solvers_;
   std::vector<std::string> worker_names_;
   std::unique_ptr<ClauseExchange> exchange_;
   std::unique_ptr<proof::ProofSplicer> splicer_;
-  std::size_t loaded_clauses_ = 0;
 
   // User cancellation only; never reset by solve itself. Race
   // cancellation goes through each worker Solver's own request_stop().

@@ -230,7 +230,8 @@ void DratChecker::record_empty_derivation(
   empty_antecedents_ = std::move(antecedents);
 }
 
-CheckResult DratChecker::check(const Proof& proof) {
+CheckResult DratChecker::check(const Proof& proof,
+                               const CheckOptions& options) {
   CheckResult result;
   if (checked_) {
     result.error = "DratChecker instances are single-use; construct a new one";
@@ -287,6 +288,14 @@ CheckResult DratChecker::check(const Proof& proof) {
     if (!normalized) continue;  // tautology: vacuously sound, never needed
     std::vector<std::uint32_t> antecedents;
     if (!check_rup(*normalized, &antecedents)) {
+      if (options.allow_unverified_adds) {
+        // Incremental traces: the step's derivation rested on clauses of a
+        // group popped before the answer under certification. Dropping it
+        // keeps the check sound — the clause never enters the live
+        // database, so no later step can lean on it.
+        ++result.skipped_adds;
+        continue;
+      }
       result.error = "step " + std::to_string(i) + ": clause is not RUP";
       result.derived_empty = false;
       return result;

@@ -35,6 +35,20 @@
 
 namespace berkmin::proof {
 
+struct CheckOptions {
+  // Incremental (push/pop) traces contain additions whose derivations
+  // depended on clause groups that were popped before the answer being
+  // certified: checked against the *current* formula those steps are not
+  // RUP — and not needed, because every such lemma was deleted at its pop
+  // and nothing live depends on it. With this flag an unverifiable
+  // addition is skipped (never entering the live database, so soundness
+  // is preserved: only RUP-verified clauses can support later steps)
+  // instead of failing the check; skipped steps are counted in
+  // CheckResult::skipped_adds. Validity still requires deriving the empty
+  // clause from verified steps alone.
+  bool allow_unverified_adds = false;
+};
+
 struct CheckResult {
   // True iff every addition verified as RUP and the empty clause was
   // derived — the proof certifies unsatisfiability of the formula.
@@ -45,6 +59,10 @@ struct CheckResult {
   // Deletions ignored: the clause forces a root literal, or no live copy
   // matched (spliced portfolio traces suppress deletions entirely).
   std::size_t skipped_deletions = 0;
+  // Additions that failed RUP and were dropped from the live database
+  // (only under CheckOptions::allow_unverified_adds; otherwise the first
+  // failed addition aborts the check).
+  std::size_t skipped_adds = 0;
   // First failure, as "step <index>: <what>"; empty when valid.
   std::string error;
 };
@@ -54,7 +72,8 @@ class DratChecker {
   explicit DratChecker(const Cnf& cnf);
 
   // Verifies the whole trace. May be called once per checker instance.
-  CheckResult check(const Proof& proof);
+  CheckResult check(const Proof& proof) { return check(proof, CheckOptions{}); }
+  CheckResult check(const Proof& proof, const CheckOptions& options);
 
   // Valid after a successful check(): the needed additions in original
   // order (producer tags preserved), ending with the empty clause.

@@ -23,6 +23,13 @@ namespace berkmin::service {
 using JobId = std::uint64_t;
 inline constexpr JobId invalid_job = 0;
 
+// Handle of an incremental job session (SolverService::open_session): a
+// persistent solver that accepts push/pop/add/solve operations across many
+// queries, keeping learned clauses, activities and saved polarities warm
+// between them.
+using SessionId = std::uint64_t;
+inline constexpr SessionId invalid_session = 0;
+
 // Lifecycle of a job inside the service. `preempted` means a slice budget
 // expired with the query still open: the job keeps its solver (learned
 // clauses, activities, polarities) and waits in the run queue for its next
@@ -81,6 +88,27 @@ struct JobProofOptions {
   bool verify() const { return check || core; }
 };
 
+// Configuration of an incremental session. Each solve submitted through
+// session_solve() runs as an ordinary (sliced, preemptible, cancellable)
+// job against the session's persistent engine.
+struct SessionRequest {
+  std::string name;  // echoed in per-solve results; defaults to "session-<id>"
+  SolverOptions options = SolverOptions::berkmin();
+  // Escalation: > 1 serves the session with a warm PortfolioSolver whose
+  // workers replay every push/pop/add and race each solve.
+  int threads = 1;
+  // Per-answer proof artifacts. The session accumulates one DRAT trace
+  // (selectors elided) across all its queries; each UNSAT answer is
+  // checked against the formula active at that moment with the lenient
+  // incremental mode (proof::CheckOptions::allow_unverified_adds), adding
+  // the failed-assumption core as units when the answer is assumption-
+  // dependent. `core` is not supported for sessions (the input formula
+  // changes between answers) and is ignored. Proof logging requires
+  // threads == 1: spliced portfolio traces suppress deletions, which an
+  // incremental check cannot tolerate — open_session refuses the combo.
+  JobProofOptions proof;
+};
+
 struct JobRequest {
   std::string name;  // echoed in results; defaults to "job-<id>"
   // The formula: either inline...
@@ -96,6 +124,8 @@ struct JobRequest {
 
 struct JobResult {
   JobId id = invalid_job;
+  // Set when this result answers a session_solve() query.
+  SessionId session = invalid_session;
   std::string name;
   SolveStatus status = SolveStatus::unknown;
   JobOutcome outcome = JobOutcome::completed;

@@ -66,7 +66,8 @@ std::optional<JobId> SolverService::try_submit(JobRequest request) {
   return admit_locked(std::move(request));
 }
 
-std::optional<JobId> SolverService::admit_locked(JobRequest request) {
+std::optional<JobId> SolverService::admit_locked(
+    JobRequest request, std::shared_ptr<Session> session) {
   if (!accepting_ || pending_ >= opts_.max_pending) {
     ++stats_.rejected;
     return std::nullopt;
@@ -76,12 +77,14 @@ std::optional<JobId> SolverService::admit_locked(JobRequest request) {
   if (request.name.empty()) request.name = "job-" + std::to_string(job->id);
   if (request.limits.threads < 1) request.limits.threads = 1;
   job->request = std::move(request);
+  job->session = std::move(session);
   job->submit_time = clock_.seconds();
   if (job->request.limits.deadline_seconds > 0.0) {
     job->deadline_point = job->submit_time + job->request.limits.deadline_seconds;
   }
   job->result.id = job->id;
   job->result.name = job->request.name;
+  if (job->session != nullptr) job->result.session = job->session->id;
 
   jobs_.emplace(job->id, job);
   ++pending_;
@@ -90,6 +93,162 @@ std::optional<JobId> SolverService::admit_locked(JobRequest request) {
   enqueue_ready_locked(job);
   work_cv_.notify_one();
   return job->id;
+}
+
+// ---- incremental job sessions ---------------------------------------------
+
+std::optional<SessionId> SolverService::open_session(SessionRequest request) {
+  if (request.threads < 1) request.threads = 1;
+  if (request.proof.wanted() && request.threads > 1) {
+    // Spliced portfolio traces suppress deletions, which the per-answer
+    // incremental check cannot tolerate (a popped group's lemmas would
+    // stay live in the checker). Refuse rather than certify unsoundly.
+    return std::nullopt;
+  }
+
+  // Engines are built outside the lock; only the registration is inside.
+  auto session = std::make_shared<Session>();
+  if (request.threads > 1) {
+    portfolio::PortfolioOptions popts;
+    popts.num_threads = request.threads;
+    popts.base_seed = request.options.seed;
+    popts.configs = portfolio::diversify_around(
+        request.options, request.threads, request.options.seed);
+    session->portfolio = std::make_unique<portfolio::PortfolioSolver>(popts);
+  } else {
+    session->solver = std::make_unique<Solver>(request.options);
+    if (request.proof.wanted()) {
+      session->proof_writer = std::make_unique<proof::MemoryProofWriter>();
+      session->solver->set_proof(session->proof_writer.get());
+    }
+  }
+
+  std::lock_guard<std::mutex> lk(lock_);
+  if (!accepting_) return std::nullopt;
+  session->id = next_session_id_++;
+  if (request.name.empty()) {
+    request.name = "session-" + std::to_string(session->id);
+  }
+  session->request = std::move(request);
+  sessions_.emplace(session->id, session);
+  ++stats_.sessions_opened;
+  return session->id;
+}
+
+std::shared_ptr<SolverService::Session> SolverService::mutable_session_locked(
+    SessionId id) {
+  const auto it = sessions_.find(id);
+  if (it == sessions_.end() || it->second->closed || it->second->busy) {
+    return nullptr;
+  }
+  return it->second;
+}
+
+bool SolverService::session_push(SessionId id) {
+  std::shared_ptr<Session> session;
+  {
+    std::lock_guard<std::mutex> lk(lock_);
+    session = mutable_session_locked(id);
+    if (session == nullptr) return false;
+    session->busy = true;  // exclude solves while mutating outside the lock
+  }
+  if (session->solver != nullptr) {
+    session->solver->push_group();
+  } else {
+    session->portfolio->push_group();
+  }
+  session->group_marks.push_back(session->clauses.size());
+  std::lock_guard<std::mutex> lk(lock_);
+  session->busy = false;
+  return true;
+}
+
+bool SolverService::session_pop(SessionId id) {
+  std::shared_ptr<Session> session;
+  {
+    std::lock_guard<std::mutex> lk(lock_);
+    session = mutable_session_locked(id);
+    if (session == nullptr || session->group_marks.empty()) return false;
+    session->busy = true;
+  }
+  if (session->solver != nullptr) {
+    session->solver->pop_group();
+  } else {
+    session->portfolio->pop_group();
+  }
+  session->clauses.resize(session->group_marks.back());
+  session->group_marks.pop_back();
+  std::lock_guard<std::mutex> lk(lock_);
+  session->busy = false;
+  return true;
+}
+
+bool SolverService::session_add_clause(SessionId id,
+                                       std::span<const Lit> lits) {
+  std::shared_ptr<Session> session;
+  {
+    std::lock_guard<std::mutex> lk(lock_);
+    session = mutable_session_locked(id);
+    if (session == nullptr) return false;
+    session->busy = true;
+  }
+  // The formula mirror only feeds the per-answer proof check; without
+  // verification it would be a dead second copy of the whole formula.
+  if (session->request.proof.verify()) {
+    session->clauses.emplace_back(lits.begin(), lits.end());
+  }
+  if (session->solver != nullptr) {
+    (void)session->solver->add_clause(lits);
+  } else {
+    session->portfolio->add_clause(lits);
+  }
+  std::lock_guard<std::mutex> lk(lock_);
+  session->busy = false;
+  return true;
+}
+
+std::optional<JobId> SolverService::session_solve(SessionId id,
+                                                  std::vector<Lit> assumptions,
+                                                  JobLimits limits) {
+  std::lock_guard<std::mutex> lk(lock_);
+  const auto it = sessions_.find(id);
+  if (it == sessions_.end() || it->second->closed || it->second->busy) {
+    return std::nullopt;
+  }
+  const std::shared_ptr<Session>& session = it->second;
+
+  JobRequest request;
+  request.name =
+      session->request.name + "#" + std::to_string(session->solves + 1);
+  request.assumptions = std::move(assumptions);
+  request.limits = limits;
+  request.limits.threads = 1;  // escalation is the session's, not the job's
+  request.proof = session->request.proof;
+  request.options = session->request.options;
+
+  const std::optional<JobId> job = admit_locked(std::move(request), session);
+  if (job.has_value()) {
+    session->busy = true;
+    ++session->solves;
+    ++stats_.session_solves;
+  }
+  return job;
+}
+
+bool SolverService::close_session(SessionId id) {
+  std::lock_guard<std::mutex> lk(lock_);
+  const auto it = sessions_.find(id);
+  if (it == sessions_.end() || it->second->busy || it->second->closed) {
+    return false;
+  }
+  it->second->closed = true;
+  sessions_.erase(it);  // the engine dies with the last shared_ptr
+  return true;
+}
+
+std::size_t SolverService::open_sessions() const {
+  std::lock_guard<std::mutex> lk(lock_);
+  return sessions_.size();
 }
 
 bool SolverService::cancel(JobId id) {
@@ -106,6 +265,14 @@ bool SolverService::cancel(JobId id) {
       // this lock after the slice, so the request cannot be lost).
       if (job->solver != nullptr) job->solver->request_stop();
       if (job->portfolio != nullptr) job->portfolio->request_stop();
+      if (job->session != nullptr) {
+        if (job->session->solver != nullptr) {
+          job->session->solver->request_stop();
+        }
+        if (job->session->portfolio != nullptr) {
+          job->session->portfolio->request_stop();
+        }
+      }
       return true;
     }
     notify = finish_locked(job, JobOutcome::cancelled);
@@ -126,6 +293,14 @@ void SolverService::shutdown(Shutdown mode) {
         if (job->job_state == JobState::running) {
           if (job->solver != nullptr) job->solver->request_stop();
           if (job->portfolio != nullptr) job->portfolio->request_stop();
+          if (job->session != nullptr) {
+            if (job->session->solver != nullptr) {
+              job->session->solver->request_stop();
+            }
+            if (job->session->portfolio != nullptr) {
+              job->session->portfolio->request_stop();
+            }
+          }
         } else {
           notifications.push_back(finish_locked(job, JobOutcome::cancelled));
         }
@@ -245,14 +420,11 @@ void SolverService::worker_loop() {
   }
 }
 
-void SolverService::run_slice(const std::shared_ptr<Job>& job) {
-  const JobLimits& limits = job->request.limits;
-
-  // Pre-flight: cancellation or an already-expired deadline ends the job
-  // without spending a slice on it.
+bool SolverService::finish_if_preempted_terminal(
+    const std::shared_ptr<Job>& job) {
+  JobResult notify;
+  bool terminal = false;
   {
-    JobResult notify;
-    bool terminal = false;
     std::unique_lock<std::mutex> lk(lock_);
     if (job->cancel_requested) {
       notify = finish_locked(job, JobOutcome::cancelled);
@@ -262,12 +434,44 @@ void SolverService::run_slice(const std::shared_ptr<Job>& job) {
       notify = finish_locked(job, JobOutcome::deadline_expired);
       terminal = true;
     }
-    if (terminal) {
-      lk.unlock();
-      deliver(std::move(notify));
-      return;
+  }
+  if (terminal) deliver(std::move(notify));
+  return terminal;
+}
+
+Budget SolverService::slice_budget(const Job& job) const {
+  const JobLimits& limits = job.request.limits;
+  Budget budget;
+  budget.max_conflicts = opts_.slice_conflicts;
+  if (limits.max_conflicts != 0) {
+    const std::uint64_t used = job.result.conflicts;
+    const std::uint64_t remaining =
+        limits.max_conflicts > used ? limits.max_conflicts - used : 1;
+    if (budget.max_conflicts == 0 || remaining < budget.max_conflicts) {
+      budget.max_conflicts = remaining;
     }
   }
+  budget.max_seconds = opts_.slice_seconds;
+  if (job.deadline_point > 0.0) {
+    double remaining = job.deadline_point - clock_.seconds();
+    if (remaining < 1e-3) remaining = 1e-3;
+    if (budget.max_seconds == 0.0 || remaining < budget.max_seconds) {
+      budget.max_seconds = remaining;
+    }
+  }
+  return budget;
+}
+
+void SolverService::run_slice(const std::shared_ptr<Job>& job) {
+  if (job->session != nullptr) {
+    run_session_slice(job);
+    return;
+  }
+  const JobLimits& limits = job->request.limits;
+
+  // Pre-flight: cancellation or an already-expired deadline ends the job
+  // without spending a slice on it.
+  if (finish_if_preempted_terminal(job)) return;
 
   // First slice: materialize the formula and the engine. Parsing and
   // loading happen outside the lock (they can dwarf a slice); the engine
@@ -336,26 +540,7 @@ void SolverService::run_slice(const std::shared_ptr<Job>& job) {
     }
   }
 
-  // Slice budget: the service-wide slice size, clamped by what remains of
-  // the job's own conflict budget and deadline.
-  Budget budget;
-  budget.max_conflicts = opts_.slice_conflicts;
-  if (limits.max_conflicts != 0) {
-    const std::uint64_t used = job->result.conflicts;
-    const std::uint64_t remaining =
-        limits.max_conflicts > used ? limits.max_conflicts - used : 1;
-    if (budget.max_conflicts == 0 || remaining < budget.max_conflicts) {
-      budget.max_conflicts = remaining;
-    }
-  }
-  budget.max_seconds = opts_.slice_seconds;
-  if (job->deadline_point > 0.0) {
-    double remaining = job->deadline_point - clock_.seconds();
-    if (remaining < 1e-3) remaining = 1e-3;
-    if (budget.max_seconds == 0.0 || remaining < budget.max_seconds) {
-      budget.max_seconds = remaining;
-    }
-  }
+  const Budget budget = slice_budget(*job);
 
   // A cancel() arriving from here on finds the published engine pointer
   // and stops the solve mid-slice; the sticky flag means even a request
@@ -482,33 +667,173 @@ void SolverService::run_slice(const std::shared_ptr<Job>& job) {
   if (terminal) deliver(std::move(notify));
 }
 
+// One slice of a session solve. Mirrors run_slice, but the engine lives in
+// the session (it survives the job), portfolio work is charged as deltas
+// from the session's cumulative counters, and an UNSAT answer is certified
+// against the formula *currently active* in the session — base plus open
+// groups, with the failed-assumption core added as units when the answer
+// is assumption-dependent — using the lenient incremental check mode.
+void SolverService::run_session_slice(const std::shared_ptr<Job>& job) {
+  const JobLimits& limits = job->request.limits;
+  Session& session = *job->session;
+
+  if (finish_if_preempted_terminal(job)) return;
+  const Budget budget = slice_budget(*job);
+
+  WallTimer slice_timer;
+  SolveStatus status;
+  if (session.solver != nullptr) {
+    status = session.solver->solve_with_assumptions(job->request.assumptions,
+                                                    budget);
+  } else {
+    status = session.portfolio->solve_with_assumptions(
+        job->request.assumptions, budget);
+  }
+  const double slice_seconds = slice_timer.seconds();
+
+  // Per-answer certification, outside the lock. The session's trace keeps
+  // accumulating across queries, so it is copied, never taken.
+  proof::Proof trace;
+  bool have_trace = false;
+  bool proof_checked = false;
+  bool proof_valid = false;
+  if (status == SolveStatus::unsatisfiable && session.proof_writer != nullptr) {
+    trace = session.proof_writer->proof();
+    have_trace = true;
+    if (job->request.proof.verify()) {
+      Cnf formula;
+      for (const auto& clause : session.clauses) formula.add_clause(clause);
+      bool appended_empty = false;
+      if (!trace.ends_with_empty()) {
+        // Assumption- or group-dependent answer: the certificate is that
+        // the active formula plus the failed core refutes by propagation
+        // over the live database (an empty core means the open groups
+        // alone are responsible). The synthetic empty step is popped back
+        // off before the trace is delivered.
+        for (const Lit a : session.solver->failed_assumptions()) {
+          formula.add_unit(a);
+        }
+        trace.add({});
+        appended_empty = true;
+      }
+      proof::DratChecker checker(formula);
+      proof::CheckOptions copts;
+      copts.allow_unverified_adds = true;
+      const proof::CheckResult check = checker.check(trace, copts);
+      proof_checked = true;
+      proof_valid = check.valid;
+      if (appended_empty) trace.steps.pop_back();
+    }
+  }
+
+  JobResult notify;
+  bool terminal = false;
+  {
+    std::unique_lock<std::mutex> lk(lock_);
+    ++stats_.slices;
+    stats_.solve_seconds += slice_seconds;
+    ++job->result.slices;
+    job->result.solve_seconds += slice_seconds;
+
+    std::uint64_t conflicts = 0;
+    std::uint64_t decisions = 0;
+    std::uint64_t propagations = 0;
+    std::uint64_t learned = 0;
+    if (session.solver != nullptr) {
+      const SliceStats& slice = session.solver->last_slice();
+      conflicts = slice.conflicts;
+      decisions = slice.decisions;
+      propagations = slice.propagations;
+      learned = slice.learned_clauses;
+    } else {
+      std::uint64_t total_conflicts = 0;
+      std::uint64_t total_decisions = 0;
+      std::uint64_t total_propagations = 0;
+      std::uint64_t total_learned = 0;
+      for (const portfolio::WorkerReport& report :
+           session.portfolio->reports()) {
+        total_conflicts += report.stats.conflicts;
+        total_decisions += report.stats.decisions;
+        total_propagations += report.stats.propagations;
+        total_learned += report.stats.learned_clauses;
+      }
+      conflicts = total_conflicts - session.seen_conflicts;
+      decisions = total_decisions - session.seen_decisions;
+      propagations = total_propagations - session.seen_propagations;
+      learned = total_learned - session.seen_learned;
+      session.seen_conflicts = total_conflicts;
+      session.seen_decisions = total_decisions;
+      session.seen_propagations = total_propagations;
+      session.seen_learned = total_learned;
+    }
+    job->result.conflicts += conflicts;
+    job->result.decisions += decisions;
+    job->result.propagations += propagations;
+    job->result.learned_clauses += learned;
+    stats_.conflicts += conflicts;
+
+    if (status != SolveStatus::unknown) {
+      job->result.status = status;
+      if (have_trace) {
+        job->result.proof = std::move(trace);
+        job->result.proof_checked = proof_checked;
+        job->result.proof_valid = proof_valid;
+      }
+      notify = finish_locked(job, JobOutcome::completed);
+      terminal = true;
+    } else if (job->cancel_requested) {
+      notify = finish_locked(job, JobOutcome::cancelled);
+      terminal = true;
+    } else if (job->deadline_point > 0.0 &&
+               clock_.seconds() >= job->deadline_point) {
+      notify = finish_locked(job, JobOutcome::deadline_expired);
+      terminal = true;
+    } else if (limits.max_conflicts != 0 &&
+               job->result.conflicts >= limits.max_conflicts) {
+      notify = finish_locked(job, JobOutcome::budget_exhausted);
+      terminal = true;
+    } else {
+      job->job_state = JobState::preempted;
+      ++job->result.preemptions;
+      ++stats_.preemptions;
+      enqueue_ready_locked(job);
+      work_cv_.notify_one();
+    }
+  }
+  if (terminal) deliver(std::move(notify));
+}
+
 JobResult SolverService::finish_locked(const std::shared_ptr<Job>& job,
                                        JobOutcome outcome) {
   job->result.outcome = outcome;
+  // Session jobs answer through the session's persistent engine.
+  Solver* engine = job->solver.get();
+  portfolio::PortfolioSolver* race = job->portfolio.get();
+  if (job->session != nullptr) {
+    engine = job->session->solver.get();
+    race = job->session->portfolio.get();
+  }
   if (outcome == JobOutcome::completed) {
     if (job->result.status == SolveStatus::satisfiable) {
-      job->result.model = job->solver != nullptr ? job->solver->model()
-                                                 : job->portfolio->model();
+      job->result.model = engine != nullptr ? engine->model() : race->model();
     } else if (job->result.status == SolveStatus::unsatisfiable) {
-      job->result.failed_assumptions = job->solver != nullptr
-                                           ? job->solver->failed_assumptions()
-                                           : job->portfolio->failed_assumptions();
+      job->result.failed_assumptions = engine != nullptr
+                                           ? engine->failed_assumptions()
+                                           : race->failed_assumptions();
     }
   }
   // Snapshot the database shape before the engine is released.
-  if (job->solver != nullptr) {
-    job->result.max_live_clauses = job->solver->stats().max_live_clauses;
-    job->result.initial_clauses = job->solver->stats().initial_clauses;
+  if (engine != nullptr) {
+    job->result.max_live_clauses = engine->stats().max_live_clauses;
+    job->result.initial_clauses = engine->stats().initial_clauses;
     job->result.duplicate_binaries_skipped =
-        job->solver->stats().duplicate_binaries_skipped;
-  } else if (job->portfolio != nullptr && job->portfolio->winner() >= 0) {
+        engine->stats().duplicate_binaries_skipped;
+  } else if (race != nullptr && race->winner() >= 0) {
     const SolverStats& winning =
-        job->portfolio->reports()[static_cast<std::size_t>(
-                                      job->portfolio->winner())]
-            .stats;
+        race->reports()[static_cast<std::size_t>(race->winner())].stats;
     job->result.max_live_clauses = winning.max_live_clauses;
     job->result.initial_clauses = winning.initial_clauses;
-    for (const portfolio::WorkerReport& report : job->portfolio->reports()) {
+    for (const portfolio::WorkerReport& report : race->reports()) {
       job->result.duplicate_binaries_skipped +=
           report.stats.duplicate_binaries_skipped;
     }
@@ -522,6 +847,15 @@ JobResult SolverService::finish_locked(const std::shared_ptr<Job>& job,
   job->job_state =
       outcome == JobOutcome::cancelled ? JobState::cancelled : JobState::done;
   job->finished = true;
+  if (job->session != nullptr) {
+    // The engine outlives the job. Un-latch any sticky cancellation so the
+    // next query on the session is not stillborn, and release the session
+    // for the owner's next operation.
+    if (engine != nullptr) engine->clear_stop();
+    if (race != nullptr) race->clear_stop();
+    job->session->busy = false;
+    job->session.reset();
+  }
   job->solver.reset();
   job->portfolio.reset();
   job->proof_writer.reset();

@@ -73,6 +73,9 @@ struct ServiceStats {
   std::uint64_t preemptions = 0;
   std::uint64_t conflicts = 0;  // summed over every slice of every job
   std::uint64_t peak_pending = 0;
+  // Incremental sessions: open_session() calls and session_solve() queries.
+  std::uint64_t sessions_opened = 0;
+  std::uint64_t session_solves = 0;
   double solve_seconds = 0.0;  // total time inside solve() slices
 
   std::uint64_t finished() const {
@@ -94,6 +97,36 @@ class SolverService {
   // when the queue is full).
   std::optional<JobId> submit(JobRequest request);
   std::optional<JobId> try_submit(JobRequest request);
+
+  // ---- incremental job sessions -----------------------------------------
+  // A session is a persistent engine (Solver, or a warm PortfolioSolver
+  // for threads > 1) living inside the service: the caller scripts it with
+  // push/pop/add operations and submits each solve as a normal job, which
+  // the scheduler slices and preempts like any other — so thousands of
+  // closely-related queries share one engine's learned clauses instead of
+  // re-deriving them, while unrelated batch jobs keep flowing through the
+  // same worker pool.
+  //
+  // Discipline: a session is driven by one logical owner. Mutations
+  // (push/pop/add) and close are rejected (false / nullopt) while a solve
+  // submitted for the session is still unfinished — wait() for it first —
+  // and after close_session. session_solve rejects overlapping solves for
+  // the same session. All methods are thread-safe with respect to the
+  // service itself and to other sessions.
+  std::optional<SessionId> open_session(SessionRequest request);
+  bool session_push(SessionId id);
+  bool session_pop(SessionId id);
+  bool session_add_clause(SessionId id, std::span<const Lit> lits);
+  // Submits one query against the session engine; the result arrives
+  // through wait()/the completion callback like any job, carrying
+  // JobResult::session. `limits.threads` is ignored (the session's own
+  // escalation applies).
+  std::optional<JobId> session_solve(SessionId id,
+                                     std::vector<Lit> assumptions = {},
+                                     JobLimits limits = {});
+  // Releases the engine. Returns false while a session solve is pending.
+  bool close_session(SessionId id);
+  std::size_t open_sessions() const;
 
   // ---- control ----------------------------------------------------------
   // Cancels one job. Returns true iff the job was still unfinished: a
@@ -128,6 +161,29 @@ class SolverService {
   const ServiceOptions& options() const { return opts_; }
 
  private:
+  // One incremental session: the persistent engine plus a mirror of the
+  // *active* formula in external numbering for per-answer proof checking.
+  // The clause log is stack-shaped — adds always extend the innermost open
+  // group — so a pop truncates to the matching mark.
+  struct Session {
+    SessionId id = invalid_session;
+    SessionRequest request;
+    std::unique_ptr<Solver> solver;
+    std::unique_ptr<portfolio::PortfolioSolver> portfolio;
+    std::unique_ptr<proof::MemoryProofWriter> proof_writer;
+    std::vector<std::vector<Lit>> clauses;
+    std::vector<std::size_t> group_marks;
+    bool busy = false;    // a session solve is queued or running
+    bool closed = false;
+    std::uint64_t solves = 0;
+    // Portfolio worker stats are cumulative across the whole session;
+    // per-job slices are charged as deltas from here.
+    std::uint64_t seen_conflicts = 0;
+    std::uint64_t seen_decisions = 0;
+    std::uint64_t seen_propagations = 0;
+    std::uint64_t seen_learned = 0;
+  };
+
   struct Job {
     JobId id = invalid_job;
     JobRequest request;
@@ -139,6 +195,10 @@ class SolverService {
     std::uint64_t ready_since = 0;  // dispatch tick of the last enqueue
     double submit_time = 0.0;
     double first_slice_time = -1.0;
+
+    // Session solve: the engine lives in the session, not the job, and
+    // survives the job's completion.
+    std::shared_ptr<Session> session;
 
     // Engine — exactly one is non-null once loaded (threads > 1 picks the
     // portfolio). Reset when the job finishes to release memory.
@@ -164,8 +224,21 @@ class SolverService {
   };
 
   void worker_loop();
-  // Shared admission path of submit()/try_submit(). Must hold lock_.
-  std::optional<JobId> admit_locked(JobRequest request);
+  // Shared admission path of submit()/try_submit()/session_solve(). Must
+  // hold lock_.
+  std::optional<JobId> admit_locked(JobRequest request,
+                                    std::shared_ptr<Session> session = nullptr);
+  // Looks up an open, idle session for a mutation. Must hold lock_.
+  std::shared_ptr<Session> mutable_session_locked(SessionId id);
+  // One slice of one session job, running against the persistent engine.
+  void run_session_slice(const std::shared_ptr<Job>& job);
+  // Shared slice protocol of run_slice/run_session_slice: the pre-flight
+  // (finish a cancelled or already-past-deadline job without spending a
+  // slice on it — returns true when the job went terminal) and the slice
+  // budget (service-wide slice size clamped by what remains of the job's
+  // conflict budget and deadline). Called without the lock held.
+  bool finish_if_preempted_terminal(const std::shared_ptr<Job>& job);
+  Budget slice_budget(const Job& job) const;
   // Picks the runnable job with the best (lowest) schedule key, or null.
   std::shared_ptr<Job> pop_ready_locked();
   double schedule_key_locked(const Job& job) const;
@@ -193,6 +266,8 @@ class SolverService {
   std::size_t pending_ = 0;  // unfinished jobs
   std::vector<JobId> ready_;  // queued/preempted jobs (may hold stale ids)
   std::unordered_map<JobId, std::shared_ptr<Job>> jobs_;
+  SessionId next_session_id_ = 1;
+  std::unordered_map<SessionId, std::shared_ptr<Session>> sessions_;
   ServiceStats stats_;
 
   // Serializes the join phase of shutdown() so concurrent shutdown calls

@@ -1,0 +1,263 @@
+// Incremental clause groups: push_group/pop_group semantics, learned-
+// clause retention across pops, selector hygiene (models, cores, stats),
+// and the failed_assumptions()-after-pop regression.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/solver.h"
+#include "gen/pigeonhole.h"
+#include "gen/random_ksat.h"
+#include "reference/dpll.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace berkmin {
+namespace {
+
+using testing::lits;
+using testing::make_cnf;
+
+TEST(ClauseGroups, PoppedClausesAreRetracted) {
+  Solver solver;
+  solver.load(make_cnf({{1, 2}}));
+  solver.push_group();
+  ASSERT_TRUE(solver.add_clause(lits({-1})));
+  ASSERT_TRUE(solver.add_clause(lits({-2})));
+  EXPECT_EQ(solver.solve(), SolveStatus::unsatisfiable);
+  EXPECT_TRUE(solver.ok()) << "group UNSAT must not poison the solver";
+  solver.pop_group();
+  EXPECT_EQ(solver.num_groups(), 0);
+  EXPECT_EQ(solver.solve(), SolveStatus::satisfiable);
+  EXPECT_EQ(solver.validate_invariants(), "");
+}
+
+TEST(ClauseGroups, NestedGroupsPopInLifoOrder) {
+  Solver solver;
+  solver.load(make_cnf({{1, 2, 3}}));
+  solver.push_group();
+  solver.add_clause(lits({-1}));
+  solver.push_group();
+  solver.add_clause(lits({-2}));
+  solver.add_clause(lits({-3}));
+  EXPECT_EQ(solver.num_groups(), 2);
+  EXPECT_EQ(solver.solve(), SolveStatus::unsatisfiable);
+  solver.pop_group();  // drops -2, -3
+  EXPECT_EQ(solver.solve(), SolveStatus::satisfiable);
+  EXPECT_FALSE(solver.model_value(from_dimacs(1)));  // -1 still active
+  solver.pop_group();
+  ASSERT_EQ(solver.solve(), SolveStatus::satisfiable);
+  EXPECT_EQ(solver.validate_invariants(), "");
+}
+
+TEST(ClauseGroups, GroupClausesBehaveExactlyWhileActive) {
+  // While a group is active its clauses constrain the formula exactly as
+  // plain adds would: compare against a scratch solver per step.
+  const Cnf base = gen::random_ksat(16, 50, 3, 123);
+  Solver inc;
+  inc.load(base);
+
+  Cnf scratch_formula = base;
+  Rng rng(7);
+  inc.push_group();
+  for (int i = 0; i < 8; ++i) {
+    std::vector<Lit> clause;
+    for (int k = 0; k < 3; ++k) {
+      clause.push_back(Lit(static_cast<Var>(rng.below(16)), rng.coin()));
+    }
+    inc.add_clause(clause);
+    scratch_formula.add_clause(clause);
+
+    Solver scratch;
+    scratch.load(scratch_formula);
+    EXPECT_EQ(inc.solve(), scratch.solve()) << "step " << i;
+    EXPECT_EQ(inc.validate_invariants(), "");
+  }
+}
+
+TEST(ClauseGroups, ModelElidesSelectors) {
+  Solver solver;
+  solver.load(make_cnf({{1, 2}}));
+  solver.push_group();
+  solver.add_clause(lits({-1}));
+  ASSERT_EQ(solver.solve(), SolveStatus::satisfiable);
+  // The model covers exactly the two external variables, although the
+  // solver internally holds a selector variable as well.
+  EXPECT_EQ(solver.model().size(), 2u);
+  EXPECT_EQ(solver.num_vars(), 2);
+  EXPECT_GT(solver.num_internal_vars(), 2);
+  EXPECT_TRUE(solver.model_value(from_dimacs(2)));
+}
+
+TEST(ClauseGroups, LearnedClausesSurviveUnrelatedPop) {
+  // hole(6) is UNSAT on its own merits; an unrelated satisfiable group
+  // must not wipe the lemmas that prove it. After the first solve flips
+  // ok(), popping keeps the refutation.
+  Solver solver;
+  solver.load(gen::pigeonhole(6));
+  solver.push_group();
+  // Fresh variables, trivially satisfiable side constraints.
+  const int base = gen::pigeonhole(6).num_vars();
+  solver.add_clause({Lit::positive(base), Lit::positive(base + 1)});
+  ASSERT_EQ(solver.solve(), SolveStatus::unsatisfiable);
+  EXPECT_FALSE(solver.ok());
+  const std::uint64_t conflicts_before = solver.stats().conflicts;
+  solver.pop_group();
+  EXPECT_EQ(solver.solve(), SolveStatus::unsatisfiable);
+  // No new search happened: the group-independent refutation was kept.
+  EXPECT_EQ(solver.stats().conflicts, conflicts_before);
+}
+
+TEST(ClauseGroups, RetentionKeepsSelectorFreeLemmas) {
+  // A SAT base with a group that makes it UNSAT: solving inside the group
+  // learns a mix of group-dependent and group-independent lemmas. After
+  // the pop every surviving lemma must be a consequence of the base
+  // formula alone — verified by checking each against the reference DPLL.
+  const Cnf base = gen::random_ksat(14, 40, 3, 5);
+  Solver solver;
+  solver.load(base);
+  solver.push_group();
+  // A contradictory pair routed through base variables forces real search.
+  solver.add_clause(lits({1, 2}));
+  solver.add_clause(lits({1, -2}));
+  solver.add_clause(lits({-1, 3}));
+  solver.add_clause(lits({-1, -3}));
+  const SolveStatus in_group = solver.solve();
+  ASSERT_NE(in_group, SolveStatus::unknown);
+  solver.pop_group();
+  ASSERT_EQ(solver.validate_invariants(), "");
+
+  for (const ClauseRef ref : solver.learned_stack()) {
+    const std::vector<Lit> clause = solver.clause_literals(ref);
+    // Internal numbering == external for base vars here; selectors would
+    // be >= base.num_vars() and must all be gone or popped-satisfied.
+    Cnf refute = base;
+    bool has_out_of_range = false;
+    for (const Lit l : clause) {
+      if (l.var() >= base.num_vars()) has_out_of_range = true;
+    }
+    if (has_out_of_range) continue;  // tagged with a still-active selector
+    for (const Lit l : clause) refute.add_unit(~l);
+    EXPECT_FALSE(reference::dpll_solve(refute).satisfiable)
+        << "retained lemma is not implied by the base formula";
+  }
+}
+
+TEST(ClauseGroups, PopStatsAccount) {
+  Solver solver;
+  solver.load(gen::random_ksat(12, 30, 3, 9));
+  solver.push_group();
+  solver.add_clause(lits({1}));
+  solver.add_clause(lits({-1, 2}));
+  solver.add_clause(lits({-2, -1}));
+  (void)solver.solve();
+  const std::size_t learned_before_pop = solver.num_learned();
+  solver.pop_group();
+  EXPECT_EQ(solver.stats().groups_pushed, 1u);
+  EXPECT_EQ(solver.stats().groups_popped, 1u);
+  EXPECT_EQ(solver.stats().pop_retained_learned +
+                solver.stats().pop_dropped_learned,
+            learned_before_pop);
+  EXPECT_EQ(solver.num_learned(), solver.stats().pop_retained_learned);
+}
+
+TEST(ClauseGroups, FailedAssumptionsAfterPopRegression) {
+  // Regression (ISSUE 5 satellite): an UNSAT-under-assumptions answer in
+  // which the active group participates must never leak selector
+  // literals, and after the group is popped the previously returned core
+  // must not reference dead selectors. The user-visible core is a subset
+  // of the user's assumptions at all times.
+  Solver solver;
+  solver.load(make_cnf({{1, 2}}));
+  solver.push_group();
+  solver.add_clause(lits({-3, -1}));  // group: assuming 3 kills 1
+  solver.add_clause(lits({-3, -2}));  // ... and 2
+  const auto assumptions = lits({3});
+  ASSERT_EQ(solver.solve_with_assumptions(assumptions),
+            SolveStatus::unsatisfiable);
+  EXPECT_TRUE(solver.ok());
+  const std::vector<Lit> core = solver.failed_assumptions();
+  const std::set<Lit> allowed(assumptions.begin(), assumptions.end());
+  for (const Lit l : core) {
+    EXPECT_TRUE(allowed.count(l)) << "core leaked non-assumption literal "
+                                  << to_string(l);
+    EXPECT_LT(l.var(), solver.num_vars());
+  }
+  solver.pop_group();
+  // The stored core still references only user variables (no dead
+  // selectors), and a fresh query is clean.
+  for (const Lit l : solver.failed_assumptions()) {
+    EXPECT_LT(l.var(), solver.num_vars());
+  }
+  EXPECT_EQ(solver.solve_with_assumptions(assumptions),
+            SolveStatus::satisfiable);
+  EXPECT_EQ(solver.validate_invariants(), "");
+}
+
+TEST(ClauseGroups, GroupOnlyUnsatYieldsEmptyUserCore) {
+  // The active group alone contradicts the base: the answer is UNSAT with
+  // ok() still true, and the user-visible core is empty (the groups are
+  // to blame, not the caller's assumptions).
+  Solver solver;
+  solver.load(make_cnf({{1}}));
+  solver.push_group();
+  solver.add_clause(lits({-1}));
+  ASSERT_EQ(solver.solve(), SolveStatus::unsatisfiable);
+  EXPECT_TRUE(solver.ok());
+  EXPECT_TRUE(solver.failed_assumptions().empty());
+  solver.pop_group();
+  EXPECT_EQ(solver.solve(), SolveStatus::satisfiable);
+}
+
+TEST(ClauseGroups, NewVariablesInsideGroupsStayExternal) {
+  // Variables created after a push (by clauses mentioning them) keep
+  // dense external numbering even though selectors interleave internally.
+  Solver solver;
+  solver.load(make_cnf({{1, 2}}));
+  solver.push_group();
+  solver.add_clause(lits({3, 4}));  // vars 2,3 created after the selector
+  solver.push_group();
+  solver.add_clause(lits({5, -3}));
+  ASSERT_EQ(solver.solve(), SolveStatus::satisfiable);
+  EXPECT_EQ(solver.num_vars(), 5);
+  EXPECT_EQ(solver.num_internal_vars(), 7);
+  EXPECT_EQ(solver.model().size(), 5u);
+  // The group clause {3,4} must actually constrain external vars 3/4:
+  // force both false and expect UNSAT while the group is active.
+  EXPECT_EQ(solver.solve_with_assumptions(lits({-3, -4})),
+            SolveStatus::unsatisfiable);
+  solver.pop_group();
+  solver.pop_group();
+  EXPECT_EQ(solver.solve_with_assumptions(lits({-3, -4})),
+            SolveStatus::satisfiable);
+  EXPECT_EQ(solver.validate_invariants(), "");
+}
+
+TEST(ClauseGroups, PushPopAcrossBudgetSlices) {
+  // Groups compose with the resumable-slice contract: a sliced solve
+  // inside a group reaches the same verdict, and popping afterwards
+  // restores satisfiability.
+  const Cnf base = gen::random_ksat(20, 60, 3, 31);
+  Solver solver;
+  solver.load(base);
+  Solver probe;
+  probe.load(base);
+  ASSERT_EQ(probe.solve(), SolveStatus::satisfiable);
+
+  solver.push_group();
+  solver.load(gen::pigeonhole(5));  // UNSAT side constraints, fresh vars? no:
+  // pigeonhole vars overlap base vars — fine, it is still UNSAT.
+  SolveStatus status = SolveStatus::unknown;
+  for (int i = 0; i < 100000 && status == SolveStatus::unknown; ++i) {
+    status = solver.solve(Budget::conflicts(5));
+  }
+  EXPECT_EQ(status, SolveStatus::unsatisfiable);
+  EXPECT_TRUE(solver.ok());
+  solver.pop_group();
+  EXPECT_EQ(solver.solve(), SolveStatus::satisfiable);
+  EXPECT_EQ(solver.validate_invariants(), "");
+}
+
+}  // namespace
+}  // namespace berkmin

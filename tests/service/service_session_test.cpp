@@ -1,0 +1,279 @@
+// Incremental job sessions in SolverService: API semantics (busy
+// discipline, close, result plumbing), differential correctness of
+// session answers, per-answer proof delivery, and a concurrency stress
+// test driving many sessions — single-solver and portfolio-escalated —
+// through one worker pool at once (run under TSan via the "service"
+// label).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "cnf/icnf.h"
+#include "core/solver.h"
+#include "gen/pigeonhole.h"
+#include "gen/random_ksat.h"
+#include "service/solver_service.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace berkmin::service {
+namespace {
+
+using berkmin::testing::lits;
+using berkmin::testing::make_cnf;
+
+TEST(ServiceSession, PushPopSolveLifecycle) {
+  SolverService service({.num_workers = 2, .slice_conflicts = 100});
+  const auto sid = service.open_session({.name = "inc"});
+  ASSERT_TRUE(sid.has_value());
+  EXPECT_EQ(service.open_sessions(), 1u);
+
+  ASSERT_TRUE(service.session_add_clause(*sid, lits({1, 2})));
+  ASSERT_TRUE(service.session_push(*sid));
+  ASSERT_TRUE(service.session_add_clause(*sid, lits({-1})));
+  ASSERT_TRUE(service.session_add_clause(*sid, lits({-2})));
+
+  auto job = service.session_solve(*sid);
+  ASSERT_TRUE(job.has_value());
+  JobResult result = service.wait(*job);
+  EXPECT_EQ(result.status, SolveStatus::unsatisfiable);
+  EXPECT_EQ(result.session, *sid);
+  EXPECT_EQ(result.name, "inc#1");
+
+  ASSERT_TRUE(service.session_pop(*sid));
+  job = service.session_solve(*sid);
+  ASSERT_TRUE(job.has_value());
+  result = service.wait(*job);
+  EXPECT_EQ(result.status, SolveStatus::satisfiable);
+  EXPECT_EQ(result.name, "inc#2");
+
+  EXPECT_TRUE(service.close_session(*sid));
+  EXPECT_FALSE(service.session_push(*sid));  // closed
+  EXPECT_EQ(service.open_sessions(), 0u);
+  EXPECT_EQ(service.stats().sessions_opened, 1u);
+  EXPECT_EQ(service.stats().session_solves, 2u);
+}
+
+TEST(ServiceSession, BusyDisciplineRejectsOverlap) {
+  SolverService service({.num_workers = 1, .slice_conflicts = 5});
+  const auto sid = service.open_session({});
+  ASSERT_TRUE(sid.has_value());
+  // A hard instance so the solve outlives the following calls.
+  const Cnf hole = gen::pigeonhole(7);
+  for (const auto& clause : hole.clauses()) {
+    ASSERT_TRUE(service.session_add_clause(*sid, clause));
+  }
+  const auto job = service.session_solve(*sid);
+  ASSERT_TRUE(job.has_value());
+  // While the solve is pending, mutations, further solves and close are
+  // all rejected.
+  EXPECT_FALSE(service.session_push(*sid));
+  EXPECT_FALSE(service.session_pop(*sid));
+  EXPECT_FALSE(service.session_add_clause(*sid, lits({1})));
+  EXPECT_FALSE(service.session_solve(*sid).has_value());
+  EXPECT_FALSE(service.close_session(*sid));
+  const JobResult result = service.wait(*job);
+  EXPECT_EQ(result.status, SolveStatus::unsatisfiable);
+  // Released: the session is usable again.
+  EXPECT_TRUE(service.session_push(*sid));
+  EXPECT_TRUE(service.session_pop(*sid));
+  EXPECT_TRUE(service.close_session(*sid));
+}
+
+TEST(ServiceSession, PopWithoutGroupRejected) {
+  SolverService service(ServiceOptions{});
+  const auto sid = service.open_session({});
+  ASSERT_TRUE(sid.has_value());
+  EXPECT_FALSE(service.session_pop(*sid));
+  EXPECT_TRUE(service.session_push(*sid));
+  EXPECT_TRUE(service.session_pop(*sid));
+  EXPECT_FALSE(service.session_pop(*sid));
+}
+
+TEST(ServiceSession, ProofPerAnswerIncludingAfterPop) {
+  SolverService service({.num_workers = 2});
+  SessionRequest request;
+  request.proof.log = true;
+  request.proof.check = true;
+  const auto sid = service.open_session(request);
+  ASSERT_TRUE(sid.has_value());
+
+  const Cnf base = gen::random_ksat(10, 25, 3, 21);
+  for (const auto& clause : base.clauses()) {
+    ASSERT_TRUE(service.session_add_clause(*sid, clause));
+  }
+  ASSERT_TRUE(service.session_push(*sid));
+  for (const auto& clause :
+       {lits({1, 2}), lits({1, -2}), lits({-1, 2}), lits({-1, -2})}) {
+    ASSERT_TRUE(service.session_add_clause(*sid, clause));
+  }
+  auto job = service.session_solve(*sid);
+  ASSERT_TRUE(job.has_value());
+  JobResult result = service.wait(*job);
+  ASSERT_EQ(result.status, SolveStatus::unsatisfiable);
+  EXPECT_TRUE(result.proof_checked);
+  EXPECT_TRUE(result.proof_valid);
+
+  // After the pop, an assumption-driven UNSAT must also certify.
+  ASSERT_TRUE(service.session_pop(*sid));
+  ASSERT_TRUE(service.session_add_clause(*sid, lits({3, 4})));
+  job = service.session_solve(*sid, lits({-3, -4}));
+  ASSERT_TRUE(job.has_value());
+  result = service.wait(*job);
+  ASSERT_EQ(result.status, SolveStatus::unsatisfiable);
+  EXPECT_TRUE(result.proof_checked);
+  EXPECT_TRUE(result.proof_valid);
+  EXPECT_FALSE(result.failed_assumptions.empty());
+}
+
+TEST(ServiceSession, PortfolioSessionRefusesProof) {
+  SolverService service(ServiceOptions{});
+  SessionRequest request;
+  request.threads = 2;
+  request.proof.log = true;
+  EXPECT_FALSE(service.open_session(request).has_value());
+  request.proof = {};
+  EXPECT_TRUE(service.open_session(request).has_value());
+}
+
+TEST(ServiceSession, CancelMidSolveKeepsSessionUsable) {
+  SolverService service({.num_workers = 1, .slice_conflicts = 0});
+  const auto sid = service.open_session({});
+  ASSERT_TRUE(sid.has_value());
+  const Cnf hole = gen::pigeonhole(9);  // far beyond the test budget
+  for (const auto& clause : hole.clauses()) {
+    ASSERT_TRUE(service.session_add_clause(*sid, clause));
+  }
+  const auto job = service.session_solve(*sid);
+  ASSERT_TRUE(job.has_value());
+  service.cancel(*job);
+  const JobResult result = service.wait(*job);
+  EXPECT_EQ(result.outcome, JobOutcome::cancelled);
+  // The sticky stop was cleared: a small follow-up query still works.
+  ASSERT_TRUE(service.session_push(*sid));
+  ASSERT_TRUE(service.session_add_clause(*sid, lits({100})));
+  const auto job2 = service.session_solve(*sid, {}, JobLimits{.max_conflicts = 50});
+  ASSERT_TRUE(job2.has_value());
+  const JobResult result2 = service.wait(*job2);
+  EXPECT_NE(result2.outcome, JobOutcome::cancelled);
+  EXPECT_TRUE(service.close_session(*sid));
+}
+
+// --- concurrency stress (TSan) ---------------------------------------------
+// Many incremental sessions — a mix of plain and portfolio-escalated —
+// driven concurrently through one small worker pool, interleaved with
+// one-shot batch jobs, with tiny slices forcing preemption mid-session.
+// Every answer is checked against a scratch solver.
+TEST(ServiceSessionStress, ConcurrentSessionsWithEscalation) {
+  SolverService service({.num_workers = 3, .slice_conflicts = 40});
+
+  // Background one-shot traffic.
+  std::vector<JobId> background;
+  for (int i = 0; i < 6; ++i) {
+    JobRequest request;
+    request.cnf = gen::random_ksat(16, 60, 3, 500 + i);
+    const auto id = service.submit(std::move(request));
+    ASSERT_TRUE(id.has_value());
+    background.push_back(*id);
+  }
+
+  constexpr int kSessions = 6;
+  std::atomic<int> divergences{0};
+  std::vector<std::thread> drivers;
+  drivers.reserve(kSessions);
+  for (int s = 0; s < kSessions; ++s) {
+    drivers.emplace_back([&, s] {
+      SessionRequest request;
+      request.name = "stress-" + std::to_string(s);
+      request.threads = (s % 3 == 0) ? 2 : 1;  // portfolio escalation mix
+      const auto sid = service.open_session(request);
+      if (!sid.has_value()) {
+        ++divergences;
+        return;
+      }
+      Rng rng(static_cast<std::uint64_t>(s) + 91);
+      std::vector<std::vector<Lit>> active;
+      std::vector<std::size_t> marks;
+      const int num_vars = 12;
+      for (int op = 0; op < 30; ++op) {
+        const std::uint64_t pick = rng.below(10);
+        if (pick < 4) {
+          std::vector<Lit> clause;
+          const int len = 1 + static_cast<int>(rng.below(3));
+          for (int k = 0; k < len; ++k) {
+            clause.push_back(
+                Lit(static_cast<Var>(rng.below(num_vars)), rng.coin()));
+          }
+          active.push_back(clause);
+          if (!service.session_add_clause(*sid, clause)) ++divergences;
+        } else if (pick < 6) {
+          marks.push_back(active.size());
+          if (!service.session_push(*sid)) ++divergences;
+        } else if (pick < 7 && !marks.empty()) {
+          active.resize(marks.back());
+          marks.pop_back();
+          if (!service.session_pop(*sid)) ++divergences;
+        } else {
+          std::vector<Lit> assumptions;
+          for (std::uint64_t i = rng.below(2); i > 0; --i) {
+            assumptions.push_back(
+                Lit(static_cast<Var>(rng.below(num_vars)), rng.coin()));
+          }
+          const auto job = service.session_solve(*sid, assumptions);
+          if (!job.has_value()) {
+            ++divergences;
+            continue;
+          }
+          const JobResult result = service.wait(*job);
+          if (result.status == SolveStatus::unknown) continue;
+          Solver scratch;
+          for (const auto& clause : active) (void)scratch.add_clause(clause);
+          if (scratch.solve_with_assumptions(assumptions) != result.status) {
+            ++divergences;
+          }
+        }
+      }
+      service.close_session(*sid);
+    });
+  }
+  for (std::thread& driver : drivers) driver.join();
+  EXPECT_EQ(divergences.load(), 0);
+  for (const JobId id : background) {
+    EXPECT_NE(service.wait(id).status, SolveStatus::unknown);
+  }
+  service.shutdown(SolverService::Shutdown::drain);
+  EXPECT_EQ(service.open_sessions(), 0u);
+}
+
+TEST(ServiceSessionStress, ShutdownCancelsPendingSessionSolves) {
+  // A non-draining shutdown racing live sessions must terminate every
+  // session job exactly once and not deadlock.
+  auto service = std::make_unique<SolverService>(
+      ServiceOptions{.num_workers = 2, .slice_conflicts = 0});
+  std::vector<SessionId> sessions;
+  std::vector<JobId> jobs;
+  for (int s = 0; s < 3; ++s) {
+    const auto sid = service->open_session({});
+    ASSERT_TRUE(sid.has_value());
+    const Cnf hole = gen::pigeonhole(8);
+    for (const auto& clause : hole.clauses()) {
+      ASSERT_TRUE(service->session_add_clause(*sid, clause));
+    }
+    const auto job = service->session_solve(*sid);
+    ASSERT_TRUE(job.has_value());
+    sessions.push_back(*sid);
+    jobs.push_back(*job);
+  }
+  service->shutdown(SolverService::Shutdown::cancel_pending);
+  for (const JobId id : jobs) {
+    const JobResult result = service->wait(id);
+    EXPECT_TRUE(result.outcome == JobOutcome::cancelled ||
+                result.outcome == JobOutcome::completed);
+  }
+  service.reset();
+}
+
+}  // namespace
+}  // namespace berkmin::service
