@@ -4,6 +4,11 @@
 // regressions in the substrate that the table benches build on.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
 #include "circuit/adders.h"
 #include "circuit/miter.h"
 #include "circuit/tseitin.h"
@@ -12,11 +17,19 @@
 #include "gen/parity.h"
 #include "gen/pigeonhole.h"
 #include "gen/random_ksat.h"
+#include "telemetry/telemetry.h"
 #include "util/rng.h"
 
 namespace {
 
 using namespace berkmin;
+
+// Shared hub for the *Traced benchmark variants; dumped at exit when
+// BENCH_METRICS_OUT is set (see bench/run_bench.sh).
+telemetry::Telemetry& bench_hub() {
+  static telemetry::Telemetry hub;
+  return hub;
+}
 
 void BM_PropagationThroughput(benchmark::State& state) {
   // Long implication chains: measures raw two-watched-literal BCP.
@@ -36,6 +49,30 @@ void BM_PropagationThroughput(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * chain);
 }
 BENCHMARK(BM_PropagationThroughput)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_PropagationThroughputTraced(benchmark::State& state) {
+  // Same workload with a full telemetry sink attached (phase timers,
+  // counters, trace ring): the tracing-overhead counterpart of
+  // BM_PropagationThroughput for BENCH_PR6.json.
+  const int chain = static_cast<int>(state.range(0));
+  Cnf cnf(chain + 1);
+  for (int i = 0; i < chain; ++i) {
+    cnf.add_binary(Lit::negative(i), Lit::positive(i + 1));
+  }
+  telemetry::SolverTelemetry sink(bench_hub(),
+                                  bench_hub().trace().ring("bench-bcp"));
+  for (auto _ : state) {
+    state.PauseTiming();
+    Solver solver;
+    solver.set_telemetry(&sink);
+    solver.load(cnf);
+    state.ResumeTiming();
+    solver.assume(Lit::positive(0));
+    benchmark::DoNotOptimize(solver.propagate());
+  }
+  state.SetItemsProcessed(state.iterations() * chain);
+}
+BENCHMARK(BM_PropagationThroughputTraced)->Arg(1000)->Arg(10000)->Arg(100000);
 
 void BM_SolveRandom3Sat(benchmark::State& state) {
   const int vars = static_cast<int>(state.range(0));
@@ -137,4 +174,24 @@ BENCHMARK(BM_NbTwoCostFunction);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN, plus a machine-readable metrics snapshot of the traced
+// variants' hub when BENCH_METRICS_OUT names a file (".prom" selects
+// Prometheus text exposition, anything else JSON).
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (const char* path = std::getenv("BENCH_METRICS_OUT")) {
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write metrics to '%s'\n", path);
+      return 1;
+    }
+    const telemetry::MetricsSnapshot snapshot = bench_hub().snapshot();
+    const std::string name(path);
+    out << (name.ends_with(".prom") ? snapshot.to_prometheus()
+                                    : snapshot.to_json() + "\n");
+  }
+  return 0;
+}

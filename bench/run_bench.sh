@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Runs the BCP/propagation microbenchmarks (google-benchmark) in Release
 # mode and writes the raw JSON report, establishing the repo's perf
-# trajectory (see BENCH_PR3.json at the repo root for the tracked
-# before/after record of the PR-3 hot-path overhaul).
+# trajectory (see BENCH_PR3.json / BENCH_PR6.json at the repo root for the
+# tracked before/after records). A machine-readable telemetry snapshot of
+# the *Traced benchmark variants is written next to the benchmark JSON
+# (<output>.metrics.json) so benchmark runs double as metrics fixtures.
 #
 # Usage:
 #   bench/run_bench.sh [output.json]
@@ -12,6 +14,8 @@
 #   BENCH_FILTER  --benchmark_filter regex
 #                 (default: BM_PropagationThroughput|BM_NbTwoCostFunction)
 #   BENCH_REPS    --benchmark_repetitions (default: 3)
+#   METRICS_OUT   metrics snapshot path (default: <output>.metrics.json;
+#                 a .prom suffix selects Prometheus text exposition)
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -19,6 +23,7 @@ BUILD="${BUILD_DIR:-$ROOT/build-bench}"
 OUT="${1:-$ROOT/bench_propagation.json}"
 FILTER="${BENCH_FILTER:-BM_PropagationThroughput|BM_NbTwoCostFunction}"
 REPS="${BENCH_REPS:-3}"
+METRICS="${METRICS_OUT:-$OUT.metrics.json}"
 
 cmake -B "$BUILD" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release
 cmake --build "$BUILD" --target micro_solver -j "$(nproc)"
@@ -28,7 +33,7 @@ if [ ! -x "$BUILD/bench/micro_solver" ]; then
   exit 1
 fi
 
-"$BUILD/bench/micro_solver" \
+BENCH_METRICS_OUT="$METRICS" "$BUILD/bench/micro_solver" \
   --benchmark_filter="$FILTER" \
   --benchmark_repetitions="$REPS" \
   --benchmark_report_aggregates_only=true \
@@ -36,3 +41,4 @@ fi
   --benchmark_out_format=json
 
 echo "wrote $OUT"
+echo "wrote $METRICS"

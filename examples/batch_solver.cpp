@@ -36,6 +36,7 @@
 #include "proof/drat_checker.h"
 #include "proof/drat_file.h"
 #include "service/solver_service.h"
+#include "telemetry/telemetry.h"
 #include "util/cli.h"
 
 using namespace berkmin;
@@ -237,6 +238,16 @@ int main(int argc, char** argv) {
   args.add_flag("check", "re-solve each instance with a plain single-threaded "
                 "Solver and fail on any verdict mismatch");
   args.add_flag("stats", "append a summary JSON line with service stats");
+  args.add_option("metrics-out", "", "write the service metrics snapshot on "
+                  "exit: latency histograms (slice, job wait, session solve), "
+                  "hub counters and per-job totals; a .prom extension selects "
+                  "Prometheus text exposition, anything else JSON with a "
+                  "per_job array");
+  args.add_option("trace-out", "", "write the event trace on exit: per-worker "
+                  "rings (slices, restarts, reductions) plus the scheduler's "
+                  "job/session lifecycle ring");
+  args.add_option("trace-format", "chrome", "trace file format: chrome "
+                  "(chrome://tracing / Perfetto) or jsonl");
   args.add_flag("help", "show this help");
 
   if (!args.parse()) {
@@ -304,11 +315,25 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  const std::string metrics_path = args.get_string("metrics-out");
+  const std::string trace_path = args.get_string("trace-out");
+  const std::string trace_format_name = args.get_string("trace-format");
+  if (trace_format_name != "chrome" && trace_format_name != "jsonl") {
+    std::cerr << "error: unknown --trace-format '" << trace_format_name
+              << "' (chrome or jsonl)\n";
+    return 1;
+  }
+  std::unique_ptr<telemetry::Telemetry> hub;
+  if (!metrics_path.empty() || !trace_path.empty()) {
+    hub = std::make_unique<telemetry::Telemetry>();
+  }
+
   service::ServiceOptions sopts;
   sopts.num_workers = static_cast<int>(args.get_int("pool"));
   sopts.slice_conflicts =
       static_cast<std::uint64_t>(args.get_int("slice-conflicts"));
   sopts.max_pending = static_cast<std::size_t>(args.get_int("max-pending"));
+  sopts.telemetry = hub.get();
   service::SolverService solving(sopts);
 
   // One-shot jobs are submitted first (in manifest order), so their ids
@@ -548,5 +573,39 @@ int main(int argc, char** argv) {
               << ",\"solve_s\":" << stats.solve_seconds << "}\n";
   }
 
-  return (mismatches > 0 || model_failure || proof_failure) ? 1 : 0;
+  bool telemetry_failure = false;
+  if (!metrics_path.empty()) {
+    const telemetry::MetricsSnapshot metrics = solving.metrics_snapshot();
+    std::ofstream out(metrics_path);
+    if (!out) {
+      std::cerr << "error: cannot open '" << metrics_path << "' for metrics\n";
+      telemetry_failure = true;
+    } else if (metrics_path.ends_with(".prom")) {
+      out << metrics.to_prometheus();
+    } else {
+      // Aggregate snapshot plus one object per finished job, so offline
+      // analysis can correlate queue/solve latencies with job shape.
+      out << "{\"metrics\":" << metrics.to_json() << ",\"per_job\":[";
+      for (std::size_t i = 0; i < results.size(); ++i) {
+        out << (i == 0 ? "" : ",") << result_json(results[i], -1);
+      }
+      out << "]}\n";
+    }
+  }
+  if (!trace_path.empty()) {
+    std::string error;
+    if (!hub->write_trace_file(trace_path,
+                               trace_format_name == "jsonl"
+                                   ? telemetry::TraceFormat::jsonl
+                                   : telemetry::TraceFormat::chrome,
+                               &error)) {
+      std::cerr << "error: " << error << "\n";
+      telemetry_failure = true;
+    }
+  }
+
+  return (mismatches > 0 || model_failure || proof_failure ||
+          telemetry_failure)
+             ? 1
+             : 0;
 }

@@ -23,6 +23,7 @@
 #include "proof/drat_checker.h"
 #include "proof/drat_file.h"
 #include "proof/proof_writer.h"
+#include "telemetry/telemetry.h"
 #include "util/cli.h"
 #include "util/timer.h"
 
@@ -47,6 +48,38 @@ SolverOptions preset_by_name(const std::string& name, bool* ok) {
   return SolverOptions::berkmin();
 }
 
+// Flushes the requested telemetry artifacts on destruction, so every exit
+// path — including early errors — writes what was collected. A metrics
+// path ending in ".prom" gets Prometheus text exposition, anything else
+// the JSON snapshot.
+struct TelemetryWriter {
+  telemetry::Telemetry* hub = nullptr;
+  std::string metrics_path;
+  std::string trace_path;
+  telemetry::TraceFormat format = telemetry::TraceFormat::chrome;
+
+  ~TelemetryWriter() {
+    if (hub == nullptr) return;
+    if (!metrics_path.empty()) {
+      std::ofstream out(metrics_path);
+      if (!out) {
+        std::cerr << "error: cannot open '" << metrics_path
+                  << "' for metrics\n";
+      } else {
+        const telemetry::MetricsSnapshot snapshot = hub->snapshot();
+        out << (metrics_path.ends_with(".prom") ? snapshot.to_prometheus()
+                                                : snapshot.to_json());
+      }
+    }
+    if (!trace_path.empty()) {
+      std::string error;
+      if (!hub->write_trace_file(trace_path, format, &error)) {
+        std::cerr << "error: " << error << "\n";
+      }
+    }
+  }
+};
+
 // --check-model: refuse to announce a model the formula rejects. Prints
 // the SAT-competition "unknown" verdict on failure; the caller exits 1.
 bool model_checks_out(const Cnf& cnf, const std::vector<Value>& model) {
@@ -62,7 +95,8 @@ bool model_checks_out(const Cnf& cnf, const std::vector<Value>& model) {
 // printing an error when verification or a write fails.
 bool certify_unsat(const Cnf& cnf, const proof::Proof& trace,
                    const std::string& drat_path, proof::DratFormat format,
-                   const std::string& core_path) {
+                   const std::string& core_path,
+                   const telemetry::SolverTelemetry* sink) {
   std::string error;
   if (!drat_path.empty() &&
       !proof::write_drat_file(drat_path, trace, format, &error)) {
@@ -72,6 +106,7 @@ bool certify_unsat(const Cnf& cnf, const proof::Proof& trace,
   if (core_path.empty()) return true;
 
   proof::DratChecker checker(cnf);
+  checker.set_telemetry(sink);
   const proof::CheckResult check = checker.check(trace);
   if (!check.valid) {
     std::cerr << "error: proof failed verification (" << check.error
@@ -121,7 +156,9 @@ SolverOptions options_from_args(const ArgParser& args, bool* ok) {
 // with the lenient incremental checker — adding the failed-assumption
 // core as units for assumption-dependent answers. Exit code follows the
 // last answer (10/20/0); 1 on any error or failed check.
-int run_scripted(const ArgParser& args, const std::string& path) {
+int run_scripted(const ArgParser& args, const std::string& path,
+                 telemetry::Telemetry* hub,
+                 const telemetry::SolverTelemetry* sink) {
   icnf::Script script;
   try {
     script = icnf::read_file(path);
@@ -150,12 +187,14 @@ int run_scripted(const ArgParser& args, const std::string& path) {
   }
 
   Solver solver(options);
+  solver.set_telemetry(sink);
   std::unique_ptr<portfolio::PortfolioSolver> race;
   if (threads > 1) {
     portfolio::PortfolioOptions popts;
     popts.num_threads = threads;
     popts.share_clauses = !args.has_flag("no-share");
     popts.base_seed = options.seed;
+    popts.telemetry = hub;
     race = std::make_unique<portfolio::PortfolioSolver>(popts);
   }
   proof::MemoryProofWriter trace_writer;
@@ -233,6 +272,7 @@ int run_scripted(const ArgParser& args, const std::string& path) {
             composed.add({});
           }
           proof::DratChecker checker(formula);
+          checker.set_telemetry(sink);
           proof::CheckOptions copts;
           copts.allow_unverified_adds = true;
           const proof::CheckResult result = checker.check(composed, copts);
@@ -336,6 +376,14 @@ int main(int argc, char** argv) {
                   "the loaded formula, write it to this file, and exit");
   args.add_option("icnf-seed", "0", "seed for --icnf-out synthesis");
   args.add_flag("preprocess", "run subsumption preprocessing first");
+  args.add_option("metrics-out", "", "write a telemetry metrics snapshot on "
+                  "exit (counters, latency histograms, phase profile); a "
+                  ".prom extension selects Prometheus text exposition, "
+                  "anything else JSON");
+  args.add_option("trace-out", "", "write the solver event trace on exit "
+                  "(restarts, reductions, GC, conflict-rate samples)");
+  args.add_option("trace-format", "chrome", "trace file format: chrome "
+                  "(chrome://tracing / Perfetto) or jsonl");
   args.add_flag("stats", "print search statistics");
   args.add_flag("skin", "print the skin-effect histogram (Table 3 data)");
   args.add_flag("model", "print the satisfying assignment");
@@ -356,6 +404,33 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  // Telemetry: one hub for the whole run; written by the guard on exit.
+  // The main-thread sink feeds the sequential solver, scripted engines and
+  // the proof checker; portfolio workers get their own rings via the hub.
+  const std::string trace_format_name = args.get_string("trace-format");
+  if (trace_format_name != "chrome" && trace_format_name != "jsonl") {
+    std::cerr << "error: unknown --trace-format '" << trace_format_name
+              << "' (chrome or jsonl)\n";
+    return 1;
+  }
+  // Declared before the writer guard: destructors run in reverse order,
+  // and the guard's flush needs the hub alive.
+  std::unique_ptr<telemetry::Telemetry> hub;
+  TelemetryWriter telemetry_out;
+  telemetry_out.metrics_path = args.get_string("metrics-out");
+  telemetry_out.trace_path = args.get_string("trace-out");
+  telemetry_out.format = trace_format_name == "jsonl"
+                             ? telemetry::TraceFormat::jsonl
+                             : telemetry::TraceFormat::chrome;
+  telemetry::SolverTelemetry main_sink;
+  const telemetry::SolverTelemetry* sink = nullptr;
+  if (!telemetry_out.metrics_path.empty() || !telemetry_out.trace_path.empty()) {
+    hub = std::make_unique<telemetry::Telemetry>();
+    telemetry_out.hub = hub.get();
+    main_sink = telemetry::SolverTelemetry(*hub, hub->trace().ring("main"));
+    sink = &main_sink;
+  }
+
   // Scripted incremental mode: the input is an op stream, not a formula.
   const bool scripted =
       args.has_flag("icnf") ||
@@ -367,7 +442,7 @@ int main(int argc, char** argv) {
       std::cerr << "error: --icnf needs a script file\n";
       return 1;
     }
-    return run_scripted(args, args.positional()[0]);
+    return run_scripted(args, args.positional()[0], hub.get(), sink);
   }
 
   // Load or generate the formula.
@@ -465,6 +540,7 @@ int main(int argc, char** argv) {
     if (tuned) {
       popts.configs = portfolio::diversify_around(options, threads, options.seed);
     }
+    popts.telemetry = hub.get();
     portfolio::PortfolioSolver portfolio(popts);
     portfolio.load(cnf);
 
@@ -493,7 +569,7 @@ int main(int argc, char** argv) {
     }
     if (status == SolveStatus::unsatisfiable && want_proof &&
         !certify_unsat(cnf, portfolio.spliced_proof(), drat_path, drat_format,
-                       core_path)) {
+                       core_path, sink)) {
       return 1;
     }
     if (args.has_flag("stats")) {
@@ -519,6 +595,7 @@ int main(int argc, char** argv) {
   }
 
   Solver solver(options);
+  solver.set_telemetry(sink);
   // Core extraction needs the whole trace in memory; plain --drat streams
   // straight to disk as the search runs.
   proof::MemoryProofWriter memory_proof;
@@ -553,7 +630,7 @@ int main(int argc, char** argv) {
   std::cout << "s " << to_string(status) << "\n";
   if (status == SolveStatus::unsatisfiable && !core_path.empty() &&
       !certify_unsat(cnf, memory_proof.proof(), drat_path, drat_format,
-                     core_path)) {
+                     core_path, sink)) {
     return 1;
   }
   if (status == SolveStatus::satisfiable && args.has_flag("model")) {

@@ -1,0 +1,114 @@
+#!/usr/bin/env bash
+# Telemetry smoke: drive the smoke manifest through a 4-worker
+# batch_solver with full tracing and metrics enabled, then validate the
+# artifacts:
+#   - the Chrome trace is well-formed trace_event JSON (loadable in
+#     chrome://tracing / Perfetto): a traceEvents array with complete ("X")
+#     slice spans and named thread lanes;
+#   - the Prometheus dump has non-zero service.slice_latency_ns p50/p99
+#     quantiles and solver counters;
+#   - telemetry_dump renders the dump as tables.
+# Also exercises the dimacs_solver --trace-out/--metrics-out path on one
+# instance (JSONL trace format + JSON metrics).
+#
+#   scripts/telemetry_smoke.sh [build-dir] [manifest] [out-dir]
+set -u
+
+BUILD=${1:-build}
+MANIFEST=${2:-examples/manifests/smoke20.txt}
+OUT=${3:-telemetry_smoke}
+BATCH="$BUILD/examples/batch_solver"
+SOLVER="$BUILD/examples/dimacs_solver"
+DUMP="$BUILD/examples/telemetry_dump"
+
+mkdir -p "$OUT"
+fail=0
+
+# ---- batch_solver over the manifest: Chrome trace + Prometheus dump -----
+"$BATCH" "$MANIFEST" --pool 4 --slice-conflicts 500 --check \
+  --trace-out "$OUT/batch_trace.json" --trace-format chrome \
+  --metrics-out "$OUT/batch_metrics.prom" > "$OUT/batch_results.jsonl"
+rc=$?
+if [ "$rc" -ne 0 ]; then
+  echo "FAIL: batch_solver exit $rc"
+  fail=1
+fi
+
+python3 - "$OUT/batch_trace.json" <<'EOF' || fail=1
+import json, sys
+with open(sys.argv[1]) as f:
+    trace = json.load(f)
+events = trace["traceEvents"]
+spans = [e for e in events if e.get("ph") == "X"]
+slices = [e for e in spans if e.get("name") == "slice"]
+lanes = {e["args"]["name"] for e in events
+         if e.get("ph") == "M" and e.get("name") == "thread_name"}
+assert spans, "no complete (X) events in trace"
+assert slices, "no slice spans in trace"
+assert any(n.startswith("svc-worker-") for n in lanes), f"no worker lanes: {lanes}"
+assert "svc-control" in lanes, f"no control lane: {lanes}"
+for e in spans:
+    assert e["dur"] >= 0 and "ts" in e and "pid" in e and "tid" in e
+print(f"trace ok: {len(events)} events, {len(slices)} slice spans, "
+      f"{len(lanes)} lanes")
+EOF
+
+python3 - "$OUT/batch_metrics.prom" <<'EOF' || fail=1
+import sys
+quantiles = {}
+counters = {}
+with open(sys.argv[1]) as f:
+    for line in f:
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        name, value = line.rsplit(None, 1)
+        if name.startswith("berkmin_service_slice_latency_ns{quantile="):
+            quantiles[name.split('"')[1]] = float(value)
+        elif "{" not in name:
+            counters[name] = float(value)
+for q in ("0.5", "0.99"):
+    assert q in quantiles, f"missing slice-latency quantile {q}"
+    assert quantiles[q] > 0, f"slice-latency p{q} is zero"
+assert counters.get("berkmin_solver_conflicts_total", 0) > 0, "no solver conflicts"
+assert counters.get("berkmin_service_slices_total", 0) > 0, "no service slices"
+print(f"metrics ok: slice latency p50={quantiles['0.5']:.0f}ns "
+      f"p99={quantiles['0.99']:.0f}ns")
+EOF
+
+if ! "$DUMP" "$OUT/batch_metrics.prom" > "$OUT/batch_metrics.txt"; then
+  echo "FAIL: telemetry_dump could not render the Prometheus dump"
+  fail=1
+fi
+
+# ---- dimacs_solver single-instance path: JSONL trace + JSON metrics -----
+spec=$(awk '!/^(#|$)/ {print $1; exit}' "$MANIFEST")
+"$SOLVER" --generate "$spec" --threads 2 \
+  --trace-out "$OUT/dimacs_trace.jsonl" --trace-format jsonl \
+  --metrics-out "$OUT/dimacs_metrics.json" >/dev/null
+rc=$?
+if [ "$rc" -ne 10 ] && [ "$rc" -ne 20 ]; then
+  echo "FAIL: dimacs_solver --generate $spec exit $rc"
+  fail=1
+fi
+
+python3 - "$OUT/dimacs_trace.jsonl" "$OUT/dimacs_metrics.json" <<'EOF' || fail=1
+import json, sys
+kinds = set()
+with open(sys.argv[1]) as f:
+    for line in f:
+        event = json.loads(line)
+        kinds.add(event["kind"])
+        assert "ts_ns" in event and "ring" in event
+assert "solve" in kinds, f"no solve span in jsonl trace: {kinds}"
+with open(sys.argv[2]) as f:
+    metrics = json.load(f)
+assert metrics["counters"].get("solver.decisions", 0) > 0, "no decisions counted"
+assert "phases" in metrics
+print(f"dimacs telemetry ok: {sorted(kinds)}")
+EOF
+
+if [ "$fail" -eq 0 ]; then
+  echo "telemetry smoke: all artifacts validated ($OUT)"
+fi
+exit $fail

@@ -13,6 +13,7 @@
 #include <cassert>
 
 #include "core/solver.h"
+#include "telemetry/trace.h"
 
 namespace berkmin {
 
@@ -176,6 +177,11 @@ bool Solver::literal_is_redundant(Lit l) const {
 void Solver::resolve_conflict(ClauseRef conflict) {
   ++stats_.conflicts;
   ++conflicts_since_restart_;
+  if (telemetry_ != nullptr && telemetry_->conflict_sample_interval != 0 &&
+      stats_.conflicts % telemetry_->conflict_sample_interval == 0) {
+    telemetry_->emit(telemetry::EventKind::conflict_sample, telemetry_->now_ns(),
+                     0, stats_.conflicts, stats_.learned_clauses);
+  }
   if (decision_level() == 0) {
     // Root conflict: unit propagation over the (logged) database already
     // derives falsum, so the empty clause closes the proof.
@@ -183,6 +189,7 @@ void Solver::resolve_conflict(ClauseRef conflict) {
     proof_emit_empty();
     return;
   }
+  telemetry::PhaseScope analyze_scope(telemetry_, telemetry::Phase::analyze);
   int backtrack_level = 0;
   analyze(conflict, learned_scratch_, backtrack_level);
   backtrack_to(backtrack_level);

@@ -19,6 +19,7 @@
 #include <cassert>
 
 #include "core/solver.h"
+#include "telemetry/trace.h"
 
 namespace berkmin {
 
@@ -28,6 +29,10 @@ void Solver::handle_restart() {
   ++stats_.restarts;
   ++luby_index_;
   conflicts_since_restart_ = 0;
+  if (telemetry_ != nullptr) {
+    telemetry_->emit(telemetry::EventKind::restart, telemetry_->now_ns(), 0,
+                     stats_.conflicts, stats_.learned_clauses);
+  }
   // The search loop only restarts at a propagation fixpoint, but the
   // public restart_now() can be called with root units still pending;
   // the reduction's literal stripping requires the fixpoint.
@@ -53,6 +58,10 @@ void Solver::handle_restart() {
   // Restart boundary: decision level 0, propagation fixpoint, database
   // freshly reduced — the safe point for clause imports (portfolio).
   if (restart_callback_) restart_callback_();
+  // Restarts are the periodic flush point for the shared hub counters: the
+  // stats deltas since the previous flush become visible to concurrent
+  // snapshots here, so a long-running solve is observable while it runs.
+  if (telemetry_ != nullptr) telemetry_->publish(stats_, &telemetry_seen_);
 }
 
 namespace {
@@ -115,6 +124,10 @@ Solver::ReduceDecision Solver::classify_learned(std::size_t stack_index,
 void Solver::reduce_db() {
   assert(decision_level() == 0);
   ++stats_.reductions;
+  telemetry::PhaseScope reduce_scope(telemetry_, telemetry::Phase::reduce);
+  const std::int64_t reduce_start_ns =
+      telemetry_ != nullptr ? telemetry_->now_ns() : 0;
+  const std::size_t learned_before = learned_stack_.size();
 
   // Root assignments are permanent from here on; drop their reason
   // references so reason clauses are free to be collected. (Conflict
@@ -133,6 +146,11 @@ void Solver::reduce_db() {
   if (opts_.reduction_policy == ReductionPolicy::berkmin) {
     old_threshold_ += opts_.threshold_increment;
   }
+  if (telemetry_ != nullptr) {
+    telemetry_->emit(telemetry::EventKind::reduce, reduce_start_ns,
+                     telemetry_->now_ns() - reduce_start_ns, learned_before,
+                     learned_stack_.size());
+  }
 }
 
 void Solver::notify_deleted(ClauseRef ref) {
@@ -145,6 +163,10 @@ void Solver::notify_deleted(ClauseRef ref) {
 }
 
 void Solver::garbage_collect(const std::vector<char>& keep_learned) {
+  telemetry::PhaseScope gc_scope(telemetry_, telemetry::Phase::garbage_collect);
+  const std::int64_t gc_start_ns =
+      telemetry_ != nullptr ? telemetry_->now_ns() : 0;
+  const std::size_t arena_words_before = arena_.size_words();
   ClauseArena new_arena;
   new_arena.reserve_words(arena_.size_words());
   std::vector<Lit> stripped;
@@ -232,6 +254,11 @@ void Solver::garbage_collect(const std::vector<char>& keep_learned) {
     }
   }
   for (const ClauseRef ref : learned_stack_) attach_clause(ref);
+  if (telemetry_ != nullptr) {
+    telemetry_->emit(telemetry::EventKind::garbage_collect, gc_start_ns,
+                     telemetry_->now_ns() - gc_start_ns, arena_words_before,
+                     arena_.size_words());
+  }
 }
 
 }  // namespace berkmin

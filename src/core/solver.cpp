@@ -5,6 +5,7 @@
 
 #include "cnf/simplify.h"
 #include "proof/proof_writer.h"
+#include "telemetry/trace.h"
 
 namespace berkmin {
 
@@ -300,7 +301,10 @@ void Solver::assume(Lit l) {
   enqueue(l, no_clause);
 }
 
-ClauseRef Solver::propagate() { return propagate_internal(); }
+ClauseRef Solver::propagate() {
+  telemetry::PhaseScope bcp_scope(telemetry_, telemetry::Phase::bcp);
+  return propagate_internal();
+}
 
 ClauseRef Solver::propagate_internal() {
   while (propagate_head_ < trail_.size()) {
@@ -477,6 +481,12 @@ SolveStatus Solver::solve(const Budget& budget) {
 SolveStatus Solver::solve_with_assumptions(std::span<const Lit> assumptions,
                                            const Budget& budget) {
   solve_timer_.restart();
+  const std::int64_t trace_start_ns =
+      telemetry_ != nullptr ? telemetry_->now_ns() : 0;
+  // A budget-stopped slice left the search state intact; the next call
+  // resumes it (restart pacing and decay countdowns included) instead of
+  // behaving like a fresh search.
+  const bool resume_search = is_resumable(last_stop_cause_);
   if (stats_.initial_clauses == 0) {
     stats_.initial_clauses = std::max<std::uint64_t>(1, originals_.size());
   }
@@ -501,15 +511,21 @@ SolveStatus Solver::solve_with_assumptions(std::span<const Lit> assumptions,
   for (const Lit a : assumptions) assumptions_.push_back(external_to_internal(a));
 
   // Root propagation of any units queued by add_clause.
-  if (propagate_internal() != no_clause) {
+  ClauseRef root_conflict;
+  {
+    telemetry::PhaseScope bcp_scope(telemetry_, telemetry::Phase::bcp);
+    root_conflict = propagate_internal();
+  }
+  if (root_conflict != no_clause) {
     ok_ = false;
     proof_emit_empty();
     assumptions_.clear();
     record_slice();
+    telemetry_finish_solve(trace_start_ns, SolveStatus::unsatisfiable);
     return SolveStatus::unsatisfiable;
   }
 
-  const SolveStatus status = search(budget);
+  const SolveStatus status = search(budget, resume_search);
   if (status == SolveStatus::unsatisfiable && !failed_by_assumptions_) {
     ok_ = false;
   }
@@ -527,7 +543,16 @@ SolveStatus Solver::solve_with_assumptions(std::span<const Lit> assumptions,
     failed_assumptions_.resize(kept);
   }
   record_slice();
+  telemetry_finish_solve(trace_start_ns, status);
   return status;
+}
+
+void Solver::telemetry_finish_solve(std::int64_t start_ns, SolveStatus status) {
+  if (telemetry_ == nullptr) return;
+  telemetry_->publish(stats_, &telemetry_seen_);
+  telemetry_->emit(telemetry::EventKind::solve, start_ns,
+                   telemetry_->now_ns() - start_ns, last_slice_.conflicts,
+                   static_cast<std::uint64_t>(status));
 }
 
 void Solver::record_slice() {
@@ -588,10 +613,16 @@ void Solver::analyze_final(Lit failing) {
   seen_[failing.var()] = 0;
 }
 
-SolveStatus Solver::search(const Budget& budget) {
-  conflicts_since_restart_ = 0;
-  conflicts_until_var_decay_ = opts_.var_decay_interval;
-  conflicts_until_lit_decay_ = opts_.lit_decay_interval;
+SolveStatus Solver::search(const Budget& budget, bool resume) {
+  // A resumed slice keeps its restart pacing and decay countdowns: without
+  // this, a job run as N short slices restarted at every slice boundary
+  // and its aggregated stats diverged from an unpreempted run of the same
+  // budget (see the service preemption regression tests).
+  if (!resume) {
+    conflicts_since_restart_ = 0;
+    conflicts_until_var_decay_ = opts_.var_decay_interval;
+    conflicts_until_lit_decay_ = opts_.lit_decay_interval;
+  }
   std::uint64_t steps_until_clock_check = 1024;
 
   for (;;) {
@@ -607,7 +638,11 @@ SolveStatus Solver::search(const Budget& budget) {
       }
     }
 
-    const ClauseRef conflict = propagate_internal();
+    ClauseRef conflict;
+    {
+      telemetry::PhaseScope bcp_scope(telemetry_, telemetry::Phase::bcp);
+      conflict = propagate_internal();
+    }
     if (conflict != no_clause) {
       resolve_conflict(conflict);
       if (!ok_) return SolveStatus::unsatisfiable;
@@ -634,7 +669,10 @@ SolveStatus Solver::search(const Budget& budget) {
       Lit next = next_assumption(&assumption_failed);
       if (assumption_failed) return SolveStatus::unsatisfiable;
       if (next == undef_lit) {
-        next = pick_branch();
+        {
+          telemetry::PhaseScope decide_scope(telemetry_, telemetry::Phase::decide);
+          next = pick_branch();
+        }
         if (next == undef_lit) {
           save_model();
           return SolveStatus::satisfiable;

@@ -28,6 +28,7 @@
 #include "core/options.h"
 #include "core/solver_types.h"
 #include "core/watch_pool.h"
+#include "telemetry/solver_telemetry.h"
 #include "util/rng.h"
 #include "util/timer.h"
 
@@ -174,6 +175,21 @@ class Solver {
   const SolverStats& stats() const { return stats_; }
   const SolverOptions& options() const { return opts_; }
 
+  // ---- telemetry --------------------------------------------------------
+  // Attaches a telemetry sink (src/telemetry): phase timers around BCP /
+  // analyze / decide / reduce / garbage_collect, trace events for
+  // restarts, reductions and conflict-rate samples, and periodic flushes
+  // of the SolverStats deltas into the hub's shared "solver.*" counters
+  // (at every restart and at the end of every solve). The sink must
+  // outlive any solve it observes; pass nullptr to detach. While detached
+  // every instrumentation site costs a single branch. The solver keeps its
+  // own publish cursor, so sinks can be swapped per-slice (the service
+  // attaches the current worker's sink) without double counting.
+  void set_telemetry(const telemetry::SolverTelemetry* sink) {
+    telemetry_ = sink;
+  }
+  const telemetry::SolverTelemetry* telemetry() const { return telemetry_; }
+
   // ---- proof logging ----------------------------------------------------
   // Called with every learned clause / every deleted or strengthened-away
   // clause; together the two streams form a DRAT proof (see core/drat.h).
@@ -249,8 +265,13 @@ class Solver {
 
  private:
   // --- search loop (solver.cpp) ---
-  SolveStatus search(const Budget& budget);
+  // `resume` continues a budget-stopped slice without resetting the
+  // restart/decay pacing (see solve_with_assumptions).
+  SolveStatus search(const Budget& budget, bool resume);
   bool budget_exhausted(const Budget& budget);
+  // Flushes stats to the telemetry hub and emits the solve span event.
+  // No-op while detached.
+  void telemetry_finish_solve(std::int64_t start_ns, SolveStatus status);
   // Decides the next assumption (or returns undef_lit to fall through to
   // the heuristics); sets *failed when an assumption is already false.
   Lit next_assumption(bool* failed);
@@ -456,6 +477,11 @@ class Solver {
   // non-copyable, which every current use site already respects.
   std::atomic<bool> stop_requested_{false};
   const std::atomic<bool>* external_stop_ = nullptr;
+
+  // Telemetry sink (nullable) and the cumulative stats values already
+  // flushed to it; see set_telemetry().
+  const telemetry::SolverTelemetry* telemetry_ = nullptr;
+  telemetry::StatsCursor telemetry_seen_;
 };
 
 }  // namespace berkmin

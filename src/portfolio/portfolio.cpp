@@ -72,6 +72,8 @@ void PortfolioSolver::warm_up_workers() {
     }
     solvers_.resize(static_cast<std::size_t>(n));
     worker_names_.resize(static_cast<std::size_t>(n));
+    sinks_.resize(static_cast<std::size_t>(n));
+    pending_exports_.assign(static_cast<std::size_t>(n), 0);
     for (int i = 0; i < n; ++i) {
       auto& slot = solvers_[static_cast<std::size_t>(i)];
       slot = std::make_unique<Solver>(configs[static_cast<std::size_t>(i)].options);
@@ -81,21 +83,52 @@ void PortfolioSolver::warm_up_workers() {
       Solver* solver = slot.get();
       solver->set_external_stop(&user_stop_);
       if (splicer_ != nullptr) solver->set_proof(splicer_->writer(i));
+      if (opts_.telemetry != nullptr) {
+        telemetry::TraceRing* ring =
+            opts_.trace_workers
+                ? opts_.telemetry->trace().ring(opts_.telemetry_name + "-w" +
+                                                std::to_string(i))
+                : nullptr;
+        sinks_[static_cast<std::size_t>(i)] =
+            std::make_unique<telemetry::SolverTelemetry>(*opts_.telemetry, ring);
+        solver->set_telemetry(sinks_[static_cast<std::size_t>(i)].get());
+      }
       if (opts_.share_clauses) {
         ClauseExchange* exchange = exchange_.get();
         const std::uint32_t max_len = opts_.exchange.max_clause_length;
+        // Owned by this worker's thread only: batched into an export_batch
+        // trace event at the next restart boundary.
+        std::uint64_t* pending = &pending_exports_[static_cast<std::size_t>(i)];
         solver->set_learn_callback(
-            [exchange, solver, i, max_len](std::span<const Lit> lits) {
+            [exchange, solver, i, max_len, pending](std::span<const Lit> lits) {
               // Length filter before taking the exchange lock: long clauses
               // are the common case and never eligible.
               if (lits.empty() || lits.size() > max_len) return;
-              if (exchange->publish(i, lits)) solver->note_exported_clause();
+              if (exchange->publish(i, lits)) {
+                solver->note_exported_clause();
+                ++*pending;
+              }
             });
-        solver->set_restart_callback([exchange, solver, i]() {
+        const telemetry::SolverTelemetry* sink =
+            sinks_[static_cast<std::size_t>(i)].get();
+        solver->set_restart_callback([exchange, solver, i, sink, pending]() {
           std::vector<std::vector<Lit>> batch;
           exchange->collect(i, &batch);
+          const std::uint64_t imported_before = solver->stats().imported_clauses;
           for (const auto& clause : batch) {
             if (!solver->import_clause(clause)) break;  // root-level conflict
+          }
+          if (sink != nullptr) {
+            if (*pending != 0) {
+              sink->emit(telemetry::EventKind::export_batch, sink->now_ns(), 0,
+                         *pending, 0);
+              *pending = 0;
+            }
+            if (!batch.empty()) {
+              sink->emit(telemetry::EventKind::import_batch, sink->now_ns(), 0,
+                         batch.size(),
+                         solver->stats().imported_clauses - imported_before);
+            }
           }
         });
       }
@@ -204,6 +237,7 @@ SolveStatus PortfolioSolver::solve_with_assumptions(
         solvers_[static_cast<std::size_t>(i)]->stats();
   }
   exchange_stats_ = exchange_->stats();
+  publish_exchange_stats();
 
   if (winner_ < 0) return SolveStatus::unknown;
   const Solver& winning = *solvers_[static_cast<std::size_t>(winner_)];
@@ -215,6 +249,32 @@ SolveStatus PortfolioSolver::solve_with_assumptions(
     failed_assumptions_ = winning.failed_assumptions();
   }
   return status;
+}
+
+// Flushes the exchange-stats deltas since the previous solve into the
+// hub's "exchange.*" counters (the exchange itself stays telemetry-free;
+// its owner reports for it).
+void PortfolioSolver::publish_exchange_stats() {
+  if (opts_.telemetry == nullptr) return;
+  telemetry::MetricsRegistry& metrics = opts_.telemetry->metrics();
+  const auto flush = [&](const char* name, std::uint64_t current,
+                         std::uint64_t* prev) {
+    if (current > *prev) {
+      metrics.counter(name)->add(current - *prev);
+      *prev = current;
+    }
+  };
+  flush("exchange.published", exchange_stats_.published,
+        &exchange_seen_.published);
+  flush("exchange.accepted", exchange_stats_.accepted, &exchange_seen_.accepted);
+  flush("exchange.rejected_length", exchange_stats_.rejected_length,
+        &exchange_seen_.rejected_length);
+  flush("exchange.rejected_duplicate", exchange_stats_.rejected_duplicate,
+        &exchange_seen_.rejected_duplicate);
+  flush("exchange.rejected_full", exchange_stats_.rejected_full,
+        &exchange_seen_.rejected_full);
+  flush("exchange.collected", exchange_stats_.collected,
+        &exchange_seen_.collected);
 }
 
 proof::Proof PortfolioSolver::spliced_proof() const {

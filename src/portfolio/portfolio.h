@@ -32,6 +32,7 @@
 #include "portfolio/diversify.h"
 #include "proof/proof.h"
 #include "proof/splice.h"
+#include "telemetry/telemetry.h"
 
 namespace berkmin::portfolio {
 
@@ -52,6 +53,15 @@ struct PortfolioOptions {
   // num_threads workers. When shorter than num_threads it is extended,
   // when longer it is truncated.
   std::vector<WorkerConfig> configs;
+  // Observability (src/telemetry): when set, every worker gets a
+  // SolverTelemetry sink on this hub — phase timers, "solver.*" counter
+  // flushes, and (with trace_workers) a per-worker trace ring named
+  // "<telemetry_name>-w<i>" carrying restart / reduce / solve / exchange
+  // events. Exchange stats are published as "exchange.*" counters after
+  // every solve. The hub must outlive the portfolio.
+  telemetry::Telemetry* telemetry = nullptr;
+  bool trace_workers = true;
+  std::string telemetry_name = "portfolio";
 };
 
 // Per-worker outcome of the last solve, for stats printing and tests.
@@ -180,6 +190,15 @@ class PortfolioSolver {
   std::vector<std::string> worker_names_;
   std::unique_ptr<ClauseExchange> exchange_;
   std::unique_ptr<proof::ProofSplicer> splicer_;
+
+  // Telemetry wiring (opts_.telemetry != nullptr): one sink per worker
+  // (stable addresses — workers hold pointers into this vector), a
+  // per-worker exported-clause tally batched into export_batch events at
+  // restarts, and the exchange-stats cursor already published to the hub.
+  std::vector<std::unique_ptr<telemetry::SolverTelemetry>> sinks_;
+  std::vector<std::uint64_t> pending_exports_;
+  ExchangeStats exchange_seen_;
+  void publish_exchange_stats();
 
   // User cancellation only; never reset by solve itself. Race
   // cancellation goes through each worker Solver's own request_stop().

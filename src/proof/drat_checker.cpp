@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "cnf/simplify.h"
+#include "telemetry/trace.h"
 
 namespace berkmin::proof {
 
@@ -239,6 +240,18 @@ CheckResult DratChecker::check(const Proof& proof,
   }
   checked_ = true;
 
+  // Forward pass under Phase::verify; the span event carries the verdict,
+  // so it is emitted from every exit path.
+  telemetry::PhaseScope verify_scope(telemetry_, telemetry::Phase::verify);
+  const std::int64_t verify_start_ns =
+      telemetry_ != nullptr ? telemetry_->now_ns() : 0;
+  const auto emit_verify = [&](const CheckResult& r) {
+    if (telemetry_ == nullptr) return;
+    telemetry_->emit(telemetry::EventKind::check_verify, verify_start_ns,
+                     telemetry_->now_ns() - verify_start_ns, r.checked_adds,
+                     r.valid ? 1 : 0);
+  };
+
   for (std::size_t i = 0; i < proof.steps.size() && !derived_empty_; ++i) {
     const ProofStep& step = proof.steps[i];
     auto normalized = normalize_clause(step.lits);
@@ -298,6 +311,7 @@ CheckResult DratChecker::check(const Proof& proof,
       }
       result.error = "step " + std::to_string(i) + ": clause is not RUP";
       result.derived_empty = false;
+      emit_verify(result);
       return result;
     }
     ++result.checked_adds;
@@ -364,11 +378,15 @@ CheckResult DratChecker::check(const Proof& proof,
   if (!result.valid && result.error.empty()) {
     result.error = "trace ended without deriving the empty clause";
   }
+  emit_verify(result);
   if (result.valid) build_trim_and_core(proof);
   return result;
 }
 
 void DratChecker::build_trim_and_core(const Proof& proof) {
+  telemetry::PhaseScope trim_scope(telemetry_, telemetry::Phase::trim);
+  const std::int64_t trim_start_ns =
+      telemetry_ != nullptr ? telemetry_->now_ns() : 0;
   std::vector<char> needed(clauses_.size(), 0);
   for (const std::uint32_t id : empty_antecedents_) needed[id] = 1;
 
@@ -390,6 +408,11 @@ void DratChecker::build_trim_and_core(const Proof& proof) {
     trimmed_.steps.push_back(proof.steps[clauses_[id].source]);
   }
   trimmed_.steps.push_back(ProofStep{StepKind::add, empty_producer_, {}});
+  if (telemetry_ != nullptr) {
+    telemetry_->emit(telemetry::EventKind::check_trim, trim_start_ns,
+                     telemetry_->now_ns() - trim_start_ns,
+                     trimmed_.steps.size(), core_.size());
+  }
 }
 
 Cnf DratChecker::core_formula(const Cnf& original,

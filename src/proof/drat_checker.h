@@ -32,6 +32,7 @@
 #include "cnf/cnf_formula.h"
 #include "cnf/literal.h"
 #include "proof/proof.h"
+#include "telemetry/solver_telemetry.h"
 
 namespace berkmin::proof {
 
@@ -74,6 +75,13 @@ class DratChecker {
   // Verifies the whole trace. May be called once per checker instance.
   CheckResult check(const Proof& proof) { return check(proof, CheckOptions{}); }
   CheckResult check(const Proof& proof, const CheckOptions& options);
+
+  // Observability: times the forward pass (Phase::verify) and the
+  // backward trim/core pass (Phase::trim) and emits check_verify /
+  // check_trim span events. The sink must outlive the check() call.
+  void set_telemetry(const telemetry::SolverTelemetry* sink) {
+    telemetry_ = sink;
+  }
 
   // Valid after a successful check(): the needed additions in original
   // order (producer tags preserved), ending with the empty clause.
@@ -149,6 +157,7 @@ class DratChecker {
   bool checked_ = false;
   Proof trimmed_;
   std::vector<std::size_t> core_;
+  const telemetry::SolverTelemetry* telemetry_ = nullptr;
 };
 
 }  // namespace berkmin::proof

@@ -46,9 +46,21 @@ const char* to_string(JobOutcome outcome) {
 SolverService::SolverService(ServiceOptions options) : opts_(options) {
   if (opts_.num_workers < 1) opts_.num_workers = 1;
   if (opts_.max_pending < 1) opts_.max_pending = 1;
+  if (opts_.telemetry != nullptr) {
+    telemetry::MetricsRegistry& metrics = opts_.telemetry->metrics();
+    control_ring_ = opts_.telemetry->trace().ring("svc-control");
+    slice_latency_ = metrics.histogram("service.slice_latency_ns");
+    session_solve_latency_ =
+        metrics.histogram("service.session_solve_latency_ns");
+    wait_low_ = metrics.histogram("service.job_wait_ns.low");
+    wait_normal_ = metrics.histogram("service.job_wait_ns.normal");
+    wait_high_ = metrics.histogram("service.job_wait_ns.high");
+    pending_gauge_ = metrics.gauge("service.pending_jobs");
+    sessions_gauge_ = metrics.gauge("service.open_sessions");
+  }
   workers_.reserve(static_cast<std::size_t>(opts_.num_workers));
   for (int i = 0; i < opts_.num_workers; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
@@ -90,6 +102,12 @@ std::optional<JobId> SolverService::admit_locked(
   ++pending_;
   ++stats_.submitted;
   stats_.peak_pending = std::max<std::uint64_t>(stats_.peak_pending, pending_);
+  emit_control_locked(
+      telemetry::EventKind::job_queued, job->id,
+      static_cast<std::uint64_t>(job->request.limits.priority));
+  if (pending_gauge_ != nullptr) {
+    pending_gauge_->set(static_cast<std::int64_t>(pending_));
+  }
   enqueue_ready_locked(job);
   work_cv_.notify_one();
   return job->id;
@@ -114,6 +132,10 @@ std::optional<SessionId> SolverService::open_session(SessionRequest request) {
     popts.base_seed = request.options.seed;
     popts.configs = portfolio::diversify_around(
         request.options, request.threads, request.options.seed);
+    // Counters and phases flow to the hub; per-worker rings stay off (ring
+    // names would collide across sessions and jobs).
+    popts.telemetry = opts_.telemetry;
+    popts.trace_workers = false;
     session->portfolio = std::make_unique<portfolio::PortfolioSolver>(popts);
   } else {
     session->solver = std::make_unique<Solver>(request.options);
@@ -132,6 +154,9 @@ std::optional<SessionId> SolverService::open_session(SessionRequest request) {
   session->request = std::move(request);
   sessions_.emplace(session->id, session);
   ++stats_.sessions_opened;
+  if (sessions_gauge_ != nullptr) {
+    sessions_gauge_->set(static_cast<std::int64_t>(sessions_.size()));
+  }
   return session->id;
 }
 
@@ -160,6 +185,8 @@ bool SolverService::session_push(SessionId id) {
   session->group_marks.push_back(session->clauses.size());
   std::lock_guard<std::mutex> lk(lock_);
   session->busy = false;
+  emit_control_locked(telemetry::EventKind::session_push, session->id,
+                      session->group_marks.size());
   return true;
 }
 
@@ -180,6 +207,8 @@ bool SolverService::session_pop(SessionId id) {
   session->group_marks.pop_back();
   std::lock_guard<std::mutex> lk(lock_);
   session->busy = false;
+  emit_control_locked(telemetry::EventKind::session_pop, session->id,
+                      session->group_marks.size());
   return true;
 }
 
@@ -243,6 +272,9 @@ bool SolverService::close_session(SessionId id) {
   }
   it->second->closed = true;
   sessions_.erase(it);  // the engine dies with the last shared_ptr
+  if (sessions_gauge_ != nullptr) {
+    sessions_gauge_->set(static_cast<std::int64_t>(sessions_.size()));
+  }
   return true;
 }
 
@@ -401,7 +433,18 @@ std::shared_ptr<SolverService::Job> SolverService::pop_ready_locked() {
   return best;
 }
 
-void SolverService::worker_loop() {
+void SolverService::worker_loop(int index) {
+  // This worker's telemetry sink: a trace ring it alone writes to, plus
+  // the shared hub counters/phases. Attached to whichever engine the
+  // worker is slicing; engines detach before the job can migrate.
+  telemetry::SolverTelemetry sink_storage;
+  telemetry::SolverTelemetry* sink = nullptr;
+  if (opts_.telemetry != nullptr) {
+    sink_storage = telemetry::SolverTelemetry(
+        *opts_.telemetry, opts_.telemetry->trace().ring(
+                              "svc-worker-" + std::to_string(index)));
+    sink = &sink_storage;
+  }
   for (;;) {
     std::shared_ptr<Job> job;
     {
@@ -414,9 +457,19 @@ void SolverService::worker_loop() {
       }
       ++dispatch_tick_;
       job->job_state = JobState::running;
-      if (job->first_slice_time < 0.0) job->first_slice_time = clock_.seconds();
+      if (job->first_slice_time < 0.0) {
+        job->first_slice_time = clock_.seconds();
+        telemetry::Histogram* wait =
+            wait_histogram(job->request.limits.priority);
+        if (wait != nullptr) {
+          wait->record(static_cast<std::uint64_t>(
+              (job->first_slice_time - job->submit_time) * 1e9));
+        }
+      }
+      emit_control_locked(telemetry::EventKind::job_dispatch, job->id,
+                          job->result.slices);
     }
-    run_slice(job);
+    run_slice(job, sink);
   }
 }
 
@@ -462,9 +515,10 @@ Budget SolverService::slice_budget(const Job& job) const {
   return budget;
 }
 
-void SolverService::run_slice(const std::shared_ptr<Job>& job) {
+void SolverService::run_slice(const std::shared_ptr<Job>& job,
+                              telemetry::SolverTelemetry* sink) {
   if (job->session != nullptr) {
-    run_session_slice(job);
+    run_session_slice(job, sink);
     return;
   }
   const JobLimits& limits = job->request.limits;
@@ -496,6 +550,10 @@ void SolverService::run_slice(const std::shared_ptr<Job>& job) {
         popts.log_proof = proof_opts.wanted();
         popts.configs = portfolio::diversify_around(
             job->request.options, limits.threads, job->request.options.seed);
+        // Hub counters/phases only; per-job worker rings stay off (names
+        // would collide and interleave across concurrent jobs).
+        popts.telemetry = opts_.telemetry;
+        popts.trace_workers = false;
         portfolio = std::make_unique<portfolio::PortfolioSolver>(popts);
         portfolio->load(*formula);
       } else {
@@ -548,7 +606,11 @@ void SolverService::run_slice(const std::shared_ptr<Job>& job) {
   WallTimer slice_timer;
   SolveStatus status;
   if (job->solver != nullptr) {
+    // The sink is this worker's; detach before the job can migrate to
+    // another worker after a preemption.
+    job->solver->set_telemetry(sink);
     status = job->solver->solve_with_assumptions(job->request.assumptions, budget);
+    job->solver->set_telemetry(nullptr);
   } else {
     status =
         job->portfolio->solve_with_assumptions(job->request.assumptions, budget);
@@ -577,6 +639,7 @@ void SolverService::run_slice(const std::shared_ptr<Job>& job) {
                                ? job->request.cnf
                                : job->proof_formula;
       proof::DratChecker checker(formula);
+      checker.set_telemetry(sink);
       const proof::CheckResult check = checker.check(trace);
       proof_checked = true;
       proof_valid = check.valid;
@@ -588,6 +651,7 @@ void SolverService::run_slice(const std::shared_ptr<Job>& job) {
 
   JobResult notify;
   bool terminal = false;
+  std::uint64_t slice_conflicts = 0;
   {
     std::unique_lock<std::mutex> lk(lock_);
     ++stats_.slices;
@@ -632,6 +696,7 @@ void SolverService::run_slice(const std::shared_ptr<Job>& job) {
     job->result.propagations += propagations;
     job->result.learned_clauses += learned;
     stats_.conflicts += conflicts;
+    slice_conflicts = conflicts;
 
     if (status != SolveStatus::unknown) {
       job->result.status = status;
@@ -660,10 +725,13 @@ void SolverService::run_slice(const std::shared_ptr<Job>& job) {
       job->job_state = JobState::preempted;
       ++job->result.preemptions;
       ++stats_.preemptions;
+      emit_control_locked(telemetry::EventKind::job_preempted, job->id,
+                          job->result.slices);
       enqueue_ready_locked(job);
       work_cv_.notify_one();
     }
   }
+  note_slice(sink, *job, slice_seconds, slice_conflicts);
   if (terminal) deliver(std::move(notify));
 }
 
@@ -673,7 +741,8 @@ void SolverService::run_slice(const std::shared_ptr<Job>& job) {
 // against the formula *currently active* in the session — base plus open
 // groups, with the failed-assumption core added as units when the answer
 // is assumption-dependent — using the lenient incremental check mode.
-void SolverService::run_session_slice(const std::shared_ptr<Job>& job) {
+void SolverService::run_session_slice(const std::shared_ptr<Job>& job,
+                                      telemetry::SolverTelemetry* sink) {
   const JobLimits& limits = job->request.limits;
   Session& session = *job->session;
 
@@ -683,8 +752,10 @@ void SolverService::run_session_slice(const std::shared_ptr<Job>& job) {
   WallTimer slice_timer;
   SolveStatus status;
   if (session.solver != nullptr) {
+    session.solver->set_telemetry(sink);
     status = session.solver->solve_with_assumptions(job->request.assumptions,
                                                     budget);
+    session.solver->set_telemetry(nullptr);
   } else {
     status = session.portfolio->solve_with_assumptions(
         job->request.assumptions, budget);
@@ -717,6 +788,7 @@ void SolverService::run_session_slice(const std::shared_ptr<Job>& job) {
         appended_empty = true;
       }
       proof::DratChecker checker(formula);
+      checker.set_telemetry(sink);
       proof::CheckOptions copts;
       copts.allow_unverified_adds = true;
       const proof::CheckResult check = checker.check(trace, copts);
@@ -728,6 +800,7 @@ void SolverService::run_session_slice(const std::shared_ptr<Job>& job) {
 
   JobResult notify;
   bool terminal = false;
+  std::uint64_t slice_conflicts = 0;
   {
     std::unique_lock<std::mutex> lk(lock_);
     ++stats_.slices;
@@ -771,6 +844,7 @@ void SolverService::run_session_slice(const std::shared_ptr<Job>& job) {
     job->result.propagations += propagations;
     job->result.learned_clauses += learned;
     stats_.conflicts += conflicts;
+    slice_conflicts = conflicts;
 
     if (status != SolveStatus::unknown) {
       job->result.status = status;
@@ -796,10 +870,13 @@ void SolverService::run_session_slice(const std::shared_ptr<Job>& job) {
       job->job_state = JobState::preempted;
       ++job->result.preemptions;
       ++stats_.preemptions;
+      emit_control_locked(telemetry::EventKind::job_preempted, job->id,
+                          job->result.slices);
       enqueue_ready_locked(job);
       work_cv_.notify_one();
     }
   }
+  note_slice(sink, *job, slice_seconds, slice_conflicts);
   if (terminal) deliver(std::move(notify));
 }
 
@@ -847,6 +924,13 @@ JobResult SolverService::finish_locked(const std::shared_ptr<Job>& job,
   job->job_state =
       outcome == JobOutcome::cancelled ? JobState::cancelled : JobState::done;
   job->finished = true;
+  emit_control_locked(telemetry::EventKind::job_complete, job->id,
+                      static_cast<std::uint64_t>(outcome));
+  if (job->session != nullptr && session_solve_latency_ != nullptr) {
+    // End-to-end query latency (submit → terminal), queueing included.
+    session_solve_latency_->record(
+        static_cast<std::uint64_t>(job->result.wall_seconds * 1e9));
+  }
   if (job->session != nullptr) {
     // The engine outlives the job. Un-latch any sticky cancellation so the
     // next query on the session is not stillborn, and release the session
@@ -879,6 +963,9 @@ JobResult SolverService::finish_locked(const std::shared_ptr<Job>& job,
       break;
   }
   --pending_;
+  if (pending_gauge_ != nullptr) {
+    pending_gauge_->set(static_cast<std::int64_t>(pending_));
+  }
   space_cv_.notify_one();
   done_cv_.notify_all();
   return job->result;
@@ -891,6 +978,61 @@ void SolverService::deliver(JobResult result) {
     callback = completion_;
   }
   if (callback) callback(result);
+}
+
+// ---- telemetry ------------------------------------------------------------
+
+void SolverService::emit_control_locked(telemetry::EventKind kind,
+                                        std::uint64_t a, std::uint64_t b) {
+  if (control_ring_ == nullptr) return;
+  telemetry::TraceEvent event;
+  event.ts_ns = opts_.telemetry->trace().now_ns();
+  event.kind = kind;
+  event.a = a;
+  event.b = b;
+  control_ring_->emit(event);
+}
+
+telemetry::Histogram* SolverService::wait_histogram(int priority) const {
+  if (priority < 0) return wait_low_;
+  return priority == 0 ? wait_normal_ : wait_high_;
+}
+
+void SolverService::note_slice(telemetry::SolverTelemetry* sink,
+                               const Job& job, double slice_seconds,
+                               std::uint64_t conflicts) {
+  const std::uint64_t latency_ns =
+      static_cast<std::uint64_t>(slice_seconds * 1e9);
+  if (slice_latency_ != nullptr) slice_latency_->record(latency_ns);
+  if (sink != nullptr) {
+    const std::int64_t dur = static_cast<std::int64_t>(latency_ns);
+    sink->emit(telemetry::EventKind::slice, sink->now_ns() - dur, dur, job.id,
+               conflicts);
+  }
+}
+
+telemetry::MetricsSnapshot SolverService::metrics_snapshot() const {
+  telemetry::MetricsSnapshot snapshot;
+  if (opts_.telemetry != nullptr) snapshot = opts_.telemetry->snapshot();
+  // The exact scheduler view beats the hub's racy increments for the
+  // service's own totals, and jobs-level outcomes are only counted here.
+  const ServiceStats totals = stats();
+  snapshot.counters["service.jobs_submitted"] = totals.submitted;
+  snapshot.counters["service.jobs_rejected"] = totals.rejected;
+  snapshot.counters["service.jobs_completed"] = totals.completed;
+  snapshot.counters["service.jobs_budget_exhausted"] = totals.budget_exhausted;
+  snapshot.counters["service.jobs_deadline_expired"] = totals.deadline_expired;
+  snapshot.counters["service.jobs_cancelled"] = totals.cancelled;
+  snapshot.counters["service.jobs_errors"] = totals.errors;
+  snapshot.counters["service.slices"] = totals.slices;
+  snapshot.counters["service.preemptions"] = totals.preemptions;
+  snapshot.counters["service.conflicts"] = totals.conflicts;
+  snapshot.counters["service.peak_pending"] = totals.peak_pending;
+  snapshot.counters["service.sessions_opened"] = totals.sessions_opened;
+  snapshot.counters["service.session_solves"] = totals.session_solves;
+  snapshot.counters["service.solve_ns"] =
+      static_cast<std::uint64_t>(totals.solve_seconds * 1e9);
+  return snapshot;
 }
 
 }  // namespace berkmin::service

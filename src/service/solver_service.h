@@ -37,6 +37,7 @@
 #include "portfolio/portfolio.h"
 #include "proof/proof_writer.h"
 #include "service/job.h"
+#include "telemetry/telemetry.h"
 #include "util/timer.h"
 
 namespace berkmin::service {
@@ -58,6 +59,14 @@ struct ServiceOptions {
   // slices — so low-priority or long jobs cannot be starved forever.
   double priority_weight = 4.0;
   double aging_rate = 0.125;
+  // Observability (src/telemetry): when set, the service registers latency
+  // histograms ("service.slice_latency_ns", "service.job_wait_ns.<class>",
+  // "service.session_solve_latency_ns") and live gauges on the hub, gives
+  // every worker a trace ring ("svc-worker-<i>") plus a scheduler-owned
+  // control ring ("svc-control") for job/session lifecycle events, and
+  // attaches each worker's sink to the engine it is slicing. The hub must
+  // outlive the service.
+  telemetry::Telemetry* telemetry = nullptr;
 };
 
 // Aggregate throughput counters, all monotone over the service lifetime.
@@ -160,6 +169,12 @@ class SolverService {
   ServiceStats stats() const;
   const ServiceOptions& options() const { return opts_; }
 
+  // Point-in-time metrics view, safe while jobs are running: the hub
+  // snapshot (when a hub is configured — counters, histograms, phases)
+  // with the exact lock-consistent ServiceStats merged in as "service.*"
+  // counters. Works without a hub too (service counters only).
+  telemetry::MetricsSnapshot metrics_snapshot() const;
+
  private:
   // One incremental session: the persistent engine plus a mirror of the
   // *active* formula in external numbering for per-answer proof checking.
@@ -223,7 +238,7 @@ class SolverService {
     bool finished = false;
   };
 
-  void worker_loop();
+  void worker_loop(int index);
   // Shared admission path of submit()/try_submit()/session_solve(). Must
   // hold lock_.
   std::optional<JobId> admit_locked(JobRequest request,
@@ -231,7 +246,9 @@ class SolverService {
   // Looks up an open, idle session for a mutation. Must hold lock_.
   std::shared_ptr<Session> mutable_session_locked(SessionId id);
   // One slice of one session job, running against the persistent engine.
-  void run_session_slice(const std::shared_ptr<Job>& job);
+  // `sink` is the calling worker's telemetry sink (nullptr without a hub).
+  void run_session_slice(const std::shared_ptr<Job>& job,
+                         telemetry::SolverTelemetry* sink);
   // Shared slice protocol of run_slice/run_session_slice: the pre-flight
   // (finish a cancelled or already-past-deadline job without spending a
   // slice on it — returns true when the job went terminal) and the slice
@@ -245,15 +262,39 @@ class SolverService {
   void enqueue_ready_locked(const std::shared_ptr<Job>& job);
   // One slice of one job: load if needed, solve under the slice budget,
   // then classify the outcome. Called without the lock held.
-  void run_slice(const std::shared_ptr<Job>& job);
+  void run_slice(const std::shared_ptr<Job>& job,
+                 telemetry::SolverTelemetry* sink);
   // Moves a job to a terminal state, fills the remaining result fields and
   // wakes waiters. Must hold lock_; returns the callback payload.
   JobResult finish_locked(const std::shared_ptr<Job>& job, JobOutcome outcome);
   void deliver(JobResult result);  // completion callback, outside the lock
 
+  // --- telemetry helpers (no-ops without a hub) ---
+  // Job/session lifecycle events go to one control ring written only while
+  // holding lock_ (the mutex serializes producers, keeping the ring SPSC).
+  void emit_control_locked(telemetry::EventKind kind, std::uint64_t a,
+                           std::uint64_t b);
+  // Wait-by-priority-class: negative priorities are "low", zero "normal",
+  // positive "high".
+  telemetry::Histogram* wait_histogram(int priority) const;
+  // Records slice latency and emits the worker-ring slice span event.
+  void note_slice(telemetry::SolverTelemetry* sink, const Job& job,
+                  double slice_seconds, std::uint64_t conflicts);
+
   ServiceOptions opts_;
   CompletionCallback completion_;
   WallTimer clock_;
+
+  // Telemetry instruments, resolved once in the constructor; all null when
+  // opts_.telemetry is null.
+  telemetry::TraceRing* control_ring_ = nullptr;
+  telemetry::Histogram* slice_latency_ = nullptr;
+  telemetry::Histogram* session_solve_latency_ = nullptr;
+  telemetry::Histogram* wait_low_ = nullptr;
+  telemetry::Histogram* wait_normal_ = nullptr;
+  telemetry::Histogram* wait_high_ = nullptr;
+  telemetry::Gauge* pending_gauge_ = nullptr;
+  telemetry::Gauge* sessions_gauge_ = nullptr;
 
   mutable std::mutex lock_;
   std::condition_variable work_cv_;   // workers: ready job or shutdown

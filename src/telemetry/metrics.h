@@ -1,0 +1,79 @@
+// MetricsRegistry: named atomic counters, gauges and histograms.
+//
+// Instruments (Counter/Gauge/Histogram) are created once under a mutex and
+// then written lock-free; pointers handed out by the registry stay valid
+// for the registry's lifetime. snapshot() may run concurrently with any
+// number of writers and returns a plain MetricsSnapshot that serializes to
+// JSON or Prometheus text exposition format.
+//
+// Naming convention: dot-separated lowercase, "layer.metric[_unit]", e.g.
+// "solver.conflicts", "service.slice_latency_ns", "exchange.published".
+// Latency histograms record nanoseconds and carry a "_ns" suffix.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "telemetry/histogram.h"
+#include "telemetry/phase.h"
+
+namespace berkmin::telemetry {
+
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+class Gauge {
+ public:
+  void set(std::int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t d) { v_.fetch_add(d, std::memory_order_relaxed); }
+  std::int64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+// Point-in-time copy of a registry (plus, when taken via Telemetry, the
+// phase profile). Plain data: copy, merge into reports, serialize.
+struct MetricsSnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, std::int64_t> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+  std::map<std::string, PhaseAccumulator::Totals> phases;
+
+  std::string to_json() const;
+  // Prometheus text exposition: counters as `berkmin_<name>_total`, gauges
+  // as `berkmin_<name>`, histograms as summaries with p50/p90/p99 quantile
+  // labels plus _sum/_count, phases as labeled seconds/calls totals. Dots
+  // in metric names become underscores.
+  std::string to_prometheus() const;
+};
+
+class MetricsRegistry {
+ public:
+  // Get-or-create by name; returned pointers are stable and lock-free to
+  // write through.
+  Counter* counter(const std::string& name);
+  Gauge* gauge(const std::string& name);
+  Histogram* histogram(const std::string& name);
+
+  // Safe concurrently with writers (values are read with relaxed loads; a
+  // racing increment lands in this snapshot or the next).
+  MetricsSnapshot snapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace berkmin::telemetry

@@ -1,0 +1,18 @@
+#include "telemetry/phase.h"
+
+namespace berkmin::telemetry {
+
+const char* to_string(Phase phase) {
+  switch (phase) {
+    case Phase::bcp: return "bcp";
+    case Phase::analyze: return "analyze";
+    case Phase::decide: return "decide";
+    case Phase::reduce: return "reduce";
+    case Phase::garbage_collect: return "garbage_collect";
+    case Phase::verify: return "verify";
+    case Phase::trim: return "trim";
+  }
+  return "unknown";
+}
+
+}  // namespace berkmin::telemetry

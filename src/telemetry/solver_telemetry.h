@@ -1,0 +1,118 @@
+// Solver-facing telemetry sink: the only telemetry header the core solver
+// includes. Deliberately light — it forward-declares the hub types so that
+// core/solver.h does not pull in the registry/ring machinery, and the
+// disabled path (`telemetry_ == nullptr`) costs exactly one branch at each
+// instrumentation site.
+#pragma once
+
+#include <cstdint>
+
+#include "telemetry/phase.h"
+
+namespace berkmin {
+struct SolverStats;
+}
+
+namespace berkmin::telemetry {
+
+class Telemetry;
+class Counter;
+class TraceRing;
+enum class EventKind : std::uint8_t;
+
+// The cumulative SolverStats values already published to the hub counters.
+// Owned by the Solver so that the same hub (and its shared "solver.*"
+// counters) aggregates any number of solvers, each flushing deltas at safe
+// points (restarts and end of solve) on its own thread.
+struct StatsCursor {
+  std::uint64_t decisions = 0;
+  std::uint64_t propagations = 0;
+  std::uint64_t conflicts = 0;
+  std::uint64_t restarts = 0;
+  std::uint64_t reductions = 0;
+  std::uint64_t learned_clauses = 0;
+  std::uint64_t learned_units = 0;
+  std::uint64_t deleted_clauses = 0;
+  std::uint64_t strengthened_clauses = 0;
+  std::uint64_t minimized_literals = 0;
+  std::uint64_t top_clause_decisions = 0;
+  std::uint64_t exported_clauses = 0;
+  std::uint64_t imported_clauses = 0;
+  std::uint64_t duplicate_binaries_skipped = 0;
+  std::uint64_t groups_pushed = 0;
+  std::uint64_t groups_popped = 0;
+  std::uint64_t pop_retained_learned = 0;
+  std::uint64_t pop_dropped_learned = 0;
+};
+
+// Binds a hub (counters + phase profile) and an optional trace ring. One
+// sink per producer thread when a ring is attached (the ring is SPSC);
+// counter- and phase-only sinks (ring == nullptr) may be shared freely.
+struct SolverTelemetry {
+  SolverTelemetry() = default;
+  // Resolves the shared "solver.*" counters once so the hot path never
+  // touches the registry map.
+  explicit SolverTelemetry(Telemetry& hub, TraceRing* ring = nullptr);
+
+  Telemetry* hub = nullptr;
+  TraceRing* ring = nullptr;
+  // Emit a conflict_sample trace event every this many conflicts (0 = off).
+  std::uint64_t conflict_sample_interval = 4096;
+
+  // Cached counters wrapping the SolverStats fields (see publish()).
+  Counter* c_decisions = nullptr;
+  Counter* c_propagations = nullptr;
+  Counter* c_conflicts = nullptr;
+  Counter* c_restarts = nullptr;
+  Counter* c_reductions = nullptr;
+  Counter* c_learned_clauses = nullptr;
+  Counter* c_learned_units = nullptr;
+  Counter* c_deleted_clauses = nullptr;
+  Counter* c_strengthened_clauses = nullptr;
+  Counter* c_minimized_literals = nullptr;
+  Counter* c_top_clause_decisions = nullptr;
+  Counter* c_exported_clauses = nullptr;
+  Counter* c_imported_clauses = nullptr;
+  Counter* c_duplicate_binaries_skipped = nullptr;
+  Counter* c_groups_pushed = nullptr;
+  Counter* c_groups_popped = nullptr;
+  Counter* c_pop_retained_learned = nullptr;
+  Counter* c_pop_dropped_learned = nullptr;
+
+  std::int64_t now_ns() const;
+
+  // Appends to the ring when one is attached; no-op otherwise. `ts_ns` may
+  // lie in the past (events can be emitted after the fact).
+  void emit(EventKind kind, std::int64_t ts_ns, std::int64_t dur_ns,
+            std::uint64_t a, std::uint64_t b) const;
+
+  void add_phase(Phase phase, std::int64_t start_ns) const;
+
+  // Flushes `stats - *seen` into the hub counters and advances the cursor.
+  // Counters are monotone: only growth since the last publish is added.
+  void publish(const SolverStats& stats, StatsCursor* seen) const;
+};
+
+// RAII phase timer. Reads the clock only when a sink is attached, so a
+// disabled scope is a single pointer test on construction and destruction.
+class PhaseScope {
+ public:
+  PhaseScope(const SolverTelemetry* sink, Phase phase) : sink_(sink) {
+    if (sink_ != nullptr) {
+      phase_ = phase;
+      start_ns_ = sink_->now_ns();
+    }
+  }
+  ~PhaseScope() {
+    if (sink_ != nullptr) sink_->add_phase(phase_, start_ns_);
+  }
+  PhaseScope(const PhaseScope&) = delete;
+  PhaseScope& operator=(const PhaseScope&) = delete;
+
+ private:
+  const SolverTelemetry* sink_;
+  Phase phase_ = Phase::bcp;
+  std::int64_t start_ns_ = 0;
+};
+
+}  // namespace berkmin::telemetry
