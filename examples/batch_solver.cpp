@@ -393,6 +393,11 @@ int main(int argc, char** argv) {
     std::cout << result_json(result, model_valid) << "\n" << std::flush;
   });
 
+  // A refused submission (shutdown or a full queue that stopped accepting)
+  // must not vanish from the JSONL stream: every manifest entry gets
+  // exactly one record, refused ones with outcome "refused", and any
+  // refusal forces a nonzero exit below.
+  bool submit_refused = false;
   for (const ManifestEntry* entry : regular) {
     service::JobRequest request;
     request.name = entry->name;
@@ -401,8 +406,13 @@ int main(int argc, char** argv) {
     request.limits = entry->limits;
     request.proof = proof_options;
     if (!solving.submit(std::move(request))) {
-      std::cerr << "error: service refused a job (shutdown?)\n";
-      return 1;
+      std::lock_guard<std::mutex> lock(output_mutex);
+      submit_refused = true;
+      std::cout << "{\"name\":\"" << json_escape(entry->name)
+                << "\",\"status\":\"unknown\",\"outcome\":\"refused\","
+                << "\"error\":\"service refused the job (shutdown?)\"}\n"
+                << std::flush;
+      std::cerr << "error: service refused job '" << entry->name << "'\n";
     }
   }
 
@@ -426,6 +436,10 @@ int main(int argc, char** argv) {
       const auto sid = solving.open_session(sreq);
       if (!sid.has_value()) {
         std::lock_guard<std::mutex> lock(output_mutex);
+        std::cout << "{\"name\":\"" << json_escape(entry->name)
+                  << "\",\"status\":\"unknown\",\"outcome\":\"refused\","
+                  << "\"error\":\"service refused the session (shutdown?)\"}\n"
+                  << std::flush;
         std::cerr << "error: " << entry->name << ": session refused\n";
         ++script_failures;
         return;
@@ -605,7 +619,7 @@ int main(int argc, char** argv) {
   }
 
   return (mismatches > 0 || model_failure || proof_failure ||
-          telemetry_failure)
+          telemetry_failure || submit_refused)
              ? 1
              : 0;
 }

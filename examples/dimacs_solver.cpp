@@ -12,6 +12,7 @@
 // --check-model / proof verification.
 #include <fstream>
 #include <iostream>
+#include <iterator>
 #include <memory>
 
 #include "cnf/dimacs.h"
@@ -145,6 +146,25 @@ SolverOptions options_from_args(const ArgParser& args, bool* ok) {
   options.old_activity_threshold = static_cast<std::uint32_t>(args.get_int("old-act-threshold"));
   options.var_decay_interval = static_cast<std::uint32_t>(args.get_int("decay-interval"));
   options.var_decay_factor = static_cast<std::uint32_t>(args.get_int("decay-factor"));
+  // Inprocessing defaults ON for the CLI (the library default is off so
+  // embedders opt in); --no-inprocess restores the pure paper engine.
+  options.inprocess.enabled = !args.has_flag("no-inprocess");
+  if (const std::string policy = args.get_string("reduce-policy");
+      !policy.empty()) {
+    if (policy == "glue") {
+      options.reduction_policy = ReductionPolicy::glue_tiered;
+    } else if (policy == "berkmin") {
+      options.reduction_policy = ReductionPolicy::berkmin;
+    } else if (policy == "limited") {
+      options.reduction_policy = ReductionPolicy::limited_keeping;
+    } else if (policy == "none") {
+      options.reduction_policy = ReductionPolicy::none;
+    } else {
+      std::cerr << "error: unknown --reduce-policy '" << policy
+                << "' (berkmin, glue, limited, none)\n";
+      *ok = false;
+    }
+  }
   return options;
 }
 
@@ -180,9 +200,9 @@ int run_scripted(const ArgParser& args, const std::string& path,
   const bool check = args.has_flag("check-incremental");
   const bool want_proof = check || !drat_path.empty();
   if (want_proof && threads > 1) {
-    std::cerr << "error: incremental proofs need --threads 1 (spliced "
-                 "portfolio traces suppress deletions, which the per-answer "
-                 "check cannot tolerate)\n";
+    std::cerr << "error: incremental proofs need --threads 1 (a proof-"
+                 "logging portfolio does not support push/pop clause "
+                 "groups yet)\n";
     return 1;
   }
 
@@ -375,7 +395,17 @@ int main(int argc, char** argv) {
   args.add_option("icnf-out", "", "synthesize a push/pop edit script from "
                   "the loaded formula, write it to this file, and exit");
   args.add_option("icnf-seed", "0", "seed for --icnf-out synthesis");
-  args.add_flag("preprocess", "run subsumption preprocessing first");
+  args.add_flag("preprocess", "run subsumption preprocessing first (composes "
+                "with --drat/--unsat-core: the rewrites lead the proof "
+                "trace, checked against the original formula)");
+  args.add_flag("inprocess", "inprocess at restart boundaries: failed-literal "
+                "probing, subsumption/self-subsumption, vivification, and "
+                "(single-shot runs) bounded variable elimination — on by "
+                "default, every rewrite proof-logged");
+  args.add_flag("no-inprocess", "disable restart-time inprocessing");
+  args.add_option("reduce-policy", "", "override the preset's clause-database "
+                  "reduction policy: berkmin, glue (LBD core/tier2/local "
+                  "tiers), limited, none");
   args.add_option("metrics-out", "", "write a telemetry metrics snapshot on "
                   "exit (counters, latency histograms, phase profile); a "
                   ".prom extension selects Prometheus text exposition, "
@@ -493,24 +523,6 @@ int main(int argc, char** argv) {
   const proof::DratFormat drat_format = args.has_flag("binary-drat")
                                             ? proof::DratFormat::binary
                                             : proof::DratFormat::text;
-  if (args.has_flag("preprocess") && want_proof) {
-    // A proof certifies the formula actually solved; preprocessing
-    // rewrites it first and is not yet covered by the trace (ROADMAP).
-    std::cerr << "error: --drat/--unsat-core cannot be combined with "
-                 "--preprocess yet\n";
-    return 1;
-  }
-  if (args.has_flag("preprocess")) {
-    const PreprocessResult pre = preprocess(cnf);
-    if (pre.unsat) {
-      std::cout << "s UNSATISFIABLE\nc (by preprocessing)\n";
-      return 20;
-    }
-    std::cout << "c preprocessing: " << pre.removed_subsumed << " subsumed, "
-              << pre.strengthened_literals << " literals strengthened, "
-              << pre.propagated_units << " units\n";
-    cnf = pre.cnf;
-  }
 
   bool preset_ok = false;
   SolverOptions options = options_from_args(args, &preset_ok);
@@ -521,6 +533,67 @@ int main(int argc, char** argv) {
   budget.max_conflicts = static_cast<std::uint64_t>(args.get_int("conflicts"));
 
   const int threads = static_cast<int>(args.get_int("threads"));
+
+  // Proof sinks are created before preprocessing so that the
+  // preprocessor's rewrites become the leading steps of the very trace
+  // the solver continues — one proof, checkable against the original
+  // (unpreprocessed) formula. Core extraction needs the whole trace in
+  // memory; plain --drat streams straight to disk as the search runs.
+  proof::MemoryProofWriter memory_proof;
+  std::ofstream drat_stream;
+  std::unique_ptr<proof::ProofWriter> stream_writer;
+  proof::ProofWriter* seq_writer = nullptr;  // single-thread proof sink
+  if (threads <= 1 && want_proof) {
+    if (!core_path.empty()) {
+      seq_writer = &memory_proof;
+    } else {
+      drat_stream.open(drat_path, std::ios::binary);
+      if (!drat_stream) {
+        std::cerr << "error: cannot open '" << drat_path << "' for the proof\n";
+        return 1;
+      }
+      if (drat_format == proof::DratFormat::binary) {
+        stream_writer = std::make_unique<proof::BinaryDratWriter>(drat_stream);
+      } else {
+        stream_writer = std::make_unique<proof::TextDratWriter>(drat_stream);
+      }
+      seq_writer = stream_writer.get();
+    }
+  }
+  // Portfolio runs log preprocessing into a memory buffer whose steps are
+  // prepended to the spliced trace after the race.
+  proof::MemoryProofWriter pre_writer;
+  // The certification target: proofs are checked against the formula as
+  // given, not the preprocessed rewrite the solver saw.
+  Cnf original;
+  const bool certify_original = args.has_flag("preprocess") && want_proof;
+  if (args.has_flag("preprocess")) {
+    if (want_proof) original = cnf;
+    proof::ProofWriter* pre_proof =
+        want_proof ? (threads > 1 ? static_cast<proof::ProofWriter*>(&pre_writer)
+                                  : seq_writer)
+                   : nullptr;
+    const PreprocessResult pre = preprocess(cnf, {}, pre_proof);
+    if (pre.unsat) {
+      std::cout << "s UNSATISFIABLE\nc (by preprocessing)\n";
+      // The trace already ends with the empty clause. Streamed proofs are
+      // complete on disk; buffered ones still need certification/writing.
+      if (want_proof && (threads > 1 || !core_path.empty())) {
+        const proof::Proof trace =
+            threads > 1 ? pre_writer.proof() : memory_proof.proof();
+        if (!certify_unsat(original, trace, threads > 1 ? drat_path : "",
+                           drat_format, core_path, sink)) {
+          return 1;
+        }
+      }
+      return 20;
+    }
+    std::cout << "c preprocessing: " << pre.removed_subsumed << " subsumed, "
+              << pre.strengthened_literals << " literals strengthened, "
+              << pre.propagated_units << " units\n";
+    cnf = pre.cnf;
+  }
+  const Cnf& proof_formula = certify_original ? original : cnf;
   if (threads > 1) {
     portfolio::PortfolioOptions popts;
     popts.num_threads = threads;
@@ -539,6 +612,15 @@ int main(int argc, char** argv) {
         args.provided("decay-factor");
     if (tuned) {
       popts.configs = portfolio::diversify_around(options, threads, options.seed);
+    } else {
+      popts.configs = portfolio::diversified_configs(threads, options.seed);
+    }
+    // Workers inprocess at restarts like the sequential engine, but never
+    // eliminate variables: an eliminated variable may still occur in a
+    // sibling's exchanged clauses.
+    for (portfolio::WorkerConfig& config : popts.configs) {
+      config.options.inprocess = options.inprocess;
+      config.options.inprocess.var_elim = false;
     }
     popts.telemetry = hub.get();
     portfolio::PortfolioSolver portfolio(popts);
@@ -567,10 +649,17 @@ int main(int argc, char** argv) {
         return 1;
       }
     }
-    if (status == SolveStatus::unsatisfiable && want_proof &&
-        !certify_unsat(cnf, portfolio.spliced_proof(), drat_path, drat_format,
-                       core_path, sink)) {
-      return 1;
+    if (status == SolveStatus::unsatisfiable && want_proof) {
+      // One trace: preprocessing rewrites first, then the spliced race.
+      proof::Proof trace = pre_writer.proof();
+      proof::Proof spliced = portfolio.spliced_proof();
+      trace.steps.insert(trace.steps.end(),
+                         std::make_move_iterator(spliced.steps.begin()),
+                         std::make_move_iterator(spliced.steps.end()));
+      if (!certify_unsat(proof_formula, trace, drat_path, drat_format,
+                         core_path, sink)) {
+        return 1;
+      }
     }
     if (args.has_flag("stats")) {
       std::cout << "c time " << elapsed << " s, " << threads << " workers\n"
@@ -584,8 +673,9 @@ int main(int argc, char** argv) {
       const portfolio::ExchangeStats& ex = portfolio.exchange_stats();
       std::cout << "c exchange: " << ex.accepted << " stored ("
                 << ex.rejected_duplicate << " dup, " << ex.rejected_length
-                << " long, " << ex.rejected_full << " over budget), "
-                << ex.collected << " collected; totals exported "
+                << " long, " << ex.rejected_glue << " glue, "
+                << ex.rejected_full << " over budget), " << ex.collected
+                << " collected; totals exported "
                 << portfolio.clauses_exported() << ", imported "
                 << portfolio.clauses_imported() << "\n";
     }
@@ -594,28 +684,12 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  // Single-shot sequential solving: nothing can mention a variable again
+  // after this solve, so inprocessing may also eliminate variables.
+  options.inprocess.var_elim = options.inprocess.enabled;
   Solver solver(options);
   solver.set_telemetry(sink);
-  // Core extraction needs the whole trace in memory; plain --drat streams
-  // straight to disk as the search runs.
-  proof::MemoryProofWriter memory_proof;
-  std::ofstream drat_stream;
-  std::unique_ptr<proof::ProofWriter> stream_writer;
-  if (!core_path.empty()) {
-    solver.set_proof(&memory_proof);
-  } else if (!drat_path.empty()) {
-    drat_stream.open(drat_path, std::ios::binary);
-    if (!drat_stream) {
-      std::cerr << "error: cannot open '" << drat_path << "' for the proof\n";
-      return 1;
-    }
-    if (drat_format == proof::DratFormat::binary) {
-      stream_writer = std::make_unique<proof::BinaryDratWriter>(drat_stream);
-    } else {
-      stream_writer = std::make_unique<proof::TextDratWriter>(drat_stream);
-    }
-    solver.set_proof(stream_writer.get());
-  }
+  if (seq_writer != nullptr) solver.set_proof(seq_writer);
 
   solver.load(cnf);
 
@@ -629,8 +703,8 @@ int main(int argc, char** argv) {
   }
   std::cout << "s " << to_string(status) << "\n";
   if (status == SolveStatus::unsatisfiable && !core_path.empty() &&
-      !certify_unsat(cnf, memory_proof.proof(), drat_path, drat_format,
-                     core_path, sink)) {
+      !certify_unsat(proof_formula, memory_proof.proof(), drat_path,
+                     drat_format, core_path, sink)) {
     return 1;
   }
   if (status == SolveStatus::satisfiable && args.has_flag("model")) {

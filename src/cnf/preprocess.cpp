@@ -1,8 +1,10 @@
 #include "cnf/preprocess.h"
 
 #include <algorithm>
+#include <map>
 
 #include "cnf/simplify.h"
+#include "proof/proof_writer.h"
 
 namespace berkmin {
 namespace {
@@ -39,8 +41,9 @@ bool is_subset_with_flip(const std::vector<Lit>& small,
 
 class Preprocessor {
  public:
-  Preprocessor(const Cnf& cnf, const PreprocessOptions& options)
-      : options_(options), num_vars_(cnf.num_vars()) {
+  Preprocessor(const Cnf& cnf, const PreprocessOptions& options,
+               proof::ProofWriter* proof)
+      : options_(options), proof_(proof), num_vars_(cnf.num_vars()) {
     for (const auto& raw : cnf.clauses()) {
       auto normalized = normalize_clause(raw);
       if (!normalized) continue;  // tautology
@@ -56,12 +59,26 @@ class Preprocessor {
       changed = false;
 
       // Unit propagation first: it both shrinks clauses and exposes more
-      // subsumptions.
+      // subsumptions. When logging, the before/after multiset diff turns
+      // the round into DRAT steps: discovered units (each RUP by the same
+      // propagation that found it) first, then every new stripped form
+      // (RUP from its parent plus the units), then the deletions of the
+      // forms that disappeared — adds strictly before deletes.
+      std::map<std::vector<Lit>, int> diff;
+      if (proof_ != nullptr) {
+        for (const auto& clause : clauses_) ++diff[clause];
+      }
       Cnf current(num_vars_);
       for (auto& clause : clauses_) current.add_clause(std::move(clause));
       SimplifyResult simplified = simplify(current);
       result.propagated_units += simplified.root_units.size();
+      if (proof_ != nullptr) {
+        for (const Lit u : simplified.root_units) {
+          proof_->add_clause(std::span<const Lit>(&u, 1));
+        }
+      }
       if (simplified.unsat) {
+        if (proof_ != nullptr) proof_->add_clause({});
         result.unsat = true;
         result.cnf = std::move(simplified.cnf);
         return result;
@@ -69,6 +86,19 @@ class Preprocessor {
       clauses_.clear();
       for (const auto& clause : simplified.cnf.clauses()) {
         clauses_.push_back(clause);
+      }
+      if (proof_ != nullptr) {
+        for (const auto& clause : clauses_) {
+          auto it = diff.find(clause);
+          if (it != diff.end() && it->second > 0) {
+            --it->second;  // unchanged: no step
+          } else {
+            proof_->add_clause(clause);
+          }
+        }
+        for (const auto& [lits, count] : diff) {
+          for (int k = 0; k < count; ++k) proof_->delete_clause(lits);
+        }
       }
       if (!simplified.root_units.empty()) changed = true;
 
@@ -125,6 +155,7 @@ class Preprocessor {
         if ((signatures_[id] & ~signatures_[other]) != 0) continue;
         if (is_subset(clauses_[id], clauses_[other])) {
           alive_[other] = 0;
+          if (proof_ != nullptr) proof_->delete_clause(clauses_[other]);
           ++result->removed_subsumed;
           changed = true;
         }
@@ -145,9 +176,17 @@ class Preprocessor {
           if (!alive_[other] || other == id) continue;
           if (clauses_[other].size() < clauses_[id].size()) continue;
           if (is_subset_with_flip(clauses_[id], clauses_[other], pivot)) {
-            // Strengthen `other`: remove ~pivot.
+            // Strengthen `other`: remove ~pivot. The resolvent is RUP
+            // against the current database (falsifying it unit-propagates
+            // `id` and then conflicts on the old `other`), so log it
+            // before deleting the weaker form it replaces.
             auto& target = clauses_[other];
+            const auto old_form = target;
             target.erase(std::find(target.begin(), target.end(), ~pivot));
+            if (proof_ != nullptr) {
+              proof_->add_clause(target);
+              proof_->delete_clause(old_form);
+            }
             ++result->strengthened_literals;
             changed = true;
           }
@@ -170,6 +209,7 @@ class Preprocessor {
   }
 
   PreprocessOptions options_;
+  proof::ProofWriter* proof_;
   int num_vars_;
   std::vector<std::vector<Lit>> clauses_;
   std::vector<std::vector<std::uint32_t>> occ_;
@@ -179,8 +219,9 @@ class Preprocessor {
 
 }  // namespace
 
-PreprocessResult preprocess(const Cnf& cnf, const PreprocessOptions& options) {
-  return Preprocessor(cnf, options).run();
+PreprocessResult preprocess(const Cnf& cnf, const PreprocessOptions& options,
+                            proof::ProofWriter* proof) {
+  return Preprocessor(cnf, options, proof).run();
 }
 
 }  // namespace berkmin

@@ -5,11 +5,23 @@
 // C self-subsumes D on literal l when (C \ {l}) ⊆ (D \ {~l}), allowing ~l
 // to be deleted from D. Both transformations preserve equivalence, so the
 // preprocessor can run in front of any solver configuration.
+//
+// With a ProofWriter attached, every rewrite is logged as DRAT
+// add-before-delete pairs against the ORIGINAL formula — discovered root
+// units as unit additions, stripped/strengthened clauses as an addition
+// of the new form followed by a deletion of the old, subsumed clauses as
+// plain deletions. Prepending these steps to a solver's trace over the
+// reduced formula yields one trace a DratChecker verifies against the
+// unpreprocessed input.
 #pragma once
 
 #include <cstdint>
 
 #include "cnf/cnf_formula.h"
+
+namespace berkmin::proof {
+class ProofWriter;
+}
 
 namespace berkmin {
 
@@ -28,6 +40,7 @@ struct PreprocessResult {
   int rounds = 0;
 };
 
-PreprocessResult preprocess(const Cnf& cnf, const PreprocessOptions& options = {});
+PreprocessResult preprocess(const Cnf& cnf, const PreprocessOptions& options = {},
+                            proof::ProofWriter* proof = nullptr);
 
 }  // namespace berkmin

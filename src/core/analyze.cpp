@@ -10,6 +10,7 @@
 //    is incremented regardless of policy (Section 8 uses it for deletion);
 //  * lit_activity counts, per literal, the conflict clauses ever deduced
 //    containing it (Section 7's database-symmetrization counters).
+#include <algorithm>
 #include <cassert>
 
 #include "core/solver.h"
@@ -192,6 +193,16 @@ void Solver::resolve_conflict(ClauseRef conflict) {
   telemetry::PhaseScope analyze_scope(telemetry_, telemetry::Phase::analyze);
   int backtrack_level = 0;
   analyze(conflict, learned_scratch_, backtrack_level);
+  // Glue (literal block distance) must be read off before backtracking
+  // invalidates the level_ entries: the number of distinct decision levels
+  // among the learned literals, the quality measure the tiered reduction
+  // policy and the exchange filter key on.
+  glue_scratch_.clear();
+  for (const Lit l : learned_scratch_) glue_scratch_.push_back(level_[l.var()]);
+  std::sort(glue_scratch_.begin(), glue_scratch_.end());
+  glue_scratch_.erase(std::unique(glue_scratch_.begin(), glue_scratch_.end()),
+                      glue_scratch_.end());
+  last_learned_glue_ = static_cast<std::uint32_t>(glue_scratch_.size());
   backtrack_to(backtrack_level);
   record_learned(learned_scratch_, backtrack_level);
 }
@@ -199,6 +210,7 @@ void Solver::resolve_conflict(ClauseRef conflict) {
 void Solver::record_learned(const std::vector<Lit>& learned, int backtrack_level) {
   ++stats_.learned_clauses;
   stats_.learned_literals += learned.size();
+  stats_.record_glue(last_learned_glue_);
 
   // Section 7 counters: a conflict clause containing l was deduced.
   for (const Lit l : learned) ++lit_activity_[l.code()];
@@ -222,7 +234,8 @@ void Solver::record_learned(const std::vector<Lit>& learned, int backtrack_level
     return;
   }
 
-  const ClauseRef ref = add_clause_internal(learned, /*learned=*/true);
+  const ClauseRef ref =
+      add_clause_internal(learned, /*learned=*/true, last_learned_glue_);
   // A learned binary asserts through the binary fast path like any other
   // two-literal clause, so materialize its reason the same way.
   enqueue(learned[0], ref,

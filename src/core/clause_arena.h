@@ -6,7 +6,9 @@
 //   word 0   size << 2 | learned bit | spare bit
 //   word 1   activity counter (the number of conflicts the clause has been
 //            responsible for — Section 8 of the paper)
-//   word 2.. literal codes
+//   word 2   glue (LBD): distinct decision levels in the clause at learn
+//            time; 0 for original clauses and imports with unknown glue
+//   word 3.. literal codes
 //
 // Handles returned by deref() point into the array and are invalidated by
 // alloc() (growth may move the storage) and by garbage collection.
@@ -33,11 +35,14 @@ class Clause {
   void set_activity(std::uint32_t value) { base_[1] = value; }
   void bump_activity() { ++base_[1]; }
 
+  std::uint32_t glue() const { return base_[2]; }
+  void set_glue(std::uint32_t value) { base_[2] = value; }
+
   Lit operator[](std::uint32_t i) const {
-    return Lit::from_code(static_cast<std::int32_t>(base_[2 + i]));
+    return Lit::from_code(static_cast<std::int32_t>(base_[3 + i]));
   }
   void set_lit(std::uint32_t i, Lit l) {
-    base_[2 + i] = static_cast<std::uint32_t>(l.code());
+    base_[3 + i] = static_cast<std::uint32_t>(l.code());
   }
 
   // Shrinks the clause in place (used when stripping root-false literals).
@@ -60,13 +65,15 @@ class Clause {
 
 class ClauseArena {
  public:
-  static constexpr std::uint32_t header_words = 2;
+  static constexpr std::uint32_t header_words = 3;
 
-  ClauseRef alloc(std::span<const Lit> lits, bool learned) {
+  ClauseRef alloc(std::span<const Lit> lits, bool learned,
+                  std::uint32_t glue = 0) {
     const ClauseRef ref = static_cast<ClauseRef>(data_.size());
     data_.push_back((static_cast<std::uint32_t>(lits.size()) << 2) |
                     (learned ? 1u : 0u));
     data_.push_back(0);  // activity
+    data_.push_back(glue);
     for (const Lit l : lits) data_.push_back(static_cast<std::uint32_t>(l.code()));
     return ref;
   }

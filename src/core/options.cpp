@@ -86,6 +86,7 @@ const char* name_of(ReductionPolicy p) {
   switch (p) {
     case ReductionPolicy::berkmin: return "berkmin";
     case ReductionPolicy::limited_keeping: return "limited_keeping";
+    case ReductionPolicy::glue_tiered: return "glue_tiered";
     case ReductionPolicy::none: return "none";
   }
   return "?";
@@ -115,6 +116,12 @@ std::string SolverOptions::describe() const {
   out += " restart=";
   out += name_of(restart_policy);
   out += "(" + std::to_string(restart_interval) + ")";
+  if (inprocess.enabled) {
+    out += " inprocess(every=";
+    out += std::to_string(inprocess.interval_restarts);
+    out += inprocess.var_elim ? ",elim" : "";
+    out += ")";
+  }
   return out;
 }
 

@@ -51,6 +51,12 @@ enum class ReductionPolicy : std::uint8_t {
   // GRASP-style "limited_keeping" ablation (Table 5): keep exactly the
   // clauses no longer than a length threshold.
   limited_keeping,
+  // LBD glue tiers (extension beyond the paper, following the literal
+  // block distance literature): core clauses (glue <= glue_core) are kept
+  // unconditionally, mid-tier clauses (glue <= glue_tier2) are kept while
+  // they stay active, and the local tail falls back to BerkMin's
+  // age/activity partition.
+  glue_tiered,
   // Keep everything (baseline for tests; memory grows without bound).
   none,
 };
@@ -59,6 +65,33 @@ enum class RestartPolicy : std::uint8_t {
   fixed_interval,  // the paper's "primitive" strategy
   luby,            // extension (the paper's future-work direction)
   none,
+};
+
+// Inprocessing (src/core/inprocess.*): simplification passes run at
+// restart boundaries, every rewrite logged to the attached ProofWriter as
+// DRAT add-before-delete pairs. All passes are skipped automatically while
+// clause groups (selectors) are active — group clauses may be retracted
+// later, so conclusions drawn from them must not delete or rewrite
+// group-independent clauses.
+struct InprocessOptions {
+  bool enabled = false;
+  // Restarts between passes (the first pass runs at the interval-th
+  // restart).
+  std::uint32_t interval_restarts = 4;
+  // Failed-literal probing: at most this many root probes per pass.
+  std::uint32_t probe_budget = 256;
+  // Vivification: at most this many learned clauses re-propagated per pass.
+  std::uint32_t vivify_budget = 128;
+  // Bounded variable elimination. Off by default even when inprocessing is
+  // enabled: eliminating a variable is only sound while the caller can
+  // never mention it again (no later add_clause / assumptions on it), which
+  // single-shot CLI solving guarantees but the incremental API does not.
+  bool var_elim = false;
+  // A variable qualifies for elimination when pos*neg occurrence product
+  // and total occurrences stay under these caps and the elimination does
+  // not grow the clause database.
+  std::uint32_t var_elim_max_occurrences = 10;
+  std::uint32_t var_elim_max_resolvents = 16;
 };
 
 struct SolverOptions {
@@ -101,15 +134,24 @@ struct SolverOptions {
   // the paper's comparison used 42, the same as the young-clause limit.
   std::uint32_t limited_keeping_max_length = 42;
 
+  // LBD tiers for ReductionPolicy::glue_tiered. Glue (literal block
+  // distance) is the number of distinct decision levels in a learned
+  // clause at learn time; clauses with glue <= glue_core are "core" and
+  // never deleted, glue <= glue_tier2 survive while recently active, and
+  // the rest compete under the BerkMin age/activity partition.
+  std::uint32_t glue_core = 2;
+  std::uint32_t glue_tier2 = 6;
+
   // Branch selection on initial-formula decisions (Section 7): nb_two's
   // computation stops once the estimate exceeds this threshold; scan_cap
   // bounds how many occurrence-list entries are examined.
   std::uint32_t nb_two_threshold = 100;
   std::uint32_t nb_two_scan_cap = 4096;
 
-  // Extensions beyond the paper (both off in every preset).
+  // Extensions beyond the paper (all off in every preset).
   bool minimize_learned = false;      // conflict-clause minimization
   std::uint32_t top_clause_window = 1;  // Remark 2: consider K top clauses
+  InprocessOptions inprocess;         // restart-time simplification
 
   std::uint64_t seed = 0;  // randomized tie-breaking (take_rand, nb_two ties)
 

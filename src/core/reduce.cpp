@@ -17,7 +17,9 @@
 // The GRASP-like "limited_keeping" ablation replaces the partitioned rule
 // with a pure length threshold.
 #include <cassert>
+#include <memory>
 
+#include "core/inprocess.h"
 #include "core/solver.h"
 #include "telemetry/trace.h"
 
@@ -58,6 +60,9 @@ void Solver::handle_restart() {
   // Restart boundary: decision level 0, propagation fixpoint, database
   // freshly reduced — the safe point for clause imports (portfolio).
   if (restart_callback_) restart_callback_();
+  // Inprocessing runs after imports so fresh shared clauses participate in
+  // (and are subject to) the simplification pass.
+  maybe_inprocess();
   // Restarts are the periodic flush point for the shared hub counters: the
   // stats deltas since the previous flush become visible to concurrent
   // snapshots here, so a long-running solve is observable while it runs.
@@ -103,7 +108,32 @@ Solver::ReduceDecision Solver::classify_learned(std::size_t stack_index,
     return decision;
   }
 
-  // BerkMin policy. The topmost clause is protected.
+  if (opts_.reduction_policy == ReductionPolicy::glue_tiered) {
+    // LBD tiers. Core clauses (low glue) capture tightly-coupled decision
+    // levels and are kept unconditionally; the mid tier additionally
+    // survives on conflict activity earned since the last reduction.
+    // Everything else — the local tail, mid-tier clauses that earned
+    // nothing, and shared clauses imported with unknown glue (0 means
+    // unknown, not perfect) — falls through to BerkMin's age/activity
+    // partition, so glue tiers only ever retain MORE than the paper's
+    // policy. An early return here instead of a fall-through would delete
+    // freshly-learned mid-glue clauses before they could earn activity,
+    // defeating the young-clause anti-looping safeguard (hole:9 degrades
+    // from ~31k conflicts to millions).
+    const std::uint32_t glue = c.glue();
+    if (glue != 0 && glue <= opts_.glue_core) {
+      decision.keep = true;
+      return decision;
+    }
+    if (glue != 0 && glue <= opts_.glue_tier2 &&
+        (activity > 0 || length <= opts_.old_keep_max_length)) {
+      decision.keep = true;
+      return decision;
+    }
+  }
+
+  // BerkMin policy (and the glue_tiered local tail). The topmost clause is
+  // protected.
   if (stack_index + 1 == stack_size) {
     decision.keep = true;
     return decision;
@@ -143,7 +173,8 @@ void Solver::reduce_db() {
   }
   garbage_collect(keep);
 
-  if (opts_.reduction_policy == ReductionPolicy::berkmin) {
+  if (opts_.reduction_policy == ReductionPolicy::berkmin ||
+      opts_.reduction_policy == ReductionPolicy::glue_tiered) {
     old_threshold_ += opts_.threshold_increment;
   }
   if (telemetry_ != nullptr) {
@@ -151,6 +182,17 @@ void Solver::reduce_db() {
                      telemetry_->now_ns() - reduce_start_ns, learned_before,
                      learned_stack_.size());
   }
+}
+
+void Solver::maybe_inprocess() {
+  if (!ok_ || !opts_.inprocess.enabled ||
+      opts_.inprocess.interval_restarts == 0) {
+    return;
+  }
+  if (++restarts_since_inprocess_ < opts_.inprocess.interval_restarts) return;
+  restarts_since_inprocess_ = 0;
+  if (inprocessor_ == nullptr) inprocessor_ = std::make_unique<Inprocessor>(*this);
+  inprocessor_->run();
 }
 
 void Solver::notify_deleted(ClauseRef ref) {
@@ -162,7 +204,8 @@ void Solver::notify_deleted(ClauseRef ref) {
   }
 }
 
-void Solver::garbage_collect(const std::vector<char>& keep_learned) {
+void Solver::garbage_collect(const std::vector<char>& keep_learned,
+                             const std::vector<char>* keep_originals) {
   telemetry::PhaseScope gc_scope(telemetry_, telemetry::Phase::garbage_collect);
   const std::int64_t gc_start_ns =
       telemetry_ != nullptr ? telemetry_->now_ns() : 0;
@@ -179,7 +222,12 @@ void Solver::garbage_collect(const std::vector<char>& keep_learned) {
     ++stats_.strengthened_clauses;
     // Proof before the learn callback, same as record_learned: the
     // callback may publish to a sharing pool, and a spliced trace needs
-    // this add sequenced first.
+    // this add sequenced first. The callback may consult
+    // last_learned_glue(); a strengthened clause keeps its learn-time glue
+    // (strengthening only removes literals, never adds levels).
+    last_learned_glue_ = c.glue() != 0
+                             ? c.glue()
+                             : static_cast<std::uint32_t>(stripped.size());
     proof_emit_add(stripped);
     if (learn_callback_) learn_callback_(stripped);
     if (delete_callback_ || proof() != nullptr) {
@@ -200,14 +248,28 @@ void Solver::garbage_collect(const std::vector<char>& keep_learned) {
     }
     assert(stripped.size() >= 2);
     if (stripped.size() < c.size()) strengthen_trace(c);
-    const ClauseRef fresh = new_arena.alloc(stripped, learned);
-    new_arena.deref(fresh).set_activity(c.activity());
+    const ClauseRef fresh = new_arena.alloc(stripped, learned, c.glue());
+    // The glue_tiered mid tier survives on activity earned since the last
+    // reduction, so its counter restarts each cycle; every other policy
+    // keeps the cumulative count.
+    const bool tier2 = opts_.reduction_policy == ReductionPolicy::glue_tiered &&
+                       learned && c.glue() != 0 &&
+                       c.glue() > opts_.glue_core && c.glue() <= opts_.glue_tier2;
+    new_arena.deref(fresh).set_activity(tier2 ? 0 : c.activity());
     return fresh;
   };
 
   std::vector<ClauseRef> new_originals;
   new_originals.reserve(originals_.size());
-  for (const ClauseRef ref : originals_) {
+  for (std::size_t i = 0; i < originals_.size(); ++i) {
+    const ClauseRef ref = originals_[i];
+    if (keep_originals != nullptr && !(*keep_originals)[i]) {
+      // Removed by inprocessing (subsumed, strengthened away, or part of a
+      // variable elimination); the pass already logged its replacement
+      // adds, so the deletion here completes the add-before-delete pair.
+      notify_deleted(ref);
+      continue;
+    }
     if (clause_is_satisfied(ref)) continue;  // satisfied by retained facts
     new_originals.push_back(migrate(ref, /*learned=*/false));
   }

@@ -4,10 +4,14 @@
 #include <cassert>
 
 #include "cnf/simplify.h"
+#include "core/inprocess.h"
 #include "proof/proof_writer.h"
 #include "telemetry/trace.h"
 
 namespace berkmin {
+
+// Out of line: ~Solver must see the complete Inprocessor type.
+Solver::~Solver() = default;
 
 bool Solver::project_for_proof(std::span<const Lit> lits) {
   proof_scratch_.clear();
@@ -64,6 +68,7 @@ Var Solver::new_internal_var(bool selector) {
   var_activity_.push_back(0);
   seen_.push_back(0);
   is_selector_.push_back(selector ? 1 : 0);
+  eliminated_.push_back(0);
   int2ext_.push_back(no_var);
   watches_.resize_literals(2 * static_cast<std::size_t>(v) + 2);
   bin_watches_.resize_literals(2 * static_cast<std::size_t>(v) + 2);
@@ -157,7 +162,8 @@ bool Solver::add_clause(std::span<const Lit> lits) {
   return add_root_clause(lits, /*learned=*/false);
 }
 
-bool Solver::add_root_clause(std::span<const Lit> lits, bool learned) {
+bool Solver::add_root_clause(std::span<const Lit> lits, bool learned,
+                             std::uint32_t glue) {
   assert(decision_level() == 0);
   if (!ok_) return false;
 
@@ -217,7 +223,7 @@ bool Solver::add_root_clause(std::span<const Lit> lits, bool learned) {
     // flips ok_.
     return true;
   }
-  add_clause_internal(reduced, learned);
+  add_clause_internal(reduced, learned, glue);
   return true;
 }
 
@@ -225,14 +231,17 @@ bool Solver::add_clause(std::initializer_list<Lit> lits) {
   return add_clause(std::span<const Lit>(lits.begin(), lits.size()));
 }
 
-bool Solver::import_clause(std::span<const Lit> lits) {
+bool Solver::import_clause(std::span<const Lit> lits, std::uint32_t glue) {
   // Shared clauses are resolution consequences of the (identical) formula
   // a sibling solver holds, so adding them preserves both satisfiability
   // and unsatisfiability answers. They enter the learned stack — not the
   // originals — so the Section 8 database management ages them out like
   // any other lemma instead of pinning them forever.
+  for (const Lit l : lits) {
+    if (var_eliminated(l.var())) return true;  // see import_clause contract
+  }
   ++stats_.imported_clauses;
-  return add_root_clause(lits, /*learned=*/true);
+  return add_root_clause(lits, /*learned=*/true, glue);
 }
 
 bool Solver::load(const Cnf& cnf) {
@@ -243,9 +252,10 @@ bool Solver::load(const Cnf& cnf) {
   return ok_;
 }
 
-ClauseRef Solver::add_clause_internal(std::span<const Lit> lits, bool learned) {
+ClauseRef Solver::add_clause_internal(std::span<const Lit> lits, bool learned,
+                                      std::uint32_t glue) {
   assert(lits.size() >= 2);
-  const ClauseRef ref = arena_.alloc(lits, learned);
+  const ClauseRef ref = arena_.alloc(lits, learned, glue);
   if (learned) {
     learned_stack_.push_back(ref);
     satisfied_cache_.push_back(undef_lit);
@@ -697,6 +707,10 @@ void Solver::save_model() {
   for (std::size_t u = 0; u < ext2int_.size(); ++u) {
     model_[u] = assign_[static_cast<std::size_t>(ext2int_[u])];
   }
+  // Variables removed by bounded variable elimination carry an arbitrary
+  // placeholder assignment; the witness stack recorded at elimination time
+  // overrides them so every eliminated original clause is satisfied.
+  if (inprocessor_ != nullptr) inprocessor_->extend_model(model_);
 }
 
 std::vector<Lit> Solver::clause_literals(ClauseRef ref) const {

@@ -18,6 +18,7 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -38,9 +39,12 @@ namespace proof {
 class ProofWriter;
 }
 
+class Inprocessor;
+
 class Solver {
  public:
   explicit Solver(SolverOptions options = SolverOptions::berkmin());
+  ~Solver();
 
   // ---- problem construction -------------------------------------------
   // The solver distinguishes *external* variables (the caller's dense
@@ -153,10 +157,20 @@ class Solver {
   // included — coincide); a shared lemma tagged with a selector the
   // importer has since popped reduces to a satisfied clause and is
   // dropped, keeping cross-call migration sound across push/pop.
-  bool import_clause(std::span<const Lit> lits);
+  // `glue` is the producer's literal-block distance for the clause (0 =
+  // unknown); the importer caches it so tiered reduction treats shared
+  // lemmas by quality rather than pinning them as core. Clauses mentioning
+  // a variable this solver has eliminated by inprocessing are dropped (the
+  // importer's root simplification of such a clause would lean on the
+  // arbitrary witness assignment, which is not a consequence).
+  bool import_clause(std::span<const Lit> lits, std::uint32_t glue = 0);
   // Bumps stats().exported_clauses; called by the owner of the learn
   // callback when a clause was accepted by a sharing pool.
   void note_exported_clause() { ++stats_.exported_clauses; }
+  // Glue (distinct decision levels at learn time) of the clause most
+  // recently handed to the learn callback; 1 for learned units. Lets the
+  // callback publish quality information without re-deriving it.
+  std::uint32_t last_learned_glue() const { return last_learned_glue_; }
 
   // Invoked at the end of every restart, at decision level 0 after the
   // database reduction — the safe point for importing shared clauses.
@@ -221,6 +235,14 @@ class Solver {
   std::uint64_t lit_activity(Lit l) const { return lit_activity_[l.code()]; }
   std::uint64_t chaff_counter(Lit l) const { return chaff_counter_[l.code()]; }
   std::uint32_t current_old_threshold() const { return old_threshold_; }
+  // True once inprocessing's bounded variable elimination removed the
+  // (internal) variable from the clause database; its model value is
+  // reconstructed from the elimination witness in save_model.
+  bool var_eliminated(Var internal_var) const {
+    return internal_var >= 0 &&
+           static_cast<std::size_t>(internal_var) < eliminated_.size() &&
+           eliminated_[static_cast<std::size_t>(internal_var)] != 0;
+  }
 
   // Section 7 cost function, exposed for tests and analysis tools:
   // an estimate of the number of binary clauses in the neighborhood of l
@@ -287,9 +309,12 @@ class Solver {
   // True when an identical two-literal clause is already attached.
   bool binary_clause_present(Lit a, Lit b) const;
   // Normalizes and records a clause at the root level; learned selects
-  // whether it joins the originals or the reducible learned stack.
-  bool add_root_clause(std::span<const Lit> lits, bool learned);
-  ClauseRef add_clause_internal(std::span<const Lit> lits, bool learned);
+  // whether it joins the originals or the reducible learned stack. `glue`
+  // is cached on learned clauses for tiered reduction (0 = unknown).
+  bool add_root_clause(std::span<const Lit> lits, bool learned,
+                       std::uint32_t glue = 0);
+  ClauseRef add_clause_internal(std::span<const Lit> lits, bool learned,
+                                std::uint32_t glue = 0);
   // Allocates one internal variable; selectors stay out of the decision
   // heaps and the external numbering.
   Var new_internal_var(bool selector);
@@ -340,6 +365,9 @@ class Solver {
   // --- restarts & database management (reduce.cpp) ---
   void handle_restart();
   void reduce_db();
+  // Runs an inprocessing pass when one is due (opts_.inprocess); called
+  // from handle_restart at the post-reduction safe point.
+  void maybe_inprocess();
   // --- proof emission (solver.cpp) ---
   // No-ops while no writer is attached. proof_emit_empty records the final
   // empty clause exactly once, at the moment ok_ flips false for a root
@@ -353,7 +381,11 @@ class Solver {
     bool satisfied_at_root = false;
   };
   ReduceDecision classify_learned(std::size_t stack_index, std::size_t stack_size);
-  void garbage_collect(const std::vector<char>& keep_learned);
+  // keep_originals, when non-null, masks original clauses the same way
+  // keep_learned masks the learned stack (inprocessing removals); masked-
+  // out clauses get a proof deletion via notify_deleted.
+  void garbage_collect(const std::vector<char>& keep_learned,
+                       const std::vector<char>* keep_originals = nullptr);
   void notify_deleted(ClauseRef ref);
 
   // --- configuration & state ---
@@ -434,6 +466,19 @@ class Solver {
   std::uint64_t conflicts_since_restart_ = 0;
   std::uint32_t old_threshold_ = 60;
   std::uint32_t luby_index_ = 0;
+  std::uint32_t restarts_since_inprocess_ = 0;
+
+  // Glue of the most recent learned clause (see last_learned_glue()) and
+  // the scratch used to compute it in resolve_conflict.
+  std::uint32_t last_learned_glue_ = 0;
+  std::vector<int> glue_scratch_;
+
+  // Inprocessing: lazily constructed pass driver (owns the bounded
+  // variable elimination witnesses consulted by save_model) and the
+  // per-variable eliminated mask (internal numbering).
+  friend class Inprocessor;
+  std::unique_ptr<Inprocessor> inprocessor_;
+  std::vector<char> eliminated_;
 
   // analyze() scratch.
   std::vector<char> seen_;

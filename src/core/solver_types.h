@@ -126,6 +126,16 @@ struct SolverStats {
   std::uint64_t strengthened_clauses = 0;
   std::uint64_t minimized_literals = 0;
 
+  // Inprocessing (src/core/inprocess.*): passes run, root units proven by
+  // failed-literal probing, clauses shortened by vivification, clauses
+  // removed by (self-)subsumption, and variables eliminated by bounded
+  // variable elimination.
+  std::uint64_t inprocessings = 0;
+  std::uint64_t probed_units = 0;
+  std::uint64_t vivified_clauses = 0;
+  std::uint64_t subsumed_clauses = 0;
+  std::uint64_t eliminated_vars = 0;
+
   std::uint64_t top_clause_decisions = 0;
   std::uint64_t global_decisions = 0;
 
@@ -166,6 +176,22 @@ struct SolverStats {
 
   std::uint64_t skin_at(std::size_t distance) const {
     return distance < skin_histogram.size() ? skin_histogram[distance] : 0;
+  }
+
+  // LBD distribution: glue_histogram[g] counts learned clauses whose glue
+  // (distinct decision levels at learn time) was g. Feeds the tiered
+  // retention policy's telemetry.
+  std::vector<std::uint64_t> glue_histogram;
+
+  void record_glue(std::size_t glue) {
+    constexpr std::size_t max_tracked = 256;
+    if (glue > max_tracked) glue = max_tracked;
+    if (glue_histogram.size() <= glue) glue_histogram.resize(glue + 1, 0);
+    ++glue_histogram[glue];
+  }
+
+  std::uint64_t glue_at(std::size_t glue) const {
+    return glue < glue_histogram.size() ? glue_histogram[glue] : 0;
   }
 
   // (generated conflict clauses + initial clauses) / initial clauses —

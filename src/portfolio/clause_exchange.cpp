@@ -5,9 +5,13 @@
 namespace berkmin::portfolio {
 
 ClauseExchange::ClauseExchange(int num_workers, ExchangeLimits limits)
-    : limits_(limits), cursors_(static_cast<std::size_t>(num_workers), 0) {}
+    : limits_(limits),
+      cursors_(static_cast<std::size_t>(num_workers), 0),
+      glue_limit_(std::clamp(limits.glue_limit_initial, limits.glue_limit_min,
+                             limits.glue_limit_max)) {}
 
-bool ClauseExchange::publish(int worker, std::span<const Lit> clause) {
+bool ClauseExchange::publish(int worker, std::span<const Lit> clause,
+                             std::uint32_t glue, std::size_t* entry_index) {
   if (clause.empty()) return false;
 
   std::vector<std::int32_t> key;
@@ -17,9 +21,42 @@ bool ClauseExchange::publish(int worker, std::span<const Lit> clause) {
 
   std::lock_guard<std::mutex> lock(mutex_);
   ++stats_.published;
-  if (clause.size() > limits_.max_clause_length) {
-    ++stats_.rejected_length;
-    return false;
+
+  // Admission filter. Units and binaries always pass; glue-qualified
+  // clauses pass on glue (up to the safety length cap); glue-less offers
+  // keep the legacy length-only rule.
+  if (clause.size() > 2) {
+    if (glue == 0) {
+      if (clause.size() > limits_.max_clause_length) {
+        ++stats_.rejected_length;
+        return false;
+      }
+    } else {
+      if (clause.size() > limits_.max_glue_clause_length) {
+        ++stats_.rejected_length;
+        return false;
+      }
+      ++window_offers_;
+      const bool admit = glue <= glue_limit_;
+      if (admit) ++window_accepts_;
+      if (limits_.adapt_window != 0 && window_offers_ >= limits_.adapt_window) {
+        // AIMD on the acceptance rate: starved (<25%) -> widen, flooded
+        // (>75%) -> tighten. One step per window keeps the limit stable.
+        if (4 * window_accepts_ < window_offers_ &&
+            glue_limit_ < limits_.glue_limit_max) {
+          ++glue_limit_;
+        } else if (4 * window_accepts_ > 3 * window_offers_ &&
+                   glue_limit_ > limits_.glue_limit_min) {
+          --glue_limit_;
+        }
+        window_offers_ = 0;
+        window_accepts_ = 0;
+      }
+      if (!admit) {
+        ++stats_.rejected_glue;
+        return false;
+      }
+    }
   }
   if (entries_.size() >= limits_.max_clauses) {
     ++stats_.rejected_full;
@@ -29,13 +66,16 @@ bool ClauseExchange::publish(int worker, std::span<const Lit> clause) {
     ++stats_.rejected_duplicate;
     return false;
   }
-  entries_.push_back(Entry{worker, {clause.begin(), clause.end()}});
+  if (entry_index != nullptr) *entry_index = entries_.size();
+  entries_.push_back(Entry{worker, glue, {clause.begin(), clause.end()}});
   ++stats_.accepted;
   return true;
 }
 
 std::size_t ClauseExchange::collect(int worker,
-                                    std::vector<std::vector<Lit>>* out) {
+                                    std::vector<std::vector<Lit>>* out,
+                                    std::vector<std::uint32_t>* glues,
+                                    std::size_t* cursor_after) {
   std::lock_guard<std::mutex> lock(mutex_);
   std::size_t& cursor = cursors_[static_cast<std::size_t>(worker)];
   std::size_t appended = 0;
@@ -43,10 +83,24 @@ std::size_t ClauseExchange::collect(int worker,
     const Entry& entry = entries_[cursor];
     if (entry.source == worker) continue;  // never hand a worker its own
     out->push_back(entry.lits);
+    if (glues != nullptr) glues->push_back(entry.glue);
     ++appended;
   }
   stats_.collected += appended;
+  if (cursor_after != nullptr) *cursor_after = cursor;
   return appended;
+}
+
+std::size_t ClauseExchange::min_cursor() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t low = entries_.size();
+  for (const std::size_t cursor : cursors_) low = std::min(low, cursor);
+  return low;
+}
+
+std::uint32_t ClauseExchange::glue_limit() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return glue_limit_;
 }
 
 ExchangeStats ClauseExchange::stats() const {

@@ -1,12 +1,20 @@
 // Bounded learned-clause exchange between portfolio workers.
 //
-// Workers publish short learned clauses as they are deduced (through
-// Solver's learn callback) and collect the clauses their siblings
-// published at every restart boundary. The pool is deliberately modest:
+// Workers publish learned clauses as they are deduced (through Solver's
+// learn callback) and collect the clauses their siblings published at
+// every restart boundary. The pool is deliberately modest:
 //
-//  * only clauses up to max_clause_length literals are accepted — short
-//    clauses prune exponentially more of the search space per literal and
-//    keep both the lock hold times and the importers' databases small;
+//  * admission is glue-first: a clause with known glue (literal block
+//    distance) is accepted when its glue is at most the current adaptive
+//    glue limit, regardless of length up to a generous safety cap —
+//    low-glue clauses propagate together with few decision levels and are
+//    the empirically valuable ones to share even when they are long.
+//    Units and binaries are always accepted. The limit adapts by AIMD:
+//    after every adapt_window offers, a low acceptance rate raises the
+//    limit (the workers' lemmas are mostly glueier than the limit, so
+//    share more) and a high rate lowers it (the pool is flooding
+//    importers, keep only the best). Clauses offered without a glue
+//    (glue 0) fall back to the legacy length-only filter;
 //  * duplicates (up to literal order) are rejected, so one popular lemma
 //    costs the pool one slot no matter how many workers deduce it;
 //  * a hard max_clauses budget caps the pool's memory; once full, new
@@ -14,7 +22,8 @@
 //    clause may still be un-collected by some worker).
 //
 // All operations take one std::mutex; contention is low because callers
-// filter by length before locking and collect in restart-sized batches.
+// filter by the safety cap before locking and collect in restart-sized
+// batches.
 #pragma once
 
 #include <cstdint>
@@ -28,7 +37,17 @@
 namespace berkmin::portfolio {
 
 struct ExchangeLimits {
+  // Length cap for clauses published without a glue value (glue 0).
   std::uint32_t max_clause_length = 8;
+  // Safety length cap for glue-qualified clauses: even a glue-2 clause
+  // longer than this is rejected (importers pay per literal).
+  std::uint32_t max_glue_clause_length = 30;
+  // AIMD bounds and start point for the adaptive glue limit.
+  std::uint32_t glue_limit_min = 2;
+  std::uint32_t glue_limit_max = 8;
+  std::uint32_t glue_limit_initial = 4;
+  // Glue-path offers per adaptation step (0 disables adaptation).
+  std::uint32_t adapt_window = 64;
   std::uint64_t max_clauses = 1 << 16;
 };
 
@@ -36,6 +55,7 @@ struct ExchangeStats {
   std::uint64_t published = 0;           // publish() calls
   std::uint64_t accepted = 0;            // clauses stored
   std::uint64_t rejected_length = 0;     // too long
+  std::uint64_t rejected_glue = 0;       // glue above the adaptive limit
   std::uint64_t rejected_duplicate = 0;  // already in the pool
   std::uint64_t rejected_full = 0;       // budget exhausted
   std::uint64_t collected = 0;           // clauses handed to importers
@@ -45,13 +65,31 @@ class ClauseExchange {
  public:
   explicit ClauseExchange(int num_workers, ExchangeLimits limits = {});
 
-  // Offers a clause deduced by `worker`. Returns true iff it was stored
-  // (short enough, novel, and the pool had budget left).
-  bool publish(int worker, std::span<const Lit> clause);
+  // Offers a clause deduced by `worker` with its glue (0 = unknown).
+  // Returns true iff it was stored (admitted by the filter, novel, and
+  // the pool had budget left); on success *entry_index (when non-null)
+  // receives the stored entry's position, which min_cursor() is measured
+  // against.
+  bool publish(int worker, std::span<const Lit> clause, std::uint32_t glue = 0,
+               std::size_t* entry_index = nullptr);
 
   // Appends to `out` every clause published by OTHER workers since this
-  // worker's previous collect() call. Returns the number appended.
-  std::size_t collect(int worker, std::vector<std::vector<Lit>>* out);
+  // worker's previous collect() call; `glues` (when non-null) receives
+  // the matching glue values and `cursor_after` (when non-null) the
+  // worker's new cursor (entries below it are all seen). Returns the
+  // number appended.
+  std::size_t collect(int worker, std::vector<std::vector<Lit>>* out,
+                      std::vector<std::uint32_t>* glues = nullptr,
+                      std::size_t* cursor_after = nullptr);
+
+  // The smallest collect cursor over all workers: every worker has
+  // already collected (and, per the portfolio's restart callback, logged
+  // any proof copies for) all entries below this index. Proof splicing
+  // uses it to decide when a published clause's deletion may be released.
+  std::size_t min_cursor() const;
+
+  // The current adaptive glue admission limit (tests, stats printing).
+  std::uint32_t glue_limit() const;
 
   ExchangeStats stats() const;
   std::size_t size() const;
@@ -60,6 +98,7 @@ class ClauseExchange {
  private:
   struct Entry {
     int source;
+    std::uint32_t glue;
     std::vector<Lit> lits;
   };
 
@@ -70,6 +109,10 @@ class ClauseExchange {
   std::set<std::vector<std::int32_t>> seen_;
   std::vector<std::size_t> cursors_;  // per worker: next entry to collect
   ExchangeStats stats_;
+  // Adaptive glue admission (see header comment). Guarded by mutex_.
+  std::uint32_t glue_limit_;
+  std::uint32_t window_offers_ = 0;
+  std::uint32_t window_accepts_ = 0;
 };
 
 }  // namespace berkmin::portfolio

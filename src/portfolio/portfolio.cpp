@@ -1,5 +1,6 @@
 #include "portfolio/portfolio.h"
 
+#include <algorithm>
 #include <cassert>
 #include <memory>
 #include <mutex>
@@ -27,15 +28,7 @@ bool PortfolioSolver::load(const Cnf& cnf) {
 }
 
 int PortfolioSolver::push_group() {
-  if (opts_.log_proof) {
-    // Spliced portfolio traces suppress deletions, so lemmas of a popped
-    // group would stay live in a checker's database and could certify a
-    // satisfiable post-pop formula as UNSAT. Refuse at the mechanism
-    // level rather than trusting every caller to remember.
-    throw std::logic_error(
-        "PortfolioSolver: push_group/pop_group cannot be combined with "
-        "log_proof (spliced traces suppress deletions)");
-  }
+  if (!supports_groups()) return -1;
   ops_.push_back(PendingOp{PendingOp::Kind::push, 0});
   return ++num_groups_;
 }
@@ -95,29 +88,45 @@ void PortfolioSolver::warm_up_workers() {
       }
       if (opts_.share_clauses) {
         ClauseExchange* exchange = exchange_.get();
-        const std::uint32_t max_len = opts_.exchange.max_clause_length;
+        proof::ProofSplicer* splicer = splicer_.get();
+        const std::uint32_t max_len =
+            std::max(opts_.exchange.max_clause_length,
+                     opts_.exchange.max_glue_clause_length);
         // Owned by this worker's thread only: batched into an export_batch
         // trace event at the next restart boundary.
         std::uint64_t* pending = &pending_exports_[static_cast<std::size_t>(i)];
-        solver->set_learn_callback(
-            [exchange, solver, i, max_len, pending](std::span<const Lit> lits) {
-              // Length filter before taking the exchange lock: long clauses
-              // are the common case and never eligible.
-              if (lits.empty() || lits.size() > max_len) return;
-              if (exchange->publish(i, lits)) {
-                solver->note_exported_clause();
-                ++*pending;
-              }
-            });
+        solver->set_learn_callback([exchange, splicer, solver, i, max_len,
+                                    pending](std::span<const Lit> lits) {
+          // Safety-cap filter before taking the exchange lock: clauses
+          // beyond every admission rule's reach never lock at all.
+          if (lits.empty() || lits.size() > max_len) return;
+          std::size_t entry_index = 0;
+          if (exchange->publish(i, lits, solver->last_learned_glue(),
+                                &entry_index)) {
+            solver->note_exported_clause();
+            ++*pending;
+            // The clause now has pending copies: its deletion must wait
+            // for the importers' copy-adds (see ProofSplicer).
+            if (splicer != nullptr) {
+              splicer->note_published(i, lits, entry_index);
+            }
+          }
+        });
         const telemetry::SolverTelemetry* sink =
             sinks_[static_cast<std::size_t>(i)].get();
-        solver->set_restart_callback([exchange, solver, i, sink, pending]() {
+        solver->set_restart_callback([exchange, splicer, solver, i, sink,
+                                      pending]() {
           std::vector<std::vector<Lit>> batch;
-          exchange->collect(i, &batch);
+          std::vector<std::uint32_t> glues;
+          std::size_t cursor_after = 0;
+          exchange->collect(i, &batch, &glues, &cursor_after);
           const std::uint64_t imported_before = solver->stats().imported_clauses;
-          for (const auto& clause : batch) {
-            if (!solver->import_clause(clause)) break;  // root-level conflict
+          for (std::size_t b = 0; b < batch.size(); ++b) {
+            if (!solver->import_clause(batch[b], glues[b])) break;  // root UNSAT
           }
+          // Copy-adds for everything below cursor_after are logged now;
+          // published-clause deletions up to here may be sequenced.
+          if (splicer != nullptr) splicer->note_collected(i, cursor_after);
           if (sink != nullptr) {
             if (*pending != 0) {
               sink->emit(telemetry::EventKind::export_batch, sink->now_ns(), 0,
@@ -269,6 +278,8 @@ void PortfolioSolver::publish_exchange_stats() {
   flush("exchange.accepted", exchange_stats_.accepted, &exchange_seen_.accepted);
   flush("exchange.rejected_length", exchange_stats_.rejected_length,
         &exchange_seen_.rejected_length);
+  flush("exchange.rejected_glue", exchange_stats_.rejected_glue,
+        &exchange_seen_.rejected_glue);
   flush("exchange.rejected_duplicate", exchange_stats_.rejected_duplicate,
         &exchange_seen_.rejected_duplicate);
   flush("exchange.rejected_full", exchange_stats_.rejected_full,

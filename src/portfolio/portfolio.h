@@ -43,11 +43,13 @@ struct PortfolioOptions {
   // Seeds the diversification (tie-breaking seeds, fabricated variants).
   std::uint64_t base_seed = 0;
   // Record a checkable DRAT proof of the whole race: every worker logs
-  // its clause additions (tagged with its worker id) through one
-  // proof::ProofSplicer, and spliced_proof() merges them into a single
-  // trace that certifies an UNSAT answer regardless of which worker won
-  // or how clauses were exchanged. Deletions are suppressed while
-  // logging, so long UNSAT races hold their whole trace in memory.
+  // its clause additions and deletions (tagged with its worker id)
+  // through one proof::ProofSplicer, and spliced_proof() merges them
+  // into a single trace that certifies an UNSAT answer regardless of
+  // which worker won or how clauses were exchanged. Deletions survive
+  // splicing (deletions of still-shared clauses are deferred until every
+  // importer logged its copy), which keeps a checker's live database
+  // bounded on long races.
   bool log_proof = false;
   // Explicit worker lineup; when empty, diversified_configs() supplies
   // num_threads workers. When shorter than num_threads it is extended,
@@ -93,12 +95,17 @@ class PortfolioSolver {
   // between workers through the existing ClauseExchange, and a shared
   // lemma tagged with a popped group's selector reduces to a satisfied
   // clause at import and is dropped. Workers stay warm across push/pop;
-  // nothing is rebuilt. Incompatible with PortfolioOptions::log_proof
-  // (spliced traces suppress deletions, which a post-pop check cannot
-  // tolerate): push_group throws std::logic_error on a proof-logging
-  // portfolio.
+  // nothing is rebuilt.
+  //
+  // Groups remain unsupported with PortfolioOptions::log_proof: spliced
+  // traces now keep per-worker deletions, but checking a post-pop answer
+  // needs the selector-elided incremental trace to be replayable in a
+  // deterministic order across warm workers, which has not landed yet.
+  // push_group reports this structurally — it returns -1 and records
+  // nothing on a proof-logging portfolio (see supports_groups()).
   int push_group();
   void pop_group();
+  bool supports_groups() const { return !opts_.log_proof; }
   int num_groups() const { return num_groups_; }
 
   // ---- solving ---------------------------------------------------------

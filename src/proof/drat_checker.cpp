@@ -252,6 +252,12 @@ CheckResult DratChecker::check(const Proof& proof,
                      r.valid ? 1 : 0);
   };
 
+  // Live-database high-water mark: starts at the stored originals and
+  // follows every addition/deletion the forward pass applies.
+  std::size_t live = 0;
+  for (const DbClause& c : clauses_) live += c.active ? 1 : 0;
+  result.peak_live_clauses = live;
+
   for (std::size_t i = 0; i < proof.steps.size() && !derived_empty_; ++i) {
     const ProofStep& step = proof.steps[i];
     auto normalized = normalize_clause(step.lits);
@@ -294,6 +300,7 @@ CheckResult DratChecker::check(const Proof& proof,
         continue;
       }
       clauses_[victim].active = false;  // watchers are pruned lazily
+      --live;
       continue;
     }
 
@@ -327,6 +334,7 @@ CheckResult DratChecker::check(const Proof& proof,
 
     const std::uint32_t id = store(*normalized, /*from_proof=*/true, i);
     clauses_[id].antecedents = std::move(antecedents);
+    if (++live > result.peak_live_clauses) result.peak_live_clauses = live;
     DbClause& c = clauses_[id];
 
     if (c.lits.size() == 1) {

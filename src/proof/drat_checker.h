@@ -58,8 +58,13 @@ struct CheckResult {
   std::size_t checked_adds = 0;
   std::size_t deletions = 0;
   // Deletions ignored: the clause forces a root literal, or no live copy
-  // matched (spliced portfolio traces suppress deletions entirely).
+  // matched (a spliced trace may carry two workers' deletions of one
+  // shared original; the second finds nothing live and is skipped).
   std::size_t skipped_deletions = 0;
+  // High-water mark of live clauses (originals plus undeleted additions)
+  // during the forward pass — the checker's working-set size. Deletions
+  // in the trace are what keep this bounded on long multi-worker races.
+  std::size_t peak_live_clauses = 0;
   // Additions that failed RUP and were dropped from the live database
   // (only under CheckOptions::allow_unverified_adds; otherwise the first
   // failed addition aborts the check).
@@ -139,7 +144,7 @@ class DratChecker {
   std::size_t num_original_clauses_ = 0;
   std::vector<DbClause> clauses_;
   // Deletion lookup (normalized literals -> live clause ids), built
-  // lazily on the first deletion: spliced portfolio traces contain none,
+  // lazily on the first deletion: deletion-free traces never pay for it,
   // and the map costs a full literal-vector copy per stored clause.
   std::map<std::vector<Lit>, std::vector<std::uint32_t>> live_by_lits_;
   bool live_index_built_ = false;

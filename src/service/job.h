@@ -51,6 +51,9 @@ enum class JobOutcome : std::uint8_t {
   deadline_expired,  // the wall-clock deadline passed (status unknown)
   cancelled,         // cancel() or non-draining shutdown
   error,             // the formula could not be loaded (see JobResult::error)
+  unsupported,       // the request combines features the service cannot
+                     // serve yet (see JobResult::error), e.g. proof logging
+                     // on a multi-threaded incremental session
 };
 
 const char* to_string(JobOutcome outcome);
@@ -104,8 +107,11 @@ struct SessionRequest {
   // the failed-assumption core as units when the answer is assumption-
   // dependent. `core` is not supported for sessions (the input formula
   // changes between answers) and is ignored. Proof logging requires
-  // threads == 1: spliced portfolio traces suppress deletions, which an
-  // incremental check cannot tolerate — open_session refuses the combo.
+  // threads == 1 for now: certifying per-answer incremental checks over a
+  // spliced warm-worker trace needs deterministic portfolio replay, which
+  // has not landed yet. open_session still accepts the combo, but every
+  // solve on such a session reports JobOutcome::unsupported (with the
+  // reason in JobResult::error) instead of an uncertified answer.
   JobProofOptions proof;
 };
 

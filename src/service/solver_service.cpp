@@ -39,6 +39,8 @@ const char* to_string(JobOutcome outcome) {
       return "cancelled";
     case JobOutcome::error:
       return "error";
+    case JobOutcome::unsupported:
+      return "unsupported";
   }
   return "invalid";
 }
@@ -117,15 +119,20 @@ std::optional<JobId> SolverService::admit_locked(
 
 std::optional<SessionId> SolverService::open_session(SessionRequest request) {
   if (request.threads < 1) request.threads = 1;
-  if (request.proof.wanted() && request.threads > 1) {
-    // Spliced portfolio traces suppress deletions, which the per-answer
-    // incremental check cannot tolerate (a popped group's lemmas would
-    // stay live in the checker). Refuse rather than certify unsoundly.
-    return std::nullopt;
-  }
 
   // Engines are built outside the lock; only the registration is inside.
   auto session = std::make_shared<Session>();
+  if (request.proof.wanted() && request.threads > 1) {
+    // Certifying per-answer incremental checks over a spliced warm-worker
+    // trace needs deterministic portfolio replay, which has not landed.
+    // Rather than silently dropping the proof request or certifying
+    // unsoundly, accept the session but answer every solve with a
+    // structured JobOutcome::unsupported carrying this reason.
+    session->unsupported =
+        "proof logging on a multi-threaded session is not supported yet "
+        "(spliced incremental traces need deterministic portfolio replay); "
+        "reopen with threads = 1 or without proof options";
+  }
   if (request.threads > 1) {
     portfolio::PortfolioOptions popts;
     popts.num_threads = request.threads;
@@ -177,10 +184,18 @@ bool SolverService::session_push(SessionId id) {
     if (session == nullptr) return false;
     session->busy = true;  // exclude solves while mutating outside the lock
   }
+  bool pushed = true;
   if (session->solver != nullptr) {
     session->solver->push_group();
   } else {
-    session->portfolio->push_group();
+    // A proof-logging portfolio reports -1 instead of opening a group
+    // (service sessions never build one, but honor the contract anyway).
+    pushed = session->portfolio->push_group() >= 0;
+  }
+  if (!pushed) {
+    std::lock_guard<std::mutex> lk(lock_);
+    session->busy = false;
+    return false;
   }
   session->group_marks.push_back(session->clauses.size());
   std::lock_guard<std::mutex> lk(lock_);
@@ -747,6 +762,20 @@ void SolverService::run_session_slice(const std::shared_ptr<Job>& job,
   Session& session = *job->session;
 
   if (finish_if_preempted_terminal(job)) return;
+
+  // A session opened with an unsupported feature combo answers every solve
+  // with a structured error instead of an uncertified result.
+  if (!session.unsupported.empty()) {
+    JobResult notify;
+    {
+      std::unique_lock<std::mutex> lk(lock_);
+      job->result.error = session.unsupported;
+      notify = finish_locked(job, JobOutcome::unsupported);
+    }
+    deliver(std::move(notify));
+    return;
+  }
+
   const Budget budget = slice_budget(*job);
 
   WallTimer slice_timer;
@@ -961,6 +990,9 @@ JobResult SolverService::finish_locked(const std::shared_ptr<Job>& job,
     case JobOutcome::error:
       ++stats_.errors;
       break;
+    case JobOutcome::unsupported:
+      ++stats_.unsupported;
+      break;
   }
   --pending_;
   if (pending_gauge_ != nullptr) {
@@ -1024,6 +1056,7 @@ telemetry::MetricsSnapshot SolverService::metrics_snapshot() const {
   snapshot.counters["service.jobs_deadline_expired"] = totals.deadline_expired;
   snapshot.counters["service.jobs_cancelled"] = totals.cancelled;
   snapshot.counters["service.jobs_errors"] = totals.errors;
+  snapshot.counters["service.jobs_unsupported"] = totals.unsupported;
   snapshot.counters["service.slices"] = totals.slices;
   snapshot.counters["service.preemptions"] = totals.preemptions;
   snapshot.counters["service.conflicts"] = totals.conflicts;

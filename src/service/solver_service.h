@@ -77,7 +77,8 @@ struct ServiceStats {
   std::uint64_t budget_exhausted = 0;  // per-job conflict budget ran out
   std::uint64_t deadline_expired = 0;
   std::uint64_t cancelled = 0;
-  std::uint64_t errors = 0;  // unloadable formulas
+  std::uint64_t errors = 0;       // unloadable formulas
+  std::uint64_t unsupported = 0;  // feature combos the service cannot serve
   std::uint64_t slices = 0;
   std::uint64_t preemptions = 0;
   std::uint64_t conflicts = 0;  // summed over every slice of every job
@@ -88,7 +89,8 @@ struct ServiceStats {
   double solve_seconds = 0.0;  // total time inside solve() slices
 
   std::uint64_t finished() const {
-    return completed + budget_exhausted + deadline_expired + cancelled + errors;
+    return completed + budget_exhausted + deadline_expired + cancelled +
+           errors + unsupported;
   }
 };
 
@@ -190,6 +192,11 @@ class SolverService {
     std::vector<std::size_t> group_marks;
     bool busy = false;    // a session solve is queued or running
     bool closed = false;
+    // Non-empty when the session was opened with a feature combo the
+    // service cannot serve yet (proof logging + threads > 1): mutations
+    // still maintain the session, but every solve finishes immediately
+    // with JobOutcome::unsupported carrying this reason.
+    std::string unsupported;
     std::uint64_t solves = 0;
     // Portfolio worker stats are cumulative across the whole session;
     // per-job slices are charged as deltas from here.

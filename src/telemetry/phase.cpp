@@ -9,6 +9,7 @@ const char* to_string(Phase phase) {
     case Phase::decide: return "decide";
     case Phase::reduce: return "reduce";
     case Phase::garbage_collect: return "garbage_collect";
+    case Phase::inprocess: return "inprocess";
     case Phase::verify: return "verify";
     case Phase::trim: return "trim";
   }

@@ -23,11 +23,12 @@ enum class Phase : std::uint8_t {
   decide,
   reduce,
   garbage_collect,
-  verify,  // proof checker forward RUP pass
-  trim,    // proof checker backward trim/core pass
+  inprocess,  // restart-time simplification passes (core/inprocess.*)
+  verify,     // proof checker forward RUP pass
+  trim,       // proof checker backward trim/core pass
 };
 
-inline constexpr std::size_t kNumPhases = 7;
+inline constexpr std::size_t kNumPhases = 8;
 
 const char* to_string(Phase phase);
 

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "telemetry/phase.h"
 
@@ -17,6 +18,7 @@ namespace berkmin::telemetry {
 
 class Telemetry;
 class Counter;
+class Histogram;
 class TraceRing;
 enum class EventKind : std::uint8_t;
 
@@ -43,6 +45,14 @@ struct StatsCursor {
   std::uint64_t groups_popped = 0;
   std::uint64_t pop_retained_learned = 0;
   std::uint64_t pop_dropped_learned = 0;
+  std::uint64_t inprocessings = 0;
+  std::uint64_t probed_units = 0;
+  std::uint64_t vivified_clauses = 0;
+  std::uint64_t subsumed_clauses = 0;
+  std::uint64_t eliminated_vars = 0;
+  // Per-glue-value counts already mirrored into the hub's solver.glue
+  // histogram (indexed like SolverStats::glue_histogram).
+  std::vector<std::uint64_t> glue_histogram;
 };
 
 // Binds a hub (counters + phase profile) and an optional trace ring. One
@@ -78,6 +88,14 @@ struct SolverTelemetry {
   Counter* c_groups_popped = nullptr;
   Counter* c_pop_retained_learned = nullptr;
   Counter* c_pop_dropped_learned = nullptr;
+  Counter* c_inprocessings = nullptr;
+  Counter* c_probed_units = nullptr;
+  Counter* c_vivified_clauses = nullptr;
+  Counter* c_subsumed_clauses = nullptr;
+  Counter* c_eliminated_vars = nullptr;
+  // Learned-clause glue (literal block distance) distribution; fed from
+  // SolverStats::glue_histogram deltas at each publish.
+  Histogram* h_glue = nullptr;
 
   std::int64_t now_ns() const;
 

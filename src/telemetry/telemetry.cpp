@@ -69,6 +69,12 @@ SolverTelemetry::SolverTelemetry(Telemetry& hub_in, TraceRing* ring_in)
   c_groups_popped = m.counter("solver.groups_popped");
   c_pop_retained_learned = m.counter("solver.pop_retained_learned");
   c_pop_dropped_learned = m.counter("solver.pop_dropped_learned");
+  c_inprocessings = m.counter("solver.inprocessings");
+  c_probed_units = m.counter("solver.probed_units");
+  c_vivified_clauses = m.counter("solver.vivified_clauses");
+  c_subsumed_clauses = m.counter("solver.subsumed_clauses");
+  c_eliminated_vars = m.counter("solver.eliminated_vars");
+  h_glue = m.histogram("solver.glue");
 }
 
 std::int64_t SolverTelemetry::now_ns() const { return hub->trace().now_ns(); }
@@ -123,6 +129,25 @@ void SolverTelemetry::publish(const SolverStats& stats,
         &seen->pop_retained_learned);
   flush(c_pop_dropped_learned, stats.pop_dropped_learned,
         &seen->pop_dropped_learned);
+  flush(c_inprocessings, stats.inprocessings, &seen->inprocessings);
+  flush(c_probed_units, stats.probed_units, &seen->probed_units);
+  flush(c_vivified_clauses, stats.vivified_clauses, &seen->vivified_clauses);
+  flush(c_subsumed_clauses, stats.subsumed_clauses, &seen->subsumed_clauses);
+  flush(c_eliminated_vars, stats.eliminated_vars, &seen->eliminated_vars);
+
+  // Mirror the glue distribution: record each glue value as many times as
+  // it grew since the last publish. Glue is capped at 256 by record_glue,
+  // so the loop and the per-item records stay cheap.
+  if (seen->glue_histogram.size() < stats.glue_histogram.size()) {
+    seen->glue_histogram.resize(stats.glue_histogram.size(), 0);
+  }
+  for (std::size_t g = 0; g < stats.glue_histogram.size(); ++g) {
+    for (std::uint64_t d = stats.glue_histogram[g] - seen->glue_histogram[g];
+         d > 0; --d) {
+      h_glue->record(g);
+    }
+    seen->glue_histogram[g] = stats.glue_histogram[g];
+  }
 }
 
 std::string render_summary(const MetricsSnapshot& snapshot) {

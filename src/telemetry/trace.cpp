@@ -25,6 +25,7 @@ const char* to_string(EventKind kind) {
     case EventKind::restart: return "restart";
     case EventKind::reduce: return "reduce";
     case EventKind::garbage_collect: return "garbage_collect";
+    case EventKind::inprocess: return "inprocess";
     case EventKind::conflict_sample: return "conflict_sample";
     case EventKind::solve: return "solve";
     case EventKind::import_batch: return "import_batch";
@@ -47,6 +48,7 @@ const char* arg_a_name(EventKind kind) {
     case EventKind::restart: return "conflicts";
     case EventKind::reduce: return "learned_before";
     case EventKind::garbage_collect: return "arena_words_before";
+    case EventKind::inprocess: return "derived";
     case EventKind::conflict_sample: return "conflicts";
     case EventKind::solve: return "conflicts";
     case EventKind::import_batch: return "batch_size";
@@ -69,6 +71,7 @@ const char* arg_b_name(EventKind kind) {
     case EventKind::restart: return "learned";
     case EventKind::reduce: return "learned_after";
     case EventKind::garbage_collect: return "arena_words_after";
+    case EventKind::inprocess: return "removed";
     case EventKind::conflict_sample: return "learned";
     case EventKind::solve: return "status";
     case EventKind::import_batch: return "imported";

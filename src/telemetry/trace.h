@@ -28,6 +28,7 @@ enum class EventKind : std::uint8_t {
   restart,          // a=total conflicts, b=total learned clauses
   reduce,           // span; a=learned clauses before, b=after
   garbage_collect,  // span; a=arena words before, b=after
+  inprocess,        // span; a=units+strengthenings derived, b=clauses removed
   conflict_sample,  // a=total conflicts, b=total learned clauses
   solve,            // span; a=conflicts this solve, b=SolveStatus
   import_batch,     // a=batch size, b=clauses actually imported

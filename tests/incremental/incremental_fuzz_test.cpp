@@ -178,6 +178,27 @@ TEST_P(IncrementalFuzzMinimize, ScriptMatchesScratchAndDpll) {
 INSTANTIATE_TEST_SUITE_P(Seeds, IncrementalFuzzMinimize,
                          ::testing::Range(0, 55));
 
+class IncrementalFuzzInprocess : public ::testing::TestWithParam<int> {};
+
+TEST_P(IncrementalFuzzInprocess, ScriptMatchesScratchAndDpll) {
+  // Inprocessing under the incremental API: every pass must stand down
+  // while clause groups are active and var_elim additionally while a
+  // solve holds assumptions, so the aggressive schedule here mostly
+  // exercises those guards — answers must stay identical to the scratch
+  // solver and the DPLL oracle either way.
+  FuzzParams params;
+  params.seed = static_cast<std::uint64_t>(GetParam()) + 3000;
+  params.options.restart_interval = 20;
+  params.options.inprocess.enabled = true;
+  params.options.inprocess.interval_restarts = 1;
+  params.num_vars = 8 + static_cast<int>(params.seed % 5);
+  params.max_ops = 18 + static_cast<int>(params.seed % 9);
+  run_script(params);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IncrementalFuzzInprocess,
+                         ::testing::Range(0, 55));
+
 // --- icnf script plumbing --------------------------------------------------
 
 TEST(IcnfScript, RoundTripsThroughParse) {

@@ -94,5 +94,111 @@ TEST_P(PortfolioProofFuzz, SplicedTraceChecks) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, PortfolioProofFuzz, ::testing::Range(0, 10));
 
+// --- inprocessing variants --------------------------------------------------
+// The same differential obligations with restart-time inprocessing fully
+// enabled: every pass (probing, subsumption/strengthening, vivification,
+// bounded variable elimination) rewrites the live database mid-solve, and
+// the logged trace must still verify against the ORIGINAL formula.
+
+class InprocessProofFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(InprocessProofFuzz, InprocessedTraceCoreAndModelAllCheck) {
+  const int seed = GetParam();
+  const Cnf cnf = gen::random_ksat(/*num_vars=*/45, /*num_clauses=*/207,
+                                   /*k=*/3,
+                                   static_cast<std::uint64_t>(2000 + seed));
+
+  SolverOptions options = fuzz_config(seed);
+  options.restart_interval = 20;  // restart (and inprocess) often
+  options.inprocess.enabled = true;
+  options.inprocess.interval_restarts = 1;
+  options.inprocess.var_elim = true;
+
+  proof::MemoryProofWriter writer;
+  Solver solver(options);
+  solver.set_proof(&writer);
+  solver.load(cnf);
+  const SolveStatus status = solver.solve();
+  ASSERT_NE(status, SolveStatus::unknown);
+
+  if (status == SolveStatus::satisfiable) {
+    // extend_model must repair eliminated variables.
+    EXPECT_TRUE(cnf.is_satisfied_by(solver.model())) << "seed " << seed;
+    EXPECT_FALSE(writer.proof().ends_with_empty());
+    return;
+  }
+
+  ASSERT_TRUE(writer.proof().ends_with_empty()) << "seed " << seed;
+  proof::DratChecker checker(cnf);
+  const proof::CheckResult result = checker.check(writer.proof());
+  ASSERT_TRUE(result.valid) << "seed " << seed << ": " << result.error;
+
+  proof::DratChecker recheck(cnf);
+  EXPECT_TRUE(recheck.check(checker.trimmed()).valid) << "seed " << seed;
+
+  Solver resolver;
+  resolver.load(proof::DratChecker::core_formula(cnf, checker.core()));
+  EXPECT_EQ(resolver.solve(), SolveStatus::unsatisfiable) << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, InprocessProofFuzz, ::testing::Range(0, 22));
+
+class PortfolioInprocessProofFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(PortfolioInprocessProofFuzz, SplicedTraceKeepsDeletionsAndChecks) {
+  const int seed = GetParam();
+  const Cnf cnf = gen::random_ksat(/*num_vars=*/40, /*num_clauses=*/188,
+                                   /*k=*/3,
+                                   static_cast<std::uint64_t>(3000 + seed));
+  portfolio::PortfolioOptions options;
+  options.num_threads = 2 + (seed % 3);
+  options.log_proof = true;
+  options.base_seed = static_cast<std::uint64_t>(seed);
+  options.configs = portfolio::diversified_configs(
+      options.num_threads, options.base_seed);
+  for (portfolio::WorkerConfig& config : options.configs) {
+    // var_elim stays off: an eliminated variable may still occur in a
+    // sibling's exchanged clauses (mirrors the CLI's portfolio setup).
+    config.options.restart_interval = 20;
+    config.options.inprocess.enabled = true;
+    config.options.inprocess.interval_restarts = 1;
+    config.options.inprocess.var_elim = false;
+  }
+  portfolio::PortfolioSolver portfolio(options);
+  portfolio.load(cnf);
+  const SolveStatus status = portfolio.solve();
+  ASSERT_NE(status, SolveStatus::unknown);
+
+  if (status == SolveStatus::satisfiable) {
+    EXPECT_TRUE(cnf.is_satisfied_by(portfolio.model())) << "seed " << seed;
+    return;
+  }
+  const proof::Proof trace = portfolio.spliced_proof();
+  ASSERT_TRUE(trace.ends_with_empty()) << "seed " << seed;
+  // Deletions survive splicing (deferred past every importer, not
+  // dropped): whenever any worker dropped or rewrote a clause, the
+  // spliced trace must carry deletions and the checker's live set stays
+  // bounded. (A race won before the first reduction legitimately has
+  // none.)
+  std::uint64_t dropped = 0;
+  for (const portfolio::WorkerReport& report : portfolio.reports()) {
+    dropped += report.stats.deleted_clauses + report.stats.subsumed_clauses +
+               report.stats.vivified_clauses;
+  }
+  if (dropped > 0) {
+    EXPECT_GT(trace.num_deletes(), 0u) << "seed " << seed;
+  }
+  proof::DratChecker checker(cnf);
+  const proof::CheckResult result = checker.check(trace);
+  EXPECT_TRUE(result.valid) << "seed " << seed << ": " << result.error;
+  // Short races may defer every deletion to the spliced tail, so the peak
+  // can touch — but never exceed — the everything-stays-live ceiling.
+  EXPECT_LE(result.peak_live_clauses, cnf.num_clauses() + result.checked_adds)
+      << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PortfolioInprocessProofFuzz,
+                         ::testing::Range(0, 10));
+
 }  // namespace
 }  // namespace berkmin

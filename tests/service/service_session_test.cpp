@@ -128,12 +128,29 @@ TEST(ServiceSession, ProofPerAnswerIncludingAfterPop) {
   EXPECT_FALSE(result.failed_assumptions.empty());
 }
 
-TEST(ServiceSession, PortfolioSessionRefusesProof) {
+TEST(ServiceSession, PortfolioSessionProofIsStructurallyUnsupported) {
+  // Proof logging on a multi-threaded session cannot be served yet; the
+  // session opens, but each solve reports a structured unsupported outcome
+  // (with the reason in `error`) instead of an uncertified answer.
   SolverService service(ServiceOptions{});
   SessionRequest request;
   request.threads = 2;
   request.proof.log = true;
-  EXPECT_FALSE(service.open_session(request).has_value());
+  const auto sid = service.open_session(request);
+  ASSERT_TRUE(sid.has_value());
+  ASSERT_TRUE(service.session_add_clause(*sid, lits({1})));
+  ASSERT_TRUE(service.session_add_clause(*sid, lits({-1})));
+  const auto job = service.session_solve(*sid);
+  ASSERT_TRUE(job.has_value());
+  const JobResult result = service.wait(*job);
+  EXPECT_EQ(result.outcome, JobOutcome::unsupported);
+  EXPECT_EQ(result.status, SolveStatus::unknown);
+  EXPECT_FALSE(result.error.empty());
+  EXPECT_STREQ(to_string(result.outcome), "unsupported");
+  EXPECT_EQ(service.stats().unsupported, 1u);
+  // The session stays open and closable; the same request without proof
+  // options is fully served.
+  EXPECT_TRUE(service.close_session(*sid));
   request.proof = {};
   EXPECT_TRUE(service.open_session(request).has_value());
 }
