@@ -35,9 +35,11 @@
 #include "gen/registry.h"
 #include "proof/drat_checker.h"
 #include "proof/drat_file.h"
+#include "robustness_flags.h"
 #include "service/solver_service.h"
 #include "telemetry/telemetry.h"
 #include "util/cli.h"
+#include "util/memory_budget.h"
 
 using namespace berkmin;
 
@@ -227,6 +229,13 @@ int main(int argc, char** argv) {
                   "default per-job portfolio escalation (>1 races that many "
                   "diversified workers inside each slice)");
   args.add_option("max-pending", "1024", "bounded admission queue size");
+  args.add_option("watchdog-ms", "0", "per-slice wall-clock watchdog: a "
+                  "slice running longer than this is preempted and "
+                  "rescheduled (0 = off)");
+  args.add_option("slice-retries", "2", "times a job whose slice died (a "
+                  "crashed engine or injected fault) is retried on a fresh "
+                  "engine before reporting an error");
+  robustness::add_flags(&args);
   args.add_option("drat", "", "directory for per-job DRAT traces "
                   "(<dir>/job-<id>.drat, written for UNSAT jobs)");
   args.add_flag("binary-drat", "write traces in drat-trim's binary format");
@@ -328,12 +337,35 @@ int main(int argc, char** argv) {
     hub = std::make_unique<telemetry::Telemetry>();
   }
 
+  // Resource governor + fault injection (--memory-budget / --fault-*),
+  // shared by every engine the service creates. Outlives the service.
+  std::unique_ptr<util::MemoryBudget> budget;
+  std::unique_ptr<util::FaultInjector> injector;
+  if (!robustness::budget_from_args(args, &budget) ||
+      !robustness::injector_from_args(args, &injector)) {
+    return 1;
+  }
+  robustness::InstalledInjector installed;
+  installed.install(injector.get());
+  if (hub != nullptr) {
+    if (budget != nullptr) {
+      budget->attach_telemetry(hub->metrics().gauge("memory_budget_bytes"),
+                               hub->metrics().counter("degrade_events"));
+    }
+    if (injector != nullptr) {
+      injector->set_counter(hub->metrics().counter("faults_injected"));
+    }
+  }
+
   service::ServiceOptions sopts;
   sopts.num_workers = static_cast<int>(args.get_int("pool"));
   sopts.slice_conflicts =
       static_cast<std::uint64_t>(args.get_int("slice-conflicts"));
   sopts.max_pending = static_cast<std::size_t>(args.get_int("max-pending"));
   sopts.telemetry = hub.get();
+  sopts.watchdog_seconds = args.get_double("watchdog-ms") / 1000.0;
+  sopts.max_slice_retries = static_cast<int>(args.get_int("slice-retries"));
+  sopts.memory_budget = budget.get();
   service::SolverService solving(sopts);
 
   // One-shot jobs are submitted first (in manifest order), so their ids
@@ -584,6 +616,10 @@ int main(int argc, char** argv) {
               << ",\"proofs_checked\":" << proofs_checked
               << ",\"proofs_valid\":" << proofs_valid
               << ",\"peak_pending\":" << stats.peak_pending
+              << ",\"watchdog_fires\":" << stats.watchdog_fires
+              << ",\"slice_deaths\":" << stats.slice_deaths
+              << ",\"slice_retries\":" << stats.slice_retries
+              << ",\"rejected_pressure\":" << stats.rejected_pressure
               << ",\"solve_s\":" << stats.solve_seconds << "}\n";
   }
 

@@ -24,8 +24,10 @@
 #include "proof/drat_checker.h"
 #include "proof/drat_file.h"
 #include "proof/proof_writer.h"
+#include "robustness_flags.h"
 #include "telemetry/telemetry.h"
 #include "util/cli.h"
+#include "util/memory_budget.h"
 #include "util/timer.h"
 
 using namespace berkmin;
@@ -178,14 +180,14 @@ SolverOptions options_from_args(const ArgParser& args, bool* ok) {
 // last answer (10/20/0); 1 on any error or failed check.
 int run_scripted(const ArgParser& args, const std::string& path,
                  telemetry::Telemetry* hub,
-                 const telemetry::SolverTelemetry* sink) {
-  icnf::Script script;
-  try {
-    script = icnf::read_file(path);
-  } catch (const std::exception& ex) {
-    std::cerr << "error: " << ex.what() << "\n";
+                 const telemetry::SolverTelemetry* sink,
+                 util::MemoryBudget* mem_budget) {
+  icnf::ParseResult parsed = icnf::read_checked_file(path);
+  if (!parsed.ok()) {
+    std::cerr << "error: " << parsed.first_error() << "\n";
     return 1;
   }
+  const icnf::Script script = std::move(parsed.script);
 
   bool preset_ok = false;
   const SolverOptions options = options_from_args(args, &preset_ok);
@@ -208,6 +210,7 @@ int run_scripted(const ArgParser& args, const std::string& path,
 
   Solver solver(options);
   solver.set_telemetry(sink);
+  solver.set_memory_budget(mem_budget);
   std::unique_ptr<portfolio::PortfolioSolver> race;
   if (threads > 1) {
     portfolio::PortfolioOptions popts;
@@ -215,6 +218,7 @@ int run_scripted(const ArgParser& args, const std::string& path,
     popts.share_clauses = !args.has_flag("no-share");
     popts.base_seed = options.seed;
     popts.telemetry = hub;
+    popts.memory_budget = mem_budget;
     race = std::make_unique<portfolio::PortfolioSolver>(popts);
   }
   proof::MemoryProofWriter trace_writer;
@@ -414,6 +418,7 @@ int main(int argc, char** argv) {
                   "(restarts, reductions, GC, conflict-rate samples)");
   args.add_option("trace-format", "chrome", "trace file format: chrome "
                   "(chrome://tracing / Perfetto) or jsonl");
+  robustness::add_flags(&args);
   args.add_flag("stats", "print search statistics");
   args.add_flag("skin", "print the skin-effect histogram (Table 3 data)");
   args.add_flag("model", "print the satisfying assignment");
@@ -461,6 +466,27 @@ int main(int argc, char** argv) {
     sink = &main_sink;
   }
 
+  // Resource governor + fault injection (--memory-budget / --fault-*).
+  // Both live for the whole run; their gauges/counters surface in
+  // --metrics-out when a hub exists.
+  std::unique_ptr<util::MemoryBudget> mem_budget;
+  std::unique_ptr<util::FaultInjector> injector;
+  if (!robustness::budget_from_args(args, &mem_budget) ||
+      !robustness::injector_from_args(args, &injector)) {
+    return 1;
+  }
+  robustness::InstalledInjector installed;
+  installed.install(injector.get());
+  if (hub != nullptr) {
+    if (mem_budget != nullptr) {
+      mem_budget->attach_telemetry(hub->metrics().gauge("memory_budget_bytes"),
+                                   hub->metrics().counter("degrade_events"));
+    }
+    if (injector != nullptr) {
+      injector->set_counter(hub->metrics().counter("faults_injected"));
+    }
+  }
+
   // Scripted incremental mode: the input is an op stream, not a formula.
   const bool scripted =
       args.has_flag("icnf") ||
@@ -472,7 +498,8 @@ int main(int argc, char** argv) {
       std::cerr << "error: --icnf needs a script file\n";
       return 1;
     }
-    return run_scripted(args, args.positional()[0], hub.get(), sink);
+    return run_scripted(args, args.positional()[0], hub.get(), sink,
+                        mem_budget.get());
   }
 
   // Load or generate the formula.
@@ -488,7 +515,19 @@ int main(int argc, char** argv) {
       cnf = std::move(instance->cnf);
       std::cout << "c generated " << spec << "\n";
     } else if (!args.positional().empty()) {
-      cnf = dimacs::read_file(args.positional()[0]);
+      // The checked reader surfaces recoverable issues (today: a header
+      // clause count disagreeing with the file) as warnings instead of
+      // refusing a formula that is perfectly solvable.
+      dimacs::ParseResult parsed =
+          dimacs::read_checked_file(args.positional()[0]);
+      for (const dimacs::ParseIssue& issue : parsed.issues) {
+        if (!issue.fatal) std::cerr << issue.to_string() << "\n";
+      }
+      if (!parsed.ok()) {
+        std::cerr << "error: " << parsed.first_error() << "\n";
+        return 1;
+      }
+      cnf = std::move(parsed.cnf);
     } else {
       std::cerr << "error: no input (give a DIMACS file or --generate)\n";
       return 1;
@@ -623,6 +662,7 @@ int main(int argc, char** argv) {
       config.options.inprocess.var_elim = false;
     }
     popts.telemetry = hub.get();
+    popts.memory_budget = mem_budget.get();
     portfolio::PortfolioSolver portfolio(popts);
     portfolio.load(cnf);
 
@@ -689,6 +729,7 @@ int main(int argc, char** argv) {
   options.inprocess.var_elim = options.inprocess.enabled;
   Solver solver(options);
   solver.set_telemetry(sink);
+  solver.set_memory_budget(mem_budget.get());
   if (seq_writer != nullptr) solver.set_proof(seq_writer);
 
   solver.load(cnf);
@@ -705,6 +746,14 @@ int main(int argc, char** argv) {
   if (status == SolveStatus::unsatisfiable && !core_path.empty() &&
       !certify_unsat(proof_formula, memory_proof.proof(), drat_path,
                      drat_format, core_path, sink)) {
+    return 1;
+  }
+  // A streamed DRAT writer that hit a short write latched the failure;
+  // refuse to present the truncated file as a proof.
+  if (status == SolveStatus::unsatisfiable && stream_writer != nullptr &&
+      !stream_writer->ok()) {
+    std::cerr << "error: DRAT proof incomplete (" << stream_writer->fail_reason()
+              << ")\n";
     return 1;
   }
   if (status == SolveStatus::satisfiable && args.has_flag("model")) {

@@ -2,6 +2,7 @@
 
 #include <fstream>
 #include <istream>
+#include <optional>
 #include <ostream>
 #include <sstream>
 #include <vector>
@@ -12,6 +13,7 @@ namespace {
 struct Token {
   std::string text;
   int line = 0;
+  std::uint64_t offset = 0;  // byte offset of the token's first character
 };
 
 // Tokenizes the stream, dropping comment lines and the SATLIB "%" footer
@@ -20,6 +22,7 @@ std::vector<Token> tokenize(std::istream& in) {
   std::vector<Token> tokens;
   std::string line;
   int line_number = 0;
+  std::uint64_t line_start = 0;  // byte offset of the current line
   while (std::getline(in, line)) {
     ++line_number;
     std::istringstream ls(line);
@@ -38,82 +41,154 @@ std::vector<Token> tokenize(std::istream& in) {
         }
       }
       if (word == "%") return tokens;  // SATLIB footer: stop reading.
-      tokens.push_back(Token{word, line_number});
+      // The token ends where the line stream now stands (end of line when
+      // the extraction hit EOF), so it starts word.size() bytes earlier.
+      const auto end = ls.tellg() == std::istringstream::pos_type(-1)
+                           ? line.size()
+                           : static_cast<std::size_t>(ls.tellg());
+      tokens.push_back(
+          Token{word, line_number, line_start + end - word.size()});
       first_word = false;
     }
+    line_start += line.size() + 1;  // + the newline getline consumed
   }
   return tokens;
 }
 
-long long parse_number(const Token& token) {
+// Parses a token as a number; a malformed token appends a fatal issue and
+// returns nullopt.
+std::optional<long long> parse_number(const Token& token,
+                                      std::vector<ParseIssue>* issues) {
   std::size_t consumed = 0;
   long long value = 0;
   try {
     value = std::stoll(token.text, &consumed);
   } catch (const std::exception&) {
-    throw DimacsError(token.line, "expected a number, got '" + token.text + "'");
+    issues->push_back(ParseIssue{true, token.line, token.offset,
+                                 "expected a number, got '" + token.text + "'"});
+    return std::nullopt;
   }
   if (consumed != token.text.size()) {
-    throw DimacsError(token.line, "trailing characters in '" + token.text + "'");
+    issues->push_back(ParseIssue{true, token.line, token.offset,
+                                 "trailing characters in '" + token.text + "'"});
+    return std::nullopt;
   }
   return value;
 }
 
 }  // namespace
 
-Cnf read(std::istream& in) {
+ParseResult read_checked(std::istream& in) {
+  ParseResult result;
   const std::vector<Token> tokens = tokenize(in);
   std::size_t pos = 0;
 
+  const auto fatal = [&](int line, std::uint64_t offset,
+                         const std::string& message) {
+    result.issues.push_back(ParseIssue{true, line, offset, message});
+  };
+
   if (tokens.empty()) {
-    throw DimacsError(0, "empty input: missing 'p cnf' header");
+    fatal(0, 0, "empty input: missing 'p cnf' header");
+    return result;
   }
   if (tokens[pos].text != "p") {
-    throw DimacsError(tokens[pos].line, "expected 'p cnf' header before clauses");
+    fatal(tokens[pos].line, tokens[pos].offset,
+          "expected 'p cnf' header before clauses");
+    return result;
   }
   ++pos;
   if (pos >= tokens.size() || tokens[pos].text != "cnf") {
-    throw DimacsError(tokens[pos - 1].line, "expected 'cnf' after 'p'");
+    fatal(tokens[pos - 1].line, tokens[pos - 1].offset,
+          "expected 'cnf' after 'p'");
+    return result;
   }
   ++pos;
   if (pos + 1 >= tokens.size()) {
-    throw DimacsError(tokens.back().line, "header is missing variable/clause counts");
+    fatal(tokens.back().line, tokens.back().offset,
+          "header is missing variable/clause counts");
+    return result;
   }
-  const long long declared_vars = parse_number(tokens[pos++]);
-  const long long declared_clauses = parse_number(tokens[pos++]);
-  if (declared_vars < 0 || declared_clauses < 0) {
-    throw DimacsError(tokens[pos - 1].line, "negative counts in header");
+  const std::optional<long long> declared_vars =
+      parse_number(tokens[pos++], &result.issues);
+  const std::optional<long long> declared_clauses =
+      parse_number(tokens[pos++], &result.issues);
+  if (!declared_vars.has_value() || !declared_clauses.has_value()) {
+    return result;
+  }
+  if (*declared_vars < 0 || *declared_clauses < 0) {
+    fatal(tokens[pos - 1].line, tokens[pos - 1].offset,
+          "negative counts in header");
+    return result;
   }
 
-  Cnf cnf(static_cast<int>(declared_vars));
+  result.cnf = Cnf(static_cast<int>(*declared_vars));
   std::vector<Lit> current;
-  int last_line = tokens.empty() ? 1 : tokens.back().line;
+  int last_line = tokens.back().line;
+  std::uint64_t last_offset = tokens.back().offset;
   for (; pos < tokens.size(); ++pos) {
-    const long long value = parse_number(tokens[pos]);
+    const std::optional<long long> value =
+        parse_number(tokens[pos], &result.issues);
+    if (!value.has_value()) return result;
     last_line = tokens[pos].line;
-    if (value == 0) {
-      cnf.add_clause(current);
+    last_offset = tokens[pos].offset;
+    if (*value == 0) {
+      result.cnf.add_clause(current);
       current.clear();
       continue;
     }
-    const long long magnitude = value > 0 ? value : -value;
-    if (magnitude > declared_vars) {
-      throw DimacsError(tokens[pos].line,
-                        "literal " + tokens[pos].text + " exceeds declared " +
-                            std::to_string(declared_vars) + " variables");
+    const long long magnitude = *value > 0 ? *value : -*value;
+    if (magnitude > *declared_vars) {
+      fatal(tokens[pos].line, tokens[pos].offset,
+            "literal " + tokens[pos].text + " exceeds declared " +
+                std::to_string(*declared_vars) + " variables");
+      return result;
     }
-    current.push_back(from_dimacs(static_cast<int>(value)));
+    current.push_back(from_dimacs(static_cast<int>(*value)));
   }
   if (!current.empty()) {
-    throw DimacsError(last_line, "last clause is not terminated by 0");
+    fatal(last_line, last_offset, "last clause is not terminated by 0");
+    return result;
   }
-  if (static_cast<long long>(cnf.num_clauses()) != declared_clauses) {
-    throw DimacsError(last_line,
-                      "header declares " + std::to_string(declared_clauses) +
-                          " clauses but " + std::to_string(cnf.num_clauses()) +
-                          " were read");
+  if (static_cast<long long>(result.cnf.num_clauses()) != *declared_clauses) {
+    // Recoverable: the formula read is well-formed, only the header's
+    // bookkeeping is off (frequent in hand-edited and concatenated
+    // files). Solving it is sound; the caller decides whether to care.
+    result.issues.push_back(ParseIssue{
+        false, last_line, last_offset,
+        "header declares " + std::to_string(*declared_clauses) +
+            " clauses but " + std::to_string(result.cnf.num_clauses()) +
+            " were read"});
   }
-  return cnf;
+  return result;
+}
+
+ParseResult read_checked_string(const std::string& text) {
+  std::istringstream in(text);
+  return read_checked(in);
+}
+
+ParseResult read_checked_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    ParseResult result;
+    result.issues.push_back(
+        ParseIssue{true, 0, 0, "cannot open file '" + path + "'"});
+    return result;
+  }
+  return read_checked(in);
+}
+
+Cnf read(std::istream& in) {
+  ParseResult result = read_checked(in);
+  for (const ParseIssue& issue : result.issues) {
+    if (issue.fatal) {
+      throw DimacsError(issue.line,
+                        issue.message + " (byte " +
+                            std::to_string(issue.byte_offset) + ")");
+    }
+  }
+  return std::move(result.cnf);
 }
 
 Cnf read_string(const std::string& text) {

@@ -27,13 +27,30 @@ int Script::num_vars() const {
 
 namespace {
 
-[[noreturn]] void fail(int line, const std::string& what) {
-  throw std::runtime_error("icnf line " + std::to_string(line) + ": " + what);
+// Internal control flow of parse_checked: failures carry the position and
+// are caught at the top, never escaping to callers.
+struct IcnfFailure {
+  int line;
+  std::uint64_t offset;
+  std::string what;
+};
+
+// Byte offset where the line stream currently stands, from the start of
+// the whole input.
+std::uint64_t stream_offset(const std::istringstream& in,
+                            const std::string& text, std::uint64_t line_start) {
+  const auto pos = in.rdbuf()->pubseekoff(0, std::ios::cur, std::ios::in);
+  return line_start + (pos == std::istringstream::pos_type(-1)
+                           ? text.size()
+                           : static_cast<std::uint64_t>(pos));
 }
 
-// Reads DIMACS literals up to the terminating 0. `require_zero` is relaxed
-// for push/pop lines, whose trailing 0 is optional.
-std::vector<Lit> read_lits(std::istringstream& in, int line) {
+// Reads DIMACS literals up to the terminating 0.
+std::vector<Lit> read_lits(std::istringstream& in, int line,
+                           const std::string& text, std::uint64_t line_start) {
+  const auto fail = [&](const std::string& what) {
+    throw IcnfFailure{line, stream_offset(in, text, line_start), what};
+  };
   std::vector<Lit> lits;
   int value = 0;
   bool terminated = false;
@@ -45,94 +62,133 @@ std::vector<Lit> read_lits(std::istringstream& in, int line) {
     lits.push_back(from_dimacs(value));
   }
   if (!terminated) {
-    if (!in.eof()) fail(line, "non-numeric token in a literal list");
-    fail(line, "literal list not terminated by 0");
+    if (!in.eof()) fail("non-numeric token in a literal list");
+    fail("literal list not terminated by 0");
   }
   std::string rest;
-  if (in >> rest) fail(line, "trailing token '" + rest + "' after 0");
+  if (in >> rest) fail("trailing token '" + rest + "' after 0");
   return lits;
 }
 
 }  // namespace
 
-Script parse(std::istream& in) {
-  Script script;
+ParseResult parse_checked(std::istream& in) {
+  ParseResult result;
+  Script& script = result.script;
   int depth = 0;
   bool saw_header = false;
   std::string line;
   int line_number = 0;
-  while (std::getline(in, line)) {
-    ++line_number;
-    std::istringstream tokens(line);
-    std::string head;
-    if (!(tokens >> head)) continue;  // blank
-    if (head == "c") continue;        // comment
+  std::uint64_t line_start = 0;
+  try {
+    while (std::getline(in, line)) {
+      ++line_number;
+      std::istringstream tokens(line);
+      const auto fail = [&](const std::string& what) {
+        throw IcnfFailure{line_number, stream_offset(tokens, line, line_start),
+                          what};
+      };
+      std::string head;
+      if (!(tokens >> head)) {
+        line_start += line.size() + 1;
+        continue;  // blank
+      }
+      if (head == "c") {
+        line_start += line.size() + 1;
+        continue;  // comment
+      }
 
-    if (head == "p") {
-      if (saw_header) fail(line_number, "duplicate header");
-      saw_header = true;
-      std::string format;
-      tokens >> format;
-      if (format != "inccnf" && format != "icnf" && format != "cnf") {
-        fail(line_number, "unknown format '" + format + "'");
+      if (head == "p") {
+        if (saw_header) fail("duplicate header");
+        saw_header = true;
+        std::string format;
+        tokens >> format;
+        if (format != "inccnf" && format != "icnf" && format != "cnf") {
+          fail("unknown format '" + format + "'");
+        }
+        // Optional "<vars> <clauses>" counts, both advisory.
+        int vars = 0;
+        if (tokens >> vars) script.declared_vars = vars;
+        line_start += line.size() + 1;
+        continue;
       }
-      // Optional "<vars> <clauses>" counts, both advisory.
-      int vars = 0;
-      if (tokens >> vars) script.declared_vars = vars;
-      continue;
-    }
 
-    if (head == "push" || head == "pop") {
-      // Only an optional terminating "0" may follow; anything else —
-      // including a non-numeric token — is a malformed line.
-      std::string token;
-      if (tokens >> token && token != "0") {
-        fail(line_number, head + " takes no arguments");
+      if (head == "push" || head == "pop") {
+        // Only an optional terminating "0" may follow; anything else —
+        // including a non-numeric token — is a malformed line.
+        std::string token;
+        if (tokens >> token && token != "0") {
+          fail(head + " takes no arguments");
+        }
+        if (tokens >> token) {
+          fail("trailing token '" + token + "' after 0");
+        }
+        if (head == "push") {
+          ++depth;
+          script.ops.push_back(Op::push());
+        } else {
+          if (depth == 0) fail("pop without a matching push");
+          --depth;
+          script.ops.push_back(Op::pop());
+        }
+        line_start += line.size() + 1;
+        continue;
       }
-      if (tokens >> token) {
-        fail(line_number, "trailing token '" + token + "' after 0");
+
+      if (head == "a") {
+        script.ops.push_back(
+            Op::solve(read_lits(tokens, line_number, line, line_start)));
+        line_start += line.size() + 1;
+        continue;
       }
-      if (head == "push") {
-        ++depth;
-        script.ops.push_back(Op::push());
+
+      // A clause line: the head token is its first literal.
+      int first = 0;
+      try {
+        std::size_t consumed = 0;
+        first = std::stoi(head, &consumed);
+        if (consumed != head.size()) throw std::invalid_argument(head);
+      } catch (const std::exception&) {
+        fail("unrecognized directive '" + head + "'");
+      }
+      std::vector<Lit> lits;
+      if (first != 0) {
+        lits.push_back(from_dimacs(first));
+        auto rest = read_lits(tokens, line_number, line, line_start);
+        lits.insert(lits.end(), rest.begin(), rest.end());
       } else {
-        if (depth == 0) fail(line_number, "pop without a matching push");
-        --depth;
-        script.ops.push_back(Op::pop());
+        // "0" alone adds the empty clause; anything after the terminator
+        // is a malformed line, not literals to discard.
+        std::string rest;
+        if (tokens >> rest) {
+          fail("trailing token '" + rest + "' after 0");
+        }
       }
-      continue;
+      script.ops.push_back(Op::clause(std::move(lits)));
+      line_start += line.size() + 1;
     }
-
-    if (head == "a") {
-      script.ops.push_back(Op::solve(read_lits(tokens, line_number)));
-      continue;
-    }
-
-    // A clause line: the head token is its first literal.
-    int first = 0;
-    try {
-      std::size_t consumed = 0;
-      first = std::stoi(head, &consumed);
-      if (consumed != head.size()) throw std::invalid_argument(head);
-    } catch (const std::exception&) {
-      fail(line_number, "unrecognized directive '" + head + "'");
-    }
-    std::vector<Lit> lits;
-    if (first != 0) {
-      lits.push_back(from_dimacs(first));
-      auto rest = read_lits(tokens, line_number);
-      lits.insert(lits.end(), rest.begin(), rest.end());
-    } else {
-      // "0" alone adds the empty clause; anything after the terminator is
-      // a malformed line, not literals to discard.
-      std::string rest;
-      if (tokens >> rest) {
-        fail(line_number, "trailing token '" + rest + "' after 0");
-      }
-    }
-    script.ops.push_back(Op::clause(std::move(lits)));
+  } catch (const IcnfFailure& failure) {
+    result.issues.push_back(
+        ParseIssue{failure.line, failure.offset, failure.what});
   }
-  return script;
+  return result;
+}
+
+ParseResult read_checked_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    ParseResult result;
+    result.issues.push_back(
+        ParseIssue{0, 0, "cannot open icnf file '" + path + "'"});
+    return result;
+  }
+  return parse_checked(in);
+}
+
+Script parse(std::istream& in) {
+  ParseResult result = parse_checked(in);
+  if (!result.ok()) throw std::runtime_error(result.first_error());
+  return std::move(result.script);
 }
 
 Script read_file(const std::string& path) {

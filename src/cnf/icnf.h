@@ -53,7 +53,35 @@ struct Script {
   int num_vars() const;
 };
 
-// Parsing. Both throw std::runtime_error on malformed input.
+// One malformed construct, anchored to where parsing stopped. All icnf
+// issues are fatal (the script is an imperative sequence — there is no
+// safe way to keep replaying past a broken directive).
+struct ParseIssue {
+  int line = 0;
+  std::uint64_t byte_offset = 0;  // from the start of the stream
+  std::string message;
+
+  std::string to_string() const {
+    return "icnf line " + std::to_string(line) + " (byte " +
+           std::to_string(byte_offset) + "): " + message;
+  }
+};
+
+struct ParseResult {
+  Script script;  // the prefix parsed before the first issue
+  std::vector<ParseIssue> issues;
+
+  bool ok() const { return issues.empty(); }
+  std::string first_error() const {
+    return issues.empty() ? std::string() : issues.front().to_string();
+  }
+};
+
+// Parsing. parse_checked/read_checked_file never throw on malformed input
+// (they return the issue with its position); parse/read_file are the
+// strict wrappers raising std::runtime_error on the first issue.
+ParseResult parse_checked(std::istream& in);
+ParseResult read_checked_file(const std::string& path);
 Script parse(std::istream& in);
 Script read_file(const std::string& path);
 

@@ -208,6 +208,19 @@ void Solver::resolve_conflict(ClauseRef conflict) {
 }
 
 void Solver::record_learned(const std::vector<Lit>& learned, int backtrack_level) {
+  // Resource governor / fault injection: when storing the lemma is denied
+  // (critical memory pressure, or an injected allocation fault), fall back
+  // to a sound no-learn restart — backtrack to the root storing nothing
+  // and asserting nothing. Asserting the 1-UIP literal without its reason
+  // clause would be unsound (the literal alone is not root-implied), and
+  // the activity bumps analyze() already performed steer the next descent
+  // elsewhere. Learned units are exempt: they allocate nothing.
+  if (learned.size() > 1 && deny_learned_alloc()) {
+    ++stats_.no_learn_restarts;
+    backtrack_to(0);
+    return;
+  }
+
   ++stats_.learned_clauses;
   stats_.learned_literals += learned.size();
   stats_.record_glue(last_learned_glue_);

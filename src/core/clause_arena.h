@@ -91,6 +91,10 @@ class ClauseArena {
 
   std::size_t size_words() const { return data_.size(); }
 
+  // Allocated (not just used) storage, in words — what a MemoryBudget
+  // should be charged for this arena.
+  std::size_t capacity_words() const { return data_.capacity(); }
+
   void clear() { data_.clear(); }
 
   void reserve_words(std::size_t words) { data_.reserve(words); }

@@ -22,6 +22,7 @@
 #include "core/inprocess.h"
 #include "core/solver.h"
 #include "telemetry/trace.h"
+#include "util/memory_budget.h"
 
 namespace berkmin {
 
@@ -43,7 +44,12 @@ void Solver::handle_restart() {
     proof_emit_empty();
     return;
   }
-  if (opts_.reduction_policy != ReductionPolicy::none) reduce_db();
+  // Memory-pressure ladder first: an emergency reduction both frees memory
+  // and replaces the regular (gentler) reduction for this restart.
+  const bool emergency_reduced = apply_pressure_ladder();
+  if (!emergency_reduced && opts_.reduction_policy != ReductionPolicy::none) {
+    reduce_db();
+  }
   // Watch-pool hygiene: span relocations during the search leave garbage
   // slots behind (reduce_db rebuilds the pools gap-free, but the policy
   // may be none). A restart is the one point where no scan is in flight,
@@ -67,6 +73,64 @@ void Solver::handle_restart() {
   // stats deltas since the previous flush become visible to concurrent
   // snapshots here, so a long-running solve is observable while it runs.
   if (telemetry_ != nullptr) telemetry_->publish(stats_, &telemetry_seen_);
+}
+
+// The graceful-degradation ladder (see Solver::set_memory_budget). Runs at
+// the restart safe point: decision level 0, propagation fixpoint.
+//   soft+    — emergency reduction keeping only the glue-core tier (and the
+//              topmost clause, the paper's anti-looping safeguard);
+//   hard+    — inprocessing switched off until pressure recedes;
+//   below hard — inprocessing re-enabled if the ladder disabled it.
+// A pending flag set by a denied learned-clause allocation forces the
+// emergency reduction even if pressure dipped since the denial.
+bool Solver::apply_pressure_ladder() {
+  if (budget_ == nullptr || budget_infeasible_) return false;
+  const util::Pressure p = budget_->pressure();
+
+  if (p >= util::Pressure::hard) {
+    if (opts_.inprocess.enabled && !inprocess_pressure_disabled_) {
+      inprocess_pressure_disabled_ = true;
+      budget_->note_degrade();
+    }
+  } else if (inprocess_pressure_disabled_) {
+    inprocess_pressure_disabled_ = false;
+  }
+
+  if (p < util::Pressure::soft && !pressure_reduce_pending_) return false;
+  pressure_reduce_pending_ = false;
+  ++stats_.pressure_reductions;
+  budget_->note_degrade();
+
+  for (const Lit l : trail_) {
+    reason_[l.var()] = no_clause;
+    bin_reason_other_[l.var()] = undef_lit;
+  }
+  std::vector<char> keep(learned_stack_.size(), 0);
+  for (std::size_t i = 0; i < learned_stack_.size(); ++i) {
+    if (clause_is_satisfied(learned_stack_[i])) continue;  // migrate asserts
+    const Clause c = arena_.deref(learned_stack_[i]);
+    keep[i] = (c.glue() != 0 && c.glue() <= opts_.glue_core) ||
+                      i + 1 == learned_stack_.size()
+                  ? 1
+                  : 0;
+  }
+  garbage_collect(keep);
+  // An emergency reduction that leaves pressure at critical freed nothing
+  // that matters: the limit is held down by the base formula or by charge
+  // other tenants own. After a streak of those the limit is unattainable —
+  // declare the budget infeasible for this solve and stop denying lemmas
+  // and shedding the database, preferring a correct answer over thrashing
+  // forever. The next solve() probes the budget afresh.
+  if (budget_->pressure() == util::Pressure::critical) {
+    if (++critical_reduce_streak_ >= kInfeasibleCriticalStreak) {
+      budget_infeasible_ = true;
+      ++stats_.budget_infeasible_solves;
+      budget_->note_degrade();
+    }
+  } else {
+    critical_reduce_streak_ = 0;
+  }
+  return true;
 }
 
 namespace {
@@ -186,7 +250,8 @@ void Solver::reduce_db() {
 
 void Solver::maybe_inprocess() {
   if (!ok_ || !opts_.inprocess.enabled ||
-      opts_.inprocess.interval_restarts == 0) {
+      opts_.inprocess.interval_restarts == 0 ||
+      inprocess_pressure_disabled_) {
     return;
   }
   if (++restarts_since_inprocess_ < opts_.inprocess.interval_restarts) return;
@@ -316,6 +381,7 @@ void Solver::garbage_collect(const std::vector<char>& keep_learned,
     }
   }
   for (const ClauseRef ref : learned_stack_) attach_clause(ref);
+  sync_budget_charge();
   if (telemetry_ != nullptr) {
     telemetry_->emit(telemetry::EventKind::garbage_collect, gc_start_ns,
                      telemetry_->now_ns() - gc_start_ns, arena_words_before,

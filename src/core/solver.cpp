@@ -7,11 +7,64 @@
 #include "core/inprocess.h"
 #include "proof/proof_writer.h"
 #include "telemetry/trace.h"
+#include "util/fault.h"
+#include "util/memory_budget.h"
 
 namespace berkmin {
 
 // Out of line: ~Solver must see the complete Inprocessor type.
-Solver::~Solver() = default;
+Solver::~Solver() {
+  if (budget_ != nullptr && budget_charged_bytes_ != 0) {
+    budget_->release(budget_charged_bytes_);
+  }
+}
+
+void Solver::set_memory_budget(util::MemoryBudget* budget) {
+  if (budget_ != nullptr && budget_charged_bytes_ != 0) {
+    budget_->release(budget_charged_bytes_);
+  }
+  budget_ = budget;
+  budget_charged_bytes_ = 0;
+  sync_budget_charge();
+}
+
+void Solver::sync_budget_charge() {
+  if (budget_ == nullptr) return;
+  const std::uint64_t now =
+      static_cast<std::uint64_t>(arena_.capacity_words()) * sizeof(std::uint32_t);
+  if (now > budget_charged_bytes_) {
+    budget_->charge(now - budget_charged_bytes_);
+  } else if (now < budget_charged_bytes_) {
+    budget_->release(budget_charged_bytes_ - now);
+  }
+  budget_charged_bytes_ = now;
+}
+
+bool Solver::deny_learned_alloc() {
+  if (BERKMIN_FAULT_POINT(util::FaultSite::alloc_clause)) return true;
+  if (budget_ != nullptr && !budget_infeasible_ &&
+      budget_->pressure() == util::Pressure::critical) {
+    // Critical pressure is usually transient (the emergency reductions
+    // relieve it), but a budget can be pinned there (a limit below the
+    // base formula, or charge held by other tenants). Denying every lemma
+    // would then turn the search into non-terminating no-learn restarts,
+    // so an escalating escape valve admits one lemma per deny streak and
+    // halves the streak length each time it fires, until the pressure
+    // ladder declares the budget infeasible (budget_infeasible_) and
+    // denial stops altogether.
+    if (++pressure_deny_streak_ <= pressure_deny_limit_) {
+      budget_->note_degrade();
+      pressure_reduce_pending_ = true;  // free memory at the next restart
+      return true;
+    }
+    pressure_deny_streak_ = 0;
+    pressure_deny_limit_ = std::max<std::uint32_t>(1, pressure_deny_limit_ / 2);
+    return false;
+  }
+  pressure_deny_streak_ = 0;
+  pressure_deny_limit_ = kPressureDenyLimit;  // pressure receded: re-arm
+  return false;
+}
 
 bool Solver::project_for_proof(std::span<const Lit> lits) {
   proof_scratch_.clear();
@@ -265,6 +318,7 @@ ClauseRef Solver::add_clause_internal(std::span<const Lit> lits, bool learned,
   }
   attach_clause(ref);
   update_live_peak();
+  sync_budget_charge();
   return ref;
 }
 
@@ -507,6 +561,12 @@ SolveStatus Solver::solve_with_assumptions(std::span<const Lit> assumptions,
                           stats_.propagations, stats_.restarts,
                           stats_.learned_clauses};
   last_slice_ = SliceStats{};
+  // Probe a previously-infeasible budget afresh: external charge may have
+  // been released between solves.
+  budget_infeasible_ = false;
+  critical_reduce_streak_ = 0;
+  pressure_deny_streak_ = 0;
+  pressure_deny_limit_ = kPressureDenyLimit;
   if (!ok_) return SolveStatus::unsatisfiable;
 
   // The assumption prefix: active groups' selectors first (negated — the

@@ -39,6 +39,10 @@ namespace proof {
 class ProofWriter;
 }
 
+namespace util {
+class MemoryBudget;
+}
+
 class Inprocessor;
 
 class Solver {
@@ -189,6 +193,23 @@ class Solver {
   const SolverStats& stats() const { return stats_; }
   const SolverOptions& options() const { return opts_; }
 
+  // ---- resource governor ------------------------------------------------
+  // Attaches a shared MemoryBudget (util/memory_budget.h). The solver
+  // charges its clause-arena storage against the budget and degrades
+  // gracefully under pressure instead of dying on bad_alloc:
+  //   soft     — an emergency reduction at the next restart keeps only the
+  //              glue-core tier of the learned database;
+  //   hard     — inprocessing is additionally switched off (re-enabled
+  //              when pressure recedes);
+  //   critical — learned-clause storage is denied outright and each such
+  //              conflict resolves by a sound no-learn restart (backtrack
+  //              to the root, store nothing, assert nothing).
+  // The budget must outlive the solver; pass nullptr to detach. Every
+  // degradation bumps the budget's degrade-event counter and the solver's
+  // no_learn_restarts / pressure_reductions stats.
+  void set_memory_budget(util::MemoryBudget* budget);
+  util::MemoryBudget* memory_budget() const { return budget_; }
+
   // ---- telemetry --------------------------------------------------------
   // Attaches a telemetry sink (src/telemetry): phase timers around BCP /
   // analyze / decide / reduce / garbage_collect, trace events for
@@ -329,6 +350,16 @@ class Solver {
   void record_slice();
   std::uint64_t next_restart_limit() const;
   void update_live_peak();
+  // Re-charges the attached MemoryBudget with the arena's current
+  // capacity delta (called after growth and after garbage collection).
+  void sync_budget_charge();
+  // True when storing a learned clause must be refused (critical budget
+  // pressure or an injected allocation fault); see record_learned.
+  bool deny_learned_alloc();
+  // Applies the pressure ladder at the restart safe point (reduce.cpp).
+  // Returns true when an emergency reduction already ran (the regular
+  // reduce_db is skipped for that restart).
+  bool apply_pressure_ladder();
 
   // --- conflict analysis (analyze.cpp) ---
   // Produces an asserting 1-UIP clause (learned[0] is the asserting
@@ -490,6 +521,34 @@ class Solver {
   std::vector<Lit> proof_scratch_;
   // add_root_clause scratch for the translated/selector-tagged input.
   std::vector<Lit> add_scratch_;
+
+  // Resource governor state (see set_memory_budget). charged_bytes_ is
+  // what this solver currently holds against the budget;
+  // pressure_reduce_pending_ requests an emergency glue-core-only
+  // reduction at the next restart; inprocess_pressure_disabled_ remembers
+  // that hard pressure (not the user) turned inprocessing off so it can
+  // be re-enabled when pressure recedes.
+  util::MemoryBudget* budget_ = nullptr;
+  std::uint64_t budget_charged_bytes_ = 0;
+  bool pressure_reduce_pending_ = false;
+  bool inprocess_pressure_disabled_ = false;
+  // Escape valve for a budget pinned at critical (e.g. a limit smaller
+  // than the base formula): after pressure_deny_limit_ consecutive
+  // pressure denials one lemma is admitted anyway and the limit halves,
+  // so the search keeps converging instead of looping no-learn restarts
+  // forever. The limit re-arms when pressure recedes. Injected faults
+  // don't count — their fire caps already bound them.
+  static constexpr std::uint32_t kPressureDenyLimit = 32;
+  std::uint32_t pressure_deny_streak_ = 0;
+  std::uint32_t pressure_deny_limit_ = kPressureDenyLimit;
+  // When an emergency reduction leaves pressure still critical this many
+  // restarts in a row, the limit is unattainable (held down by the base
+  // formula or external charge): the governor marks the budget infeasible
+  // for this solve and stops denying lemmas and shedding the database —
+  // a correct answer beats thrashing forever. Probed afresh each solve().
+  static constexpr std::uint32_t kInfeasibleCriticalStreak = 8;
+  std::uint32_t critical_reduce_streak_ = 0;
+  bool budget_infeasible_ = false;
 
   std::vector<Value> model_;
   SolverStats stats_;

@@ -139,6 +139,18 @@ struct SolverStats {
   std::uint64_t top_clause_decisions = 0;
   std::uint64_t global_decisions = 0;
 
+  // Resource governor (util/memory_budget.h) + fault injection: restarts
+  // taken without storing the learned clause because its allocation was
+  // denied (critical memory pressure or an injected alloc fault), and
+  // emergency database reductions forced by memory pressure.
+  // budget_infeasible_solves counts solves whose budget the governor gave
+  // up on: emergency reductions could not pull usage out of the critical
+  // band (limit below the base formula, or charge held externally), so
+  // degradation stopped and the solve ran to a correct answer instead.
+  std::uint64_t no_learn_restarts = 0;
+  std::uint64_t pressure_reductions = 0;
+  std::uint64_t budget_infeasible_solves = 0;
+
   // Portfolio clause sharing (src/portfolio): clauses this solver exported
   // to / imported from a sharing pool. Zero outside a portfolio run.
   std::uint64_t exported_clauses = 0;

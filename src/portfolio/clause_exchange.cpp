@@ -2,13 +2,38 @@
 
 #include <algorithm>
 
+#include "util/fault.h"
+#include "util/memory_budget.h"
+
 namespace berkmin::portfolio {
 
 ClauseExchange::ClauseExchange(int num_workers, ExchangeLimits limits)
     : limits_(limits),
       cursors_(static_cast<std::size_t>(num_workers), 0),
+      retired_(static_cast<std::size_t>(num_workers), 0),
       glue_limit_(std::clamp(limits.glue_limit_initial, limits.glue_limit_min,
                              limits.glue_limit_max)) {}
+
+ClauseExchange::~ClauseExchange() {
+  if (budget_ != nullptr && charged_bytes_ != 0) {
+    budget_->release(charged_bytes_);
+  }
+}
+
+void ClauseExchange::set_memory_budget(util::MemoryBudget* budget) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (budget_ != nullptr && charged_bytes_ != 0) {
+    budget_->release(charged_bytes_);
+    charged_bytes_ = 0;
+  }
+  budget_ = budget;
+}
+
+void ClauseExchange::retire_worker(int worker) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto w = static_cast<std::size_t>(worker);
+  if (w < retired_.size()) retired_[w] = 1;
+}
 
 bool ClauseExchange::publish(int worker, std::span<const Lit> clause,
                              std::uint32_t glue, std::size_t* entry_index) {
@@ -58,12 +83,29 @@ bool ClauseExchange::publish(int worker, std::span<const Lit> clause,
       }
     }
   }
+  if (retired_[static_cast<std::size_t>(worker)]) return false;
   if (entries_.size() >= limits_.max_clauses) {
     ++stats_.rejected_full;
     return false;
   }
+  // Memory governor + injected allocation faults: an entry costs roughly
+  // its key + literal storage; a publish the budget cannot absorb is
+  // dropped (sharing is an optimization, never required for soundness).
+  const std::uint64_t entry_bytes =
+      (2 * clause.size()) * sizeof(std::int32_t) + sizeof(Entry);
+  if (BERKMIN_FAULT_POINT(util::FaultSite::alloc_exchange) ||
+      (budget_ != nullptr && !budget_->try_reserve(entry_bytes))) {
+    ++stats_.rejected_pressure;
+    if (budget_ != nullptr) budget_->note_degrade();
+    return false;
+  }
+  if (budget_ != nullptr) charged_bytes_ += entry_bytes;
   if (!seen_.insert(std::move(key)).second) {
     ++stats_.rejected_duplicate;
+    if (budget_ != nullptr) {
+      budget_->release(entry_bytes);
+      charged_bytes_ -= entry_bytes;
+    }
     return false;
   }
   if (entry_index != nullptr) *entry_index = entries_.size();
@@ -77,6 +119,11 @@ std::size_t ClauseExchange::collect(int worker,
                                     std::vector<std::uint32_t>* glues,
                                     std::size_t* cursor_after) {
   std::lock_guard<std::mutex> lock(mutex_);
+  if (retired_[static_cast<std::size_t>(worker)]) {
+    if (cursor_after != nullptr)
+      *cursor_after = cursors_[static_cast<std::size_t>(worker)];
+    return 0;
+  }
   std::size_t& cursor = cursors_[static_cast<std::size_t>(worker)];
   std::size_t appended = 0;
   for (; cursor < entries_.size(); ++cursor) {
@@ -94,7 +141,10 @@ std::size_t ClauseExchange::collect(int worker,
 std::size_t ClauseExchange::min_cursor() const {
   std::lock_guard<std::mutex> lock(mutex_);
   std::size_t low = entries_.size();
-  for (const std::size_t cursor : cursors_) low = std::min(low, cursor);
+  for (std::size_t w = 0; w < cursors_.size(); ++w) {
+    if (retired_[w]) continue;  // a dead worker must not stall the splicer
+    low = std::min(low, cursors_[w]);
+  }
   return low;
 }
 

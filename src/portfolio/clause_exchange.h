@@ -34,6 +34,10 @@
 
 #include "cnf/literal.h"
 
+namespace berkmin::util {
+class MemoryBudget;
+}
+
 namespace berkmin::portfolio {
 
 struct ExchangeLimits {
@@ -58,12 +62,14 @@ struct ExchangeStats {
   std::uint64_t rejected_glue = 0;       // glue above the adaptive limit
   std::uint64_t rejected_duplicate = 0;  // already in the pool
   std::uint64_t rejected_full = 0;       // budget exhausted
+  std::uint64_t rejected_pressure = 0;   // memory budget denied the entry
   std::uint64_t collected = 0;           // clauses handed to importers
 };
 
 class ClauseExchange {
  public:
   explicit ClauseExchange(int num_workers, ExchangeLimits limits = {});
+  ~ClauseExchange();
 
   // Offers a clause deduced by `worker` with its glue (0 = unknown).
   // Returns true iff it was stored (admitted by the filter, novel, and
@@ -86,7 +92,19 @@ class ClauseExchange {
   // already collected (and, per the portfolio's restart callback, logged
   // any proof copies for) all entries below this index. Proof splicing
   // uses it to decide when a published clause's deletion may be released.
+  // Retired workers (see retire_worker) are excluded.
   std::size_t min_cursor() const;
+
+  // Removes a dead worker from the pool's accounting: its stale cursor no
+  // longer gates min_cursor() (a crashed worker would otherwise stall
+  // proof-deletion release forever), and later publish/collect calls from
+  // that worker index are rejected / return nothing.
+  void retire_worker(int worker);
+
+  // Optional memory governor: entry storage is charged against the budget
+  // and a publish that cannot reserve its bytes is rejected (counted in
+  // stats().rejected_pressure). The budget must outlive the exchange.
+  void set_memory_budget(util::MemoryBudget* budget);
 
   // The current adaptive glue admission limit (tests, stats printing).
   std::uint32_t glue_limit() const;
@@ -108,6 +126,9 @@ class ClauseExchange {
   // Canonical sorted-code keys of every clause ever accepted.
   std::set<std::vector<std::int32_t>> seen_;
   std::vector<std::size_t> cursors_;  // per worker: next entry to collect
+  std::vector<char> retired_;         // per worker: dead, excluded from cursors
+  util::MemoryBudget* budget_ = nullptr;
+  std::uint64_t charged_bytes_ = 0;
   ExchangeStats stats_;
   // Adaptive glue admission (see header comment). Guarded by mutex_.
   std::uint32_t glue_limit_;

@@ -7,6 +7,8 @@
 #include <stdexcept>
 #include <thread>
 
+#include "util/fault.h"
+#include "util/memory_budget.h"
 #include "util/timer.h"
 
 namespace berkmin::portfolio {
@@ -28,9 +30,22 @@ bool PortfolioSolver::load(const Cnf& cnf) {
 }
 
 int PortfolioSolver::push_group() {
-  if (!supports_groups()) return -1;
+  int depth = -1;
+  (void)try_push_group(&depth);
+  return depth;
+}
+
+std::string PortfolioSolver::try_push_group(int* depth) {
+  if (depth != nullptr) *depth = -1;
+  if (!supports_groups()) {
+    return "incremental clause groups are unsupported on a proof-logging "
+           "portfolio (log_proof is set); use a single-threaded engine for "
+           "proofs of incremental queries";
+  }
   ops_.push_back(PendingOp{PendingOp::Kind::push, 0});
-  return ++num_groups_;
+  ++num_groups_;
+  if (depth != nullptr) *depth = num_groups_;
+  return {};
 }
 
 void PortfolioSolver::pop_group() {
@@ -60,6 +75,9 @@ void PortfolioSolver::warm_up_workers() {
     configs.resize(static_cast<std::size_t>(n));
 
     exchange_ = std::make_unique<ClauseExchange>(n, opts_.exchange);
+    if (opts_.memory_budget != nullptr) {
+      exchange_->set_memory_budget(opts_.memory_budget);
+    }
     if (opts_.log_proof) {
       splicer_ = std::make_unique<proof::ProofSplicer>(n);
     }
@@ -67,6 +85,8 @@ void PortfolioSolver::warm_up_workers() {
     worker_names_.resize(static_cast<std::size_t>(n));
     sinks_.resize(static_cast<std::size_t>(n));
     pending_exports_.assign(static_cast<std::size_t>(n), 0);
+    dead_.assign(static_cast<std::size_t>(n), 0);
+    dead_errors_.assign(static_cast<std::size_t>(n), {});
     for (int i = 0; i < n; ++i) {
       auto& slot = solvers_[static_cast<std::size_t>(i)];
       slot = std::make_unique<Solver>(configs[static_cast<std::size_t>(i)].options);
@@ -75,6 +95,9 @@ void PortfolioSolver::warm_up_workers() {
 
       Solver* solver = slot.get();
       solver->set_external_stop(&user_stop_);
+      if (opts_.memory_budget != nullptr) {
+        solver->set_memory_budget(opts_.memory_budget);
+      }
       if (splicer_ != nullptr) solver->set_proof(splicer_->writer(i));
       if (opts_.telemetry != nullptr) {
         telemetry::TraceRing* ring =
@@ -174,15 +197,21 @@ void PortfolioSolver::warm_up_workers() {
     // Trailing variables added without any clause mentioning them.
     while (solver.num_vars() < cnf_.num_vars()) solver.new_var();
   };
+  // Dead workers are never fed again: their engines are poisoned and out
+  // of the race for good.
   if (ops_.size() > from && solvers_.size() > 1) {
     std::vector<std::thread> threads;
     threads.reserve(solvers_.size());
-    for (const auto& solver : solvers_) {
-      threads.emplace_back([&feed, &solver] { feed(*solver); });
+    for (std::size_t i = 0; i < solvers_.size(); ++i) {
+      if (dead_[i]) continue;
+      Solver* solver = solvers_[i].get();
+      threads.emplace_back([&feed, solver] { feed(*solver); });
     }
     for (std::thread& t : threads) t.join();
   } else {
-    for (const auto& solver : solvers_) feed(*solver);
+    for (std::size_t i = 0; i < solvers_.size(); ++i) {
+      if (!dead_[i]) feed(*solvers_[i]);
+    }
   }
   replayed_ops_ = ops_.size();
 }
@@ -203,20 +232,44 @@ SolveStatus PortfolioSolver::solve_with_assumptions(
   }
 
   // Un-latch the per-worker stop flags a previous race's winner set on its
-  // siblings; the user's own flag (user_stop_) stays untouched.
-  for (const auto& solver : solvers_) solver->clear_stop();
+  // siblings; the user's own flag (user_stop_) stays untouched. Dead
+  // workers' flags are irrelevant (they never solve again).
+  for (std::size_t i = 0; i < solvers_.size(); ++i) {
+    if (!dead_[i]) solvers_[i]->clear_stop();
+  }
 
   std::mutex winner_mutex;
   const std::vector<Lit> assumed(assumptions.begin(), assumptions.end());
 
   const auto worker = [&](int id) {
     Solver& solver = *solvers_[static_cast<std::size_t>(id)];
+    WorkerReport& report = reports_[static_cast<std::size_t>(id)];
 
     WallTimer timer;
-    const SolveStatus status = solver.solve_with_assumptions(assumed, budget);
+    SolveStatus status = SolveStatus::unknown;
+    try {
+      // Injected faults: a stall delays this worker (the race must still
+      // finish via its siblings or the budget); a death kills it.
+      BERKMIN_FAULT_STALL(util::FaultSite::worker_stall);
+      if (BERKMIN_FAULT_POINT(util::FaultSite::worker_death)) {
+        throw std::runtime_error("injected portfolio worker death");
+      }
+      status = solver.solve_with_assumptions(assumed, budget);
+    } catch (const std::exception& e) {
+      // Worker death (real bad_alloc or injected): the engine's internal
+      // state is arbitrary mid-search, so poison it permanently, retire
+      // its exchange cursor (a stale cursor would stall proof-deletion
+      // release forever), and let the race continue on the survivors.
+      report.died = true;
+      report.error = e.what();
+      report.seconds = timer.seconds();
+      dead_[static_cast<std::size_t>(id)] = 1;
+      dead_errors_[static_cast<std::size_t>(id)] = e.what();
+      exchange_->retire_worker(id);
+      return;
+    }
     const double seconds = timer.seconds();
 
-    WorkerReport& report = reports_[static_cast<std::size_t>(id)];
     report.status = status;
     report.seconds = seconds;
 
@@ -229,21 +282,32 @@ SolveStatus PortfolioSolver::solve_with_assumptions(
     }
   };
 
-  if (n == 1) {
-    worker(0);
+  std::vector<int> runnable;
+  runnable.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    if (!dead_[static_cast<std::size_t>(i)]) runnable.push_back(i);
+  }
+  if (runnable.size() == 1) {
+    worker(runnable.front());
   } else {
     std::vector<std::thread> threads;
-    threads.reserve(static_cast<std::size_t>(n));
-    for (int i = 0; i < n; ++i) threads.emplace_back(worker, i);
+    threads.reserve(runnable.size());
+    for (const int i : runnable) threads.emplace_back(worker, i);
     for (std::thread& t : threads) t.join();
   }
 
   // Snapshot per-worker stats only after every thread has stopped. The
   // counters are cumulative over the workers' lifetime — warm workers keep
-  // growing them call after call.
+  // growing them call after call. A worker that died in an earlier solve
+  // keeps reporting died (its stats snapshot is whatever it had reached).
   for (int i = 0; i < n; ++i) {
     reports_[static_cast<std::size_t>(i)].stats =
         solvers_[static_cast<std::size_t>(i)]->stats();
+    if (dead_[static_cast<std::size_t>(i)]) {
+      reports_[static_cast<std::size_t>(i)].died = true;
+      reports_[static_cast<std::size_t>(i)].error =
+          dead_errors_[static_cast<std::size_t>(i)];
+    }
   }
   exchange_stats_ = exchange_->stats();
   publish_exchange_stats();
@@ -284,8 +348,19 @@ void PortfolioSolver::publish_exchange_stats() {
         &exchange_seen_.rejected_duplicate);
   flush("exchange.rejected_full", exchange_stats_.rejected_full,
         &exchange_seen_.rejected_full);
+  flush("exchange.rejected_pressure", exchange_stats_.rejected_pressure,
+        &exchange_seen_.rejected_pressure);
   flush("exchange.collected", exchange_stats_.collected,
         &exchange_seen_.collected);
+}
+
+int PortfolioSolver::alive_workers() const {
+  if (dead_.empty()) return opts_.num_threads;
+  int alive = 0;
+  for (const char d : dead_) {
+    if (!d) ++alive;
+  }
+  return alive;
 }
 
 proof::Proof PortfolioSolver::spliced_proof() const {

@@ -64,6 +64,12 @@ struct PortfolioOptions {
   telemetry::Telemetry* telemetry = nullptr;
   bool trace_workers = true;
   std::string telemetry_name = "portfolio";
+  // Resource governor (util/memory_budget.h): when set, every worker
+  // solver charges its arena against this budget (degrading under
+  // pressure, see Solver::set_memory_budget) and the clause exchange
+  // charges its entries (publishes the budget cannot absorb are
+  // dropped). The budget must outlive the portfolio.
+  util::MemoryBudget* memory_budget = nullptr;
 };
 
 // Per-worker outcome of the last solve, for stats printing and tests.
@@ -72,6 +78,14 @@ struct WorkerReport {
   SolveStatus status = SolveStatus::unknown;
   double seconds = 0.0;
   SolverStats stats;
+  // Worker-death detection: true when the worker's solve threw (a real
+  // bad_alloc or an injected fault). The engine is considered poisoned
+  // and is permanently removed from the race — its exchange cursor is
+  // retired so it cannot stall proof splicing, and later solves skip it.
+  // The race's answer comes from the surviving workers and stays correct
+  // and certifiable.
+  bool died = false;
+  std::string error;
 };
 
 class PortfolioSolver {
@@ -101,9 +115,17 @@ class PortfolioSolver {
   // traces now keep per-worker deletions, but checking a post-pop answer
   // needs the selector-elided incremental trace to be replayable in a
   // deterministic order across warm workers, which has not landed yet.
-  // push_group reports this structurally — it returns -1 and records
-  // nothing on a proof-logging portfolio (see supports_groups()).
+  //
+  // Contract: push_group() returns the new group depth (>= 1) on success,
+  // or -1 — recording nothing — when groups are unsupported in this
+  // configuration (today: exactly when log_proof is set, i.e.
+  // supports_groups() is false). Callers that need the reason should use
+  // try_push_group(), which mirrors the service's JobOutcome::unsupported
+  // idiom: on success it returns the empty string and writes the new
+  // depth to *depth; on refusal it returns a non-empty human-readable
+  // reason and leaves the portfolio untouched.
   int push_group();
+  std::string try_push_group(int* depth);
   void pop_group();
   bool supports_groups() const { return !opts_.log_proof; }
   int num_groups() const { return num_groups_; }
@@ -152,6 +174,9 @@ class PortfolioSolver {
   bool proof_logging() const { return opts_.log_proof; }
 
   const std::vector<WorkerReport>& reports() const { return reports_; }
+  // Workers still in the race (those that have not died). Before the
+  // first solve every configured worker counts as alive.
+  int alive_workers() const;
   const ExchangeStats& exchange_stats() const { return exchange_stats_; }
   std::uint64_t clauses_exported() const;  // sum over workers
   std::uint64_t clauses_imported() const;
@@ -195,6 +220,12 @@ class PortfolioSolver {
   // Warm state, created by the first solve and reused afterwards.
   std::vector<std::unique_ptr<Solver>> solvers_;
   std::vector<std::string> worker_names_;
+  // Worker-death bookkeeping: dead_[i] marks a worker whose solve threw.
+  // Its Solver object is poisoned (arbitrary internal state mid-search)
+  // and is never replayed into or solved with again; its exchange cursor
+  // is retired. dead_errors_[i] keeps the exception message for reports.
+  std::vector<char> dead_;
+  std::vector<std::string> dead_errors_;
   std::unique_ptr<ClauseExchange> exchange_;
   std::unique_ptr<proof::ProofSplicer> splicer_;
 

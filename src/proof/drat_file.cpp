@@ -16,21 +16,28 @@ bool read_text(std::istream& in, Proof* out, std::string* error) {
   bool in_delete = false;
   bool in_clause = false;
   std::uint64_t line = 1;
+  std::uint64_t offset = 0;  // bytes consumed; errors report the position
 
   const auto fail = [&](const std::string& what) {
     if (error != nullptr) {
-      *error = "text DRAT, line " + std::to_string(line) + ": " + what;
+      *error = "text DRAT, line " + std::to_string(line) + " (byte " +
+               std::to_string(offset) + "): " + what;
     }
     return false;
   };
+  const auto next = [&](char& ch) {
+    if (!in.get(ch)) return false;
+    ++offset;
+    return true;
+  };
 
   char c;
-  while (in.get(c)) {
+  while (next(c)) {
     if (c == '\n') ++line;
     if (std::isspace(static_cast<unsigned char>(c))) continue;
     if (c == 'c' && !in_clause) {
       // Comment line (some tools emit them): skip to end of line.
-      while (in.get(c) && c != '\n') {
+      while (next(c) && c != '\n') {
       }
       ++line;
       continue;
@@ -45,10 +52,13 @@ bool read_text(std::istream& in, Proof* out, std::string* error) {
     }
     token.clear();
     token.push_back(c);
-    while (in.get(c) && std::isdigit(static_cast<unsigned char>(c))) {
+    while (next(c) && std::isdigit(static_cast<unsigned char>(c))) {
       token.push_back(c);
     }
-    if (in) in.unget();
+    if (in) {
+      in.unget();
+      --offset;
+    }
     long long value = 0;
     try {
       value = std::stoll(token);
@@ -74,14 +84,19 @@ bool read_text(std::istream& in, Proof* out, std::string* error) {
 }
 
 bool read_binary(std::istream& in, Proof* out, std::string* error) {
+  std::uint64_t offset = 0;  // bytes consumed; errors report the position
   const auto fail = [&](const std::string& what) {
-    if (error != nullptr) *error = "binary DRAT: " + what;
+    if (error != nullptr) {
+      *error =
+          "binary DRAT (byte " + std::to_string(offset) + "): " + what;
+    }
     return false;
   };
 
   char tag;
   std::vector<Lit> lits;
   while (in.get(tag)) {
+    ++offset;
     const bool is_delete = tag == 'd';
     if (!is_delete && tag != 'a') {
       return fail("bad step tag byte " +
@@ -95,6 +110,7 @@ bool read_binary(std::istream& in, Proof* out, std::string* error) {
       bool more = true;
       while (more) {
         if (!in.get(byte)) return fail("trace ends inside a step");
+        ++offset;
         const auto b = static_cast<unsigned char>(byte);
         if (shift >= 32) return fail("literal varint overflows 32 bits");
         mapped |= static_cast<std::uint32_t>(b & 0x7Fu) << shift;
@@ -169,6 +185,9 @@ bool write_drat_file(const std::string& path, const Proof& proof,
     if (error != nullptr) *error = "cannot open '" + path + "' for writing";
     return false;
   }
+  // Short writes (including injected io_short_write faults inside the
+  // writers) latch the stream's failbit, so the post-flush check below
+  // reports them as a structured error instead of a truncated file.
   write_drat(out, proof, format);
   out.flush();
   if (!out) {

@@ -1,16 +1,22 @@
 #include "proof/proof_writer.h"
 
+#include "util/fault.h"
+
 namespace berkmin::proof {
 
 void TextDratWriter::add_clause(std::span<const Lit> lits) {
   ++added_;
+  if (failed_) return;
   write_lits(lits);
+  check_stream();
 }
 
 void TextDratWriter::delete_clause(std::span<const Lit> lits) {
   ++deleted_;
+  if (failed_) return;
   out_ << "d ";
   write_lits(lits);
+  check_stream();
 }
 
 void TextDratWriter::write_lits(std::span<const Lit> lits) {
@@ -18,14 +24,28 @@ void TextDratWriter::write_lits(std::span<const Lit> lits) {
   out_ << "0\n";
 }
 
+void TextDratWriter::check_stream() {
+  // An injected io_short_write fault models a sink that truncated the
+  // step (full disk, broken pipe); the real detection is the stream
+  // state check that follows either way.
+  if (BERKMIN_FAULT_POINT(util::FaultSite::io_short_write)) {
+    out_.setstate(std::ios::failbit);
+  }
+  if (!out_) mark_failed("short write: text DRAT output stream failed");
+}
+
 void BinaryDratWriter::add_clause(std::span<const Lit> lits) {
   ++added_;
+  if (failed_) return;
   write_step('a', lits);
+  check_stream();
 }
 
 void BinaryDratWriter::delete_clause(std::span<const Lit> lits) {
   ++deleted_;
+  if (failed_) return;
   write_step('d', lits);
+  check_stream();
 }
 
 void BinaryDratWriter::write_step(char tag, std::span<const Lit> lits) {
@@ -45,6 +65,13 @@ void BinaryDratWriter::write_step(char tag, std::span<const Lit> lits) {
     out_.put(static_cast<char>(mapped));
   }
   out_.put('\0');
+}
+
+void BinaryDratWriter::check_stream() {
+  if (BERKMIN_FAULT_POINT(util::FaultSite::io_short_write)) {
+    out_.setstate(std::ios::failbit);
+  }
+  if (!out_) mark_failed("short write: binary DRAT output stream failed");
 }
 
 void replay(const Proof& proof, ProofWriter& writer) {

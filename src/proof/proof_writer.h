@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <ostream>
 #include <span>
+#include <string>
 
 #include "cnf/literal.h"
 #include "proof/proof.h"
@@ -39,9 +40,27 @@ class ProofWriter {
   std::uint64_t num_added() const { return added_; }
   std::uint64_t num_deleted() const { return deleted_; }
 
+  // Short-write detection: stream-backed writers check the sink after
+  // every step (and honor injected io_short_write faults) and latch a
+  // failure instead of silently emitting a truncated trace — later steps
+  // are dropped, ok() turns false and fail_reason() says what happened.
+  // A trace from a failed writer must be treated as incomplete.
+  // MemoryProofWriter buffers in-process and never fails.
+  bool ok() const { return !failed_; }
+  const std::string& fail_reason() const { return fail_reason_; }
+
  protected:
+  void mark_failed(std::string reason) {
+    if (!failed_) {
+      failed_ = true;
+      fail_reason_ = std::move(reason);
+    }
+  }
+
   std::uint64_t added_ = 0;
   std::uint64_t deleted_ = 0;
+  bool failed_ = false;
+  std::string fail_reason_;
 };
 
 class TextDratWriter : public ProofWriter {
@@ -53,6 +72,7 @@ class TextDratWriter : public ProofWriter {
 
  private:
   void write_lits(std::span<const Lit> lits);
+  void check_stream();
 
   std::ostream& out_;
 };
@@ -66,6 +86,7 @@ class BinaryDratWriter : public ProofWriter {
 
  private:
   void write_step(char tag, std::span<const Lit> lits);
+  void check_stream();
 
   std::ostream& out_;
 };

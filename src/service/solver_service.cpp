@@ -1,6 +1,7 @@
 #include "service/solver_service.h"
 
 #include <algorithm>
+#include <chrono>
 #include <exception>
 #include <stdexcept>
 #include <utility>
@@ -8,6 +9,8 @@
 #include "cnf/dimacs.h"
 #include "portfolio/diversify.h"
 #include "proof/drat_checker.h"
+#include "util/fault.h"
+#include "util/memory_budget.h"
 
 namespace berkmin::service {
 
@@ -64,6 +67,50 @@ SolverService::SolverService(ServiceOptions options) : opts_(options) {
   for (int i = 0; i < opts_.num_workers; ++i) {
     workers_.emplace_back([this, i] { worker_loop(i); });
   }
+  if (opts_.watchdog_seconds > 0.0) {
+    watchdog_ = std::thread([this] { watchdog_loop(); });
+  }
+}
+
+double SolverService::now_seconds() const {
+  double t = clock_.seconds();
+  if (BERKMIN_FAULT_POINT(util::FaultSite::clock_skew)) {
+    const util::FaultInjector* injector = util::current_fault_injector();
+    if (injector != nullptr) t += injector->plan().skew_seconds;
+  }
+  return t;
+}
+
+void SolverService::watchdog_loop() {
+  // Scan at a quarter of the limit (clamped to [1ms, 50ms]) so a stalled
+  // slice is caught promptly without the thread spinning.
+  const auto interval = std::chrono::milliseconds(std::clamp<long long>(
+      static_cast<long long>(opts_.watchdog_seconds * 250.0), 1, 50));
+  std::unique_lock<std::mutex> lk(lock_);
+  while (!watchdog_stop_) {
+    watchdog_cv_.wait_for(lk, interval, [&] { return watchdog_stop_; });
+    if (watchdog_stop_) return;
+    const double now = now_seconds();
+    for (auto& [id, job] : jobs_) {
+      if (job->finished || job->job_state != JobState::running) continue;
+      if (job->watchdog_fired) continue;  // already stopping
+      if (now - job->slice_start < opts_.watchdog_seconds) continue;
+      // Same stop plumbing as cancel(), but the slice is preempted, not
+      // failed: the worker un-latches the sticky stop and re-queues.
+      job->watchdog_fired = true;
+      ++stats_.watchdog_fires;
+      if (job->solver != nullptr) job->solver->request_stop();
+      if (job->portfolio != nullptr) job->portfolio->request_stop();
+      if (job->session != nullptr) {
+        if (job->session->solver != nullptr) {
+          job->session->solver->request_stop();
+        }
+        if (job->session->portfolio != nullptr) {
+          job->session->portfolio->request_stop();
+        }
+      }
+    }
+  }
 }
 
 SolverService::~SolverService() { shutdown(Shutdown::cancel_pending); }
@@ -86,13 +133,23 @@ std::optional<JobId> SolverService::admit_locked(
     ++stats_.rejected;
     return std::nullopt;
   }
+  // Load shedding: while the memory budget is critical, refusing at the
+  // door is the graceful move — an admitted job would only deepen the
+  // pressure and get starved by the solvers' own no-learn degradation.
+  if (opts_.memory_budget != nullptr &&
+      opts_.memory_budget->pressure() >= util::Pressure::critical) {
+    ++stats_.rejected;
+    ++stats_.rejected_pressure;
+    opts_.memory_budget->note_degrade();
+    return std::nullopt;
+  }
   auto job = std::make_shared<Job>();
   job->id = next_id_++;
   if (request.name.empty()) request.name = "job-" + std::to_string(job->id);
   if (request.limits.threads < 1) request.limits.threads = 1;
   job->request = std::move(request);
   job->session = std::move(session);
-  job->submit_time = clock_.seconds();
+  job->submit_time = now_seconds();
   if (job->request.limits.deadline_seconds > 0.0) {
     job->deadline_point = job->submit_time + job->request.limits.deadline_seconds;
   }
@@ -143,9 +200,11 @@ std::optional<SessionId> SolverService::open_session(SessionRequest request) {
     // names would collide across sessions and jobs).
     popts.telemetry = opts_.telemetry;
     popts.trace_workers = false;
+    popts.memory_budget = opts_.memory_budget;
     session->portfolio = std::make_unique<portfolio::PortfolioSolver>(popts);
   } else {
     session->solver = std::make_unique<Solver>(request.options);
+    session->solver->set_memory_budget(opts_.memory_budget);
     if (request.proof.wanted()) {
       session->proof_writer = std::make_unique<proof::MemoryProofWriter>();
       session->solver->set_proof(session->proof_writer.get());
@@ -154,6 +213,12 @@ std::optional<SessionId> SolverService::open_session(SessionRequest request) {
 
   std::lock_guard<std::mutex> lk(lock_);
   if (!accepting_) return std::nullopt;
+  if (opts_.memory_budget != nullptr &&
+      opts_.memory_budget->pressure() >= util::Pressure::critical) {
+    ++stats_.rejected_pressure;
+    opts_.memory_budget->note_degrade();
+    return std::nullopt;
+  }
   session->id = next_session_id_++;
   if (request.name.empty()) {
     request.name = "session-" + std::to_string(session->id);
@@ -188,9 +253,12 @@ bool SolverService::session_push(SessionId id) {
   if (session->solver != nullptr) {
     session->solver->push_group();
   } else {
-    // A proof-logging portfolio reports -1 instead of opening a group
-    // (service sessions never build one, but honor the contract anyway).
-    pushed = session->portfolio->push_group() >= 0;
+    // A proof-logging portfolio refuses groups (service sessions never
+    // build one, but honor the contract anyway); try_push_group reports
+    // the reason, which is kept for the session's structured errors.
+    int depth = 0;
+    const std::string refused = session->portfolio->try_push_group(&depth);
+    pushed = refused.empty();
   }
   if (!pushed) {
     std::lock_guard<std::mutex> lk(lock_);
@@ -354,8 +422,10 @@ void SolverService::shutdown(Shutdown mode) {
       }
       ready_.clear();
     }
+    watchdog_stop_ = true;
     work_cv_.notify_all();
     space_cv_.notify_all();
+    watchdog_cv_.notify_all();
   }
   for (JobResult& result : notifications) deliver(std::move(result));
 
@@ -364,6 +434,7 @@ void SolverService::shutdown(Shutdown mode) {
   std::lock_guard<std::mutex> jg(join_lock_);
   if (joined_) return;
   for (std::thread& worker : workers_) worker.join();
+  if (watchdog_.joinable()) watchdog_.join();
   joined_ = true;
 }
 
@@ -472,13 +543,14 @@ void SolverService::worker_loop(int index) {
       }
       ++dispatch_tick_;
       job->job_state = JobState::running;
+      job->slice_start = now_seconds();
       if (job->first_slice_time < 0.0) {
-        job->first_slice_time = clock_.seconds();
+        job->first_slice_time = job->slice_start;
         telemetry::Histogram* wait =
             wait_histogram(job->request.limits.priority);
         if (wait != nullptr) {
           wait->record(static_cast<std::uint64_t>(
-              (job->first_slice_time - job->submit_time) * 1e9));
+              std::max(0.0, job->first_slice_time - job->submit_time) * 1e9));
         }
       }
       emit_control_locked(telemetry::EventKind::job_dispatch, job->id,
@@ -498,7 +570,7 @@ bool SolverService::finish_if_preempted_terminal(
       notify = finish_locked(job, JobOutcome::cancelled);
       terminal = true;
     } else if (job->deadline_point > 0.0 &&
-               clock_.seconds() >= job->deadline_point) {
+               now_seconds() >= job->deadline_point) {
       notify = finish_locked(job, JobOutcome::deadline_expired);
       terminal = true;
     }
@@ -521,7 +593,7 @@ Budget SolverService::slice_budget(const Job& job) const {
   }
   budget.max_seconds = opts_.slice_seconds;
   if (job.deadline_point > 0.0) {
-    double remaining = job.deadline_point - clock_.seconds();
+    double remaining = job.deadline_point - now_seconds();
     if (remaining < 1e-3) remaining = 1e-3;
     if (budget.max_seconds == 0.0 || remaining < budget.max_seconds) {
       budget.max_seconds = remaining;
@@ -569,10 +641,12 @@ void SolverService::run_slice(const std::shared_ptr<Job>& job,
         // would collide and interleave across concurrent jobs).
         popts.telemetry = opts_.telemetry;
         popts.trace_workers = false;
+        popts.memory_budget = opts_.memory_budget;
         portfolio = std::make_unique<portfolio::PortfolioSolver>(popts);
         portfolio->load(*formula);
       } else {
         solver = std::make_unique<Solver>(job->request.options);
+        solver->set_memory_budget(opts_.memory_budget);
         if (proof_opts.wanted()) {
           proof_writer = std::make_unique<proof::MemoryProofWriter>();
           solver->set_proof(proof_writer.get());
@@ -619,18 +693,78 @@ void SolverService::run_slice(const std::shared_ptr<Job>& job,
   // and stops the solve mid-slice; the sticky flag means even a request
   // that lands before solve() starts is honored.
   WallTimer slice_timer;
-  SolveStatus status;
-  if (job->solver != nullptr) {
-    // The sink is this worker's; detach before the job can migrate to
-    // another worker after a preemption.
-    job->solver->set_telemetry(sink);
-    status = job->solver->solve_with_assumptions(job->request.assumptions, budget);
-    job->solver->set_telemetry(nullptr);
-  } else {
-    status =
-        job->portfolio->solve_with_assumptions(job->request.assumptions, budget);
+  SolveStatus status = SolveStatus::unknown;
+  std::string slice_error;
+  try {
+    BERKMIN_FAULT_STALL(util::FaultSite::worker_stall);
+    if (BERKMIN_FAULT_POINT(util::FaultSite::slice_death)) {
+      throw std::runtime_error("injected service slice death");
+    }
+    if (job->solver != nullptr) {
+      // The sink is this worker's; detach before the job can migrate to
+      // another worker after a preemption.
+      job->solver->set_telemetry(sink);
+      status =
+          job->solver->solve_with_assumptions(job->request.assumptions, budget);
+      job->solver->set_telemetry(nullptr);
+    } else {
+      status = job->portfolio->solve_with_assumptions(job->request.assumptions,
+                                                      budget);
+    }
+  } catch (const std::exception& ex) {
+    slice_error = ex.what();
   }
   const double slice_seconds = slice_timer.seconds();
+
+  // A slice that died leaves the engine mid-search — unrecoverable. The
+  // job itself is not: discard the engine and retry from the formula a
+  // bounded number of times, then fail with a structured error. Either
+  // way the worker thread survives and the queue keeps draining.
+  if (!slice_error.empty()) {
+    JobResult notify;
+    bool terminal = false;
+    {
+      std::unique_lock<std::mutex> lk(lock_);
+      ++stats_.slices;
+      ++stats_.slice_deaths;
+      ++job->result.slices;
+      job->result.solve_seconds += slice_seconds;
+      stats_.solve_seconds += slice_seconds;
+      job->solver.reset();
+      job->portfolio.reset();
+      job->proof_writer.reset();
+      job->proof_formula = Cnf{};
+      job->loaded = false;
+      job->portfolio_seen_conflicts = 0;
+      job->portfolio_seen_decisions = 0;
+      job->portfolio_seen_propagations = 0;
+      job->portfolio_seen_learned = 0;
+      job->watchdog_fired = false;
+      if (job->cancel_requested) {
+        notify = finish_locked(job, JobOutcome::cancelled);
+        terminal = true;
+      } else if (job->fault_retries < opts_.max_slice_retries) {
+        // Re-queue for a rebuild. The consumed slice count feeds the
+        // schedule key, so retries back off behind fresh work naturally.
+        ++job->fault_retries;
+        ++stats_.slice_retries;
+        job->job_state = JobState::preempted;
+        ++job->result.preemptions;
+        ++stats_.preemptions;
+        emit_control_locked(telemetry::EventKind::job_preempted, job->id,
+                            job->result.slices);
+        enqueue_ready_locked(job);
+        work_cv_.notify_one();
+      } else {
+        job->result.error = "slice died: " + slice_error + " (gave up after " +
+                            std::to_string(job->fault_retries) + " retries)";
+        notify = finish_locked(job, JobOutcome::error);
+        terminal = true;
+      }
+    }
+    if (terminal) deliver(std::move(notify));
+    return;
+  }
 
   // Proof harvest and verification run outside the lock (a check can
   // dwarf a slice). A trace is deliverable only when it is complete —
@@ -727,7 +861,7 @@ void SolverService::run_slice(const std::shared_ptr<Job>& job,
       notify = finish_locked(job, JobOutcome::cancelled);
       terminal = true;
     } else if (job->deadline_point > 0.0 &&
-               clock_.seconds() >= job->deadline_point) {
+               now_seconds() >= job->deadline_point) {
       notify = finish_locked(job, JobOutcome::deadline_expired);
       terminal = true;
     } else if (limits.max_conflicts != 0 &&
@@ -736,7 +870,13 @@ void SolverService::run_slice(const std::shared_ptr<Job>& job,
       terminal = true;
     } else {
       // Budget slice expired with the query still open: back into the run
-      // queue with all solver state intact.
+      // queue with all solver state intact. A watchdog-stopped slice
+      // lands here too — un-latch the sticky stop so the next slice runs.
+      if (job->watchdog_fired) {
+        job->watchdog_fired = false;
+        if (job->solver != nullptr) job->solver->clear_stop();
+        if (job->portfolio != nullptr) job->portfolio->clear_stop();
+      }
       job->job_state = JobState::preempted;
       ++job->result.preemptions;
       ++stats_.preemptions;
@@ -779,17 +919,50 @@ void SolverService::run_session_slice(const std::shared_ptr<Job>& job,
   const Budget budget = slice_budget(*job);
 
   WallTimer slice_timer;
-  SolveStatus status;
-  if (session.solver != nullptr) {
-    session.solver->set_telemetry(sink);
-    status = session.solver->solve_with_assumptions(job->request.assumptions,
-                                                    budget);
-    session.solver->set_telemetry(nullptr);
-  } else {
-    status = session.portfolio->solve_with_assumptions(
-        job->request.assumptions, budget);
+  SolveStatus status = SolveStatus::unknown;
+  std::string slice_error;
+  try {
+    BERKMIN_FAULT_STALL(util::FaultSite::worker_stall);
+    if (BERKMIN_FAULT_POINT(util::FaultSite::slice_death)) {
+      throw std::runtime_error("injected service slice death");
+    }
+    if (session.solver != nullptr) {
+      session.solver->set_telemetry(sink);
+      status = session.solver->solve_with_assumptions(job->request.assumptions,
+                                                      budget);
+      session.solver->set_telemetry(nullptr);
+    } else {
+      status = session.portfolio->solve_with_assumptions(
+          job->request.assumptions, budget);
+    }
+  } catch (const std::exception& ex) {
+    slice_error = ex.what();
   }
   const double slice_seconds = slice_timer.seconds();
+
+  // A session slice that died cannot retry: the persistent engine is
+  // poisoned mid-search and rebuilding it would silently drop the
+  // session's pushed groups and learned state. Fail this query with a
+  // structured error and poison the session — later solves answer
+  // unsupported with the same reason — while the service keeps serving
+  // every other job and session.
+  if (!slice_error.empty()) {
+    JobResult notify;
+    {
+      std::unique_lock<std::mutex> lk(lock_);
+      ++stats_.slices;
+      ++stats_.slice_deaths;
+      ++job->result.slices;
+      job->result.solve_seconds += slice_seconds;
+      stats_.solve_seconds += slice_seconds;
+      session.unsupported = "session engine died mid-solve: " + slice_error +
+                            "; close and reopen the session";
+      job->result.error = session.unsupported;
+      notify = finish_locked(job, JobOutcome::error);
+    }
+    deliver(std::move(notify));
+    return;
+  }
 
   // Per-answer certification, outside the lock. The session's trace keeps
   // accumulating across queries, so it is copied, never taken.
@@ -888,7 +1061,7 @@ void SolverService::run_session_slice(const std::shared_ptr<Job>& job,
       notify = finish_locked(job, JobOutcome::cancelled);
       terminal = true;
     } else if (job->deadline_point > 0.0 &&
-               clock_.seconds() >= job->deadline_point) {
+               now_seconds() >= job->deadline_point) {
       notify = finish_locked(job, JobOutcome::deadline_expired);
       terminal = true;
     } else if (limits.max_conflicts != 0 &&
@@ -896,6 +1069,13 @@ void SolverService::run_session_slice(const std::shared_ptr<Job>& job,
       notify = finish_locked(job, JobOutcome::budget_exhausted);
       terminal = true;
     } else {
+      // See run_slice: a watchdog-stopped slice is preempted, and the
+      // session engine (which survives the job) must be un-latched.
+      if (job->watchdog_fired) {
+        job->watchdog_fired = false;
+        if (session.solver != nullptr) session.solver->clear_stop();
+        if (session.portfolio != nullptr) session.portfolio->clear_stop();
+      }
       job->job_state = JobState::preempted;
       ++job->result.preemptions;
       ++stats_.preemptions;
@@ -944,11 +1124,13 @@ JobResult SolverService::finish_locked(const std::shared_ptr<Job>& job,
           report.stats.duplicate_binaries_skipped;
     }
   }
-  const double now = clock_.seconds();
-  job->result.wall_seconds = now - job->submit_time;
-  job->result.queue_seconds =
-      (job->first_slice_time >= 0.0 ? job->first_slice_time : now) -
-      job->submit_time;
+  // Clamped at zero: injected clock skew can make an earlier read of the
+  // service clock land past a later one.
+  const double now = now_seconds();
+  job->result.wall_seconds = std::max(0.0, now - job->submit_time);
+  job->result.queue_seconds = std::max(
+      0.0, (job->first_slice_time >= 0.0 ? job->first_slice_time : now) -
+               job->submit_time);
 
   job->job_state =
       outcome == JobOutcome::cancelled ? JobState::cancelled : JobState::done;
@@ -1063,6 +1245,10 @@ telemetry::MetricsSnapshot SolverService::metrics_snapshot() const {
   snapshot.counters["service.peak_pending"] = totals.peak_pending;
   snapshot.counters["service.sessions_opened"] = totals.sessions_opened;
   snapshot.counters["service.session_solves"] = totals.session_solves;
+  snapshot.counters["service.watchdog_fires"] = totals.watchdog_fires;
+  snapshot.counters["service.slice_deaths"] = totals.slice_deaths;
+  snapshot.counters["service.slice_retries"] = totals.slice_retries;
+  snapshot.counters["service.rejected_pressure"] = totals.rejected_pressure;
   snapshot.counters["service.solve_ns"] =
       static_cast<std::uint64_t>(totals.solve_seconds * 1e9);
   return snapshot;

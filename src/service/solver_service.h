@@ -40,6 +40,10 @@
 #include "telemetry/telemetry.h"
 #include "util/timer.h"
 
+namespace berkmin::util {
+class MemoryBudget;
+}
+
 namespace berkmin::service {
 
 struct ServiceOptions {
@@ -67,6 +71,29 @@ struct ServiceOptions {
   // attaches each worker's sink to the engine it is slicing. The hub must
   // outlive the service.
   telemetry::Telemetry* telemetry = nullptr;
+  // Per-slice wall-clock watchdog (0 = off). A dedicated thread scans
+  // running jobs; a slice older than this is stopped through the engine's
+  // request_stop (it terminates at the solver's next search step) and the
+  // job is preempted back into the run queue — so a wedged or stalled
+  // slice can never hold a worker thread hostage. Fires are counted in
+  // ServiceStats::watchdog_fires; the job itself is not failed.
+  double watchdog_seconds = 0.0;
+  // Bounded retry for slices that die with an exception (a real bad_alloc
+  // or an injected fault): the job's engine is discarded — mid-search
+  // state is unrecoverable — and the job is re-queued to rebuild and
+  // restart from its formula, at most this many times before it finishes
+  // with JobOutcome::error. Session slices never retry (the persistent
+  // engine cannot be rebuilt faithfully); a thrown session slice fails the
+  // job and poisons the session with a structured reason instead.
+  int max_slice_retries = 2;
+  // Resource governor (util/memory_budget.h). When set, every job and
+  // session engine charges its clause storage against this budget (see
+  // Solver::set_memory_budget for the degradation ladder) and admission
+  // refuses new jobs and sessions while the budget is critical —
+  // submit/try_submit/open_session/session_solve return nullopt, counted
+  // in ServiceStats::rejected_pressure — so load shedding happens at the
+  // door instead of dying mid-solve. The budget must outlive the service.
+  util::MemoryBudget* memory_budget = nullptr;
 };
 
 // Aggregate throughput counters, all monotone over the service lifetime.
@@ -86,6 +113,11 @@ struct ServiceStats {
   // Incremental sessions: open_session() calls and session_solve() queries.
   std::uint64_t sessions_opened = 0;
   std::uint64_t session_solves = 0;
+  // Robustness accounting (ServiceOptions watchdog / retries / budget).
+  std::uint64_t watchdog_fires = 0;      // slices stopped by the watchdog
+  std::uint64_t slice_deaths = 0;        // slices that threw
+  std::uint64_t slice_retries = 0;       // dead slices re-queued for retry
+  std::uint64_t rejected_pressure = 0;   // admissions refused under pressure
   double solve_seconds = 0.0;  // total time inside solve() slices
 
   std::uint64_t finished() const {
@@ -217,6 +249,12 @@ class SolverService {
     std::uint64_t ready_since = 0;  // dispatch tick of the last enqueue
     double submit_time = 0.0;
     double first_slice_time = -1.0;
+    // Robustness: when the running slice started (watchdog), whether the
+    // watchdog stopped it (the slice un-latches the engine's sticky stop
+    // before re-queueing), and how many dead slices have been retried.
+    double slice_start = 0.0;
+    bool watchdog_fired = false;
+    int fault_retries = 0;
 
     // Session solve: the engine lives in the session, not the job, and
     // survives the job's completion.
@@ -246,6 +284,14 @@ class SolverService {
   };
 
   void worker_loop(int index);
+  // Watchdog thread body (started when opts_.watchdog_seconds > 0): scans
+  // running jobs and stops slices past the limit. See ServiceOptions.
+  void watchdog_loop();
+  // The service clock, with injected clock-skew faults applied (the skew
+  // only jumps forward; every consumer clamps derived durations at zero,
+  // so a skewed read degrades into early deadline/watchdog expiry — a
+  // structured outcome — never a hang or a negative-duration artifact).
+  double now_seconds() const;
   // Shared admission path of submit()/try_submit()/session_solve(). Must
   // hold lock_.
   std::optional<JobId> admit_locked(JobRequest request,
@@ -317,6 +363,12 @@ class SolverService {
   SessionId next_session_id_ = 1;
   std::unordered_map<SessionId, std::shared_ptr<Session>> sessions_;
   ServiceStats stats_;
+
+  // Watchdog thread (opts_.watchdog_seconds > 0). watchdog_stop_ is
+  // guarded by lock_; the cv is notified by shutdown().
+  std::condition_variable watchdog_cv_;
+  bool watchdog_stop_ = false;
+  std::thread watchdog_;
 
   // Serializes the join phase of shutdown() so concurrent shutdown calls
   // (including the destructor) are safe. Never taken while holding lock_.

@@ -50,6 +50,8 @@ struct StatsCursor {
   std::uint64_t vivified_clauses = 0;
   std::uint64_t subsumed_clauses = 0;
   std::uint64_t eliminated_vars = 0;
+  std::uint64_t no_learn_restarts = 0;
+  std::uint64_t pressure_reductions = 0;
   // Per-glue-value counts already mirrored into the hub's solver.glue
   // histogram (indexed like SolverStats::glue_histogram).
   std::vector<std::uint64_t> glue_histogram;
@@ -93,6 +95,8 @@ struct SolverTelemetry {
   Counter* c_vivified_clauses = nullptr;
   Counter* c_subsumed_clauses = nullptr;
   Counter* c_eliminated_vars = nullptr;
+  Counter* c_no_learn_restarts = nullptr;
+  Counter* c_pressure_reductions = nullptr;
   // Learned-clause glue (literal block distance) distribution; fed from
   // SolverStats::glue_histogram deltas at each publish.
   Histogram* h_glue = nullptr;

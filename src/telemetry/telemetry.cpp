@@ -74,6 +74,8 @@ SolverTelemetry::SolverTelemetry(Telemetry& hub_in, TraceRing* ring_in)
   c_vivified_clauses = m.counter("solver.vivified_clauses");
   c_subsumed_clauses = m.counter("solver.subsumed_clauses");
   c_eliminated_vars = m.counter("solver.eliminated_vars");
+  c_no_learn_restarts = m.counter("solver.no_learn_restarts");
+  c_pressure_reductions = m.counter("solver.pressure_reductions");
   h_glue = m.histogram("solver.glue");
 }
 
@@ -134,6 +136,10 @@ void SolverTelemetry::publish(const SolverStats& stats,
   flush(c_vivified_clauses, stats.vivified_clauses, &seen->vivified_clauses);
   flush(c_subsumed_clauses, stats.subsumed_clauses, &seen->subsumed_clauses);
   flush(c_eliminated_vars, stats.eliminated_vars, &seen->eliminated_vars);
+  flush(c_no_learn_restarts, stats.no_learn_restarts,
+        &seen->no_learn_restarts);
+  flush(c_pressure_reductions, stats.pressure_reductions,
+        &seen->pressure_reductions);
 
   // Mirror the glue distribution: record each glue value as many times as
   // it grew since the last publish. Glue is capped at 256 by record_glue,

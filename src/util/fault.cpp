@@ -1,0 +1,104 @@
+#include "util/fault.h"
+
+#include <chrono>
+#include <thread>
+
+#include "telemetry/metrics.h"
+
+namespace berkmin::util {
+
+namespace {
+
+// SplitMix64: a cheap, well-mixed hash over (seed, site, index). The
+// same triple always produces the same decision, independent of thread
+// interleaving apart from which consultation index a thread draws.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::atomic<FaultInjector*> g_injector{nullptr};
+
+}  // namespace
+
+const char* fault_site_name(FaultSite site) {
+  switch (site) {
+    case FaultSite::alloc_clause: return "alloc_clause";
+    case FaultSite::alloc_exchange: return "alloc_exchange";
+    case FaultSite::worker_stall: return "worker_stall";
+    case FaultSite::worker_death: return "worker_death";
+    case FaultSite::slice_death: return "slice_death";
+    case FaultSite::clock_skew: return "clock_skew";
+    case FaultSite::io_short_write: return "io_short_write";
+    case FaultSite::kCount: break;
+  }
+  return "unknown";
+}
+
+bool parse_fault_site(const std::string& name, FaultSite* out) {
+  for (int s = 0; s < static_cast<int>(FaultSite::kCount); ++s) {
+    const auto site = static_cast<FaultSite>(s);
+    if (name == fault_site_name(site)) {
+      *out = site;
+      return true;
+    }
+  }
+  return false;
+}
+
+FaultInjector::FaultInjector(FaultPlan plan) : plan_(plan) {
+  for (auto& c : consults_) c.store(0, std::memory_order_relaxed);
+  for (auto& f : fired_) f.store(0, std::memory_order_relaxed);
+}
+
+bool FaultInjector::should_fail(FaultSite site) {
+  const int s = static_cast<int>(site);
+  const std::uint32_t rate = plan_.rate_ppm20[s];
+  if (rate == 0) return false;
+  if (fired_[s].load(std::memory_order_relaxed) >= plan_.max_fires[s])
+    return false;
+  const std::uint64_t idx =
+      consults_[s].fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t h =
+      mix64(plan_.seed ^ mix64(static_cast<std::uint64_t>(s) << 32 | idx));
+  if ((h & ((1u << 20) - 1)) >= rate) return false;
+  // Re-check the cap while claiming the fire so concurrent consultations
+  // never exceed max_fires.
+  const std::uint64_t n = fired_[s].fetch_add(1, std::memory_order_relaxed);
+  if (n >= plan_.max_fires[s]) {
+    fired_[s].fetch_sub(1, std::memory_order_relaxed);
+    return false;
+  }
+  if (counter_) counter_->add(1);
+  return true;
+}
+
+std::uint64_t FaultInjector::total_fires() const {
+  std::uint64_t total = 0;
+  for (const auto& f : fired_) total += f.load(std::memory_order_relaxed);
+  return total;
+}
+
+FaultInjector* install_fault_injector(FaultInjector* injector) {
+  return g_injector.exchange(injector, std::memory_order_acq_rel);
+}
+
+FaultInjector* current_fault_injector() {
+  return g_injector.load(std::memory_order_acquire);
+}
+
+bool fault_point(FaultSite site) {
+  FaultInjector* inj = current_fault_injector();
+  return inj != nullptr && inj->should_fail(site);
+}
+
+void fault_stall_if(FaultSite site) {
+  FaultInjector* inj = current_fault_injector();
+  if (inj == nullptr || !inj->should_fail(site)) return;
+  std::this_thread::sleep_for(
+      std::chrono::milliseconds(inj->plan().stall_ms));
+}
+
+}  // namespace berkmin::util

@@ -1,0 +1,122 @@
+// Deterministic, seeded fault injection for robustness testing.
+//
+// A FaultInjector is installed process-wide (or passed explicitly) and
+// consulted at tagged *sites* sprinkled through the hot layers: clause
+// allocation, portfolio worker stall/death, service clock reads, and
+// proof-writer I/O. Each site asks `should_fail(site)`; the injector
+// answers deterministically from (seed, site, per-site counter), so a
+// given seed replays the exact same fault schedule run after run —
+// which is what makes the ≥200-run fault matrix debuggable.
+//
+// Injection is *bounded*: each plan carries a max number of fires per
+// site. Once exhausted, the site behaves normally, so every injected
+// run still terminates with a real answer that can be differential-
+// checked against the reference DPLL.
+//
+// The whole mechanism compiles away in release builds: with
+// BERKMIN_FAULTS undefined, BERKMIN_FAULT_POINT(site) is a constant
+// `false` and the optimizer removes the branch.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace berkmin::telemetry {
+class Counter;
+}
+
+namespace berkmin::util {
+
+// Sites are a closed enum (not free-form strings) so the per-site
+// counters are a flat array touched lock-free from worker threads.
+enum class FaultSite : std::uint8_t {
+  alloc_clause,     // ClauseArena::alloc / learned-clause storage
+  alloc_exchange,   // ClauseExchange::publish entry storage
+  worker_stall,     // portfolio/service worker: injected delay
+  worker_death,     // portfolio worker: throws mid-solve
+  slice_death,      // service slice: solve call throws
+  clock_skew,       // service clock read: time jumps
+  io_short_write,   // proof writer: stream write fails partway
+  kCount,
+};
+
+const char* fault_site_name(FaultSite site);
+
+// Inverse of fault_site_name, for CLI flags; returns false on an
+// unknown name.
+bool parse_fault_site(const std::string& name, FaultSite* out);
+
+struct FaultPlan {
+  std::uint64_t seed = 0;
+  // Probability (per consultation) that an armed site fires, expressed
+  // as numerator/2^20. 0 disarms the site.
+  std::uint32_t rate_ppm20[static_cast<int>(FaultSite::kCount)] = {};
+  // Per-site cap on total fires; bounded injection is what guarantees
+  // the run still terminates with a checkable answer.
+  std::uint32_t max_fires[static_cast<int>(FaultSite::kCount)] = {};
+  // Injected stall duration and clock jump, used by the stall / skew
+  // sites (the site decides how to apply them).
+  std::uint32_t stall_ms = 5;
+  double skew_seconds = 30.0;
+
+  // Arm one site with a firing probability and fire cap.
+  void arm(FaultSite site, double rate, std::uint32_t fires) {
+    if (rate < 0.0) rate = 0.0;
+    if (rate > 1.0) rate = 1.0;
+    rate_ppm20[static_cast<int>(site)] =
+        static_cast<std::uint32_t>(rate * (1u << 20));
+    max_fires[static_cast<int>(site)] = fires;
+  }
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan);
+
+  // Deterministic decision: hashes (seed, site, per-site consultation
+  // index). Thread-safe; each consultation advances the site counter
+  // exactly once.
+  bool should_fail(FaultSite site);
+
+  std::uint64_t fires(FaultSite site) const {
+    return fired_[static_cast<int>(site)].load(std::memory_order_relaxed);
+  }
+  std::uint64_t total_fires() const;
+  const FaultPlan& plan() const { return plan_; }
+
+  // Optional telemetry: every fire bumps this counter (rendered as
+  // berkmin_faults_injected_total in Prometheus exposition).
+  void set_counter(telemetry::Counter* counter) { counter_ = counter; }
+
+ private:
+  FaultPlan plan_;
+  std::atomic<std::uint64_t> consults_[static_cast<int>(FaultSite::kCount)];
+  std::atomic<std::uint64_t> fired_[static_cast<int>(FaultSite::kCount)];
+  telemetry::Counter* counter_ = nullptr;
+};
+
+// Process-wide injector used by the BERKMIN_FAULT_POINT macro. Install
+// returns the previous injector so tests can nest/restore. Passing
+// nullptr disables injection.
+FaultInjector* install_fault_injector(FaultInjector* injector);
+FaultInjector* current_fault_injector();
+
+// Convenience for sites: consult the installed injector, if any.
+bool fault_point(FaultSite site);
+
+// Sleep used by stall sites so the stall duration respects the plan.
+void fault_stall_if(FaultSite site);
+
+}  // namespace berkmin::util
+
+// In release builds (BERKMIN_FAULTS off) every fault point folds to a
+// constant false and dead-branch elimination removes the check.
+#ifdef BERKMIN_FAULTS
+#define BERKMIN_FAULT_POINT(site) (::berkmin::util::fault_point(site))
+#define BERKMIN_FAULT_STALL(site) (::berkmin::util::fault_stall_if(site))
+#else
+#define BERKMIN_FAULT_POINT(site) (false)
+#define BERKMIN_FAULT_STALL(site) ((void)0)
+#endif

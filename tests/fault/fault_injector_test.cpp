@@ -1,0 +1,193 @@
+// Unit tests for the deterministic fault injector (util/fault.h) and the
+// memory budget / degradation ladder primitives (util/memory_budget.h).
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "telemetry/metrics.h"
+#include "util/fault.h"
+#include "util/memory_budget.h"
+
+namespace berkmin::util {
+namespace {
+
+FaultPlan plan_with(FaultSite site, double rate, std::uint32_t fires,
+                    std::uint64_t seed = 42) {
+  FaultPlan plan;
+  plan.seed = seed;
+  plan.arm(site, rate, fires);
+  return plan;
+}
+
+TEST(FaultInjector, DisarmedSiteNeverFires) {
+  FaultInjector inj(plan_with(FaultSite::alloc_clause, 0.5, 100));
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(inj.should_fail(FaultSite::worker_death));
+  }
+  EXPECT_EQ(inj.fires(FaultSite::worker_death), 0u);
+}
+
+TEST(FaultInjector, SameSeedSameSchedule) {
+  std::vector<bool> first;
+  {
+    FaultInjector inj(plan_with(FaultSite::alloc_clause, 0.3, 1u << 30, 7));
+    for (int i = 0; i < 500; ++i) {
+      first.push_back(inj.should_fail(FaultSite::alloc_clause));
+    }
+  }
+  FaultInjector inj(plan_with(FaultSite::alloc_clause, 0.3, 1u << 30, 7));
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_EQ(inj.should_fail(FaultSite::alloc_clause), first[i]) << i;
+  }
+}
+
+TEST(FaultInjector, DifferentSeedsDifferentSchedules) {
+  FaultInjector a(plan_with(FaultSite::alloc_clause, 0.5, 1u << 30, 1));
+  FaultInjector b(plan_with(FaultSite::alloc_clause, 0.5, 1u << 30, 2));
+  int diverged = 0;
+  for (int i = 0; i < 500; ++i) {
+    if (a.should_fail(FaultSite::alloc_clause) !=
+        b.should_fail(FaultSite::alloc_clause)) {
+      ++diverged;
+    }
+  }
+  EXPECT_GT(diverged, 0);
+}
+
+TEST(FaultInjector, BoundedFires) {
+  FaultInjector inj(plan_with(FaultSite::io_short_write, 1.0, 5));
+  int fired = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (inj.should_fail(FaultSite::io_short_write)) ++fired;
+  }
+  EXPECT_EQ(fired, 5);
+  EXPECT_EQ(inj.fires(FaultSite::io_short_write), 5u);
+  EXPECT_EQ(inj.total_fires(), 5u);
+}
+
+TEST(FaultInjector, ApproximatesRate) {
+  FaultInjector inj(plan_with(FaultSite::alloc_clause, 0.25, 1u << 30, 99));
+  int fired = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) {
+    if (inj.should_fail(FaultSite::alloc_clause)) ++fired;
+  }
+  EXPECT_GT(fired, trials / 5);      // > 20%
+  EXPECT_LT(fired, trials * 3 / 10); // < 30%
+}
+
+TEST(FaultInjector, BoundedUnderConcurrency) {
+  FaultInjector inj(plan_with(FaultSite::worker_death, 1.0, 17));
+  std::vector<std::thread> threads;
+  std::atomic<int> fired{0};
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 1000; ++i) {
+        if (inj.should_fail(FaultSite::worker_death)) {
+          fired.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(fired.load(), 17);
+}
+
+TEST(FaultInjector, InstallAndCounter) {
+  telemetry::MetricsRegistry registry;
+  FaultInjector inj(plan_with(FaultSite::clock_skew, 1.0, 3));
+  inj.set_counter(registry.counter("faults_injected"));
+  FaultInjector* prev = install_fault_injector(&inj);
+  EXPECT_TRUE(fault_point(FaultSite::clock_skew));
+  EXPECT_TRUE(fault_point(FaultSite::clock_skew));
+  EXPECT_TRUE(fault_point(FaultSite::clock_skew));
+  EXPECT_FALSE(fault_point(FaultSite::clock_skew));
+  install_fault_injector(prev);
+  EXPECT_FALSE(fault_point(FaultSite::clock_skew));
+  EXPECT_EQ(registry.snapshot().counters.at("faults_injected"), 3u);
+}
+
+TEST(FaultInjector, SiteNames) {
+  EXPECT_STREQ(fault_site_name(FaultSite::alloc_clause), "alloc_clause");
+  EXPECT_STREQ(fault_site_name(FaultSite::io_short_write), "io_short_write");
+}
+
+TEST(MemoryBudget, UnlimitedNeverPressures) {
+  MemoryBudget budget;
+  EXPECT_TRUE(budget.try_reserve(1ull << 40));
+  EXPECT_EQ(budget.pressure(), Pressure::none);
+}
+
+TEST(MemoryBudget, PressureTiers) {
+  MemoryBudget budget(1000);
+  EXPECT_EQ(budget.pressure(), Pressure::none);
+  budget.charge(700);
+  EXPECT_EQ(budget.pressure(), Pressure::soft);
+  budget.charge(150);
+  EXPECT_EQ(budget.pressure(), Pressure::hard);
+  budget.charge(100);
+  EXPECT_EQ(budget.pressure(), Pressure::critical);
+  budget.release(700);
+  EXPECT_EQ(budget.pressure(), Pressure::none);
+  EXPECT_EQ(budget.used(), 250u);
+}
+
+TEST(MemoryBudget, TryReserveDeniesOverLimit) {
+  MemoryBudget budget(100);
+  EXPECT_TRUE(budget.try_reserve(60));
+  EXPECT_FALSE(budget.try_reserve(50));
+  EXPECT_EQ(budget.used(), 60u);  // denial charges nothing
+  EXPECT_TRUE(budget.try_reserve(40));
+  EXPECT_FALSE(budget.try_reserve(1));
+}
+
+TEST(MemoryBudget, TelemetryGaugeAndDegradeCounter) {
+  telemetry::MetricsRegistry registry;
+  MemoryBudget budget(1 << 20);
+  budget.attach_telemetry(registry.gauge("memory_budget_bytes"),
+                          registry.counter("degrade_events"));
+  budget.charge(12345);
+  budget.note_degrade();
+  budget.note_degrade();
+  const auto snap = registry.snapshot();
+  EXPECT_EQ(snap.gauges.at("memory_budget_bytes"), 12345);
+  EXPECT_EQ(snap.counters.at("degrade_events"), 2u);
+  EXPECT_EQ(budget.degrade_events(), 2u);
+}
+
+TEST(MemoryBudget, PrometheusNamesMatchContract) {
+  // The ISSUE-level contract: operators see berkmin_memory_budget_bytes
+  // and berkmin_degrade_events_total in the exposition output.
+  telemetry::MetricsRegistry registry;
+  MemoryBudget budget(1 << 20);
+  budget.attach_telemetry(registry.gauge("memory_budget_bytes"),
+                          registry.counter("degrade_events"));
+  budget.charge(64);
+  budget.note_degrade();
+  const std::string prom = registry.snapshot().to_prometheus();
+  EXPECT_NE(prom.find("berkmin_memory_budget_bytes 64"), std::string::npos);
+  EXPECT_NE(prom.find("berkmin_degrade_events_total 1"), std::string::npos);
+}
+
+TEST(ParseSizeBytes, Formats) {
+  std::uint64_t out = 0;
+  EXPECT_TRUE(parse_size_bytes("1048576", &out));
+  EXPECT_EQ(out, 1048576u);
+  EXPECT_TRUE(parse_size_bytes("64M", &out));
+  EXPECT_EQ(out, 64ull << 20);
+  EXPECT_TRUE(parse_size_bytes("64MB", &out));
+  EXPECT_EQ(out, 64ull << 20);
+  EXPECT_TRUE(parse_size_bytes("500k", &out));
+  EXPECT_EQ(out, 500ull << 10);
+  EXPECT_TRUE(parse_size_bytes("2g", &out));
+  EXPECT_EQ(out, 2ull << 30);
+  EXPECT_TRUE(parse_size_bytes("1.5G", &out));
+  EXPECT_EQ(out, (3ull << 30) / 2);
+  EXPECT_FALSE(parse_size_bytes("", &out));
+  EXPECT_FALSE(parse_size_bytes("abc", &out));
+  EXPECT_FALSE(parse_size_bytes("64X", &out));
+  EXPECT_FALSE(parse_size_bytes("-5M", &out));
+}
+
+}  // namespace
+}  // namespace berkmin::util

@@ -1,0 +1,135 @@
+// Shutdown/teardown races, written to run under ThreadSanitizer: a
+// drain-or-cancel shutdown racing concurrent session closes, and
+// mid-slice cancels racing the very jobs they target. Complements
+// service_stress_test.cpp, which races one-shot submissions; here the
+// contested resources are persistent sessions and their in-flight
+// solves.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "gen/pigeonhole.h"
+#include "gen/random_ksat.h"
+#include "service/solver_service.h"
+#include "test_util.h"
+
+namespace berkmin {
+namespace {
+
+using service::JobId;
+using service::JobOutcome;
+using service::JobResult;
+using service::ServiceOptions;
+using service::SessionId;
+using service::SolverService;
+
+TEST(ServiceShutdownRace, DrainShutdownRacesSessionClose) {
+  for (int round = 0; round < 3; ++round) {
+    ServiceOptions options;
+    options.num_workers = 3;
+    options.slice_conflicts = 25;
+    SolverService solving(options);
+
+    // Each driver runs a session workload — add, solve, wait, close —
+    // while the main thread pulls the rug with a draining shutdown.
+    constexpr int kDrivers = 4;
+    std::atomic<int> clean_closes{0};
+    std::vector<std::thread> drivers;
+    for (int d = 0; d < kDrivers; ++d) {
+      drivers.emplace_back([&, d] {
+        const auto sid = solving.open_session({});
+        if (!sid.has_value()) return;  // shutdown won the race: fine
+        const Cnf cnf = gen::random_ksat(
+            16, 65, 3, static_cast<std::uint64_t>(round * 10 + d));
+        for (std::size_t i = 0; i < cnf.num_clauses(); ++i) {
+          if (!solving.session_add_clause(*sid, cnf.clause(i))) break;
+        }
+        for (int q = 0; q < 3; ++q) {
+          const auto id = solving.session_solve(*sid, {});
+          if (!id.has_value()) break;  // refused mid-shutdown: fine
+          const JobResult result = solving.wait(*id);
+          EXPECT_TRUE(result.outcome == JobOutcome::completed ||
+                      result.outcome == JobOutcome::cancelled)
+              << to_string(result.outcome) << ": " << result.error;
+        }
+        // close_session must be safe whether it beats the shutdown, loses
+        // to it, or interleaves with the session's last solve.
+        if (solving.close_session(*sid)) clean_closes.fetch_add(1);
+      });
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    solving.shutdown(SolverService::Shutdown::drain);
+    for (std::thread& t : drivers) t.join();
+
+    const auto stats = solving.stats();
+    EXPECT_EQ(stats.finished(), stats.submitted)
+        << "round " << round
+        << ": a session job vanished or finished twice during shutdown";
+    // After shutdown everything is refused, never crashed.
+    EXPECT_FALSE(solving.open_session({}).has_value());
+  }
+}
+
+TEST(ServiceShutdownRace, MidSliceCancelRacesCancelPendingShutdown) {
+  for (int round = 0; round < 3; ++round) {
+    ServiceOptions options;
+    options.num_workers = 2;
+    options.slice_conflicts = 50;
+    SolverService solving(options);
+
+    // Hard instances guarantee multi-slice jobs, so cancels genuinely
+    // land mid-solve rather than on finished work.
+    std::mutex ids_mutex;
+    std::vector<JobId> ids;
+    std::vector<std::thread> drivers;
+    for (int d = 0; d < 2; ++d) {
+      drivers.emplace_back([&, d] {
+        const auto sid = solving.open_session({});
+        if (!sid.has_value()) return;
+        const Cnf hard = gen::pigeonhole(8 + d);
+        for (std::size_t i = 0; i < hard.num_clauses(); ++i) {
+          if (!solving.session_add_clause(*sid, hard.clause(i))) break;
+        }
+        for (int q = 0; q < 2; ++q) {
+          const auto id = solving.session_solve(*sid, {});
+          if (!id.has_value()) break;
+          {
+            std::lock_guard<std::mutex> lock(ids_mutex);
+            ids.push_back(*id);
+          }
+          const JobResult result = solving.wait(*id);
+          EXPECT_TRUE(result.outcome == JobOutcome::completed ||
+                      result.outcome == JobOutcome::cancelled)
+              << to_string(result.outcome) << ": " << result.error;
+        }
+        solving.close_session(*sid);
+      });
+    }
+    std::thread canceller([&] {
+      for (int i = 0; i < 40; ++i) {
+        JobId victim = 0;
+        {
+          std::lock_guard<std::mutex> lock(ids_mutex);
+          if (!ids.empty()) victim = ids.back();
+        }
+        if (victim != 0) solving.cancel(victim);
+        std::this_thread::sleep_for(std::chrono::microseconds(300));
+      }
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(3));
+    solving.shutdown(SolverService::Shutdown::cancel_pending);
+    canceller.join();
+    for (std::thread& t : drivers) t.join();
+
+    const auto stats = solving.stats();
+    EXPECT_EQ(stats.finished(), stats.submitted) << "round " << round;
+  }
+}
+
+}  // namespace
+}  // namespace berkmin
