@@ -1,0 +1,141 @@
+// BMC incremental unrolling vs per-bound scratch re-encoding, plus IC3
+// wall-clock, on generated safety families (ISSUE 9 acceptance
+// benchmark, BENCH_PR9.json).
+//
+// Two BMC flows over the same safe transition system:
+//
+//  * scratch: every bound t re-instantiates frames 0..t into a fresh
+//    solver and solves once — the monolithic re-encode a
+//    non-incremental flow pays at each bound.
+//  * incremental: one BmcEngine run over a single long-lived solver —
+//    one frame extension plus one assumption query per bound, with
+//    retained lemmas and warm activities carrying across bounds.
+//
+// The IC3 column records the same property discharged by induction:
+// wall-clock, frames opened, and the extracted invariant's size.
+//
+// Prints one JSON object (the BENCH_PR9.json payload) to stdout.
+#include <algorithm>
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/solver.h"
+#include "engines/backend.h"
+#include "engines/bmc.h"
+#include "engines/ic3.h"
+#include "gen/safety.h"
+#include "util/timer.h"
+
+using namespace berkmin;
+using namespace berkmin::engines;
+
+namespace {
+
+struct Case {
+  int latches;
+  int inputs;
+  int bound;
+  bool latch_heavy;
+  std::uint64_t seed;
+};
+
+double median(std::vector<double> xs) {
+  std::sort(xs.begin(), xs.end());
+  return xs.empty() ? 0.0 : xs[xs.size() / 2];
+}
+
+// Re-encode frames 0..t into a fresh solver and solve, for every bound.
+// Returns total milliseconds, or a negative value on a wrong verdict.
+double bmc_scratch_ms(const TransitionSystem& ts, int bound) {
+  WallTimer timer;
+  for (int t = 0; t <= bound; ++t) {
+    Solver solver;
+    SolverBackend backend(solver);
+    FrameStack frames(ts, backend);
+    for (int i = 0; i <= t; ++i) frames.extend();
+    const Lit bad[] = {frames.frame(static_cast<std::size_t>(t)).bad};
+    if (backend.solve(bad, Budget::unlimited()) !=
+        SolveStatus::unsatisfiable) {
+      return -1.0;
+    }
+  }
+  return timer.seconds() * 1e3;
+}
+
+}  // namespace
+
+int main() {
+  // Seeds picked for non-trivially-inductive properties: IC3 must block
+  // obligations and strengthen frames instead of closing at F_1 empty.
+  const std::vector<Case> cases = {
+      {8, 3, 10, false, 8},
+      {8, 3, 12, false, 10},
+      {8, 3, 10, true, 1},
+  };
+  constexpr int kReps = 3;
+
+  std::cout << "{\n  \"bench\": \"engines_bench\",\n  \"cases\": [\n";
+  bool first = true;
+  for (const Case& c : cases) {
+    gen::SafetyParams params;
+    params.cycles = c.bound;
+    params.num_latches = c.latches;
+    params.num_inputs = c.inputs;
+    params.safe = true;
+    params.latch_heavy = c.latch_heavy;
+    params.seed = c.seed;
+    const TransitionSystem ts = gen::safety_system(params);
+
+    std::vector<double> scratch_ms;
+    std::vector<double> inc_ms;
+    std::vector<double> ic3_ms;
+    EngineResult bmc_result;
+    EngineResult ic3_result;
+    for (int rep = 0; rep < kReps; ++rep) {
+      const double scratch = bmc_scratch_ms(ts, c.bound);
+      if (scratch < 0.0) return 1;
+      scratch_ms.push_back(scratch);
+
+      Solver solver;
+      SolverBackend backend(solver);
+      WallTimer inc_timer;
+      bmc_result = BmcEngine(ts, backend, {.bound = c.bound}).run();
+      inc_ms.push_back(inc_timer.seconds() * 1e3);
+      if (bmc_result.verdict != Verdict::safe_bounded) return 1;
+
+      Solver ic3_solver;
+      SolverBackend ic3_backend(ic3_solver);
+      WallTimer ic3_timer;
+      ic3_result = Ic3Engine(ts, ic3_backend, {}).run();
+      ic3_ms.push_back(ic3_timer.seconds() * 1e3);
+      if (ic3_result.verdict != Verdict::safe_invariant) return 1;
+    }
+
+    const double scratch = median(scratch_ms);
+    const double incremental = median(inc_ms);
+    const std::string name =
+        std::string(c.latch_heavy ? "bmc-latch" : "bmc-safe") + "-l" +
+        std::to_string(c.latches) + "-i" + std::to_string(c.inputs) + "-k" +
+        std::to_string(c.bound) + "-s" + std::to_string(c.seed);
+
+    if (!first) std::cout << ",\n";
+    first = false;
+    std::cout << "    {\n      \"name\": \"" << name << "\",\n"
+              << "      \"latches\": " << c.latches
+              << ",\n      \"inputs\": " << c.inputs
+              << ",\n      \"bound\": " << c.bound << ",\n"
+              << "      \"bmc\": {\"scratch_ms\": " << scratch
+              << ", \"incremental_ms\": " << incremental << ", \"speedup\": "
+              << (incremental > 0.0 ? scratch / incremental : 0.0)
+              << ", \"solves\": " << bmc_result.stats.solves << "},\n"
+              << "      \"ic3\": {\"ms\": " << median(ic3_ms)
+              << ", \"frames\": " << ic3_result.bound
+              << ", \"obligations\": " << ic3_result.stats.obligations
+              << ", \"invariant_clauses\": " << ic3_result.invariant.size()
+              << "}\n    }";
+  }
+  std::cout << "\n  ]\n}\n";
+  return 0;
+}

@@ -6,6 +6,10 @@
 # the *Traced benchmark variants is written next to the benchmark JSON
 # (<output>.metrics.json) so benchmark runs double as metrics fixtures.
 #
+# Also runs the model-checking engines benchmark (BMC incremental vs
+# scratch, IC3 wall-clock — the BENCH_PR9.json payload) and writes its
+# JSON next to the benchmark report.
+#
 # Usage:
 #   bench/run_bench.sh [output.json]
 #
@@ -16,6 +20,7 @@
 #   BENCH_REPS    --benchmark_repetitions (default: 3)
 #   METRICS_OUT   metrics snapshot path (default: <output>.metrics.json;
 #                 a .prom suffix selects Prometheus text exposition)
+#   ENGINES_OUT   engines benchmark path (default: <output>.engines.json)
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -24,9 +29,10 @@ OUT="${1:-$ROOT/bench_propagation.json}"
 FILTER="${BENCH_FILTER:-BM_PropagationThroughput|BM_NbTwoCostFunction}"
 REPS="${BENCH_REPS:-3}"
 METRICS="${METRICS_OUT:-$OUT.metrics.json}"
+ENGINES="${ENGINES_OUT:-$OUT.engines.json}"
 
 cmake -B "$BUILD" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release
-cmake --build "$BUILD" --target micro_solver -j "$(nproc)"
+cmake --build "$BUILD" --target micro_solver engines_bench -j "$(nproc)"
 
 if [ ! -x "$BUILD/bench/micro_solver" ]; then
   echo "error: micro_solver was not built (is libbenchmark-dev installed?)" >&2
@@ -40,5 +46,8 @@ BENCH_METRICS_OUT="$METRICS" "$BUILD/bench/micro_solver" \
   --benchmark_out="$OUT" \
   --benchmark_out_format=json
 
+"$BUILD/bench/engines_bench" >"$ENGINES"
+
 echo "wrote $OUT"
 echo "wrote $METRICS"
+echo "wrote $ENGINES"

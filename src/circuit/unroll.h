@@ -13,6 +13,11 @@ namespace berkmin {
 
 // The unrolled circuit's inputs are ordered cycle-major: all cycle-0
 // inputs, then all cycle-1 inputs, ...; outputs likewise.
+//
+// Degenerate inputs have defined behavior: cycles < 1 and invalid
+// circuits (validate() != "") throw std::invalid_argument; a latch-free
+// circuit is a legal stateless sequential circuit whose unrolling is
+// `cycles` independent copies.
 Circuit unroll(const Circuit& sequential, int cycles);
 
 }  // namespace berkmin

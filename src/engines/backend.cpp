@@ -1,0 +1,199 @@
+#include "engines/backend.h"
+
+#include <utility>
+
+namespace berkmin::engines {
+
+// ---- SolverBackend ----------------------------------------------------
+
+Var SolverBackend::new_vars(int n) {
+  Var first = no_var;
+  for (int i = 0; i < n; ++i) {
+    const Var v = solver_.new_var();
+    if (i == 0) first = v;
+  }
+  return first;
+}
+
+bool SolverBackend::add_clause(std::span<const Lit> lits) {
+  // A false return means root-level UNSAT, which for an engine is an
+  // answer, not a refusal; solve() will report it.
+  (void)solver_.add_clause(lits);
+  return true;
+}
+
+bool SolverBackend::push() {
+  solver_.push_group();
+  return true;
+}
+
+bool SolverBackend::pop() {
+  if (solver_.num_groups() == 0) {
+    error_ = "SolverBackend: pop without a matching push";
+    return false;
+  }
+  solver_.pop_group();
+  return true;
+}
+
+SolveStatus SolverBackend::solve(std::span<const Lit> assumptions,
+                                 const Budget& budget) {
+  error_.clear();
+  const SolveStatus status = solver_.solve_with_assumptions(assumptions, budget);
+  if (status == SolveStatus::unknown) {
+    error_ = "solver stopped: " + std::string(to_string(solver_.last_stop_cause()));
+  }
+  return status;
+}
+
+bool SolverBackend::model_value(Lit l) const { return solver_.model_value(l); }
+
+const std::vector<Lit>& SolverBackend::failed_assumptions() const {
+  return solver_.failed_assumptions();
+}
+
+// ---- SessionBackend ---------------------------------------------------
+
+SessionBackend::SessionBackend(service::SolverService& service,
+                               service::SessionRequest request)
+    : service_(service), threads_(request.threads) {
+  const auto id = service_.open_session(std::move(request));
+  if (id.has_value()) {
+    session_ = *id;
+  } else {
+    error_ = "SessionBackend: open_session refused (shutdown or pressure)";
+  }
+}
+
+SessionBackend::~SessionBackend() {
+  if (session_ != service::invalid_session) {
+    (void)service_.close_session(session_);
+  }
+}
+
+Var SessionBackend::new_vars(int n) {
+  // Session solvers create external variables on demand when clauses or
+  // assumptions mention them; the backend only hands out dense indices.
+  const Var first = next_var_;
+  next_var_ += n;
+  return first;
+}
+
+bool SessionBackend::add_clause(std::span<const Lit> lits) {
+  if (!service_.session_add_clause(session_, lits)) {
+    error_ = "SessionBackend: session_add_clause refused";
+    return false;
+  }
+  return true;
+}
+
+bool SessionBackend::push() {
+  if (!service_.session_push(session_)) {
+    error_ = "SessionBackend: session_push refused";
+    return false;
+  }
+  return true;
+}
+
+bool SessionBackend::pop() {
+  if (!service_.session_pop(session_)) {
+    error_ = "SessionBackend: session_pop refused";
+    return false;
+  }
+  return true;
+}
+
+SolveStatus SessionBackend::solve(std::span<const Lit> assumptions,
+                                  const Budget& budget) {
+  error_.clear();
+  failed_.clear();
+  result_ = service::JobResult{};
+  service::JobLimits limits;
+  limits.max_conflicts = budget.max_conflicts;
+  limits.deadline_seconds = budget.max_seconds;
+  const auto job = service_.session_solve(
+      session_, std::vector<Lit>(assumptions.begin(), assumptions.end()),
+      limits);
+  if (!job.has_value()) {
+    error_ = "SessionBackend: session_solve refused";
+    return SolveStatus::unknown;
+  }
+  result_ = service_.wait(*job);
+  if (result_.outcome != service::JobOutcome::completed) {
+    error_ = "SessionBackend: " + std::string(to_string(result_.outcome));
+    if (!result_.error.empty()) error_ += ": " + result_.error;
+    return SolveStatus::unknown;
+  }
+  failed_ = result_.failed_assumptions;
+  return result_.status;
+}
+
+bool SessionBackend::model_value(Lit l) const {
+  const auto v = static_cast<std::size_t>(l.var());
+  if (v >= result_.model.size() || result_.model[v] == Value::unassigned) {
+    return false;
+  }
+  return value_of_literal(result_.model[v], l) == Value::true_value;
+}
+
+const std::vector<Lit>& SessionBackend::failed_assumptions() const {
+  return failed_;
+}
+
+std::string SessionBackend::name() const {
+  return "session(threads=" + std::to_string(threads_) + ")";
+}
+
+// ---- frame instantiation ----------------------------------------------
+
+FrameVars instantiate_frame(EngineBackend& backend, const FrameTemplate& tmpl) {
+  const Var offset = backend.new_vars(tmpl.cnf.num_vars());
+  const auto shift = [offset](Lit l) {
+    return Lit(l.var() + offset, l.is_negative());
+  };
+  std::vector<Lit> scratch;
+  for (const auto& clause : tmpl.cnf.clauses()) {
+    scratch.clear();
+    for (const Lit l : clause) scratch.push_back(shift(l));
+    backend.add_clause(scratch);
+  }
+  FrameVars vars;
+  vars.inputs.reserve(tmpl.inputs.size());
+  for (const Lit l : tmpl.inputs) vars.inputs.push_back(shift(l));
+  vars.state.reserve(tmpl.state.size());
+  for (const Lit l : tmpl.state) vars.state.push_back(shift(l));
+  vars.next.reserve(tmpl.next.size());
+  for (const Lit l : tmpl.next) vars.next.push_back(shift(l));
+  vars.bad = shift(tmpl.bad);
+  return vars;
+}
+
+const FrameVars& FrameStack::extend() {
+  FrameVars vars = instantiate_frame(backend_, ts_.frame());
+  if (frames_.empty()) {
+    // Frame 0 starts in the all-zero initial state.
+    for (const Lit s : vars.state) backend_.add_unit(~s);
+  } else {
+    const FrameVars& prev = frames_.back();
+    for (std::size_t j = 0; j < vars.state.size(); ++j) {
+      backend_.add_binary(~vars.state[j], prev.next[j]);
+      backend_.add_binary(vars.state[j], ~prev.next[j]);
+    }
+  }
+  frames_.push_back(std::move(vars));
+  return frames_.back();
+}
+
+std::vector<std::vector<bool>> FrameStack::model_inputs() const {
+  std::vector<std::vector<bool>> inputs;
+  inputs.reserve(frames_.size());
+  for (const FrameVars& frame : frames_) {
+    std::vector<bool> cycle;
+    cycle.reserve(frame.inputs.size());
+    for (const Lit l : frame.inputs) cycle.push_back(backend_.model_value(l));
+    inputs.push_back(std::move(cycle));
+  }
+  return inputs;
+}
+
+}  // namespace berkmin::engines

@@ -1,0 +1,212 @@
+// Incremental-solving backends for the model-checking engines.
+//
+// The BMC and IC3 engines are written against one small interface —
+// variable allocation, clause addition, scoped clause groups, and
+// assumption-based solving — so a single engine implementation can drive
+//
+//   * a long-lived in-process Solver (SolverBackend): push/pop map to the
+//     solver's selector-literal clause groups, the hot path for benches
+//     and the differential suites;
+//   * a SolverService incremental session (SessionBackend): every solve is
+//     a sliced, preemptible service job, and threads > 1 escalates the
+//     session to a warm portfolio — the engines become a real multi-tenant
+//     workload for the service;
+//   * a plain Cnf (CnfBackend): records the clauses an engine emitted so
+//     certification can re-solve the exact query with an independent
+//     solver and a DRAT writer attached.
+//
+// Engines treat a backend failure (closed session, refused operation,
+// service shutdown) as a structured `unknown` verdict carrying
+// last_error(), never UB.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "cnf/cnf_formula.h"
+#include "cnf/literal.h"
+#include "core/solver.h"
+#include "engines/transition_system.h"
+#include "service/solver_service.h"
+
+namespace berkmin::engines {
+
+class EngineBackend {
+ public:
+  virtual ~EngineBackend() = default;
+
+  // Reserves n fresh variables, returning the first. Engines address
+  // backend variables densely (external numbering).
+  virtual Var new_vars(int n) = 0;
+  // Adds a clause (to the innermost open group, if any). Returns false on
+  // a structured refusal; a root-level conflict is not a refusal.
+  virtual bool add_clause(std::span<const Lit> lits) = 0;
+  bool add_unit(Lit a) {
+    const Lit lits[] = {a};
+    return add_clause(lits);
+  }
+  bool add_binary(Lit a, Lit b) {
+    const Lit lits[] = {a, b};
+    return add_clause(lits);
+  }
+  // Scoped clause groups with stack discipline.
+  virtual bool push() = 0;
+  virtual bool pop() = 0;
+  // Solves under assumptions. `unknown` with a non-empty last_error()
+  // reports a structured backend failure.
+  virtual SolveStatus solve(std::span<const Lit> assumptions,
+                            const Budget& budget = Budget::unlimited()) = 0;
+  // Valid after a satisfiable solve(); unassigned model values read as
+  // the literal's sign-neutral false.
+  virtual bool model_value(Lit l) const = 0;
+  // Valid after an unsatisfiable solve(): a subset of the caller's
+  // assumptions sufficient for the conflict.
+  virtual const std::vector<Lit>& failed_assumptions() const = 0;
+
+  virtual std::string name() const = 0;
+  const std::string& last_error() const { return error_; }
+
+ protected:
+  std::string error_;
+};
+
+// ---- in-process solver ------------------------------------------------
+
+class SolverBackend final : public EngineBackend {
+ public:
+  explicit SolverBackend(Solver& solver) : solver_(solver) {}
+
+  Var new_vars(int n) override;
+  bool add_clause(std::span<const Lit> lits) override;
+  bool push() override;
+  bool pop() override;
+  SolveStatus solve(std::span<const Lit> assumptions,
+                    const Budget& budget) override;
+  bool model_value(Lit l) const override;
+  const std::vector<Lit>& failed_assumptions() const override;
+  std::string name() const override { return "solver"; }
+
+  Solver& solver() { return solver_; }
+
+ private:
+  Solver& solver_;
+};
+
+// ---- service session --------------------------------------------------
+
+// Owns one incremental session inside a SolverService; each solve()
+// submits a session job and blocks on its result. The service (and its
+// worker pool) is shared with whatever else the caller runs on it.
+class SessionBackend final : public EngineBackend {
+ public:
+  // Fails (last_error set, alive() false) when the service refuses the
+  // session — admission under pressure or after shutdown.
+  SessionBackend(service::SolverService& service,
+                 service::SessionRequest request);
+  ~SessionBackend() override;
+
+  bool alive() const { return session_ != service::invalid_session; }
+
+  Var new_vars(int n) override;
+  bool add_clause(std::span<const Lit> lits) override;
+  bool push() override;
+  bool pop() override;
+  SolveStatus solve(std::span<const Lit> assumptions,
+                    const Budget& budget) override;
+  bool model_value(Lit l) const override;
+  const std::vector<Lit>& failed_assumptions() const override;
+  std::string name() const override;
+
+  const service::JobResult& last_result() const { return result_; }
+
+ private:
+  service::SolverService& service_;
+  service::SessionId session_ = service::invalid_session;
+  int threads_ = 1;
+  Var next_var_ = 0;
+  service::JobResult result_;
+  std::vector<Lit> failed_;
+};
+
+// ---- clause capture ---------------------------------------------------
+
+// Records the engine's clause stream into a Cnf (groups flatten away;
+// pops are refused — capture is for monolithic re-solves). solve() is a
+// structured failure.
+class CnfBackend final : public EngineBackend {
+ public:
+  explicit CnfBackend(Cnf& cnf) : cnf_(cnf) {}
+
+  Var new_vars(int n) override { return cnf_.add_vars(n); }
+  bool add_clause(std::span<const Lit> lits) override {
+    cnf_.add_clause(lits);
+    return true;
+  }
+  bool push() override { return true; }
+  bool pop() override {
+    error_ = "CnfBackend: pop is not supported";
+    return false;
+  }
+  SolveStatus solve(std::span<const Lit>, const Budget&) override {
+    error_ = "CnfBackend: solving is not supported";
+    return SolveStatus::unknown;
+  }
+  bool model_value(Lit) const override { return false; }
+  const std::vector<Lit>& failed_assumptions() const override {
+    return failed_;
+  }
+  std::string name() const override { return "cnf"; }
+
+ private:
+  Cnf& cnf_;
+  std::vector<Lit> failed_;
+};
+
+// ---- frame instantiation ----------------------------------------------
+
+// One time frame instantiated into a backend: the template's literals
+// shifted to fresh backend variables.
+struct FrameVars {
+  std::vector<Lit> inputs;
+  std::vector<Lit> state;
+  std::vector<Lit> next;
+  Lit bad = undef_lit;
+};
+
+// Allocates fresh variables for every template variable and adds the
+// frame clauses (into the backend's innermost open group, if any).
+FrameVars instantiate_frame(EngineBackend& backend, const FrameTemplate& tmpl);
+
+// Maintains the BMC-style chain of frames: frame 0 is constrained to the
+// all-zero initial state; frame t > 0 ties its state inputs to frame
+// t-1's next-state literals with equivalence binaries.
+class FrameStack {
+ public:
+  FrameStack(const TransitionSystem& ts, EngineBackend& backend)
+      : ts_(ts), backend_(backend) {}
+
+  // Instantiates and binds the next frame.
+  const FrameVars& extend();
+  const FrameVars& frame(std::size_t t) const { return frames_[t]; }
+  std::size_t depth() const { return frames_.size(); }
+
+  // Drops bookkeeping for frames beyond `depth`. The caller is responsible
+  // for retiring the matching backend clause groups (BmcEngine::pop_to).
+  void truncate(std::size_t depth) {
+    if (depth < frames_.size()) frames_.resize(depth);
+  }
+
+  // Reads the primary-input assignment of every frame out of the
+  // backend's model (one vector per cycle, frames 0..depth-1).
+  std::vector<std::vector<bool>> model_inputs() const;
+
+ private:
+  const TransitionSystem& ts_;
+  EngineBackend& backend_;
+  std::vector<FrameVars> frames_;
+};
+
+}  // namespace berkmin::engines

@@ -1,0 +1,66 @@
+// Bounded model checking over a TransitionSystem.
+//
+// The engine unrolls the transition relation one time frame per bound
+// directly into its backend — each frame inside its own clause group — and
+// asks every bound as one assumption-based query: solve(assume bad_t).
+// Frames accumulate, so bound t+1 reuses everything the solver learned
+// refuting bounds 0..t; this is exactly the incremental re-solve pattern
+// BENCH_PR5 measured, now driven by a real consumer.
+//
+// Verdicts are certifiable:
+//   * SAT: the model's primary inputs per cycle are extracted and replayed
+//     through plain circuit simulation; the verdict is only `unsafe` when
+//     the replay reproduces bad (cex_validated).
+//   * UNSAT at every bound: with certify on, the exact bounded query is
+//     re-solved monolithically by an independent fresh Solver with a DRAT
+//     writer attached, and the trace is verified by the in-tree
+//     DratChecker (certified).
+#pragma once
+
+#include "engines/backend.h"
+#include "engines/engine.h"
+#include "engines/transition_system.h"
+
+namespace berkmin::engines {
+
+struct BmcOptions {
+  // Highest cycle index checked: bounds 0..bound inclusive.
+  int bound = 10;
+  // Wrap each frame in a backend clause group (push per frame). The final
+  // state leaves depth()+1 nested groups, which pop_to() can retire.
+  bool frame_groups = true;
+  // Independently certify a safe_bounded verdict (see header comment).
+  bool certify = false;
+  // Per-query budget (unlimited by default). A blown budget yields
+  // Verdict::unknown at that bound.
+  Budget query_budget = Budget::unlimited();
+};
+
+class BmcEngine {
+ public:
+  BmcEngine(const TransitionSystem& ts, EngineBackend& backend,
+            BmcOptions options = {});
+
+  // Runs bounds 0..options.bound. May be called once per engine.
+  EngineResult run();
+
+  // After run(): retires the outermost frames down to `depth` frames
+  // (requires frame_groups). The backend keeps every lemma whose
+  // derivation was frame-independent — callers re-extend cheaply.
+  bool pop_to(int depth);
+
+  int depth() const { return static_cast<int>(frames_.depth()); }
+
+ private:
+  // Builds the monolithic CNF of "bad reachable within `bound` cycles"
+  // and certifies UNSAT with a fresh proof-logged solver + DratChecker.
+  bool certify_safe(int bound, std::string* error) const;
+
+  const TransitionSystem& ts_;
+  EngineBackend& backend_;
+  BmcOptions opts_;
+  FrameStack frames_;
+  EngineStats stats_;
+};
+
+}  // namespace berkmin::engines

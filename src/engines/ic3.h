@@ -1,0 +1,105 @@
+// IC3/PDR over a TransitionSystem.
+//
+// A single copy of the transition relation lives in the backend for the
+// whole run: state variables are free, next-state variables are their
+// image under T. Frames are delta-encoded — frames_[i] holds the cubes
+// whose highest proven frame is i, each added to the backend as an
+// activation-guarded clause (¬act_i ∨ ¬cube) — so "solve relative to
+// F_k" is just an assumption set {act_k .. act_N}. Frame 0 is the
+// all-zero initial state, encoded as activation-guarded unit clauses.
+//
+// Every relative-induction query is assumption-based; the one temporary
+// clause IC3 needs (¬s while searching predecessors of s) rides in its
+// own backend clause group, pushed and popped around the query. A full
+// run issues hundreds of such push/pop cycles plus one unrecycled
+// activation variable per frame — exactly the selector-pressure pattern
+// the incremental layer must absorb (see README "Model checking").
+//
+// Verdicts are certifiable:
+//   * unsafe: obligations carry full-state cubes plus the concrete input
+//     vector stepping each to its successor, so the counterexample trace
+//     replays deterministically through circuit simulation
+//     (cex_validated).
+//   * safe_invariant: with certify on, the extracted inductive invariant
+//     is re-checked by an independent fresh Solver — initiation by
+//     direct evaluation, consecution clause-by-clause and the property
+//     by assumption queries that must all come back UNSAT (certified).
+#pragma once
+
+#include <vector>
+
+#include "engines/backend.h"
+#include "engines/engine.h"
+#include "engines/transition_system.h"
+
+namespace berkmin::engines {
+
+struct Ic3Options {
+  // Give up (Verdict::unknown) once the frontier passes this frame.
+  int max_frames = 64;
+  // Bound on literal-drop re-queries per blocked cube; 0 keeps only the
+  // UNSAT-core shrink.
+  int max_generalize_queries = 32;
+  // Independently re-check a safe_invariant verdict (see header comment).
+  bool certify = false;
+  // Per-query budget. A blown budget on a blocking query yields
+  // Verdict::unknown; on a propagation query the cube just stays put.
+  Budget query_budget = Budget::unlimited();
+};
+
+class Ic3Engine {
+ public:
+  Ic3Engine(const TransitionSystem& ts, EngineBackend& backend,
+            Ic3Options options = {});
+
+  // May be called once per engine.
+  EngineResult run();
+
+ private:
+  // A cube over latch indices: Lit(j, false) means "latch j is 1".
+  using Cube = std::vector<Lit>;
+
+  struct Obligation {
+    Cube state;                // full-state cube (all latches assigned)
+    std::vector<bool> inputs;  // inputs at `state`: step to the parent's
+                               // state, or fire bad for the root
+    int level = 0;
+    int parent = -1;  // index into obligations_, -1 for the root
+  };
+
+  Lit state_lit(Lit cube_lit) const;
+  Lit next_lit(Lit cube_lit) const;
+  // {act_from .. act_frontier}, plus act_0's init when from == 0.
+  std::vector<Lit> acts_from(int from) const;
+  Cube model_state() const;
+  std::vector<bool> model_inputs() const;
+  static bool is_init(const Cube& cube);  // all-zero satisfies the cube
+
+  SolveStatus query(std::span<const Lit> assumptions);
+  // SAT? [ F_{level-1} ∧ ¬cube ∧ T ∧ cube' ]  (the temp ¬cube clause in
+  // its own backend group).
+  SolveStatus predecessor_query(const Cube& cube, int level);
+  void open_frame();
+  void add_blocked(const Cube& cube, int level);
+  // Shrinks a just-blocked cube: UNSAT-core filter, then bounded literal
+  // dropping; keeps the cube init-disjoint (≥1 positive literal).
+  Cube generalize(Cube cube, int level);
+  // Pushes frame clauses forward; returns the lowest frame whose delta
+  // emptied (invariant found), or -1.
+  int propagate();
+  EngineResult make_counterexample(int obligation_index);
+  bool certify_invariant(const std::vector<Cube>& invariant,
+                         std::string* error) const;
+
+  const TransitionSystem& ts_;
+  EngineBackend& backend_;
+  Ic3Options opts_;
+
+  FrameVars fv_;             // the one transition-relation copy
+  std::vector<Lit> acts_;    // acts_[i] activates frames_[i] (and init at 0)
+  std::vector<std::vector<Cube>> frames_;  // delta-encoded; [0] stays empty
+  std::vector<Obligation> obligations_;
+  EngineStats stats_;
+};
+
+}  // namespace berkmin::engines

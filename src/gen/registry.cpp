@@ -13,6 +13,7 @@
 #include "gen/pigeonhole.h"
 #include "gen/pipe.h"
 #include "gen/random_ksat.h"
+#include "gen/safety.h"
 
 namespace berkmin::gen {
 namespace {
@@ -187,6 +188,33 @@ std::optional<GeneratedInstance> generate_from_spec(const std::string& spec,
       p.seed = static_cast<std::uint64_t>(arg_int(6, 0));
       out.cnf = bmc_instance(p);
       out.expected = p.equivalent ? Expectation::unsat : Expectation::sat;
+    } else if (family == "bmc-safe" || family == "bmc-unsafe") {
+      SafetyParams p;
+      p.safe = family == "bmc-safe";
+      p.cycles = static_cast<int>(arg_int(1, 8));
+      p.num_gates = static_cast<int>(arg_int(2, 30));
+      p.num_latches = static_cast<int>(arg_int(3, 6));
+      p.num_inputs = static_cast<int>(arg_int(4, 4));
+      p.seed = static_cast<std::uint64_t>(arg_int(5, 0));
+      out.cnf = safety_cnf(p);
+      out.expected = p.safe ? Expectation::unsat : Expectation::sat;
+    } else if (family == "bmc-latch") {
+      SafetyParams p;
+      p.latch_heavy = true;
+      p.cycles = static_cast<int>(arg_int(1, 10));
+      p.num_latches = static_cast<int>(arg_int(2, 10));
+      p.num_inputs = static_cast<int>(arg_int(3, 3));
+      p.safe = false;
+      if (parts.size() > 4) {
+        bool satisfiable = false;
+        if (!parse_sat_flag(parts[4], &satisfiable)) {
+          return fail("expected sat|unsat in field 5");
+        }
+        p.safe = !satisfiable;
+      }
+      p.seed = static_cast<std::uint64_t>(arg_int(5, 0));
+      out.cnf = safety_cnf(p);
+      out.expected = p.safe ? Expectation::unsat : Expectation::sat;
     } else if (family == "pipe") {
       PipeParams p;
       p.width = static_cast<int>(arg_int(1, 4));
@@ -230,6 +258,12 @@ std::string registry_help() {
       << "  adder_mut:<width>:<pair>:<seed>       faulty adder miter, sat\n"
       << "  adder_sum:<width>:<seed>              a+b == target, sat\n"
       << "  bmc:<cycles>:<gates>:<latches>:<inputs>:<sat|unsat>:<seed>\n"
+      << "  bmc-safe:<cycles>:<gates>:<latches>:<inputs>:<seed>\n"
+      << "                                        safety property, unsat\n"
+      << "  bmc-unsafe:<cycles>:<gates>:<latches>:<inputs>:<seed>\n"
+      << "                                        reachable bad state, sat\n"
+      << "  bmc-latch:<cycles>:<latches>:<inputs>:<sat|unsat>:<seed>\n"
+      << "                                        latch-heavy safety property\n"
       << "  pipe:<width>:<stages>:<sat|unsat>:<seed>:<mult 0|1>:<swap 0|1>\n"
       << "                                        pipelined datapath check\n";
   return out.str();

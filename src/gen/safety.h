@@ -1,0 +1,48 @@
+// Safety-property instances for the model-checking engines.
+//
+// A random sequential circuit gets one extra *bad* output — the
+// conjunction of its ordinary outputs — and the generator seed-searches
+// until explicit-state BFS certifies the requested ground truth:
+//
+//   safe   — bad is unreachable from the all-zero initial state, ever
+//            (BFS reaches its fixpoint without firing bad), so BMC is
+//            UNSAT at every bound and IC3 has an invariant to find;
+//   unsafe — bad fires within `cycles`, so bounded unrolling is SAT and
+//            both engines must produce a replayable counterexample.
+//
+// The `latch_heavy` variants shift weight from combinational logic to
+// state (more latches, fewer inputs, shallower logic): deeper reachable
+// sequences, the IC3-friendly shape.
+#pragma once
+
+#include <cstdint>
+
+#include "circuit/circuit.h"
+#include "cnf/cnf_formula.h"
+#include "engines/transition_system.h"
+
+namespace berkmin::gen {
+
+struct SafetyParams {
+  int cycles = 8;  // BMC bound: unsafe instances fire bad before it
+  int num_gates = 30;
+  int num_latches = 6;   // <= 22 (BFS ground truth)
+  int num_inputs = 4;    // <= 16 (BFS ground truth)
+  bool safe = true;
+  bool latch_heavy = false;  // reshape toward state-dominated circuits
+  std::uint64_t seed = 0;
+};
+
+// The seed-searched circuit; *bad_output (may be null) receives the index
+// of the bad output within circuit.outputs(). Throws when no seed in the
+// search window certifies the requested ground truth (rare).
+Circuit safety_circuit(const SafetyParams& params, int* bad_output);
+
+// The circuit wrapped as a TransitionSystem over its bad output.
+engines::TransitionSystem safety_system(const SafetyParams& params);
+
+// The bounded unrolling as CNF: "bad fires at some cycle in
+// [0, cycles)". Satisfiable iff !params.safe.
+Cnf safety_cnf(const SafetyParams& params);
+
+}  // namespace berkmin::gen

@@ -3,6 +3,8 @@
 // circuits.
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "circuit/adders.h"
 #include "circuit/circuit.h"
 #include "circuit/circuit_gen.h"
@@ -269,6 +271,58 @@ TEST(Unroll, MatchesSequentialSimulation) {
       }
     }
   }
+}
+
+TEST(Unroll, DegenerateCycleCountsThrow) {
+  Rng rng(5);
+  RandomCircuitParams params;
+  params.num_latches = 2;
+  const Circuit seq = random_circuit(params, rng);
+  EXPECT_THROW(unroll(seq, 0), std::invalid_argument);
+  EXPECT_THROW(unroll(seq, -3), std::invalid_argument);
+  // One cycle is the smallest legal unrolling: latches read their initial
+  // zero, so it equals one combinational evaluation from the zero state.
+  const Circuit one = unroll(seq, 1);
+  EXPECT_EQ(one.num_inputs(), seq.num_inputs());
+  EXPECT_EQ(one.num_outputs(), seq.num_outputs());
+}
+
+TEST(Unroll, LatchFreeCircuitReplicatesPerCycle) {
+  // A latch-free circuit is a legal (stateless) sequential circuit: the
+  // unrolling is `cycles` independent copies sharing nothing.
+  const Circuit comb = half_adder();
+  const int cycles = 3;
+  const Circuit flat = unroll(comb, cycles);
+  ASSERT_EQ(flat.num_inputs(), comb.num_inputs() * cycles);
+  ASSERT_EQ(flat.num_outputs(), comb.num_outputs() * cycles);
+
+  Rng rng(9);
+  for (int round = 0; round < 16; ++round) {
+    std::vector<std::vector<bool>> per_cycle(
+        cycles, std::vector<bool>(static_cast<std::size_t>(comb.num_inputs())));
+    std::vector<bool> flat_inputs;
+    for (auto& cycle : per_cycle) {
+      for (std::size_t i = 0; i < cycle.size(); ++i) {
+        cycle[i] = rng.coin();
+        flat_inputs.push_back(cycle[i]);
+      }
+    }
+    const auto flat_out = flat.evaluate(flat_inputs);
+    for (int t = 0; t < cycles; ++t) {
+      const auto want = comb.evaluate(per_cycle[static_cast<std::size_t>(t)]);
+      for (int o = 0; o < comb.num_outputs(); ++o) {
+        EXPECT_EQ(flat_out[static_cast<std::size_t>(t * comb.num_outputs() + o)],
+                  want[static_cast<std::size_t>(o)])
+            << "cycle " << t << " output " << o;
+      }
+    }
+  }
+}
+
+TEST(Unroll, RejectsInvalidCircuits) {
+  Circuit broken;
+  broken.add_latch();  // latch input never set
+  EXPECT_THROW(unroll(broken, 2), std::invalid_argument);
 }
 
 // --- arithmetic circuits -------------------------------------------------

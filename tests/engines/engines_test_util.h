@@ -1,0 +1,65 @@
+// Hand-built transition systems with known ground truth, shared by the
+// engine test suites.
+#pragma once
+
+#include "circuit/circuit.h"
+
+namespace berkmin::engines::test_circuits {
+
+// A free-running `bits`-bit binary counter (no primary inputs); bad fires
+// when every bit is 1, first at cycle 2^bits - 1. Requires bits >= 2.
+inline Circuit counter(int bits) {
+  Circuit c;
+  std::vector<int> latch(static_cast<std::size_t>(bits));
+  for (int i = 0; i < bits; ++i) latch[static_cast<std::size_t>(i)] = c.add_latch();
+  int carry = c.add_const(true);
+  for (int i = 0; i < bits; ++i) {
+    const int l = latch[static_cast<std::size_t>(i)];
+    c.set_latch_input(l, c.add_xor(l, carry));
+    carry = c.add_and(l, carry);
+  }
+  int bad = latch[0];
+  for (int i = 1; i < bits; ++i) bad = c.add_and(bad, latch[static_cast<std::size_t>(i)]);
+  c.mark_output(bad);
+  return c;
+}
+
+// Two latches swapping each cycle, both stuck at the initial 0: bad
+// ((a|b) & input) is unreachable under every input sequence.
+inline Circuit safe_ring() {
+  Circuit c;
+  const int a = c.add_latch();
+  const int b = c.add_latch();
+  const int in = c.add_input();
+  c.set_latch_input(a, b);
+  c.set_latch_input(b, a);
+  c.mark_output(c.add_and(c.add_or(a, b), in));
+  return c;
+}
+
+// A two-stage shift register fed by the input; bad (= stage 2) first
+// fires at cycle 2, and only when the input was 1 at cycle 0.
+inline Circuit shift_chain() {
+  Circuit c;
+  const int l0 = c.add_latch();
+  const int l1 = c.add_latch();
+  const int in = c.add_input();
+  c.set_latch_input(l0, in);
+  c.set_latch_input(l1, l0);
+  c.mark_output(c.add_gate(GateKind::buf, {l1}));
+  return c;
+}
+
+// No latches at all: bad is (i0 & i1) when `bad_reachable`, else the
+// constant-false (i0 & !i0).
+inline Circuit latch_free(bool bad_reachable) {
+  Circuit c;
+  const int i0 = c.add_input();
+  const int i1 = c.add_input();
+  const int bad =
+      bad_reachable ? c.add_and(i0, i1) : c.add_and(i0, c.add_not(i0));
+  c.mark_output(bad);
+  return c;
+}
+
+}  // namespace berkmin::engines::test_circuits

@@ -178,6 +178,82 @@ TEST(ServiceSession, CancelMidSolveKeepsSessionUsable) {
   EXPECT_TRUE(service.close_session(*sid));
 }
 
+// --- misuse hardening -------------------------------------------------------
+// Every out-of-contract call on a session must be a structured refusal
+// (false / nullopt), never UB — these are exactly the sequences the
+// model-checking engines can emit when a backend races a shutdown.
+
+TEST(ServiceSessionMisuse, EveryOperationAfterCloseIsRefused) {
+  SolverService service({.num_workers = 1});
+  const auto sid = service.open_session({});
+  ASSERT_TRUE(sid.has_value());
+  ASSERT_TRUE(service.session_add_clause(*sid, lits({1, 2})));
+  ASSERT_TRUE(service.session_push(*sid));
+  EXPECT_TRUE(service.close_session(*sid));
+
+  EXPECT_FALSE(service.session_solve(*sid).has_value());
+  EXPECT_FALSE(service.session_add_clause(*sid, lits({3})));
+  EXPECT_FALSE(service.session_push(*sid));
+  EXPECT_FALSE(service.session_pop(*sid));
+  EXPECT_FALSE(service.close_session(*sid));  // double close
+  EXPECT_EQ(service.open_sessions(), 0u);
+  // The service itself is unharmed: a fresh session works.
+  EXPECT_TRUE(service.open_session({}).has_value());
+}
+
+TEST(ServiceSessionMisuse, InterleavedPopsBeyondStackDepth) {
+  SolverService service({.num_workers = 1});
+  const auto sid = service.open_session({});
+  ASSERT_TRUE(sid.has_value());
+  ASSERT_TRUE(service.session_add_clause(*sid, lits({1, 2})));
+  // Drive the group stack up and down, overshooting the bottom twice;
+  // each overshoot is refused and leaves the stack where it was.
+  ASSERT_TRUE(service.session_push(*sid));
+  ASSERT_TRUE(service.session_push(*sid));
+  ASSERT_TRUE(service.session_pop(*sid));
+  ASSERT_TRUE(service.session_pop(*sid));
+  EXPECT_FALSE(service.session_pop(*sid));
+  ASSERT_TRUE(service.session_push(*sid));
+  ASSERT_TRUE(service.session_add_clause(*sid, lits({-1})));
+  ASSERT_TRUE(service.session_pop(*sid));
+  EXPECT_FALSE(service.session_pop(*sid));
+  // The session still answers correctly: only the base clause remains.
+  const auto job = service.session_solve(*sid, lits({-2}));
+  ASSERT_TRUE(job.has_value());
+  const JobResult result = service.wait(*job);
+  EXPECT_EQ(result.status, SolveStatus::satisfiable);
+  EXPECT_TRUE(service.close_session(*sid));
+}
+
+TEST(ServiceSessionMisuse, PopAfterAssumptionSolvesDoesNotLeakAssumptions) {
+  SolverService service({.num_workers = 1});
+  const auto sid = service.open_session({});
+  ASSERT_TRUE(sid.has_value());
+  ASSERT_TRUE(service.session_add_clause(*sid, lits({1, 2})));
+  ASSERT_TRUE(service.session_push(*sid));
+  ASSERT_TRUE(service.session_add_clause(*sid, lits({-1})));
+
+  // UNSAT under assumptions, with the failed subset reported.
+  auto job = service.session_solve(*sid, lits({-2}));
+  ASSERT_TRUE(job.has_value());
+  JobResult result = service.wait(*job);
+  EXPECT_EQ(result.status, SolveStatus::unsatisfiable);
+  EXPECT_FALSE(result.failed_assumptions.empty());
+
+  // Popping right after an assumption solve must retire only the group:
+  // the assumptions from the previous query leave no residue.
+  ASSERT_TRUE(service.session_pop(*sid));
+  job = service.session_solve(*sid, lits({-2}));
+  ASSERT_TRUE(job.has_value());
+  result = service.wait(*job);
+  EXPECT_EQ(result.status, SolveStatus::satisfiable);
+  // And with no assumptions at all, nothing constrains the query.
+  job = service.session_solve(*sid);
+  ASSERT_TRUE(job.has_value());
+  EXPECT_EQ(service.wait(*job).status, SolveStatus::satisfiable);
+  EXPECT_TRUE(service.close_session(*sid));
+}
+
 // --- concurrency stress (TSan) ---------------------------------------------
 // Many incremental sessions — a mix of plain and portfolio-escalated —
 // driven concurrently through one small worker pool, interleaved with
