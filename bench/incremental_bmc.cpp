@@ -1,7 +1,9 @@
 // Incremental push/pop vs scratch solving on BMC-style equivalence
-// families (ISSUE 5 acceptance benchmark, BENCH_PR5.json).
+// families (ISSUE 5 acceptance benchmark, BENCH_PR5.json; the
+// trail_saving section is the ISSUE 10 acceptance payload,
+// BENCH_PR10.json).
 //
-// Two query patterns over miter(unroll(C, k), rewrite(unroll(C, k))):
+// Three query patterns over miter(unroll(C, k), rewrite(unroll(C, k))):
 //
 //  * property-in-group: the base CNF is the two Tseitin-encoded circuit
 //    copies (satisfiable); each query pushes a group asserting the miter
@@ -15,7 +17,15 @@
 //    popped (base) formula. The base refutation is group-independent, so
 //    the incremental re-solve after the pop rides on retained lemmas.
 //
-// Prints one JSON object (the BENCH_PR5.json payload) to stdout.
+//  * trail-saving: IC3-shaped assumption streams — every query shares a
+//    long assumption prefix (fixed input constraints) and varies only
+//    the tail, with no clause edits in between. The same stream runs
+//    with SolverOptions::save_trail off and on: answers must be
+//    identical, and the saving run must spend measurably fewer
+//    propagations (the shared prefix's implied trail is resumed, not
+//    re-propagated).
+//
+// Prints one JSON object (the BENCH_PR5/PR10.json payload) to stdout.
 #include <algorithm>
 #include <iostream>
 #include <tuple>
@@ -147,6 +157,52 @@ int main() {
       inc_after_pop_ms = timer.seconds() * 1e3;
     }
 
+    // --- trail-saving: shared-prefix assumption stream ------------------
+    // Every query assumes the same `inputs` input constraints plus one
+    // varying tail literal, with no clause edits in between — the shape
+    // of consecutive IC3 relative-induction queries. The identical
+    // stream runs with save_trail off and on.
+    constexpr int kStreamQueries = 20;
+    std::vector<Lit> prefix;
+    for (int v = 0; v < inputs; ++v) {
+      prefix.push_back(Lit(static_cast<Var>(v), ((seed >> v) & 1) != 0));
+    }
+    struct StreamResult {
+      double ms = 0.0;
+      std::uint64_t propagations = 0;
+      std::uint64_t saves = 0;
+      std::uint64_t saved_literals = 0;
+      std::vector<SolveStatus> answers;
+    };
+    const auto run_stream = [&](bool save) {
+      StreamResult r;
+      SolverOptions opts;
+      opts.save_trail = save;
+      Solver solver(opts);
+      solver.load(family.base);
+      WallTimer timer;
+      for (int q = 0; q < kStreamQueries; ++q) {
+        std::vector<Lit> assumptions = prefix;
+        assumptions.push_back(
+            Lit(static_cast<Var>(inputs + q % 8), q % 2 == 0));
+        r.answers.push_back(solver.solve_with_assumptions(assumptions));
+      }
+      r.ms = timer.seconds() * 1e3;
+      r.propagations = solver.stats().propagations;
+      r.saves = solver.stats().trail_saves;
+      r.saved_literals = solver.stats().trail_saved_literals;
+      return r;
+    };
+    const StreamResult off = run_stream(false);
+    const StreamResult on = run_stream(true);
+    if (on.answers != off.answers) return 1;  // saving must not change answers
+    if (off.saves != 0) return 1;
+    const double saved_pct =
+        off.propagations > 0
+            ? 100.0 * (1.0 - static_cast<double>(on.propagations) /
+                                 static_cast<double>(off.propagations))
+            : 0.0;
+
     if (!first_family) std::cout << ",\n";
     first_family = false;
     std::cout << "    {\n      \"name\": \"" << family.name << "\",\n"
@@ -163,7 +219,15 @@ int main() {
               << (inc_after_pop_ms > 0 ? scratch_unsat_ms / inc_after_pop_ms
                                        : 0.0)
               << ", \"lemmas_retained\": " << retained
-              << ", \"lemmas_dropped\": " << dropped << "}\n    }";
+              << ", \"lemmas_dropped\": " << dropped << "},\n"
+              << "      \"trail_saving\": {\"off_ms\": " << off.ms
+              << ", \"on_ms\": " << on.ms
+              << ", \"off_propagations\": " << off.propagations
+              << ", \"on_propagations\": " << on.propagations
+              << ", \"propagations_saved_pct\": " << saved_pct
+              << ", \"trail_saves\": " << on.saves
+              << ", \"trail_saved_literals\": " << on.saved_literals
+              << "}\n    }";
   }
   std::cout << "\n  ]\n}\n";
   return 0;

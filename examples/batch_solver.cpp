@@ -488,7 +488,7 @@ int main(int argc, char** argv) {
             break;
           case icnf::Op::Kind::push:
             marks.push_back(active.size());
-            ok = solving.session_push(*sid);
+            ok = solving.session_push(*sid).has_value();
             break;
           case icnf::Op::Kind::pop:
             active.resize(marks.back());

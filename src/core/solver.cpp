@@ -157,36 +157,70 @@ Lit Solver::external_to_internal(Lit l) {
   return Lit(ext2int_[l.var()], l.is_negative());
 }
 
-int Solver::push_group() {
+int Solver::group_index(GroupId id) const {
+  for (std::size_t i = 0; i < group_ids_.size(); ++i) {
+    if (group_ids_[i] == id) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+GroupId Solver::push_group() {
+  cancel_saved_trail();
   assert(decision_level() == 0);
-  const Var s = new_internal_var(/*selector=*/true);
+  Var s;
+  if (!free_selectors_.empty()) {
+    // Reuse a popped group's selector. The pop left the variable with no
+    // occurrence in any stored clause, unassigned, and absent from the
+    // decision heaps, so it is indistinguishable from a fresh selector.
+    s = free_selectors_.back();
+    free_selectors_.pop_back();
+    ++stats_.selectors_recycled;
+  } else {
+    s = new_internal_var(/*selector=*/true);
+  }
   has_selectors_ = true;
+  const GroupId id = next_group_id_++;
+  group_ids_.push_back(id);
   group_selectors_.push_back(Lit::positive(s));
+  group_active_.push_back(1);
   ++stats_.groups_pushed;
-  return static_cast<int>(group_selectors_.size());
+  return id;
 }
 
 void Solver::pop_group() {
+  assert(!group_ids_.empty());
+  if (group_ids_.empty()) return;
+  pop_group(group_ids_.back());
+}
+
+bool Solver::pop_group(GroupId id) {
+  cancel_saved_trail();
   assert(decision_level() == 0);
-  assert(!group_selectors_.empty());
-  if (group_selectors_.empty()) return;
-  const Lit s = group_selectors_.back();
-  group_selectors_.pop_back();
+  const int idx = group_index(id);
+  assert(idx >= 0);
+  if (idx < 0) return false;
+  const Lit s = group_selectors_[static_cast<std::size_t>(idx)];
+  group_ids_.erase(group_ids_.begin() + idx);
+  group_selectors_.erase(group_selectors_.begin() + idx);
+  group_active_.erase(group_active_.begin() + idx);
   ++stats_.groups_popped;
-  if (!ok_) return;  // the refutation was group-independent: nothing to undo
+  if (!ok_) return true;  // the refutation was group-independent
 
   // Retract by asserting the selector at the root: every clause of the
   // group — and every learned clause whose derivation depended on it,
   // which carries s by construction (conflict analysis never resolves on
   // selector variables, so the literal is inherited) — becomes satisfied.
   // No clause contains ~s, so this can never conflict by itself; a
-  // conflict here comes from user units still pending propagation.
+  // conflict here comes from user units still pending propagation. Groups
+  // pushed later than `id` are untouched: their selectors are distinct
+  // variables, so neither their clauses nor their lemmas can be satisfied
+  // by s, and out-of-order pops retract exactly one group.
   assert(value(s) != Value::false_value);
   if (value(s) == Value::unassigned) enqueue(s, no_clause);
   if (propagate_internal() != no_clause) {
     ok_ = false;
     proof_emit_empty();
-    return;
+    return true;
   }
 
   // Collect the dead clauses immediately, exactly like a reduction: drop
@@ -209,6 +243,55 @@ void Solver::pop_group() {
   stats_.pop_dropped_learned += dropped;
   stats_.pop_retained_learned += learned_stack_.size() - dropped;
   garbage_collect(keep);
+
+  // After the collection no stored clause mentions s (every clause that
+  // did was satisfied by it and dropped; ~s never occurs anywhere), so
+  // the variable can leave the trail and rejoin the pool.
+  recycle_selector(s.var());
+  return true;
+}
+
+void Solver::recycle_selector(Var v) {
+  assert(decision_level() == 0);
+  assert(is_selector_[static_cast<std::size_t>(v)]);
+  assert(assign_[static_cast<std::size_t>(v)] == Value::true_value);
+  // Splice the (root-true) selector out of the trail. Nothing on the
+  // trail depends on it: a clause containing s is satisfied while s is
+  // true (so it never propagates), and no clause contains ~s.
+  for (std::size_t i = 0; i < trail_.size(); ++i) {
+    if (trail_[i].var() != v) continue;
+    trail_.erase(trail_.begin() + static_cast<std::ptrdiff_t>(i));
+    break;
+  }
+  propagate_head_ = trail_.size();
+  assign_[static_cast<std::size_t>(v)] = Value::unassigned;
+  assign_lit_[Lit::positive(v).code()] = Value::unassigned;
+  assign_lit_[Lit::negative(v).code()] = Value::unassigned;
+  reason_[static_cast<std::size_t>(v)] = no_clause;
+  bin_reason_other_[static_cast<std::size_t>(v)] = undef_lit;
+  level_[static_cast<std::size_t>(v)] = 0;
+  var_activity_[static_cast<std::size_t>(v)] = 0;
+  lit_activity_[Lit::positive(v).code()] = 0;
+  lit_activity_[Lit::negative(v).code()] = 0;
+  chaff_counter_[Lit::positive(v).code()] = 0;
+  chaff_counter_[Lit::negative(v).code()] = 0;
+  free_selectors_.push_back(v);
+}
+
+bool Solver::set_group_active(GroupId id, bool active) {
+  const int idx = group_index(id);
+  if (idx < 0) return false;
+  group_active_[static_cast<std::size_t>(idx)] = active ? 1 : 0;
+  return true;
+}
+
+bool Solver::add_clause_to_group(GroupId id, std::span<const Lit> lits) {
+  const int idx = group_index(id);
+  if (idx < 0) return false;  // stale handle: a refusal, nothing added
+  forced_selector_ = group_selectors_[static_cast<std::size_t>(idx)];
+  const bool result = add_root_clause(lits, /*learned=*/false);
+  forced_selector_ = undef_lit;
+  return result;
 }
 
 bool Solver::add_clause(std::span<const Lit> lits) {
@@ -217,14 +300,16 @@ bool Solver::add_clause(std::span<const Lit> lits) {
 
 bool Solver::add_root_clause(std::span<const Lit> lits, bool learned,
                              std::uint32_t glue) {
+  cancel_saved_trail();
   assert(decision_level() == 0);
   if (!ok_) return false;
 
-  // Problem clauses arrive in external numbering and, inside an active
-  // group, gain the innermost group's selector literal. Learned/imported
-  // clauses are already internal (they come from this solver's or an
-  // identically-laid-out sibling's conflict analysis) and carry whatever
-  // selectors their derivations depended on.
+  // Problem clauses arrive in external numbering and, inside a live
+  // group, gain a group selector literal: the innermost group's, unless
+  // add_clause_to_group targeted a specific one. Learned/imported clauses
+  // are already internal (they come from this solver's or an identically-
+  // laid-out sibling's conflict analysis) and carry whatever selectors
+  // their derivations depended on.
   add_scratch_.clear();
   if (learned) {
     for (const Lit l : lits) {
@@ -233,7 +318,11 @@ bool Solver::add_root_clause(std::span<const Lit> lits, bool learned,
     }
   } else {
     for (const Lit l : lits) add_scratch_.push_back(external_to_internal(l));
-    if (!group_selectors_.empty()) add_scratch_.push_back(group_selectors_.back());
+    if (forced_selector_ != undef_lit) {
+      add_scratch_.push_back(forced_selector_);
+    } else if (!group_selectors_.empty()) {
+      add_scratch_.push_back(group_selectors_.back());
+    }
   }
 
   auto normalized = normalize_clause(add_scratch_);
@@ -569,21 +658,57 @@ SolveStatus Solver::solve_with_assumptions(std::span<const Lit> assumptions,
   pressure_deny_limit_ = kPressureDenyLimit;
   if (!ok_) return SolveStatus::unsatisfiable;
 
-  // The assumption prefix: active groups' selectors first (negated — the
-  // group is "on"), then the caller's assumptions translated to internal
-  // numbering. Assuming rather than asserting the selectors is what makes
-  // learned clauses record their group dependencies: a selector falsified
-  // at an assumption level enters conflict clauses like any other literal,
+  // The assumption prefix: the live groups' selectors first (negated for
+  // an active group — "on" — and positive for a deactivated one, which
+  // satisfies the group's clauses and lemmas for this solve), then the
+  // caller's assumptions translated to internal numbering. Assuming
+  // rather than asserting the selectors is what makes learned clauses
+  // record their group dependencies: a selector falsified at an
+  // assumption level enters conflict clauses like any other literal,
   // while a root-level literal never would.
   assumptions_.clear();
   assumptions_.reserve(group_selectors_.size() + assumptions.size());
-  for (const Lit s : group_selectors_) assumptions_.push_back(~s);
+  for (std::size_t i = 0; i < group_selectors_.size(); ++i) {
+    assumptions_.push_back(group_active_[i] ? ~group_selectors_[i]
+                                            : group_selectors_[i]);
+  }
   for (const Lit a : assumptions) assumptions_.push_back(external_to_internal(a));
 
-  // Root propagation of any units queued by add_clause.
+  // Trail-saving: the previous solve left the decision levels realizing
+  // saved_prefix_ in place (clause/group mutations in between cancelled
+  // them). Keep the longest prefix shared with this solve's assumption
+  // vector — every literal on the kept segment is a decision or
+  // propagation this solve skips — and rewind the rest.
+  if (decision_level() > 0) {
+    std::size_t common = 0;
+    const std::size_t limit =
+        std::min({saved_prefix_.size(), assumptions_.size(),
+                  static_cast<std::size_t>(decision_level())});
+    while (common < limit && saved_prefix_[common] == assumptions_[common]) {
+      ++common;
+    }
+    backtrack_to(static_cast<int>(common));
+    if (common > 0) {
+      ++stats_.trail_saves;
+      stats_.trail_saved_literals +=
+          trail_.size() - static_cast<std::size_t>(trail_lim_[0]);
+    }
+  }
+  saved_prefix_.clear();
+
+  // Root propagation of any units queued by add_clause (adds cancel any
+  // saved trail, so pending units always meet decision level 0 here and a
+  // conflict is a genuine root refutation).
   ClauseRef root_conflict;
   {
     telemetry::PhaseScope bcp_scope(telemetry_, telemetry::Phase::bcp);
+    root_conflict = propagate_internal();
+  }
+  if (root_conflict != no_clause && decision_level() > 0) {
+    // Defensive: a kept segment should already be at its propagation
+    // fixpoint; if it somehow is not, restart the solve from the root
+    // rather than mistake an assumption-level conflict for a refutation.
+    backtrack_to(0);
     root_conflict = propagate_internal();
   }
   if (root_conflict != no_clause) {
@@ -599,7 +724,7 @@ SolveStatus Solver::solve_with_assumptions(std::span<const Lit> assumptions,
   if (status == SolveStatus::unsatisfiable && !failed_by_assumptions_) {
     ok_ = false;
   }
-  backtrack_to(0);
+  finish_solve_trail();
   assumptions_.clear();
   if (has_selectors_ && !failed_assumptions_.empty()) {
     // The caller sees its own assumptions only: selector literals are
@@ -615,6 +740,27 @@ SolveStatus Solver::solve_with_assumptions(std::span<const Lit> assumptions,
   record_slice();
   telemetry_finish_solve(trace_start_ns, status);
   return status;
+}
+
+void Solver::finish_solve_trail() {
+  if (!opts_.save_trail || !ok_) {
+    saved_prefix_.clear();
+    backtrack_to(0);
+    return;
+  }
+  // Keep the assumption decision levels (level i realizes assumptions_[i-1];
+  // any deeper levels are search decisions and are rewound). The next solve
+  // backtracks further, to the longest prefix shared with its own
+  // assumption vector.
+  const int keep =
+      std::min(decision_level(), static_cast<int>(assumptions_.size()));
+  backtrack_to(keep);
+  saved_prefix_.assign(assumptions_.begin(), assumptions_.begin() + keep);
+}
+
+void Solver::cancel_saved_trail() {
+  saved_prefix_.clear();
+  if (decision_level() > 0) backtrack_to(0);
 }
 
 void Solver::telemetry_finish_solve(std::int64_t start_ns, SolveStatus status) {
@@ -777,6 +923,10 @@ std::vector<Lit> Solver::clause_literals(ClauseRef ref) const {
   std::vector<Lit> out;
   arena_.deref(ref).copy_to(out);
   return out;
+}
+
+std::uint32_t Solver::clause_activity(ClauseRef ref) const {
+  return arena_.deref(ref).activity();
 }
 
 std::uint64_t Solver::nb_two(Lit l) const {

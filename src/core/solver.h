@@ -71,35 +71,74 @@ class Solver {
   // Loads every clause of a CNF (creating variables as needed).
   bool load(const Cnf& cnf);
 
-  // ---- incremental clause groups (push/pop) -----------------------------
+  // ---- incremental clause groups (named push/pop) -----------------------
   // MiniSat-style scoped clause groups, implemented with internal selector
-  // literals. push_group() opens a group: every clause added afterwards
-  // (until the matching pop) is tagged with the group's selector s and
-  // stored as C OR s, and every solve assumes NOT s, so the clause behaves
-  // exactly like C while the group is active. pop_group() retracts the
-  // innermost group by asserting s at the root: the group's clauses (and
-  // every learned clause whose derivation touched them — conflict analysis
-  // makes such lemmas inherit the selector literal) become satisfied and
-  // are collected immediately, while learned clauses whose derivations are
-  // selector-independent are *retained* as consequences of the remaining
-  // formula. Groups nest with stack (LIFO) discipline.
+  // literals. push_group() opens a group and returns its handle: every
+  // clause added afterwards (until another group is pushed or this one is
+  // popped) is tagged with the group's selector s and stored as C OR s,
+  // and every solve assumes NOT s, so the clause behaves exactly like C
+  // while the group is live. pop_group(id) retracts *any* live group,
+  // regardless of push order, by asserting s at the root: the group's
+  // clauses (and every learned clause whose derivation touched them —
+  // conflict analysis makes such lemmas inherit the selector literal)
+  // become satisfied and are collected immediately, while learned clauses
+  // whose derivations are selector-independent are *retained* as
+  // consequences of the remaining formula. The popped group's selector
+  // variable returns to a free-list and is reused by a later push_group
+  // (SolverStats::selectors_recycled), so internal variable growth is
+  // bounded by the peak number of simultaneously live groups.
   //
   // Selectors are invisible outside the solver: they are frozen out of the
   // decision heuristics, elided from models, failed-assumption cores and
-  // DRAT traces (traces are emitted in external numbering). Both calls
-  // require decision level 0 — i.e. between solves. Returns the new group
-  // depth.
-  int push_group();
+  // DRAT traces (traces are emitted in external numbering). All group
+  // calls require decision level 0 — i.e. between solves (a trail segment
+  // saved by SolverOptions::save_trail is cancelled first).
+  GroupId push_group();
+  // Retracts the group with handle `id`. Returns false (and does nothing)
+  // when the handle does not name a live group.
+  bool pop_group(GroupId id);
+  // Convenience LIFO form: retracts the most recently pushed live group.
   void pop_group();
   int num_groups() const { return static_cast<int>(group_selectors_.size()); }
-  // The active groups' selector literals, innermost last (internal
-  // numbering; introspection for tests and validation).
+  // Handle of the most recently pushed live group (no_group when none).
+  GroupId innermost_group() const {
+    return group_ids_.empty() ? no_group : group_ids_.back();
+  }
+  // Live group handles / selector literals, push order preserved,
+  // innermost last (introspection for tests and validation; selectors are
+  // internal numbering).
+  const std::vector<GroupId>& group_ids() const { return group_ids_; }
   const std::vector<Lit>& group_selectors() const { return group_selectors_; }
+  bool group_is_live(GroupId id) const { return group_index(id) >= 0; }
+
+  // Adds a clause into a specific live group rather than the innermost
+  // one: the clause is stored as C OR s_id, exactly as if it had been
+  // added right after push_group returned `id`. Returns false when the
+  // formula is root-unsatisfiable (add_clause's contract) and for a dead
+  // handle, which is a refusal: nothing is added (group_is_live(id)
+  // distinguishes the two).
+  bool add_clause_to_group(GroupId id, std::span<const Lit> lits);
+
+  // Enables / disables a live group for subsequent solves without
+  // retracting it: an inactive group's selector is assumed *true*, so its
+  // clauses (and every lemma whose derivation touched it) are satisfied
+  // and inert for the solve. Persistent until changed; groups start
+  // active. Does not mutate the clause database, so it composes with
+  // trail-saving (the changed selector assumption just ends the shared
+  // prefix earlier). Returns false for a dead handle.
+  bool set_group_active(GroupId id, bool active);
+  bool group_is_active(GroupId id) const {
+    const int i = group_index(id);
+    return i >= 0 && group_active_[static_cast<std::size_t>(i)] != 0;
+  }
+
   bool is_selector_var(Var internal_var) const {
     return internal_var >= 0 &&
            internal_var < num_internal_vars() &&
            is_selector_[static_cast<std::size_t>(internal_var)] != 0;
   }
+  // Popped selector variables currently awaiting reuse (introspection).
+  std::size_t free_selector_count() const { return free_selectors_.size(); }
 
   // ---- solving ----------------------------------------------------------
   // Returns satisfiable/unsatisfiable, or unknown if the budget expired.
@@ -298,6 +337,8 @@ class Solver {
 
   // Literals of a live clause, copied out (test/bench introspection).
   std::vector<Lit> clause_literals(ClauseRef ref) const;
+  // Activity counter of a live clause (test/bench introspection).
+  std::uint32_t clause_activity(ClauseRef ref) const;
   const std::vector<ClauseRef>& learned_stack() const { return learned_stack_; }
 
   // Full internal-consistency check (watches, trail, reasons, stack
@@ -339,6 +380,23 @@ class Solver {
   // Allocates one internal variable; selectors stay out of the decision
   // heaps and the external numbering.
   Var new_internal_var(bool selector);
+  // Position of `id` in the live-group vectors, or -1.
+  int group_index(GroupId id) const;
+  // Detaches a popped group's selector variable: removes the (root-true)
+  // selector from the trail — sound because after the pop's collection no
+  // stored clause mentions the variable at all — clears its per-variable
+  // state, and pushes it onto free_selectors_ for reuse.
+  void recycle_selector(Var v);
+  // Trail-saving (SolverOptions::save_trail). finish_solve_trail replaces
+  // the unconditional end-of-solve backtrack_to(0): with the flag on and
+  // the solver alive it keeps the assumption decision levels and records
+  // the assumption prefix they realize; the next solve backtracks only to
+  // the longest prefix it shares with the new assumption vector.
+  // cancel_saved_trail drops the saved segment before any clause/group
+  // mutation (root simplification reads value(), garbage collection
+  // invalidates saved reasons).
+  void finish_solve_trail();
+  void cancel_saved_trail();
   // Maps an external literal into internal numbering, creating the
   // external variable (and its internal twin) on demand.
   Lit external_to_internal(Lit l);
@@ -434,13 +492,20 @@ class Solver {
   // Incremental clause groups. ext2int_/int2ext_ map the caller's dense
   // external variables to internal ones (identity until the first
   // push_group interleaves a selector); is_selector_ marks selector
-  // variables, group_selectors_ stacks the active groups' selectors
-  // (innermost last). has_selectors_ short-circuits the translation and
+  // variables. The live groups are three parallel vectors in push order
+  // (innermost last): handle, selector literal, and the active flag
+  // consulted when the solve builds its selector-assumption prefix.
+  // free_selectors_ holds the selector variables of popped groups, ready
+  // for reuse. has_selectors_ short-circuits the translation and
   // proof-projection paths for non-incremental use.
   std::vector<Var> ext2int_;
   std::vector<Var> int2ext_;
   std::vector<char> is_selector_;
+  std::vector<GroupId> group_ids_;
   std::vector<Lit> group_selectors_;
+  std::vector<char> group_active_;
+  std::vector<Var> free_selectors_;
+  GroupId next_group_id_ = 0;
   bool has_selectors_ = false;
 
   // Assignment state. assign_lit_ mirrors assign_ by literal code
@@ -570,6 +635,13 @@ class Solver {
   std::vector<Lit> assumptions_;
   std::vector<Lit> failed_assumptions_;
   bool failed_by_assumptions_ = false;
+  // Trail-saving: the internal assumption prefix whose decision levels
+  // survived the previous solve (empty when nothing is saved). Level i of
+  // the retained trail realizes saved_prefix_[i].
+  std::vector<Lit> saved_prefix_;
+  // add_clause_to_group: selector the next add_root_clause must tag the
+  // clause with instead of the innermost group's (undef_lit = default).
+  Lit forced_selector_ = undef_lit;
 
   ClauseCallback learn_callback_;
   ClauseCallback delete_callback_;

@@ -16,6 +16,13 @@ namespace berkmin {
 using ClauseRef = std::uint32_t;
 inline constexpr ClauseRef no_clause = std::numeric_limits<ClauseRef>::max();
 
+// Handle of a clause group (Solver::push_group). Ids are assigned by a
+// monotone per-solver counter and are never reused, so a stale handle can
+// be detected; the selector *variable* behind a popped group, by contrast,
+// is recycled through a free-list.
+using GroupId = int;
+inline constexpr GroupId no_group = -1;
+
 // One entry of a watch list. `blocker` is some other literal of the clause;
 // if it is already true the clause is satisfied and need not be visited.
 struct Watcher {
@@ -163,11 +170,22 @@ struct SolverStats {
   // Incremental clause groups (Solver::push_group / pop_group).
   // pop_retained_learned / pop_dropped_learned split the learned stack at
   // each pop into clauses kept (selector-independent derivations) and
-  // clauses collected with the group.
+  // clauses collected with the group. selectors_recycled counts push_group
+  // calls served from the free-list of popped selectors instead of a fresh
+  // internal variable — on a long-lived session it bounds internal
+  // variable growth by the peak number of simultaneously live groups.
   std::uint64_t groups_pushed = 0;
   std::uint64_t groups_popped = 0;
   std::uint64_t pop_retained_learned = 0;
   std::uint64_t pop_dropped_learned = 0;
+  std::uint64_t selectors_recycled = 0;
+
+  // Trail-saving across assumption solves (SolverOptions::save_trail).
+  // trail_saves counts solves that resumed from a non-empty shared
+  // assumption prefix; trail_saved_literals sums the implied literals kept
+  // across the solve boundary (each one a propagation the solve skipped).
+  std::uint64_t trail_saves = 0;
+  std::uint64_t trail_saved_literals = 0;
 
   // Live database tracking (Table 9). initial_clauses is fixed at the first
   // solve() call; max_live_clauses tracks originals + learned still stored.

@@ -231,17 +231,73 @@ std::string Solver::validate_invariants() const {
       return "non-selector variable lacks an external image";
     }
   }
+  if (group_ids_.size() != group_selectors_.size() ||
+      group_active_.size() != group_selectors_.size()) {
+    return "live-group vectors disagree in size";
+  }
+  for (std::size_t i = 0; i < group_ids_.size(); ++i) {
+    if (group_ids_[i] < 0 || group_ids_[i] >= next_group_id_) {
+      return "group id outside the issued range";
+    }
+    for (std::size_t j = i + 1; j < group_ids_.size(); ++j) {
+      if (group_ids_[i] == group_ids_[j]) return "duplicate live group id";
+      if (group_selectors_[i] == group_selectors_[j]) {
+        return "two live groups share a selector";
+      }
+    }
+  }
   for (const Lit s : group_selectors_) {
     if (!s.is_positive() || s.var() < 0 || s.var() >= num_internal_vars() ||
         !is_selector_[static_cast<std::size_t>(s.var())]) {
       return "group stack holds a non-selector literal";
     }
-    // An active selector may be unassigned, assumed false during a solve,
+    // A live selector may be unassigned, assumed false during a solve,
     // or forced true when the formula implies the group is contradictory;
     // a root-level FALSE selector would mean someone asserted ~s, which no
     // clause can do.
     if (decision_level() == 0 && value(s) == Value::false_value) {
-      return "active group selector is false at the root";
+      return "live group selector is false at the root";
+    }
+  }
+  // Free-list selectors (popped groups) must be fully detached: unassigned,
+  // no external image, out of the heaps, distinct from every live selector,
+  // and mentioned by no stored clause (checked below via selector_in_use).
+  std::vector<char> selector_free(static_cast<std::size_t>(num_internal_vars()),
+                                  0);
+  for (const Var v : free_selectors_) {
+    if (v < 0 || v >= num_internal_vars() ||
+        !is_selector_[static_cast<std::size_t>(v)]) {
+      return "free-list holds a non-selector variable";
+    }
+    if (selector_free[static_cast<std::size_t>(v)]) {
+      return "selector variable appears twice in the free-list";
+    }
+    selector_free[static_cast<std::size_t>(v)] = 1;
+    if (assign_[static_cast<std::size_t>(v)] != Value::unassigned) {
+      return "free-list selector is assigned";
+    }
+    if (var_heap_.contains(v)) {
+      return "free-list selector present in the decision heap";
+    }
+    for (const Lit s : group_selectors_) {
+      if (s.var() == v) return "free-list selector backs a live group";
+    }
+  }
+  const auto check_no_free_selector = [&](ClauseRef ref) -> bool {
+    const Clause c = arena_.deref(ref);
+    for (std::uint32_t i = 0; i < c.size(); ++i) {
+      if (selector_free[static_cast<std::size_t>(c[i].var())]) return false;
+    }
+    return true;
+  };
+  for (const ClauseRef ref : originals_) {
+    if (!check_no_free_selector(ref)) {
+      return "stored clause mentions a recycled selector (original)";
+    }
+  }
+  for (const ClauseRef ref : learned_stack_) {
+    if (!check_no_free_selector(ref)) {
+      return "stored clause mentions a recycled selector (learned)";
     }
   }
   // Selector literals only ever occur positively: the group clauses carry

@@ -22,8 +22,13 @@ bool SolverBackend::add_clause(std::span<const Lit> lits) {
   return true;
 }
 
-bool SolverBackend::push() {
-  solver_.push_group();
+GroupId SolverBackend::push() { return solver_.push_group(); }
+
+bool SolverBackend::pop(GroupId id) {
+  if (!solver_.pop_group(id)) {
+    error_ = "SolverBackend: pop of a group that is not live";
+    return false;
+  }
   return true;
 }
 
@@ -33,6 +38,26 @@ bool SolverBackend::pop() {
     return false;
   }
   solver_.pop_group();
+  return true;
+}
+
+bool SolverBackend::add_clause_to(GroupId id, std::span<const Lit> lits) {
+  if (!solver_.add_clause_to_group(id, lits)) {
+    // Distinguish a stale handle (refusal) from root-level UNSAT (an
+    // answer, like add_clause's).
+    if (!solver_.group_is_live(id)) {
+      error_ = "SolverBackend: add_clause_to a group that is not live";
+      return false;
+    }
+  }
+  return true;
+}
+
+bool SolverBackend::set_group_active(GroupId id, bool active) {
+  if (!solver_.set_group_active(id, active)) {
+    error_ = "SolverBackend: set_group_active on a group that is not live";
+    return false;
+  }
   return true;
 }
 
@@ -87,9 +112,18 @@ bool SessionBackend::add_clause(std::span<const Lit> lits) {
   return true;
 }
 
-bool SessionBackend::push() {
-  if (!service_.session_push(session_)) {
+GroupId SessionBackend::push() {
+  const auto group = service_.session_push(session_);
+  if (!group.has_value()) {
     error_ = "SessionBackend: session_push refused";
+    return no_group;
+  }
+  return *group;
+}
+
+bool SessionBackend::pop(GroupId id) {
+  if (!service_.session_pop(session_, id)) {
+    error_ = "SessionBackend: session_pop refused";
     return false;
   }
   return true;
@@ -98,6 +132,22 @@ bool SessionBackend::push() {
 bool SessionBackend::pop() {
   if (!service_.session_pop(session_)) {
     error_ = "SessionBackend: session_pop refused";
+    return false;
+  }
+  return true;
+}
+
+bool SessionBackend::add_clause_to(GroupId id, std::span<const Lit> lits) {
+  if (!service_.session_add_clause_to(session_, id, lits)) {
+    error_ = "SessionBackend: session_add_clause_to refused";
+    return false;
+  }
+  return true;
+}
+
+bool SessionBackend::set_group_active(GroupId id, bool active) {
+  if (!service_.session_set_group_active(session_, id, active)) {
+    error_ = "SessionBackend: session_set_group_active refused";
     return false;
   }
   return true;

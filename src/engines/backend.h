@@ -52,9 +52,17 @@ class EngineBackend {
     const Lit lits[] = {a, b};
     return add_clause(lits);
   }
-  // Scoped clause groups with stack discipline.
-  virtual bool push() = 0;
+  // Named clause groups. push() opens a group and returns its handle
+  // (no_group on a structured refusal); groups retract in *any* order:
+  // pop(id) retires the named group, pop() the most recent one. Clauses
+  // land in the innermost open group by default; add_clause_to targets a
+  // specific live group. set_group_active parks a group for subsequent
+  // solves without retracting it (an inactive group's clauses are inert).
+  virtual GroupId push() = 0;
+  virtual bool pop(GroupId id) = 0;
   virtual bool pop() = 0;
+  virtual bool add_clause_to(GroupId id, std::span<const Lit> lits) = 0;
+  virtual bool set_group_active(GroupId id, bool active) = 0;
   // Solves under assumptions. `unknown` with a non-empty last_error()
   // reports a structured backend failure.
   virtual SolveStatus solve(std::span<const Lit> assumptions,
@@ -81,8 +89,11 @@ class SolverBackend final : public EngineBackend {
 
   Var new_vars(int n) override;
   bool add_clause(std::span<const Lit> lits) override;
-  bool push() override;
+  GroupId push() override;
+  bool pop(GroupId id) override;
   bool pop() override;
+  bool add_clause_to(GroupId id, std::span<const Lit> lits) override;
+  bool set_group_active(GroupId id, bool active) override;
   SolveStatus solve(std::span<const Lit> assumptions,
                     const Budget& budget) override;
   bool model_value(Lit l) const override;
@@ -112,8 +123,11 @@ class SessionBackend final : public EngineBackend {
 
   Var new_vars(int n) override;
   bool add_clause(std::span<const Lit> lits) override;
-  bool push() override;
+  GroupId push() override;
+  bool pop(GroupId id) override;
   bool pop() override;
+  bool add_clause_to(GroupId id, std::span<const Lit> lits) override;
+  bool set_group_active(GroupId id, bool active) override;
   SolveStatus solve(std::span<const Lit> assumptions,
                     const Budget& budget) override;
   bool model_value(Lit l) const override;
@@ -145,9 +159,24 @@ class CnfBackend final : public EngineBackend {
     cnf_.add_clause(lits);
     return true;
   }
-  bool push() override { return true; }
+  GroupId push() override { return next_group_++; }
+  bool pop(GroupId) override {
+    error_ = "CnfBackend: pop is not supported";
+    return false;
+  }
   bool pop() override {
     error_ = "CnfBackend: pop is not supported";
+    return false;
+  }
+  bool add_clause_to(GroupId, std::span<const Lit> lits) override {
+    // Groups flatten away in a monolithic capture.
+    return add_clause(lits);
+  }
+  bool set_group_active(GroupId, bool active) override {
+    // Capture is monolithic: every recorded clause stays part of the
+    // formula, so parking a group cannot be represented faithfully.
+    if (active) return true;
+    error_ = "CnfBackend: deactivating a group is not supported";
     return false;
   }
   SolveStatus solve(std::span<const Lit>, const Budget&) override {
@@ -162,6 +191,7 @@ class CnfBackend final : public EngineBackend {
 
  private:
   Cnf& cnf_;
+  GroupId next_group_ = 0;  // synthetic handles; capture never pops
   std::vector<Lit> failed_;
 };
 

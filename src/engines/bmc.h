@@ -49,6 +49,19 @@ class BmcEngine {
   // derivation was frame-independent — callers re-extend cheaply.
   bool pop_to(int depth);
 
+  // Retires one *middle* frame's clause group by its named handle while
+  // later frames stay live (requires frame_groups): the transition at
+  // step t becomes unconstrained, an over-approximation used during
+  // abstraction refinement. Lemmas whose derivations touched the retired
+  // frame die with it; later frames' lemmas survive. The frame's
+  // bookkeeping stays (its variables remain valid in later frames'
+  // equivalence binaries); retiring the same frame twice is a refusal.
+  bool retire_frame(int t);
+  bool frame_is_live(int t) const {
+    return t >= 0 && t < static_cast<int>(frame_groups_.size()) &&
+           frame_groups_[static_cast<std::size_t>(t)] != no_group;
+  }
+
   int depth() const { return static_cast<int>(frames_.depth()); }
 
  private:
@@ -60,6 +73,9 @@ class BmcEngine {
   EngineBackend& backend_;
   BmcOptions opts_;
   FrameStack frames_;
+  // Named group handle per frame, index = cycle (no_group for a frame
+  // retired in place by retire_frame). Empty without frame_groups.
+  std::vector<GroupId> frame_groups_;
   EngineStats stats_;
 };
 

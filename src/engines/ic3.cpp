@@ -10,12 +10,10 @@ namespace berkmin::engines {
 Ic3Engine::Ic3Engine(const TransitionSystem& ts, EngineBackend& backend,
                      Ic3Options options)
     : ts_(ts), backend_(backend), opts_(options) {
+  // The transition relation is permanent: added at the root, before any
+  // frame group is open. Frame 0 (the all-zero initial state) gets its
+  // named group at the start of run(), where a refusal can be reported.
   fv_ = instantiate_frame(backend_, ts_.frame());
-  // Frame 0 is the all-zero initial state, guarded by act_0.
-  const Lit act0 = Lit(backend_.new_vars(1), false);
-  acts_.push_back(act0);
-  frames_.emplace_back();
-  for (const Lit s : fv_.state) backend_.add_binary(~act0, ~s);
 }
 
 Lit Ic3Engine::state_lit(Lit cube_lit) const {
@@ -28,13 +26,14 @@ Lit Ic3Engine::next_lit(Lit cube_lit) const {
   return cube_lit.is_negative() ? ~base : base;
 }
 
-std::vector<Lit> Ic3Engine::acts_from(int from) const {
-  std::vector<Lit> acts;
-  acts.reserve(acts_.size() - static_cast<std::size_t>(from));
-  for (std::size_t i = static_cast<std::size_t>(from); i < acts_.size(); ++i) {
-    acts.push_back(acts_[i]);
+bool Ic3Engine::activate_from(int from) {
+  for (std::size_t i = 0; i < frame_groups_.size(); ++i) {
+    const bool want = i >= static_cast<std::size_t>(from);
+    if ((frame_active_[i] != 0) == want) continue;
+    if (!backend_.set_group_active(frame_groups_[i], want)) return false;
+    frame_active_[i] = want ? 1 : 0;
   }
-  return acts;
+  return true;
 }
 
 Ic3Engine::Cube Ic3Engine::model_state() const {
@@ -61,7 +60,8 @@ bool Ic3Engine::is_init(const Cube& cube) {
   return true;
 }
 
-SolveStatus Ic3Engine::query(std::span<const Lit> assumptions) {
+SolveStatus Ic3Engine::query(int from, std::span<const Lit> assumptions) {
+  if (!activate_from(from)) return SolveStatus::unknown;
   const SolveStatus status = backend_.solve(assumptions, opts_.query_budget);
   ++stats_.solves;
   if (status == SolveStatus::satisfiable) ++stats_.sat_answers;
@@ -70,33 +70,48 @@ SolveStatus Ic3Engine::query(std::span<const Lit> assumptions) {
 }
 
 SolveStatus Ic3Engine::predecessor_query(const Cube& cube, int level) {
-  if (!backend_.push()) return SolveStatus::unknown;
+  const GroupId scratch = backend_.push();
+  if (scratch == no_group) return SolveStatus::unknown;
+  scratch_.push_back(scratch);
   ++stats_.pushes;
   std::vector<Lit> blocker;
   blocker.reserve(cube.size());
   for (const Lit l : cube) blocker.push_back(~state_lit(l));
-  backend_.add_clause(blocker);
+  backend_.add_clause(blocker);  // lands in the scratch group (innermost)
   ++stats_.clauses_added;
 
-  std::vector<Lit> assumptions = acts_from(level - 1);
+  std::vector<Lit> assumptions;
+  assumptions.reserve(cube.size());
   for (const Lit l : cube) assumptions.push_back(next_lit(l));
   // Callers must read the model (SAT) or the failed assumptions (UNSAT)
-  // and then pop the group themselves.
-  return query(assumptions);
+  // and then pop_scratch() themselves.
+  return query(level - 1, assumptions);
 }
 
-void Ic3Engine::open_frame() {
-  acts_.push_back(Lit(backend_.new_vars(1), false));
+bool Ic3Engine::pop_scratch() {
+  if (scratch_.empty() || !backend_.pop(scratch_.back())) return false;
+  scratch_.pop_back();  // the selector returns to the backend's free-list
+  ++stats_.pops;
+  return true;
+}
+
+bool Ic3Engine::open_frame() {
+  const GroupId group = backend_.push();
+  if (group == no_group) return false;
+  ++stats_.pushes;
+  frame_groups_.push_back(group);
+  frame_active_.push_back(1);  // groups start active
   frames_.emplace_back();
   ++stats_.frames;
+  return true;
 }
 
 void Ic3Engine::add_blocked(const Cube& cube, int level) {
   std::vector<Lit> clause;
-  clause.reserve(cube.size() + 1);
-  clause.push_back(~acts_[static_cast<std::size_t>(level)]);
+  clause.reserve(cube.size());
   for (const Lit l : cube) clause.push_back(~state_lit(l));
-  backend_.add_clause(clause);
+  backend_.add_clause_to(frame_groups_[static_cast<std::size_t>(level)],
+                         clause);
   ++stats_.clauses_added;
   frames_[static_cast<std::size_t>(level)].push_back(cube);
 }
@@ -144,8 +159,7 @@ Ic3Engine::Cube Ic3Engine::generalize(Cube cube, int level) {
     --queries_left;
     const SolveStatus status = predecessor_query(candidate, level);
     const bool keep_drop = status == SolveStatus::unsatisfiable;
-    if (!backend_.pop()) break;
-    ++stats_.pops;
+    if (!pop_scratch()) break;
     if (keep_drop) {
       cube = std::move(candidate);
       ++stats_.generalization_drops;
@@ -166,9 +180,10 @@ int Ic3Engine::propagate() {
     for (Cube& cube : delta) {
       // SAT? [ F_i ∧ T ∧ cube' ] — ¬cube is already active at level i,
       // so no temporary clause is needed.
-      std::vector<Lit> assumptions = acts_from(i);
+      std::vector<Lit> assumptions;
+      assumptions.reserve(cube.size());
       for (const Lit l : cube) assumptions.push_back(next_lit(l));
-      if (query(assumptions) == SolveStatus::unsatisfiable) {
+      if (query(i, assumptions) == SolveStatus::unsatisfiable) {
         add_blocked(cube, i + 1);
       } else {
         // SAT keeps the cube here; unknown (budget) conservatively too.
@@ -211,11 +226,21 @@ EngineResult Ic3Engine::run() {
     return result;
   };
 
+  // Frame 0: the all-zero initial state, unit clauses in its own named
+  // group (opened here, not in the constructor, so a refusal is a
+  // structured failure).
+  if (!open_frame()) {
+    return fail("ic3: opening frame 0's group: " + backend_.last_error());
+  }
+  for (const Lit s : fv_.state) {
+    const Lit unit[] = {~s};
+    backend_.add_clause_to(frame_groups_[0], unit);
+  }
+
   // Base case: can bad fire straight from the initial state?
   {
-    std::vector<Lit> assumptions = acts_from(0);
-    assumptions.push_back(fv_.bad);
-    const SolveStatus status = query(assumptions);
+    const Lit assumptions[] = {fv_.bad};
+    const SolveStatus status = query(0, assumptions);
     if (status == SolveStatus::unknown) {
       return fail("ic3: base-case query unresolved: " + backend_.last_error());
     }
@@ -240,15 +265,16 @@ EngineResult Ic3Engine::run() {
     return result;
   }
 
-  open_frame();  // frontier F_1
+  if (!open_frame()) {  // frontier F_1
+    return fail("ic3: opening a frame group: " + backend_.last_error());
+  }
   while (static_cast<int>(frames_.size()) - 1 <= opts_.max_frames) {
     const int frontier = static_cast<int>(frames_.size()) - 1;
 
     // Pull bad states out of the frontier until none remain.
     for (;;) {
-      std::vector<Lit> assumptions = acts_from(frontier);
-      assumptions.push_back(fv_.bad);
-      const SolveStatus status = query(assumptions);
+      const Lit assumptions[] = {fv_.bad};
+      const SolveStatus status = query(frontier, assumptions);
       if (status == SolveStatus::unknown) {
         return fail("ic3: frontier query unresolved: " + backend_.last_error());
       }
@@ -283,10 +309,9 @@ EngineResult Ic3Engine::run() {
           prev.inputs = model_inputs();
           prev.level = level - 1;
           prev.parent = index;
-          if (!backend_.pop()) {
+          if (!pop_scratch()) {
             return fail("ic3: " + backend_.last_error());
           }
-          ++stats_.pops;
           obligations_.push_back(std::move(prev));
           const int prev_index = static_cast<int>(obligations_.size()) - 1;
           if (level - 1 == 0 ||
@@ -302,10 +327,9 @@ EngineResult Ic3Engine::run() {
         // UNSAT: `state` is blocked relative to F_{level-1}. Generalize
         // (reads the core before this pop) and commit the clause.
         Cube blocked = generalize(state, level);
-        if (!backend_.pop()) {
+        if (!pop_scratch()) {
           return fail("ic3: " + backend_.last_error());
         }
-        ++stats_.pops;
         add_blocked(blocked, level);
         if (level < frontier) queue.emplace(level + 1, index);
       }

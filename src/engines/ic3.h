@@ -3,17 +3,18 @@
 // A single copy of the transition relation lives in the backend for the
 // whole run: state variables are free, next-state variables are their
 // image under T. Frames are delta-encoded — frames_[i] holds the cubes
-// whose highest proven frame is i, each added to the backend as an
-// activation-guarded clause (¬act_i ∨ ¬cube) — so "solve relative to
-// F_k" is just an assumption set {act_k .. act_N}. Frame 0 is the
-// all-zero initial state, encoded as activation-guarded unit clauses.
+// whose highest proven frame is i, each blocked clause (¬cube) added
+// into frame i's *named* backend clause group — so "solve relative to
+// F_k" is just activating the groups of frames k..N and parking the
+// rest (set_group_active), with no hand-rolled activation literals in
+// the clauses or the assumption vector. Frame 0 is the all-zero initial
+// state, encoded as unit clauses in frame 0's group.
 //
-// Every relative-induction query is assumption-based; the one temporary
-// clause IC3 needs (¬s while searching predecessors of s) rides in its
-// own backend clause group, pushed and popped around the query. A full
-// run issues hundreds of such push/pop cycles plus one unrecycled
-// activation variable per frame — exactly the selector-pressure pattern
-// the incremental layer must absorb (see README "Model checking").
+// The one temporary clause IC3 needs (¬s while searching predecessors
+// of s) rides in a scratch clause group, pushed and popped around each
+// query; the backend's selector free-list recycles the popped selector
+// into the next push, so a full run's hundreds of scratch cycles cause
+// zero net group and variable growth (see README "Model checking").
 //
 // Verdicts are certifiable:
 //   * unsafe: obligations carry full-state cubes plus the concrete input
@@ -69,17 +70,21 @@ class Ic3Engine {
 
   Lit state_lit(Lit cube_lit) const;
   Lit next_lit(Lit cube_lit) const;
-  // {act_from .. act_frontier}, plus act_0's init when from == 0.
-  std::vector<Lit> acts_from(int from) const;
+  // Activates the named groups of frames `from`..frontier and parks the
+  // rest (only flipping frames whose state changed). False on a backend
+  // refusal.
+  bool activate_from(int from);
   Cube model_state() const;
   std::vector<bool> model_inputs() const;
   static bool is_init(const Cube& cube);  // all-zero satisfies the cube
 
-  SolveStatus query(std::span<const Lit> assumptions);
+  SolveStatus query(int from, std::span<const Lit> assumptions);
   // SAT? [ F_{level-1} ∧ ¬cube ∧ T ∧ cube' ]  (the temp ¬cube clause in
-  // its own backend group).
+  // a scratch backend group; callers read the model/core, then
+  // pop_scratch()).
   SolveStatus predecessor_query(const Cube& cube, int level);
-  void open_frame();
+  bool pop_scratch();
+  bool open_frame();
   void add_blocked(const Cube& cube, int level);
   // Shrinks a just-blocked cube: UNSAT-core filter, then bounded literal
   // dropping; keeps the cube init-disjoint (≥1 positive literal).
@@ -95,8 +100,17 @@ class Ic3Engine {
   EngineBackend& backend_;
   Ic3Options opts_;
 
-  FrameVars fv_;             // the one transition-relation copy
-  std::vector<Lit> acts_;    // acts_[i] activates frames_[i] (and init at 0)
+  FrameVars fv_;  // the one transition-relation copy
+  // frame_groups_[i] holds frames_[i]'s blocked clauses (and init at 0);
+  // frame_active_ mirrors each group's backend activation state so
+  // activate_from only flips the frames whose state changed.
+  std::vector<GroupId> frame_groups_;
+  std::vector<char> frame_active_;
+  // predecessor_query's temporary groups. A stack, not a single handle:
+  // generalize() issues nested predecessor queries while the outer
+  // query's scratch group (and its ¬cube blocker, subsumed by the
+  // candidates') is still live.
+  std::vector<GroupId> scratch_;
   std::vector<std::vector<Cube>> frames_;  // delta-encoded; [0] stays empty
   std::vector<Obligation> obligations_;
   EngineStats stats_;

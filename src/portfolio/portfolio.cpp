@@ -29,30 +29,60 @@ bool PortfolioSolver::load(const Cnf& cnf) {
   return true;
 }
 
-int PortfolioSolver::push_group() {
-  int depth = -1;
-  (void)try_push_group(&depth);
-  return depth;
+GroupId PortfolioSolver::push_group() {
+  GroupId group = no_group;
+  (void)try_push_group(&group);
+  return group;
 }
 
-std::string PortfolioSolver::try_push_group(int* depth) {
-  if (depth != nullptr) *depth = -1;
+std::string PortfolioSolver::try_push_group(GroupId* group) {
+  if (group != nullptr) *group = no_group;
   if (!supports_groups()) {
     return "incremental clause groups are unsupported on a proof-logging "
            "portfolio (log_proof is set); use a single-threaded engine for "
            "proofs of incremental queries";
   }
-  ops_.push_back(PendingOp{PendingOp::Kind::push, 0});
-  ++num_groups_;
-  if (depth != nullptr) *depth = num_groups_;
+  // The id comes from the same monotone counter each worker Solver runs,
+  // so replaying this push assigns the identical handle in every worker.
+  const GroupId id = next_group_id_++;
+  ops_.push_back(PendingOp{PendingOp::Kind::push, 0, id, true});
+  live_groups_.push_back(id);
+  if (group != nullptr) *group = id;
   return {};
 }
 
+bool PortfolioSolver::group_is_live(GroupId id) const {
+  return std::find(live_groups_.begin(), live_groups_.end(), id) !=
+         live_groups_.end();
+}
+
+bool PortfolioSolver::pop_group(GroupId id) {
+  const auto it = std::find(live_groups_.begin(), live_groups_.end(), id);
+  if (it == live_groups_.end()) return false;
+  live_groups_.erase(it);
+  ops_.push_back(PendingOp{PendingOp::Kind::pop, 0, id, true});
+  return true;
+}
+
 void PortfolioSolver::pop_group() {
-  assert(num_groups_ > 0);
-  if (num_groups_ == 0) return;
-  --num_groups_;
-  ops_.push_back(PendingOp{PendingOp::Kind::pop, 0});
+  assert(!live_groups_.empty());
+  if (live_groups_.empty()) return;
+  (void)pop_group(live_groups_.back());
+}
+
+bool PortfolioSolver::set_group_active(GroupId id, bool active) {
+  if (!group_is_live(id)) return false;
+  ops_.push_back(PendingOp{PendingOp::Kind::set_active, 0, id, active});
+  return true;
+}
+
+bool PortfolioSolver::add_clause_to_group(GroupId id,
+                                          std::span<const Lit> lits) {
+  if (!group_is_live(id)) return false;
+  cnf_.add_clause(lits);
+  ops_.push_back(
+      PendingOp{PendingOp::Kind::clause_to, cnf_.num_clauses() - 1, id, true});
+  return true;
 }
 
 SolveStatus PortfolioSolver::solve(const Budget& budget) {
@@ -186,11 +216,22 @@ void PortfolioSolver::warm_up_workers() {
         case PendingOp::Kind::clause:
           (void)solver.add_clause(cnf_.clause(op.clause_index));
           break;
-        case PendingOp::Kind::push:
-          solver.push_group();
+        case PendingOp::Kind::clause_to:
+          (void)solver.add_clause_to_group(op.group,
+                                           cnf_.clause(op.clause_index));
           break;
+        case PendingOp::Kind::push: {
+          // Identical push sequences make the worker assign op.group.
+          const GroupId assigned = solver.push_group();
+          (void)assigned;
+          assert(assigned == op.group);
+          break;
+        }
         case PendingOp::Kind::pop:
-          solver.pop_group();
+          (void)solver.pop_group(op.group);
+          break;
+        case PendingOp::Kind::set_active:
+          (void)solver.set_group_active(op.group, op.active);
           break;
       }
     }

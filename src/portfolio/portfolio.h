@@ -102,7 +102,7 @@ class PortfolioSolver {
   bool load(const Cnf& cnf);
 
   // ---- incremental clause groups (mirrors Solver) ------------------------
-  // push_group/pop_group are recorded in the portfolio's construction log
+  // Every group operation is recorded in the portfolio's construction log
   // and replayed to every (warm) worker at the next solve, so all workers
   // keep identical internal layouts — which is what keeps the learned-
   // clause exchange sound across pops: surviving lemmas keep migrating
@@ -111,24 +111,38 @@ class PortfolioSolver {
   // clause at import and is dropped. Workers stay warm across push/pop;
   // nothing is rebuilt.
   //
+  // Handles are *named*: the portfolio assigns GroupIds from its own
+  // monotone counter, which coincides with every worker Solver's counter
+  // because the replayed push sequences are identical — so a portfolio
+  // handle is directly meaningful to each worker. pop_group(id) retracts
+  // any live group regardless of push order; set_group_active parks one
+  // without retracting it; add_clause_to_group targets a specific live
+  // group.
+  //
   // Groups remain unsupported with PortfolioOptions::log_proof: spliced
   // traces now keep per-worker deletions, but checking a post-pop answer
   // needs the selector-elided incremental trace to be replayable in a
   // deterministic order across warm workers, which has not landed yet.
   //
-  // Contract: push_group() returns the new group depth (>= 1) on success,
-  // or -1 — recording nothing — when groups are unsupported in this
-  // configuration (today: exactly when log_proof is set, i.e.
-  // supports_groups() is false). Callers that need the reason should use
-  // try_push_group(), which mirrors the service's JobOutcome::unsupported
-  // idiom: on success it returns the empty string and writes the new
-  // depth to *depth; on refusal it returns a non-empty human-readable
-  // reason and leaves the portfolio untouched.
-  int push_group();
-  std::string try_push_group(int* depth);
+  // Contract: push_group() returns the new group's handle (>= 0) on
+  // success, or no_group — recording nothing — when groups are
+  // unsupported in this configuration (today: exactly when log_proof is
+  // set, i.e. supports_groups() is false). Callers that need the reason
+  // should use try_push_group(), which mirrors the service's
+  // JobOutcome::unsupported idiom: on success it returns the empty string
+  // and writes the handle to *group; on refusal it returns a non-empty
+  // human-readable reason and leaves the portfolio untouched.
+  GroupId push_group();
+  std::string try_push_group(GroupId* group);
+  // Retracts the named group; false (nothing recorded) for a dead handle.
+  bool pop_group(GroupId id);
+  // LIFO convenience: retracts the most recently pushed live group.
   void pop_group();
+  bool set_group_active(GroupId id, bool active);
+  bool add_clause_to_group(GroupId id, std::span<const Lit> lits);
+  bool group_is_live(GroupId id) const;
   bool supports_groups() const { return !opts_.log_proof; }
-  int num_groups() const { return num_groups_; }
+  int num_groups() const { return static_cast<int>(live_groups_.size()); }
 
   // ---- solving ---------------------------------------------------------
   // The budget applies to every worker independently (a wall-clock budget
@@ -204,18 +218,30 @@ class PortfolioSolver {
   Cnf cnf_;
 
   // Construction log: every clause add (an index into cnf_, which retains
-  // all clauses ever added, popped groups included) and every push/pop, in
-  // order. Workers replay the log from replayed_ops_ at each solve —
-  // identical sequences give identical internal variable layouts, the
-  // invariant clause exchange relies on.
+  // all clauses ever added, popped groups included) and every group
+  // operation, in order. Workers replay the log from replayed_ops_ at
+  // each solve — identical sequences give identical internal variable
+  // *and group-id* layouts, the invariant clause exchange (and the
+  // portfolio's handle mirroring) relies on.
   struct PendingOp {
-    enum class Kind : std::uint8_t { clause, push, pop };
+    enum class Kind : std::uint8_t {
+      clause,      // add to the innermost open group (clause_index)
+      clause_to,   // add to a named group (clause_index + group)
+      push,        // open a group (each worker assigns the same id)
+      pop,         // retract a named group (group)
+      set_active,  // park/revive a named group (group + active)
+    };
     Kind kind = Kind::clause;
     std::size_t clause_index = 0;
+    GroupId group = no_group;
+    bool active = true;
   };
   std::vector<PendingOp> ops_;
   std::size_t replayed_ops_ = 0;
-  int num_groups_ = 0;
+  // Mirror of the live handles (push order) and the monotone id counter
+  // every worker's replay reproduces.
+  std::vector<GroupId> live_groups_;
+  GroupId next_group_id_ = 0;
 
   // Warm state, created by the first solve and reused afterwards.
   std::vector<std::unique_ptr<Solver>> solvers_;

@@ -241,58 +241,76 @@ std::shared_ptr<SolverService::Session> SolverService::mutable_session_locked(
   return it->second;
 }
 
-bool SolverService::session_push(SessionId id) {
+std::optional<GroupId> SolverService::session_push(SessionId id) {
+  std::shared_ptr<Session> session;
+  {
+    std::lock_guard<std::mutex> lk(lock_);
+    session = mutable_session_locked(id);
+    if (session == nullptr) return std::nullopt;
+    session->busy = true;  // exclude solves while mutating outside the lock
+  }
+  GroupId group = no_group;
+  if (session->solver != nullptr) {
+    group = session->solver->push_group();
+  } else {
+    // A proof-logging portfolio refuses groups (service sessions never
+    // build one, but honor the contract anyway); try_push_group reports
+    // the reason, which is kept for the session's structured errors.
+    const std::string refused = session->portfolio->try_push_group(&group);
+    if (!refused.empty()) group = no_group;
+  }
+  if (group == no_group) {
+    std::lock_guard<std::mutex> lk(lock_);
+    session->busy = false;
+    return std::nullopt;
+  }
+  session->groups.push_back(SessionGroup{group, true});
+  std::lock_guard<std::mutex> lk(lock_);
+  session->busy = false;
+  emit_control_locked(telemetry::EventKind::session_push, session->id,
+                      session->groups.size());
+  return group;
+}
+
+bool SolverService::session_pop(SessionId id, GroupId group) {
   std::shared_ptr<Session> session;
   {
     std::lock_guard<std::mutex> lk(lock_);
     session = mutable_session_locked(id);
     if (session == nullptr) return false;
-    session->busy = true;  // exclude solves while mutating outside the lock
+    const bool live =
+        std::any_of(session->groups.begin(), session->groups.end(),
+                    [group](const SessionGroup& g) { return g.id == group; });
+    if (!live) return false;
+    session->busy = true;
   }
-  bool pushed = true;
   if (session->solver != nullptr) {
-    session->solver->push_group();
+    (void)session->solver->pop_group(group);
   } else {
-    // A proof-logging portfolio refuses groups (service sessions never
-    // build one, but honor the contract anyway); try_push_group reports
-    // the reason, which is kept for the session's structured errors.
-    int depth = 0;
-    const std::string refused = session->portfolio->try_push_group(&depth);
-    pushed = refused.empty();
+    (void)session->portfolio->pop_group(group);
   }
-  if (!pushed) {
-    std::lock_guard<std::mutex> lk(lock_);
-    session->busy = false;
-    return false;
-  }
-  session->group_marks.push_back(session->clauses.size());
+  std::erase_if(session->groups,
+                [group](const SessionGroup& g) { return g.id == group; });
+  // The mirror is group-tagged, so an out-of-order pop removes exactly the
+  // popped group's clauses and leaves every other group's intact.
+  std::erase_if(session->clauses,
+                [group](const MirrorClause& c) { return c.group == group; });
   std::lock_guard<std::mutex> lk(lock_);
   session->busy = false;
-  emit_control_locked(telemetry::EventKind::session_push, session->id,
-                      session->group_marks.size());
+  emit_control_locked(telemetry::EventKind::session_pop, session->id,
+                      session->groups.size());
   return true;
 }
 
 bool SolverService::session_pop(SessionId id) {
-  std::shared_ptr<Session> session;
+  GroupId innermost = no_group;
   {
     std::lock_guard<std::mutex> lk(lock_);
-    session = mutable_session_locked(id);
-    if (session == nullptr || session->group_marks.empty()) return false;
-    session->busy = true;
+    const std::shared_ptr<Session> session = mutable_session_locked(id);
+    if (session == nullptr || session->groups.empty()) return false;
+    innermost = session->groups.back().id;
   }
-  if (session->solver != nullptr) {
-    session->solver->pop_group();
-  } else {
-    session->portfolio->pop_group();
-  }
-  session->clauses.resize(session->group_marks.back());
-  session->group_marks.pop_back();
-  std::lock_guard<std::mutex> lk(lock_);
-  session->busy = false;
-  emit_control_locked(telemetry::EventKind::session_pop, session->id,
-                      session->group_marks.size());
-  return true;
+  return session_pop(id, innermost);
 }
 
 bool SolverService::session_add_clause(SessionId id,
@@ -307,12 +325,68 @@ bool SolverService::session_add_clause(SessionId id,
   // The formula mirror only feeds the per-answer proof check; without
   // verification it would be a dead second copy of the whole formula.
   if (session->request.proof.verify()) {
-    session->clauses.emplace_back(lits.begin(), lits.end());
+    const GroupId group =
+        session->groups.empty() ? no_group : session->groups.back().id;
+    session->clauses.push_back(
+        MirrorClause{{lits.begin(), lits.end()}, group});
   }
   if (session->solver != nullptr) {
     (void)session->solver->add_clause(lits);
   } else {
     session->portfolio->add_clause(lits);
+  }
+  std::lock_guard<std::mutex> lk(lock_);
+  session->busy = false;
+  return true;
+}
+
+bool SolverService::session_add_clause_to(SessionId id, GroupId group,
+                                          std::span<const Lit> lits) {
+  std::shared_ptr<Session> session;
+  {
+    std::lock_guard<std::mutex> lk(lock_);
+    session = mutable_session_locked(id);
+    if (session == nullptr) return false;
+    const bool live =
+        std::any_of(session->groups.begin(), session->groups.end(),
+                    [group](const SessionGroup& g) { return g.id == group; });
+    if (!live) return false;
+    session->busy = true;
+  }
+  if (session->request.proof.verify()) {
+    session->clauses.push_back(
+        MirrorClause{{lits.begin(), lits.end()}, group});
+  }
+  if (session->solver != nullptr) {
+    (void)session->solver->add_clause_to_group(group, lits);
+  } else {
+    (void)session->portfolio->add_clause_to_group(group, lits);
+  }
+  std::lock_guard<std::mutex> lk(lock_);
+  session->busy = false;
+  return true;
+}
+
+bool SolverService::session_set_group_active(SessionId id, GroupId group,
+                                             bool active) {
+  std::shared_ptr<Session> session;
+  {
+    std::lock_guard<std::mutex> lk(lock_);
+    session = mutable_session_locked(id);
+    if (session == nullptr) return false;
+    const bool live =
+        std::any_of(session->groups.begin(), session->groups.end(),
+                    [group](const SessionGroup& g) { return g.id == group; });
+    if (!live) return false;
+    session->busy = true;
+  }
+  if (session->solver != nullptr) {
+    (void)session->solver->set_group_active(group, active);
+  } else {
+    (void)session->portfolio->set_group_active(group, active);
+  }
+  for (SessionGroup& g : session->groups) {
+    if (g.id == group) g.active = active;
   }
   std::lock_guard<std::mutex> lk(lock_);
   session->busy = false;
@@ -974,8 +1048,22 @@ void SolverService::run_session_slice(const std::shared_ptr<Job>& job,
     trace = session.proof_writer->proof();
     have_trace = true;
     if (job->request.proof.verify()) {
+      // The checked formula is what the engine saw this solve: root
+      // clauses plus the clauses of groups *active* right now. Popped
+      // groups' clauses are already gone from the mirror; parked groups'
+      // clauses are skipped here (they were satisfied by the parked
+      // selector, so the answer cannot depend on them).
+      const auto group_active = [&session](GroupId g) {
+        if (g == no_group) return true;
+        for (const auto& sg : session.groups) {
+          if (sg.id == g) return sg.active;
+        }
+        return false;
+      };
       Cnf formula;
-      for (const auto& clause : session.clauses) formula.add_clause(clause);
+      for (const auto& clause : session.clauses) {
+        if (group_active(clause.group)) formula.add_clause(clause.lits);
+      }
       bool appended_empty = false;
       if (!trace.ends_with_empty()) {
         // Assumption- or group-dependent answer: the certificate is that

@@ -157,9 +157,25 @@ class SolverService {
   // the same session. All methods are thread-safe with respect to the
   // service itself and to other sessions.
   std::optional<SessionId> open_session(SessionRequest request);
-  bool session_push(SessionId id);
+  // Opens a named clause group on the session engine and returns its
+  // handle (the engine's own GroupId — identical across the solver and
+  // portfolio paths because both assign ids monotonically from 0).
+  // nullopt is a refusal: closed/busy session, or a configuration that
+  // cannot serve groups (proof-logging portfolio).
+  std::optional<GroupId> session_push(SessionId id);
+  // Retracts the named group — any live group, regardless of push order.
+  bool session_pop(SessionId id, GroupId group);
+  // LIFO convenience: retracts the most recently pushed live group.
   bool session_pop(SessionId id);
+  // Adds to the innermost open group (or the root formula when none).
   bool session_add_clause(SessionId id, std::span<const Lit> lits);
+  // Adds to a specific live group, regardless of what was pushed since.
+  bool session_add_clause_to(SessionId id, GroupId group,
+                             std::span<const Lit> lits);
+  // Parks / revives a live group for subsequent solves without retracting
+  // it; per-answer certification drops an inactive group's clauses from
+  // the checked formula, matching what the engine saw.
+  bool session_set_group_active(SessionId id, GroupId group, bool active);
   // Submits one query against the session engine; the result arrives
   // through wait()/the completion callback like any job, carrying
   // JobResult::session. `limits.threads` is ignored (the session's own
@@ -212,16 +228,28 @@ class SolverService {
  private:
   // One incremental session: the persistent engine plus a mirror of the
   // *active* formula in external numbering for per-answer proof checking.
-  // The clause log is stack-shaped — adds always extend the innermost open
-  // group — so a pop truncates to the matching mark.
+  // Groups retract in any order (session_pop by id), so the mirror tags
+  // every clause with its owning group instead of relying on stack shape:
+  // a pop erases exactly the popped group's clauses, and certification
+  // skips clauses of groups parked inactive at solve time.
+  struct MirrorClause {
+    std::vector<Lit> lits;
+    GroupId group = no_group;  // no_group = root formula, never retracted
+  };
+  struct SessionGroup {
+    GroupId id = no_group;
+    bool active = true;
+  };
   struct Session {
     SessionId id = invalid_session;
     SessionRequest request;
     std::unique_ptr<Solver> solver;
     std::unique_ptr<portfolio::PortfolioSolver> portfolio;
     std::unique_ptr<proof::MemoryProofWriter> proof_writer;
-    std::vector<std::vector<Lit>> clauses;
-    std::vector<std::size_t> group_marks;
+    std::vector<MirrorClause> clauses;
+    // Live groups in push order (innermost last) with their active flags;
+    // the session validates handles here before touching the engine.
+    std::vector<SessionGroup> groups;
     bool busy = false;    // a session solve is queued or running
     bool closed = false;
     // Non-empty when the session was opened with a feature combo the

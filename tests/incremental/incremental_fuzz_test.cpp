@@ -13,6 +13,8 @@
 
 #include "cnf/icnf.h"
 #include "core/solver.h"
+#include "proof/drat_checker.h"
+#include "proof/proof_writer.h"
 #include "reference/dpll.h"
 #include "test_util.h"
 #include "util/rng.h"
@@ -198,6 +200,230 @@ TEST_P(IncrementalFuzzInprocess, ScriptMatchesScratchAndDpll) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, IncrementalFuzzInprocess,
                          ::testing::Range(0, 55));
+
+// --- named-group scripts (ISSUE 10) ----------------------------------------
+
+struct LiveGroup {
+  GroupId id = no_group;
+  bool active = true;
+  std::vector<std::vector<Lit>> clauses;
+};
+
+// Certifies the current UNSAT answer against `formula` with the
+// accumulated trace (lenient incremental mode: lemmas whose derivations
+// died with a popped or parked group are skipped, not refuted).
+void certify_unsat(const Solver& solver, Cnf formula,
+                   proof::Proof trace, std::uint64_t seed, int solves) {
+  if (!trace.ends_with_empty()) {
+    for (const Lit a : solver.failed_assumptions()) formula.add_unit(a);
+    trace.add({});
+  }
+  proof::DratChecker checker(formula);
+  proof::CheckOptions options;
+  options.allow_unverified_adds = true;
+  const auto check = checker.check(trace, options);
+  EXPECT_TRUE(check.valid)
+      << "seed " << seed << " solve " << solves << ": " << check.error;
+}
+
+// Random scripts over the *named* group surface: groups pop in random
+// order (not LIFO), clauses land in arbitrary live groups via
+// add_clause_to_group, and groups park/revive through set_group_active.
+// Every answer is checked against a scratch re-solve of the formula
+// active at that moment plus the DPLL oracle; SAT answers validate the
+// model, UNSAT answers validate the failed-assumption core and certify
+// the accumulated DRAT trace.
+void run_named_group_script(std::uint64_t seed) {
+  Rng rng(seed * 0x2545f4914f6cdd1dull + 99);
+  proof::MemoryProofWriter writer;
+  Solver solver;
+  solver.set_proof(&writer);
+  const int num_vars = 8 + static_cast<int>(seed % 5);
+
+  std::vector<std::vector<Lit>> root;
+  std::vector<LiveGroup> groups;
+  const auto active_now = [&] {
+    Cnf cnf(num_vars);
+    for (const auto& clause : root) cnf.add_clause(clause);
+    for (const auto& g : groups) {
+      if (!g.active) continue;
+      for (const auto& clause : g.clauses) cnf.add_clause(clause);
+    }
+    return cnf;
+  };
+
+  int solves = 0;
+  for (int op = 0; op < 30; ++op) {
+    const std::uint64_t pick = rng.below(12);
+    if (pick < 4) {
+      auto clause = random_clause(rng, num_vars, 3);
+      if (groups.empty()) {
+        root.push_back(clause);
+        (void)solver.add_clause(clause);
+      } else {
+        // Target a *random* live group, not necessarily the innermost.
+        auto& g = groups[rng.below(groups.size())];
+        ASSERT_TRUE(solver.group_is_live(g.id));
+        (void)solver.add_clause_to_group(g.id, clause);
+        g.clauses.push_back(clause);
+      }
+    } else if (pick < 6 && groups.size() < 4) {
+      groups.push_back({solver.push_group(), true, {}});
+    } else if (pick < 8 && !groups.empty()) {
+      const std::size_t at = rng.below(groups.size());  // random order
+      ASSERT_TRUE(solver.pop_group(groups[at].id));
+      EXPECT_FALSE(solver.group_is_live(groups[at].id));
+      groups.erase(groups.begin() + static_cast<std::ptrdiff_t>(at));
+    } else if (pick < 9 && !groups.empty()) {
+      auto& g = groups[rng.below(groups.size())];
+      g.active = !g.active;
+      ASSERT_TRUE(solver.set_group_active(g.id, g.active));
+    } else {
+      std::vector<Lit> assumptions;
+      for (std::uint64_t i = rng.below(3); i > 0; --i) {
+        assumptions.push_back(
+            Lit(static_cast<Var>(
+                    rng.below(static_cast<std::uint64_t>(num_vars))),
+                rng.coin()));
+      }
+      ++solves;
+      const SolveStatus status = solver.solve_with_assumptions(assumptions);
+      EXPECT_EQ(solver.validate_invariants(), "")
+          << "seed " << seed << " solve " << solves;
+
+      const Cnf formula = active_now();
+      Solver scratch;
+      scratch.load(formula);
+      ASSERT_EQ(status, scratch.solve_with_assumptions(assumptions))
+          << "seed " << seed << " solve " << solves
+          << ": named-group script diverged from scratch";
+      Cnf assumed = formula;
+      for (const Lit a : assumptions) assumed.add_unit(a);
+      const auto oracle = reference::dpll_solve(assumed);
+      ASSERT_TRUE(oracle.completed);
+      ASSERT_EQ(status == SolveStatus::satisfiable, oracle.satisfiable)
+          << "seed " << seed << " solve " << solves
+          << ": named-group script diverged from DPLL";
+
+      if (status == SolveStatus::satisfiable) {
+        EXPECT_TRUE(formula.is_satisfied_by(solver.model()))
+            << "seed " << seed << " solve " << solves;
+        for (const Lit a : assumptions) {
+          EXPECT_EQ(value_of_literal(solver.model()[a.var()], a),
+                    Value::true_value)
+              << "seed " << seed << " solve " << solves;
+        }
+      } else {
+        const std::set<Lit> allowed(assumptions.begin(), assumptions.end());
+        Cnf with_core = formula;
+        for (const Lit l : solver.failed_assumptions()) {
+          EXPECT_TRUE(allowed.count(l))
+              << "seed " << seed << " solve " << solves
+              << ": core leaked " << to_string(l);
+          with_core.add_unit(l);
+        }
+        EXPECT_FALSE(reference::dpll_solve(with_core).satisfiable)
+            << "seed " << seed << " solve " << solves;
+        certify_unsat(solver, formula, writer.proof(), seed, solves);
+        if (!solver.ok()) break;  // permanently refuted
+      }
+    }
+  }
+}
+
+class NamedGroupFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(NamedGroupFuzz, ScriptMatchesScratchDpllAndDrat) {
+  run_named_group_script(static_cast<std::uint64_t>(GetParam()) + 4000);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NamedGroupFuzz, ::testing::Range(0, 40));
+
+// --- trail-saving equivalence (ISSUE 10) ------------------------------------
+
+TEST(TrailSavingFuzz, OnOffScriptsAgreeAndSavingNeverCostsPropagations) {
+  // The same random script replayed against a save_trail=true solver and
+  // a save_trail=false solver must return identical answers at every
+  // query. Each generated query runs twice back-to-back, so the saving
+  // solver repeatedly gets a fully-shared assumption prefix to resume;
+  // over the whole corpus it must actually bank saves and spend no more
+  // propagations than the non-saving twin.
+  std::uint64_t total_saves = 0;
+  std::uint64_t total_saved_literals = 0;
+  std::uint64_t props_on = 0;
+  std::uint64_t props_off = 0;
+  for (std::uint64_t seed = 0; seed < 25; ++seed) {
+    Rng rng(seed * 31 + 7);
+    SolverOptions on = SolverOptions::berkmin();
+    on.save_trail = true;
+    Solver s_on(on);
+    Solver s_off(SolverOptions::berkmin());
+    const int num_vars = 10 + static_cast<int>(seed % 4);
+
+    std::vector<std::vector<Lit>> active;
+    std::vector<std::size_t> marks;
+    std::vector<GroupId> gids_on;
+    std::vector<GroupId> gids_off;
+    bool dead = false;
+    for (int op = 0; op < 24 && !dead; ++op) {
+      const std::uint64_t pick = rng.below(10);
+      if (pick < 4) {
+        const auto clause = random_clause(rng, num_vars, 3);
+        active.push_back(clause);
+        (void)s_on.add_clause(clause);
+        (void)s_off.add_clause(clause);
+      } else if (pick < 5) {
+        gids_on.push_back(s_on.push_group());
+        gids_off.push_back(s_off.push_group());
+        marks.push_back(active.size());
+      } else if (pick < 6 && !marks.empty()) {
+        ASSERT_TRUE(s_on.pop_group(gids_on.back()));
+        ASSERT_TRUE(s_off.pop_group(gids_off.back()));
+        gids_on.pop_back();
+        gids_off.pop_back();
+        active.resize(marks.back());
+        marks.pop_back();
+      } else {
+        std::vector<Lit> assumptions;
+        const int count = 1 + static_cast<int>(rng.below(2));
+        for (int i = 0; i < count; ++i) {
+          assumptions.push_back(
+              Lit(static_cast<Var>(
+                      rng.below(static_cast<std::uint64_t>(num_vars))),
+                  rng.coin()));
+        }
+        for (int rep = 0; rep < 2 && !dead; ++rep) {
+          const SolveStatus got = s_on.solve_with_assumptions(assumptions);
+          const SolveStatus want = s_off.solve_with_assumptions(assumptions);
+          ASSERT_EQ(got, want)
+              << "seed " << seed << " op " << op << " rep " << rep
+              << ": trail-saving changed an answer";
+          if (got == SolveStatus::satisfiable) {
+            const Cnf formula = active_formula(active, num_vars);
+            EXPECT_TRUE(formula.is_satisfied_by(s_on.model()))
+                << "seed " << seed << " op " << op << " rep " << rep;
+            for (const Lit a : assumptions) {
+              EXPECT_EQ(value_of_literal(s_on.model()[a.var()], a),
+                        Value::true_value)
+                  << "seed " << seed << " op " << op << " rep " << rep;
+            }
+          } else if (!s_on.ok()) {
+            dead = true;
+          }
+        }
+      }
+    }
+    ASSERT_EQ(s_on.validate_invariants(), "") << "seed " << seed;
+    EXPECT_EQ(s_off.stats().trail_saves, 0u);
+    total_saves += s_on.stats().trail_saves;
+    total_saved_literals += s_on.stats().trail_saved_literals;
+    props_on += s_on.stats().propagations;
+    props_off += s_off.stats().propagations;
+  }
+  EXPECT_GT(total_saves, 0u);
+  EXPECT_GT(total_saved_literals, 0u);
+  EXPECT_LE(props_on, props_off);
+}
 
 // --- icnf script plumbing --------------------------------------------------
 

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <map>
 #include <set>
 
 #include "core/solver.h"
@@ -255,6 +256,248 @@ TEST(ClauseGroups, PushPopAcrossBudgetSlices) {
   EXPECT_EQ(status, SolveStatus::unsatisfiable);
   EXPECT_TRUE(solver.ok());
   solver.pop_group();
+  EXPECT_EQ(solver.solve(), SolveStatus::satisfiable);
+  EXPECT_EQ(solver.validate_invariants(), "");
+}
+
+TEST(ClauseGroups, NamedHandlesPopInAnyOrder) {
+  // push_group returns a named handle; pop_group(id) retracts any live
+  // group regardless of push order, and a dead handle is a refusal.
+  Solver solver;
+  solver.load(make_cnf({{1, 2, 3}}));
+  const GroupId a = solver.push_group();
+  solver.add_clause(lits({-1}));
+  const GroupId b = solver.push_group();
+  solver.add_clause(lits({-2}));
+  const GroupId c = solver.push_group();
+  solver.add_clause(lits({-3}));
+  EXPECT_EQ(solver.solve(), SolveStatus::unsatisfiable);
+
+  ASSERT_TRUE(solver.pop_group(b));   // the *middle* group
+  EXPECT_FALSE(solver.pop_group(b));  // stale handle: refused
+  EXPECT_FALSE(solver.group_is_live(b));
+  EXPECT_EQ(solver.num_groups(), 2);
+  ASSERT_EQ(solver.solve(), SolveStatus::satisfiable);
+  EXPECT_TRUE(solver.model_value(from_dimacs(2)));   // -2 was retracted
+  EXPECT_FALSE(solver.model_value(from_dimacs(1)));  // -1 still live
+  EXPECT_FALSE(solver.model_value(from_dimacs(3)));  // -3 still live
+
+  // A later push reuses b's recycled selector under a fresh handle.
+  const GroupId d = solver.push_group();
+  EXPECT_NE(d, b);
+  EXPECT_EQ(solver.stats().selectors_recycled, 1u);
+  solver.add_clause(lits({-2}));
+  EXPECT_EQ(solver.solve(), SolveStatus::unsatisfiable);
+
+  ASSERT_TRUE(solver.pop_group(a));  // out of order again
+  ASSERT_TRUE(solver.pop_group(d));
+  ASSERT_TRUE(solver.pop_group(c));
+  EXPECT_EQ(solver.num_groups(), 0);
+  EXPECT_EQ(solver.solve(), SolveStatus::satisfiable);
+  EXPECT_EQ(solver.validate_invariants(), "");
+}
+
+TEST(ClauseGroups, GroupActivationParksWithoutRetracting) {
+  // set_group_active(id, false) makes the group inert for solves without
+  // retracting it: no clause is deleted, no lemma is dropped, and the
+  // group revives with everything intact.
+  Solver solver;
+  solver.load(make_cnf({{1, 2}}));
+  const GroupId g = solver.push_group();
+  solver.add_clause(lits({-1}));
+  solver.add_clause(lits({-2}));
+  EXPECT_EQ(solver.solve(), SolveStatus::unsatisfiable);
+  EXPECT_TRUE(solver.ok());
+
+  ASSERT_TRUE(solver.set_group_active(g, false));
+  EXPECT_FALSE(solver.group_is_active(g));
+  EXPECT_EQ(solver.solve(), SolveStatus::satisfiable);  // parked: inert
+
+  ASSERT_TRUE(solver.set_group_active(g, true));
+  EXPECT_EQ(solver.solve(), SolveStatus::unsatisfiable);  // revived
+
+  ASSERT_TRUE(solver.pop_group(g));
+  EXPECT_FALSE(solver.set_group_active(g, true));  // stale handle
+  EXPECT_EQ(solver.solve(), SolveStatus::satisfiable);
+  EXPECT_EQ(solver.validate_invariants(), "");
+}
+
+TEST(ClauseGroups, SelectorRecyclingBoundsLongLivedSessions) {
+  // ISSUE 10 satellite: a long-lived session pushing and popping many
+  // groups (in arbitrary order) must not grow the internal variable
+  // space one selector per push — popped selectors return through the
+  // free-list and later pushes are served from it, so internal width is
+  // bounded by the peak number of simultaneously live groups.
+  Solver solver;
+  solver.load(gen::random_ksat(16, 50, 3, 123));
+  const int external = solver.num_vars();
+
+  Rng rng(42);
+  std::vector<GroupId> live;
+  std::size_t peak = 0;
+  for (int round = 0; round < 500; ++round) {
+    if (live.size() < 3 && (live.empty() || rng.coin())) {
+      const GroupId g = solver.push_group();
+      std::vector<Lit> clause;
+      for (int k = 0; k < 3; ++k) {
+        clause.push_back(Lit(static_cast<Var>(rng.below(16)), rng.coin()));
+      }
+      solver.add_clause(clause);
+      live.push_back(g);
+      peak = std::max(peak, live.size());
+    } else {
+      const std::size_t at = rng.below(static_cast<std::uint64_t>(live.size()));
+      ASSERT_TRUE(solver.pop_group(live[at]));  // random order, not LIFO
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(at));
+    }
+    if (round % 16 == 0) {
+      ASSERT_NE(solver.solve(), SolveStatus::unknown);
+      ASSERT_TRUE(solver.ok());
+    }
+  }
+  // Bounded growth: at most `peak` selectors were ever allocated, so all
+  // but `peak` of the pushes were served from the free-list.
+  EXPECT_LE(solver.num_internal_vars(), external + static_cast<int>(peak));
+  EXPECT_LE(solver.stats().groups_pushed - solver.stats().selectors_recycled,
+            static_cast<std::uint64_t>(peak));
+  EXPECT_GT(solver.stats().selectors_recycled, 100u);
+  EXPECT_EQ(solver.validate_invariants(), "");
+}
+
+TEST(ClauseGroups, OutOfOrderPopDropsDependentsKeepsLaterGroups) {
+  // ISSUE 10 satellite: retained-lemma interaction with *out-of-order*
+  // deletion. Lemmas whose derivations touched a popped middle group die
+  // with it; lemmas of a still-live later group survive the pop with
+  // their literal sets and activity counters intact.
+  const Cnf base = gen::random_ksat(14, 40, 3, 5);  // satisfiable
+  Solver solver;
+  solver.load(base);
+  const GroupId a = solver.push_group();
+  solver.add_clause(lits({1, 2}));
+  solver.add_clause(lits({1, -2}));  // group a forces 1
+  const GroupId b = solver.push_group();
+  solver.add_clause(lits({-1, 3}));
+  solver.add_clause(lits({-1, -3}));  // group b forces -1; a AND b is UNSAT
+  ASSERT_EQ(solver.solve(), SolveStatus::unsatisfiable);
+  ASSERT_TRUE(solver.ok());
+
+  // Lemmas are tagged with the selectors of the groups their derivations
+  // touched. Snapshot every lemma NOT depending on the middle group `a`:
+  // all of them must survive pop_group(a) byte-for-byte (activity too).
+  const Lit sel_a = solver.group_selectors()[0];
+  const Lit sel_b = solver.group_selectors()[1];
+  std::map<std::vector<Lit>, std::uint32_t> expected_survivors;
+  std::size_t a_dependent = 0;
+  for (const ClauseRef ref : solver.learned_stack()) {
+    std::vector<Lit> clause = solver.clause_literals(ref);
+    std::sort(clause.begin(), clause.end());
+    const bool touches_a =
+        std::find(clause.begin(), clause.end(), sel_a) != clause.end();
+    if (touches_a) {
+      ++a_dependent;
+    } else {
+      expected_survivors.emplace(std::move(clause),
+                                 solver.clause_activity(ref));
+    }
+  }
+
+  ASSERT_TRUE(solver.pop_group(a));  // middle group; b stays live
+  ASSERT_EQ(solver.validate_invariants(), "");
+  EXPECT_TRUE(solver.group_is_live(b));
+  EXPECT_EQ(solver.stats().pop_dropped_learned,
+            static_cast<std::uint64_t>(a_dependent));
+  EXPECT_EQ(solver.num_learned(), expected_survivors.size());
+  for (const ClauseRef ref : solver.learned_stack()) {
+    std::vector<Lit> clause = solver.clause_literals(ref);
+    std::sort(clause.begin(), clause.end());
+    EXPECT_EQ(std::find(clause.begin(), clause.end(), sel_a), clause.end())
+        << "a surviving lemma still mentions the popped group's selector";
+    const auto it = expected_survivors.find(clause);
+    ASSERT_NE(it, expected_survivors.end())
+        << "pop rewrote or invented a lemma of a still-live group";
+    EXPECT_EQ(solver.clause_activity(ref), it->second)
+        << "pop disturbed a surviving lemma's activity";
+  }
+  (void)sel_b;
+
+  // Failed-assumptions-after-pop, out-of-order edition: group b is still
+  // live and forces -1, so assuming 1 is UNSAT with a clean user core.
+  ASSERT_EQ(solver.solve_with_assumptions(lits({1})),
+            SolveStatus::unsatisfiable);
+  for (const Lit l : solver.failed_assumptions()) {
+    EXPECT_LT(l.var(), solver.num_vars());
+  }
+  ASSERT_TRUE(solver.pop_group(b));
+  EXPECT_EQ(solver.solve_with_assumptions(lits({1})),
+            SolveStatus::satisfiable);
+  EXPECT_EQ(solver.validate_invariants(), "");
+}
+
+TEST(TrailSaving, SharedPrefixSkipsRepropagation) {
+  // SolverOptions::save_trail keeps the implied trail of a shared
+  // assumption prefix across consecutive solves: re-solving under the
+  // same assumptions resumes past the saved segment instead of
+  // re-deciding and re-propagating it.
+  Cnf chain;
+  constexpr int kVars = 50;
+  chain.add_vars(kVars);
+  for (int i = 0; i < kVars - 1; ++i) {
+    chain.add_clause({Lit::negative(i), Lit::positive(i + 1)});
+  }
+  SolverOptions opts;
+  opts.save_trail = true;
+  Solver solver(opts);
+  solver.load(chain);
+
+  const auto assumptions = lits({1});  // propagates the whole chain
+  ASSERT_EQ(solver.solve_with_assumptions(assumptions),
+            SolveStatus::satisfiable);
+  const std::uint64_t props_first = solver.stats().propagations;
+  ASSERT_EQ(solver.solve_with_assumptions(assumptions),
+            SolveStatus::satisfiable);
+  EXPECT_EQ(solver.stats().trail_saves, 1u);
+  EXPECT_GE(solver.stats().trail_saved_literals,
+            static_cast<std::uint64_t>(kVars - 1));
+  // The chain was not re-propagated on the second solve.
+  EXPECT_LT(solver.stats().propagations - props_first,
+            static_cast<std::uint64_t>(kVars - 1));
+
+  // A clause mutation cancels the saved segment; the next solve is still
+  // correct and starts from scratch.
+  solver.add_clause(lits({2, 3}));
+  ASSERT_EQ(solver.solve_with_assumptions(assumptions),
+            SolveStatus::satisfiable);
+  EXPECT_EQ(solver.stats().trail_saves, 1u);  // no save to resume from
+  // A different assumption vector shares no prefix: correct answer, no
+  // saved-trail credit.
+  ASSERT_EQ(solver.solve_with_assumptions(lits({-1})),
+            SolveStatus::satisfiable);
+  EXPECT_FALSE(solver.model_value(from_dimacs(1)));
+  EXPECT_EQ(solver.validate_invariants(), "");
+}
+
+TEST(TrailSaving, ComposesWithGroupsAndActivation) {
+  // The effective assumption vector starts with the group selectors, so
+  // trail-saving credits repeated queries over a stable group
+  // configuration, and an activation flip just shortens the shared
+  // prefix instead of corrupting state.
+  SolverOptions opts;
+  opts.save_trail = true;
+  Solver solver(opts);
+  solver.load(make_cnf({{1, 2}}));
+  const GroupId g = solver.push_group();
+  solver.add_clause(lits({-1}));
+  ASSERT_EQ(solver.solve(), SolveStatus::satisfiable);
+  ASSERT_EQ(solver.solve(), SolveStatus::satisfiable);
+  EXPECT_GE(solver.stats().trail_saves, 1u);
+  ASSERT_TRUE(solver.set_group_active(g, false));
+  ASSERT_EQ(solver.solve_with_assumptions(lits({-2})),
+            SolveStatus::satisfiable);  // -1 parked, 1 may hold
+  EXPECT_TRUE(solver.model_value(from_dimacs(1)));
+  ASSERT_TRUE(solver.set_group_active(g, true));
+  ASSERT_EQ(solver.solve_with_assumptions(lits({-2})),
+            SolveStatus::unsatisfiable);  // {1,2} vs -1 and -2
+  ASSERT_TRUE(solver.pop_group(g));
   EXPECT_EQ(solver.solve(), SolveStatus::satisfiable);
   EXPECT_EQ(solver.validate_invariants(), "");
 }
